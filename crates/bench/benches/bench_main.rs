@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks of the hot paths: batch-latency modelling,
+//! random-forest prediction, the dynamic-chunk budget search, scheduler
+//! batch planning, and end-to-end engine stepping.
+//!
+//! The scheduling-overhead comparison with SLOs-Serve (§4.5.3) rests on
+//! QoServe's per-iteration cost being `O(log N_new)` — `plan_batch_*`
+//! benches document that cost directly.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use qoserve::prelude::*;
+use qoserve_sched::{Constraints, PrefillJob};
+
+fn hw() -> HardwareConfig {
+    HardwareConfig::llama3_8b_a100_tp1()
+}
+
+fn mixed_batch() -> BatchProfile {
+    BatchProfile::builder()
+        .prefill_chunk(512, 2_048)
+        .decodes(64, 64 * 1_500)
+        .build()
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    let model = LatencyModel::new(&hw());
+    let batch = mixed_batch();
+    c.bench_function("latency_model/iteration_time", |b| {
+        b.iter(|| model.iteration_time_us(black_box(&batch)))
+    });
+}
+
+fn bench_forest_predict(c: &mut Criterion) {
+    let seeds = SeedStream::new(1);
+    let forest = LatencyPredictor::train_forest(&hw(), &seeds);
+    let batch = mixed_batch();
+    c.bench_function("forest/predict", |b| {
+        b.iter(|| forest.predict_raw_us(black_box(&batch)))
+    });
+}
+
+fn bench_chunk_budget(c: &mut Criterion) {
+    let analytical = ChunkBudget::new(LatencyPredictor::analytical(&hw()), ChunkLimits::default());
+    let seeds = SeedStream::new(2);
+    let forest = ChunkBudget::new(
+        LatencyPredictor::train_forest(&hw(), &seeds),
+        ChunkLimits::default(),
+    );
+    let slack = Some(SimDuration::from_millis(80));
+    c.bench_function("chunk_budget/analytical", |b| {
+        b.iter(|| analytical.prefill_budget(black_box(64), 64 * 1_500, 1_024, slack))
+    });
+    c.bench_function("chunk_budget/forest", |b| {
+        b.iter(|| forest.prefill_budget(black_box(64), 64 * 1_500, 1_024, slack))
+    });
+}
+
+fn queued_scheduler(n_jobs: u64) -> QoServeScheduler {
+    let mut sched = QoServeScheduler::new(
+        QoServeConfig::default(),
+        LatencyPredictor::analytical(&hw()),
+    );
+    for i in 0..n_jobs {
+        let spec = RequestSpec {
+            id: RequestId(i),
+            arrival: SimTime::from_millis(i),
+            prompt_tokens: 1_000 + (i % 7) as u32 * 300,
+            decode_tokens: 100,
+            slo: Slo::of_tier(QosTier::paper_tiers()[(i % 3) as usize]),
+            app_id: (i % 3) as u32,
+        };
+        sched.on_arrival(PrefillJob::new(spec), spec.arrival);
+    }
+    sched
+}
+
+fn decode_pool(n: u64) -> Vec<qoserve_sched::DecodeJob> {
+    (0..n)
+        .map(|i| qoserve_sched::DecodeJob {
+            id: RequestId(1_000_000 + i),
+            context_len: 1_500,
+            next_token_deadline: SimTime::from_secs(100),
+            relegated: false,
+        })
+        .collect()
+}
+
+fn bench_plan_batch(c: &mut Criterion) {
+    let decodes = decode_pool(64);
+    for queue_len in [100u64, 10_000] {
+        c.bench_function(&format!("plan_batch/queue_{queue_len}"), |b| {
+            b.iter_batched(
+                || queued_scheduler(queue_len),
+                |mut sched| {
+                    black_box(sched.plan_batch(
+                        SimTime::from_secs(1),
+                        &decodes,
+                        Constraints::unlimited(),
+                    ))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    // §4.5.3: the SLOs-Serve DP at the same depths (expected to blow up).
+    for queue_len in [100u64, 2_000] {
+        c.bench_function(&format!("plan_batch/slos_serve_queue_{queue_len}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sched = SlosServeScheduler::new(
+                        SlosServeConfig::default(),
+                        LatencyPredictor::analytical(&hw()),
+                    );
+                    for i in 0..queue_len {
+                        let spec = RequestSpec {
+                            id: RequestId(i),
+                            arrival: SimTime::from_millis(i),
+                            prompt_tokens: 1_000 + (i % 7) as u32 * 300,
+                            decode_tokens: 100,
+                            slo: Slo::of_tier(QosTier::paper_tiers()[(i % 3) as usize]),
+                            app_id: (i % 3) as u32,
+                        };
+                        sched.on_arrival(PrefillJob::new(spec), spec.arrival);
+                    }
+                    sched
+                },
+                |mut sched| {
+                    black_box(sched.plan_batch(
+                        SimTime::from_secs(1),
+                        &decodes,
+                        Constraints::unlimited(),
+                    ))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_engine_steps(c: &mut Criterion) {
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(3.0))
+        .num_requests(200)
+        .paper_tier_mix()
+        .build(&SeedStream::new(3));
+    c.bench_function("engine/run_200_requests", |b| {
+        b.iter_batched(
+            || {
+                let sched = QoServeScheduler::new(
+                    QoServeConfig::default(),
+                    LatencyPredictor::analytical(&hw()),
+                );
+                let mut engine = ReplicaEngine::new(
+                    ReplicaConfig::new(hw()),
+                    Box::new(sched),
+                    &SeedStream::new(3),
+                );
+                for spec in &trace {
+                    engine.submit(*spec);
+                }
+                engine
+            },
+            |mut engine| black_box(engine.run().len()),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_latency_model,
+        bench_forest_predict,
+        bench_chunk_budget,
+        bench_plan_batch,
+        bench_engine_steps
+);
+criterion_main!(benches);

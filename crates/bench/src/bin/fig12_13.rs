@@ -1,0 +1,119 @@
+//! Figures 12 and 13: transient overload with a diurnal load pattern.
+//!
+//! Load alternates 2 ↔ 5 QPS every 15 minutes over 4 hours (compressed by
+//! `QOSERVE_SCALE`); 20 % of each tier is tagged low-priority. Fig. 12
+//! reports overall and per-tier violations plus violations among
+//! *important* requests; Fig. 13 the rolling p99 latency per tier over
+//! time. Expected shape: the baselines enter cascading violation past the
+//! first burst; QoServe relegates a small low-priority slice and keeps
+//! every important request within SLO.
+
+use qoserve::experiments::{run_run, scale_factor};
+use qoserve::prelude::*;
+use qoserve_bench::banner;
+use qoserve_metrics::{RollingSeries, SloReport};
+
+fn main() {
+    banner("fig12_13", "Diurnal transient overload (Az-Code, Llama3-8B)");
+
+    // 4h of 15-minute phases in the paper; compressed by default so the
+    // binary finishes quickly, stretched by QOSERVE_SCALE toward paper
+    // scale. Phase length and total duration scale together so the wave
+    // keeps its 2.5x peak-to-trough shape.
+    let scale = scale_factor();
+    let half_period = SimDuration::from_secs_f64(900.0 * scale.clamp(0.2, 1.0));
+    let total = half_period * 8;
+    // The paper alternates 2 <-> 5 QPS against a ~3.6-QPS-capacity
+    // system (1.4x peak overload). Our simulator's absolute capacity is
+    // ~5.5-6 QPS, so the equivalent stress is 3 <-> 8 QPS — the same
+    // ~2.6x peak-to-trough ratio and ~1.4x peak overload.
+    let arrivals = ArrivalProcess::DiurnalSquare {
+        low_qps: 3.0,
+        high_qps: 8.0,
+        half_period,
+    };
+    let trace = TraceBuilder::new(Dataset::azure_code())
+        .arrivals(arrivals)
+        .duration(total)
+        .paper_tier_mix()
+        .low_priority_fraction(0.2)
+        .build(&SeedStream::new(12));
+    println!(
+        "trace: {} requests over {} ({} phases of {})",
+        trace.len(),
+        total,
+        8,
+        half_period
+    );
+
+    let hw = HardwareConfig::llama3_8b_a100_tp1();
+    let schemes = [
+        SchedulerSpec::sarathi_fcfs(),
+        SchedulerSpec::sarathi_edf(),
+        SchedulerSpec::qoserve(),
+    ];
+
+    println!("\n--- Figure 12: deadline violations (%) ---");
+    let mut fig12 = Table::new(vec![
+        "scheme", "overall", "important", "Q1", "Q2", "Q3", "relegated", "max latency (s)",
+    ]);
+    let mut all_outcomes = Vec::new();
+    for scheme in &schemes {
+        let outcomes = run_run(&trace, scheme, &hw, 12);
+        let report = SloReport::compute(&outcomes, trace.long_prompt_threshold());
+        let max_latency = outcomes
+            .iter()
+            .filter_map(|o| o.ttlt())
+            .map(|d| d.as_secs_f64())
+            .fold(0.0, f64::max);
+        fig12.row(vec![
+            scheme.label(),
+            format!("{:.2}%", report.violation_pct()),
+            format!("{:.2}%", report.important_violation_pct()),
+            format!("{:.2}%", report.tier_violation_pct(TierId::Q1)),
+            format!("{:.2}%", report.tier_violation_pct(TierId::Q2)),
+            format!("{:.2}%", report.tier_violation_pct(TierId::Q3)),
+            format!("{:.1}%", report.relegated_fraction * 100.0),
+            format!("{max_latency:.0}"),
+        ]);
+        all_outcomes.push((scheme.label(), outcomes));
+        eprintln!("  done: {}", scheme.label());
+    }
+    print!("{fig12}");
+    println!(
+        "paper: FCFS 81.9%/EDF 84.1% overall vs QoServe 8.6% overall and 0% important"
+    );
+
+    println!("\n--- Figure 13: rolling p99 of tier-judged latency (60s windows, seconds) ---");
+    let window = SimDuration::from_secs(60);
+    for tier in [TierId::Q1, TierId::Q2, TierId::Q3] {
+        println!("\ntier {tier} (high-priority requests):");
+        let mut table = Table::new(vec!["scheme", "mean p99", "max p99", "final-quarter mean p99"]);
+        for (label, outcomes) in &all_outcomes {
+            let samples: Vec<(SimTime, f64)> = outcomes
+                .iter()
+                .filter(|o| o.tier() == tier && o.priority() == Priority::Important)
+                .filter_map(|o| o.tier_latency().map(|l| (o.spec.arrival, l.as_secs_f64())))
+                .collect();
+            let series = RollingSeries::percentile_over(&samples, window, 0.99);
+            let quarter = total.as_secs_f64() * 0.75;
+            let tail: Vec<f64> = series.slice(quarter, f64::INFINITY.min(1e18));
+            let tail_mean = if tail.is_empty() {
+                f64::NAN
+            } else {
+                tail.iter().sum::<f64>() / tail.len() as f64
+            };
+            table.row(vec![
+                label.clone(),
+                format!("{:.1}", series.mean_value().unwrap_or(f64::NAN)),
+                format!("{:.1}", series.max_value().unwrap_or(f64::NAN)),
+                format!("{tail_mean:.1}"),
+            ]);
+        }
+        print!("{table}");
+    }
+    println!(
+        "\npaper: baselines cannot recover after the bursts (latency keeps climbing); \
+         QoServe's rolling p99 stays near the SLO through every burst"
+    );
+}

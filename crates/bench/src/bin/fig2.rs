@@ -1,0 +1,88 @@
+//! Figure 2: traditional multi-SLA scheduling policies vs QoServe.
+//!
+//! Sweeps load over the three-tier Azure-Code workload and reports, for
+//! the strictest QoS class (Q1): median latency, tail (p99) latency,
+//! overall deadline violations, and long-request deadline violations.
+//! Expected shape (paper): FCFS collapses first; EDF is clean at low load
+//! but cliff-drops past capacity; SJF/SRPF hold median latency but starve
+//! long jobs even at 2.5 QPS; QoServe interpolates and minimises
+//! violations everywhere.
+
+use qoserve::experiments::{load_sweep, scaled_window};
+use qoserve::prelude::*;
+use qoserve_bench::banner;
+use qoserve_metrics::percentile;
+
+fn main() {
+    banner("fig2", "Traditional policies for multi-SLA scheduling (Az-Code, Llama3-8B)");
+
+    let schemes = vec![
+        SchedulerSpec::sarathi_fcfs(),
+        SchedulerSpec::Sarathi {
+            policy: OrderPolicy::Sjf,
+            chunk: 256,
+        },
+        SchedulerSpec::sarathi_srpf(),
+        SchedulerSpec::sarathi_edf(),
+        SchedulerSpec::qoserve(),
+    ];
+    let qps_list = [2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 6.0];
+    let window = scaled_window(3600);
+
+    let points = load_sweep(
+        &Dataset::azure_code(),
+        &HardwareConfig::llama3_8b_a100_tp1(),
+        &schemes,
+        &qps_list,
+        window,
+        &TierMix::paper_equal(),
+        2026,
+    );
+
+    let mut table = Table::new(vec![
+        "qps",
+        "scheme",
+        "Q1 p50 TTFT (s)",
+        "Q1 p99 TTFT (s)",
+        "violations",
+        "long violations",
+    ]);
+    for p in &points {
+        let q1_ttft: Vec<f64> = p
+            .outcomes
+            .iter()
+            .filter(|o| o.tier() == TierId::Q1)
+            .filter_map(|o| o.ttft())
+            .map(|d| d.as_secs_f64())
+            .collect();
+        table.row(vec![
+            format!("{:.1}", p.qps),
+            p.scheme.clone(),
+            percentile(&q1_ttft, 0.5).map_or("-".into(), |v| format!("{v:.2}")),
+            percentile(&q1_ttft, 0.99).map_or("-".into(), |v| format!("{v:.2}")),
+            format!("{:.1}%", p.report.violation_pct()),
+            format!("{:.1}%", p.report.long_violation_pct()),
+        ]);
+    }
+    print!("{table}");
+
+    // Headline checks mirroring the figure's captions.
+    println!();
+    let at = |scheme: &str, qps: f64| {
+        points
+            .iter()
+            .find(|p| p.scheme == scheme && (p.qps - qps).abs() < 1e-9)
+            .expect("point exists")
+    };
+    println!(
+        "long-request violations at 2.5 QPS — SRPF {:.1}% vs QoServe {:.1}% (paper: SRPF already starves long jobs)",
+        at("Sarathi-SRPF", 2.5).report.long_violation_pct(),
+        at("QoServe", 2.5).report.long_violation_pct(),
+    );
+    println!(
+        "overall violations at 6 QPS — FCFS {:.1}%, EDF {:.1}%, QoServe {:.1}%",
+        at("Sarathi-FCFS", 6.0).report.violation_pct(),
+        at("Sarathi-EDF", 6.0).report.violation_pct(),
+        at("QoServe", 6.0).report.violation_pct(),
+    );
+}

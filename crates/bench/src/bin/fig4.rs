@@ -1,0 +1,64 @@
+//! Figure 4: throughput/latency as a function of chunk size.
+//!
+//! Reproduces the characterisation behind dynamic chunking: iteration
+//! latency grows roughly affinely with chunk size while throughput
+//! saturates around a 2–2.5 k-token chunk; the paper marks chunk ≈ 330
+//! against the 50 ms TBT SLO and reports ~2x throughput at 2500 vs 256.
+
+use qoserve::prelude::*;
+use qoserve_bench::banner;
+
+fn main() {
+    banner("fig4", "Throughput-latency tradeoff vs chunk size (Llama3-8B, A100)");
+
+    let hw = HardwareConfig::llama3_8b_a100_tp1();
+    let model = LatencyModel::new(&hw);
+
+    // The decode pool the characterisation batches carry: ~100 in-flight
+    // decodes with ~2k context each (a loaded replica).
+    let decodes = 100u32;
+    let decode_ctx = 200_000u64;
+    let batch = |chunk: u32| {
+        BatchProfile::builder()
+            .prefill_chunk(chunk, 1_000)
+            .decodes(decodes, decode_ctx)
+            .build()
+    };
+
+    let mut table = Table::new(vec!["chunk", "throughput (tok/s)", "latency (ms)"]);
+    let mut at_slo: Option<u32> = None;
+    let mut tput_256 = 0.0;
+    let mut tput_2500 = 0.0;
+    for chunk in (64..=2_560).step_by(64).chain([3_072, 4_096]) {
+        let b = batch(chunk);
+        let tput = model.throughput_tokens_per_sec(&b);
+        let lat_ms = model.iteration_time_us(&b) / 1e3;
+        if lat_ms <= 50.0 {
+            at_slo = Some(chunk);
+        }
+        if chunk == 256 {
+            tput_256 = tput;
+        }
+        if chunk == 2_496 {
+            tput_2500 = tput;
+        }
+        if chunk % 256 == 0 || chunk == 64 {
+            table.row(vec![
+                chunk.to_string(),
+                format!("{tput:.0}"),
+                format!("{lat_ms:.1}"),
+            ]);
+        }
+    }
+    print!("{table}");
+
+    println!();
+    println!(
+        "largest chunk meeting the 50ms TBT SLO: {} (paper marks ~330)",
+        at_slo.map_or("none".to_owned(), |c| c.to_string())
+    );
+    println!(
+        "throughput ratio 2500/256: {:.2}x (paper reports ~2x)",
+        tput_2500 / tput_256
+    );
+}

@@ -1,0 +1,82 @@
+//! Figure 9: dynamic chunk sizes over consecutive batches.
+//!
+//! Runs QoServe on the Azure-Conv trace and prints the chunk budget and
+//! execution time of 200 consecutive iterations taken from the middle of
+//! the run. Expected shape: when slack accumulates, the budget opens
+//! toward the 2560 maximum; when interactive decodes get tight, it drops
+//! back — execution time tracks the chosen chunk.
+
+use qoserve::prelude::*;
+use qoserve_bench::banner;
+
+fn main() {
+    banner("fig9", "Dynamic chunking trace (Az-Conv, Llama3-8B)");
+
+    let hw = HardwareConfig::llama3_8b_a100_tp1();
+    let seeds = SeedStream::new(9);
+    // Interactive-heavy near-capacity load: decode slack actually binds,
+    // so the budget oscillates between the TBT floor and the 2560 cap.
+    let mix = TierMix::new(vec![
+        (QosTier::paper_q1(), 2.0),
+        (QosTier::paper_q2(), 1.0),
+    ]);
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(7.0))
+        .duration(SimDuration::from_secs(600))
+        .tier_mix(mix)
+        .build(&seeds);
+
+    let sched = QoServeScheduler::new(
+        QoServeConfig::default(),
+        LatencyPredictor::analytical(&hw),
+    );
+    let config = ReplicaConfig::new(hw).with_batch_recording();
+    let mut engine = ReplicaEngine::new(config, Box::new(sched), &seeds);
+    let _ = engine.run_trace(&trace);
+
+    let log = engine.batch_log();
+    let start = log.len() / 3;
+    let window = &log[start..(start + 200).min(log.len())];
+
+    let mut table = Table::new(vec!["batch", "chunk budget", "prefill tokens", "exec (ms)", "decodes"]);
+    for (i, b) in window.iter().enumerate().step_by(10) {
+        table.row(vec![
+            (start + i).to_string(),
+            b.token_budget.to_string(),
+            b.prefill_tokens.to_string(),
+            format!("{:.1}", b.exec.as_millis_f64()),
+            b.num_decodes.to_string(),
+        ]);
+    }
+    print!("{table}");
+
+    let budgets: Vec<f64> = window.iter().map(|b| b.token_budget as f64).collect();
+    let execs: Vec<f64> = window.iter().map(|b| b.exec.as_millis_f64()).collect();
+    let min_b = budgets.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_b = budgets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!();
+    println!(
+        "chunk budget range over the window: {min_b:.0}..{max_b:.0} tokens \
+         (paper: oscillates between the TBT-constrained floor and ~2500)"
+    );
+    println!(
+        "exec time range: {:.1}..{:.1} ms",
+        execs.iter().copied().fold(f64::INFINITY, f64::min),
+        execs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    );
+
+    // Correlation between budget and execution time (should be strongly
+    // positive: bigger chunks take longer).
+    let corr = correlation(&budgets, &execs);
+    println!("corr(chunk budget, exec time) = {corr:.2}");
+}
+
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    cov / (vx.sqrt() * vy.sqrt()).max(1e-12)
+}

@@ -1,0 +1,98 @@
+//! Table 5: ablation of QoServe's techniques.
+//!
+//! Starting from Sarathi-EDF, adds dynamic chunking (DC), then eager
+//! relegation (+ER), then hybrid prioritization (+HP — the full system)
+//! and reports (a) the optimal sustainable load and (b) violations at a
+//! fixed 6 QPS overload. Expected shape: DC buys ~20 % capacity; ER cuts
+//! overload violations drastically; HP's value concentrates at high load.
+
+use qoserve::experiments::{run_run, scaled_window};
+use qoserve::prelude::*;
+use qoserve_bench::banner;
+use qoserve_metrics::SloReport;
+
+fn main() {
+    banner("table5", "Ablation: DC -> +ER -> +HP (Az-Code, Llama3-8B)");
+
+    let configs: Vec<(String, SchedulerSpec)> = vec![
+        ("Sarathi-EDF".into(), SchedulerSpec::sarathi_edf()),
+        (
+            "QoServe (DC)".into(),
+            SchedulerSpec::qoserve_with(QoServeConfig::ablation_dc()),
+        ),
+        (
+            "QoServe (DC+ER)".into(),
+            SchedulerSpec::qoserve_with(QoServeConfig::ablation_dc_er()),
+        ),
+        (
+            "QoServe (DC+ER+HP)".into(),
+            SchedulerSpec::qoserve_with(QoServeConfig::ablation_full()),
+        ),
+    ];
+
+    let hw = HardwareConfig::llama3_8b_a100_tp1();
+    let dataset = Dataset::azure_code();
+    let cluster = ClusterConfig::new(hw.clone());
+    let options = GoodputOptions {
+        window: scaled_window(2400),
+        resolution: 0.1,
+        max_qps: 12.0,
+        ..Default::default()
+    };
+
+    // Overload probe at ~1.5x the full system's capacity (the paper's 6
+    // QPS is ~1.6x its measured 3.65 QPS optimum; our simulator's absolute
+    // capacity is higher, so the ratio is what transfers).
+    eprintln!("measuring full-system capacity for the overload point...");
+    let full_capacity = max_goodput(
+        &dataset,
+        &configs.last().expect("non-empty").1,
+        &cluster,
+        &options,
+        &SeedStream::new(5),
+    );
+    let overload_qps = (full_capacity * 1.5).max(1.0);
+    println!("full-system optimal load {full_capacity:.2} QPS -> overload probe at {overload_qps:.1} QPS");
+    let overload = TraceBuilder::new(dataset.clone())
+        .arrivals(ArrivalProcess::poisson(overload_qps))
+        .duration(scaled_window(3600))
+        .paper_tier_mix()
+        .build(&SeedStream::new(55));
+    let threshold = overload.long_prompt_threshold();
+
+    let mut table = Table::new(vec![
+        "config",
+        "optimal load (QPS)",
+        "gain vs prev",
+        "% viol @ overload",
+        "impr vs prev",
+    ]);
+    let mut prev_load: Option<f64> = None;
+    let mut prev_viol: Option<f64> = None;
+    for (label, spec) in &configs {
+        let load = max_goodput(&dataset, spec, &cluster, &options, &SeedStream::new(5));
+        let outcomes = run_run(&overload, spec, &hw, 55);
+        let viol = SloReport::compute(&outcomes, threshold).violation_pct();
+        table.row(vec![
+            label.clone(),
+            format!("{load:.2}"),
+            prev_load.map_or("-".into(), |p| format!("{:+.0}%", (load / p - 1.0) * 100.0)),
+            format!("{viol:.1}%"),
+            prev_viol.map_or("-".into(), |p| {
+                if p <= 0.0 {
+                    "-".into()
+                } else {
+                    format!("{:.0}%", (1.0 - viol / p) * 100.0)
+                }
+            }),
+        ]);
+        prev_load = Some(load);
+        prev_viol = Some(viol);
+        eprintln!("  done: {label}");
+    }
+    print!("{table}");
+    println!();
+    println!(
+        "paper: EDF 2.75 QPS/100% -> DC 3.3/74% -> DC+ER 3.6/26% -> full 3.65/16%"
+    );
+}

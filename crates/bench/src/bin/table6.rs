@@ -1,0 +1,64 @@
+//! Table 6: robustness to skewed workload compositions.
+//!
+//! Interactive-dominant (70-15-15) and batch-dominant (15-15-70) splits
+//! at 4.5 QPS. Expected shape: the baselines blow through every tier's
+//! SLO; QoServe stays compliant by relegating a small slice and
+//! exploiting dynamic chunking.
+
+use qoserve::experiments::{run_run, scaled_window};
+use qoserve::prelude::*;
+use qoserve_bench::banner;
+use qoserve_metrics::SloReport;
+
+fn main() {
+    banner("table6", "Skewed workload compositions @ 4.5 QPS (Az-Code)");
+
+    let hw = HardwareConfig::llama3_8b_a100_tp1();
+    let schemes = [
+        SchedulerSpec::sarathi_fcfs(),
+        SchedulerSpec::sarathi_edf(),
+        SchedulerSpec::qoserve(),
+    ];
+    let compositions = [
+        ("70-15-15", TierMix::paper_interactive_dominant()),
+        ("15-15-70", TierMix::paper_batch_dominant()),
+    ];
+
+    let mut table = Table::new(vec![
+        "composition",
+        "scheme",
+        "Q1 p50 (6s)",
+        "Q2 p50 (600s)",
+        "Q3 p50 (1800s)",
+        "% violations",
+        "relegated",
+    ]);
+    for (name, mix) in &compositions {
+        let trace = TraceBuilder::new(Dataset::azure_code())
+            .arrivals(ArrivalProcess::poisson(4.5))
+            .duration(scaled_window(3600))
+            .tier_mix(mix.clone())
+            .build(&SeedStream::new(6));
+        let threshold = trace.long_prompt_threshold();
+        for scheme in &schemes {
+            let outcomes = run_run(&trace, scheme, &hw, 6);
+            let report = SloReport::compute(&outcomes, threshold);
+            table.row(vec![
+                (*name).to_owned(),
+                scheme.label(),
+                format!("{:.2}", report.tier_summary(TierId::Q1).p50),
+                format!("{:.2}", report.tier_summary(TierId::Q2).p50),
+                format!("{:.2}", report.tier_summary(TierId::Q3).p50),
+                format!("{:.1}%", report.violation_pct()),
+                format!("{:.1}%", report.relegated_fraction * 100.0),
+            ]);
+            eprintln!("  done: {name} / {}", scheme.label());
+        }
+    }
+    print!("{table}");
+    println!();
+    println!(
+        "paper: baselines violate 82-100% on both skews; QoServe 5% (70-15-15) and \
+         0.5% (15-15-70) while relegating 0.5-5% of requests"
+    );
+}

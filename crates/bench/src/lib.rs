@@ -1,0 +1,77 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+//! paper-vs-measured numbers). Run them with
+//! `cargo run --release -p qoserve-bench --bin <id>`; set
+//! `QOSERVE_SCALE` to stretch measurement windows toward paper scale.
+
+use qoserve::prelude::*;
+
+/// Prints the standard experiment header.
+pub fn banner(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!(
+        "scale factor {} (set QOSERVE_SCALE to change)",
+        qoserve::experiments::scale_factor()
+    );
+    println!("================================================================");
+}
+
+/// Formats an optional latency in seconds.
+pub fn secs(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}"),
+        None => "-".to_owned(),
+    }
+}
+
+/// Formats a `LatencySummary` percentile pair as `p50/p95`.
+pub fn p50_p95(s: &LatencySummary) -> String {
+    if s.count == 0 {
+        "-".to_owned()
+    } else {
+        format!("{:.2}/{:.2}", s.p50, s.p95)
+    }
+}
+
+/// The three per-tier violation percentages as table cells.
+pub fn tier_violation_cells(report: &SloReport) -> Vec<String> {
+    [TierId::Q1, TierId::Q2, TierId::Q3]
+        .iter()
+        .map(|t| format!("{:.1}%", report.tier_violation_pct(*t)))
+        .collect()
+}
+
+/// Median of the tier-judged latency over all finished requests, seconds.
+pub fn overall_median_latency(outcomes: &[RequestOutcome]) -> Option<f64> {
+    let secs: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.tier_latency())
+        .map(|d| d.as_secs_f64())
+        .collect();
+    qoserve_metrics::percentile(&secs, 0.5)
+}
+
+/// p99 of the tier-judged latency over all finished requests, seconds.
+pub fn overall_p99_latency(outcomes: &[RequestOutcome]) -> Option<f64> {
+    let secs: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.tier_latency())
+        .map(|d| d.as_secs_f64())
+        .collect();
+    qoserve_metrics::percentile(&secs, 0.99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(None), "-");
+        assert_eq!(secs(Some(1.234)), "1.23");
+        assert_eq!(p50_p95(&LatencySummary::default()), "-");
+    }
+}

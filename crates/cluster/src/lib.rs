@@ -1,0 +1,25 @@
+//! Cluster-scale simulation for the QoServe reproduction.
+//!
+//! The paper's headline result (Fig. 1, Table 4) is a *deployment*
+//! argument: a shared QoServe cluster needs 23 % fewer GPUs than the
+//! state-of-the-art siloed deployment at the same load and SLOs. This
+//! crate provides the machinery behind every cluster-scale number:
+//!
+//! * [`spec`] — [`SchedulerSpec`], a buildable description of a scheduler
+//!   (so each replica can own a fresh instance).
+//! * [`router`] — request routing across replicas (round-robin, as in the
+//!   paper's experiments, plus a least-work router).
+//! * [`deployment`] — shared vs siloed deployments and their execution;
+//!   replicas run in parallel threads, each bit-reproducible.
+//! * [`capacity`] — goodput search ("max QPS with ≤ 1 % violations") and
+//!   the minimum-replica capacity planner behind Table 4 and Fig. 15b.
+
+pub mod capacity;
+pub mod deployment;
+pub mod router;
+pub mod spec;
+
+pub use capacity::{max_goodput, min_replicas_for, GoodputOptions};
+pub use deployment::{run_shared, run_siloed, ClusterConfig, SiloGroup};
+pub use router::Router;
+pub use spec::SchedulerSpec;

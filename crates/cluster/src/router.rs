@@ -1,0 +1,98 @@
+//! Request routing across replicas.
+//!
+//! The paper's cluster experiments use round-robin load balancing across
+//! replicas (§4.1.1). A least-outstanding-work router is provided as well
+//! for sensitivity studies; since replicas are simulated independently,
+//! it balances on cumulative assigned prompt+decode tokens — a static
+//! approximation of join-shortest-queue documented in DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+
+use qoserve_workload::RequestSpec;
+
+/// Routing policy across the replicas of one deployment group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Router {
+    /// Strict rotation, as in the paper's experiments.
+    RoundRobin,
+    /// Send each request to the replica with the least cumulative
+    /// assigned work (prompt + decode tokens).
+    LeastWork,
+}
+
+impl Router {
+    /// Assigns each request of `requests` (in order) to one of
+    /// `replicas` targets; returns the per-request replica index.
+    pub fn assign(&self, requests: &[RequestSpec], replicas: usize) -> Vec<usize> {
+        assert!(replicas > 0, "at least one replica is required");
+        match self {
+            Router::RoundRobin => (0..requests.len()).map(|i| i % replicas).collect(),
+            Router::LeastWork => {
+                let mut load = vec![0u64; replicas];
+                requests
+                    .iter()
+                    .map(|r| {
+                        let target = load
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, l)| **l)
+                            .map(|(i, _)| i)
+                            .expect("replicas > 0");
+                        load[target] += r.total_tokens() as u64;
+                        target
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_sim::SimTime;
+    use qoserve_workload::{QosTier, RequestId, Slo};
+
+    fn spec(id: u64, prompt: u32) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(id),
+            arrival: SimTime::from_secs(id),
+            prompt_tokens: prompt,
+            decode_tokens: 10,
+            slo: Slo::of_tier(QosTier::paper_q1()),
+            app_id: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let reqs: Vec<RequestSpec> = (0..7).map(|i| spec(i, 100)).collect();
+        let targets = Router::RoundRobin.assign(&reqs, 3);
+        assert_eq!(targets, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_work_balances_token_mass() {
+        // One huge request then several small ones: the small ones should
+        // all avoid the replica holding the huge request.
+        let mut reqs = vec![spec(0, 100_000)];
+        reqs.extend((1..7).map(|i| spec(i, 100)));
+        let targets = Router::LeastWork.assign(&reqs, 2);
+        assert_eq!(targets[0], 0);
+        assert!(targets[1..].iter().all(|t| *t == 1));
+    }
+
+    #[test]
+    fn single_replica_takes_everything() {
+        let reqs: Vec<RequestSpec> = (0..5).map(|i| spec(i, 10)).collect();
+        for r in [Router::RoundRobin, Router::LeastWork] {
+            assert!(r.assign(&reqs, 1).iter().all(|t| *t == 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let _ = Router::RoundRobin.assign(&[], 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Buildable scheduler descriptions.
+//!
+//! A cluster run needs one scheduler instance per replica; a
+//! [`SchedulerSpec`] captures the policy choice as plain data and builds
+//! fresh instances on demand.
+
+use qoserve_perf::{HardwareConfig, LatencyPredictor, PredictorKind};
+use qoserve_sched::{
+    ConServeScheduler, MedhaConfig, MedhaScheduler, OrderPolicy, QoServeConfig, QoServeScheduler,
+    RateLimitScheduler, SarathiScheduler, Scheduler, SlosServeConfig, SlosServeScheduler,
+};
+use qoserve_sim::SeedStream;
+
+/// A scheduler policy as data, buildable per replica.
+#[derive(Debug, Clone)]
+pub enum SchedulerSpec {
+    /// Fixed-chunk Sarathi with the given ordering.
+    Sarathi {
+        /// Prefill ordering policy.
+        policy: OrderPolicy,
+        /// Fixed per-iteration token budget.
+        chunk: u32,
+    },
+    /// The QoServe scheduler.
+    QoServe {
+        /// Feature configuration (α, relegation, chunking).
+        config: QoServeConfig,
+        /// Which latency predictor backs dynamic chunking.
+        predictor: PredictorKind,
+    },
+    /// Medha-style adaptive chunking (§4.5.1).
+    Medha {
+        /// TBT target and chunk bounds.
+        config: MedhaConfig,
+        /// Which latency predictor backs the chunk search.
+        predictor: PredictorKind,
+    },
+    /// ConServe-style binary online/offline collocation (§5).
+    ConServe {
+        /// Fixed per-iteration token budget.
+        chunk: u32,
+    },
+    /// SLOs-Serve-style periodic DP planning (§4.5.3).
+    SlosServe {
+        /// DP horizon and budget configuration.
+        config: SlosServeConfig,
+    },
+    /// §2.2's rate-limiting overload baseline: an inner scheduler behind
+    /// an importance-blind backlog cap.
+    RateLimited {
+        /// The admission-controlled scheduler.
+        inner: Box<SchedulerSpec>,
+        /// Backlog cap in pending prompt tokens.
+        max_backlog_tokens: u64,
+    },
+}
+
+impl SchedulerSpec {
+    /// The paper's shared-cluster baseline: Sarathi-FCFS at chunk 256.
+    pub fn sarathi_fcfs() -> Self {
+        SchedulerSpec::Sarathi {
+            policy: OrderPolicy::Fcfs,
+            chunk: 256,
+        }
+    }
+
+    /// The paper's deadline-aware baseline: Sarathi-EDF at chunk 256.
+    pub fn sarathi_edf() -> Self {
+        SchedulerSpec::Sarathi {
+            policy: OrderPolicy::Edf,
+            chunk: 256,
+        }
+    }
+
+    /// The paper's length-aware baseline: Sarathi-SRPF at chunk 256.
+    pub fn sarathi_srpf() -> Self {
+        SchedulerSpec::Sarathi {
+            policy: OrderPolicy::Srpf,
+            chunk: 256,
+        }
+    }
+
+    /// Default QoServe with the analytical predictor (fast; the forest
+    /// variant is behaviourally equivalent within its < 10 % error).
+    pub fn qoserve() -> Self {
+        SchedulerSpec::QoServe {
+            config: QoServeConfig::default(),
+            predictor: PredictorKind::Analytical,
+        }
+    }
+
+    /// QoServe with a custom configuration.
+    pub fn qoserve_with(config: QoServeConfig) -> Self {
+        SchedulerSpec::QoServe {
+            config,
+            predictor: PredictorKind::Analytical,
+        }
+    }
+
+    /// Builds a fresh scheduler instance for one replica.
+    pub fn build(&self, hw: &HardwareConfig, seeds: &SeedStream) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerSpec::Sarathi { policy, chunk } => {
+                Box::new(SarathiScheduler::new(*policy, *chunk))
+            }
+            SchedulerSpec::QoServe { config, predictor } => Box::new(QoServeScheduler::new(
+                config.clone(),
+                LatencyPredictor::of_kind(*predictor, hw, seeds),
+            )),
+            SchedulerSpec::Medha { config, predictor } => Box::new(MedhaScheduler::new(
+                *config,
+                LatencyPredictor::of_kind(*predictor, hw, seeds),
+            )),
+            SchedulerSpec::ConServe { chunk } => Box::new(ConServeScheduler::new(*chunk)),
+            SchedulerSpec::SlosServe { config } => Box::new(SlosServeScheduler::new(
+                *config,
+                LatencyPredictor::analytical(hw),
+            )),
+            SchedulerSpec::RateLimited {
+                inner,
+                max_backlog_tokens,
+            } => Box::new(RateLimitScheduler::new(
+                BoxedScheduler(inner.build(hw, seeds)),
+                *max_backlog_tokens,
+            )),
+        }
+    }
+
+    /// Display label, e.g. `"Sarathi-EDF"` or `"QoServe"`.
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerSpec::Sarathi { policy, .. } => format!("Sarathi-{}", policy.label()),
+            SchedulerSpec::QoServe { .. } => "QoServe".to_owned(),
+            SchedulerSpec::Medha { .. } => "Medha".to_owned(),
+            SchedulerSpec::ConServe { .. } => "ConServe".to_owned(),
+            SchedulerSpec::SlosServe { .. } => "SLOs-Serve".to_owned(),
+            SchedulerSpec::RateLimited { inner, .. } => {
+                format!("RateLimited({})", inner.label())
+            }
+        }
+    }
+}
+
+/// Newtype making a boxed scheduler usable as the generic parameter of
+/// [`RateLimitScheduler`] (which takes `S: Scheduler` by value).
+struct BoxedScheduler(Box<dyn Scheduler>);
+
+impl Scheduler for BoxedScheduler {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn on_arrival(&mut self, job: qoserve_sched::PrefillJob, now: qoserve_sim::SimTime) {
+        self.0.on_arrival(job, now)
+    }
+    fn plan_batch(
+        &mut self,
+        now: qoserve_sim::SimTime,
+        decodes: &[qoserve_sched::DecodeJob],
+        constraints: qoserve_sched::Constraints,
+    ) -> qoserve_sched::BatchPlan {
+        self.0.plan_batch(now, decodes, constraints)
+    }
+    fn on_completion(&mut self, spec: &qoserve_workload::RequestSpec, observed: u32) {
+        self.0.on_completion(spec, observed)
+    }
+    fn pending_prefills(&self) -> usize {
+        self.0.pending_prefills()
+    }
+    fn pending_prefill_tokens(&self) -> u64 {
+        self.0.pending_prefill_tokens()
+    }
+    fn drain_pending(&mut self) -> Vec<qoserve_sched::PrefillJob> {
+        self.0.drain_pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_each_variant() {
+        let hw = HardwareConfig::llama3_8b_a100_tp1();
+        let seeds = SeedStream::new(1);
+        assert_eq!(
+            SchedulerSpec::sarathi_fcfs().build(&hw, &seeds).name(),
+            "Sarathi-FCFS"
+        );
+        assert_eq!(SchedulerSpec::qoserve().build(&hw, &seeds).name(), "QoServe");
+        let medha = SchedulerSpec::Medha {
+            config: MedhaConfig::default(),
+            predictor: PredictorKind::Analytical,
+        };
+        assert_eq!(medha.build(&hw, &seeds).name(), "Medha");
+    }
+
+    #[test]
+    fn labels_match_builds() {
+        assert_eq!(SchedulerSpec::sarathi_edf().label(), "Sarathi-EDF");
+        assert_eq!(SchedulerSpec::sarathi_srpf().label(), "Sarathi-SRPF");
+        assert_eq!(SchedulerSpec::qoserve().label(), "QoServe");
+    }
+
+    #[test]
+    fn builds_slos_serve_and_rate_limited() {
+        let hw = HardwareConfig::llama3_8b_a100_tp1();
+        let seeds = SeedStream::new(2);
+        let slos = SchedulerSpec::SlosServe {
+            config: SlosServeConfig::default(),
+        };
+        assert_eq!(slos.build(&hw, &seeds).name(), "SLOs-Serve");
+        let limited = SchedulerSpec::RateLimited {
+            inner: Box::new(SchedulerSpec::sarathi_fcfs()),
+            max_backlog_tokens: 10_000,
+        };
+        assert_eq!(limited.label(), "RateLimited(Sarathi-FCFS)");
+        assert_eq!(limited.build(&hw, &seeds).name(), "RateLimited(Sarathi-FCFS)");
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared harness for the paper's experiments.
+//!
+//! Every `fig*`/`table*` binary in `qoserve-bench` drives its sweep
+//! through these helpers so that scheme lists, trace construction, and
+//! scaling all live in one place.
+//!
+//! ## Scaling
+//!
+//! The paper's runs take hours of traffic (4 h windows, 360 K requests).
+//! The simulator replays them faithfully but the experiment binaries
+//! default to a compressed window that preserves the trends (as the
+//! artifact's `*_tiny.sh` scripts do). Set `QOSERVE_SCALE` to stretch it:
+//! `QOSERVE_SCALE=1` is the fast default, `QOSERVE_SCALE=16` approaches
+//! paper-scale windows.
+
+use qoserve_cluster::{run_shared, ClusterConfig, SchedulerSpec};
+use qoserve_metrics::{RequestOutcome, SloReport};
+use qoserve_perf::HardwareConfig;
+use qoserve_sim::{SeedStream, SimDuration};
+use qoserve_workload::{ArrivalProcess, Dataset, TierMix, Trace, TraceBuilder};
+
+/// Reads the experiment scale factor from `QOSERVE_SCALE` (default 1.0,
+/// clamped to `[0.05, 64]`).
+pub fn scale_factor() -> f64 {
+    std::env::var("QOSERVE_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.05, 64.0)
+}
+
+/// A measurement window of `base_secs`, scaled by [`scale_factor`].
+pub fn scaled_window(base_secs: u64) -> SimDuration {
+    SimDuration::from_secs_f64(base_secs as f64 * scale_factor())
+}
+
+/// The four shared-cluster schemes of Figures 10–11, in plot order.
+pub fn shared_cluster_schemes() -> Vec<SchedulerSpec> {
+    vec![
+        SchedulerSpec::sarathi_fcfs(),
+        SchedulerSpec::sarathi_srpf(),
+        SchedulerSpec::sarathi_edf(),
+        SchedulerSpec::qoserve(),
+    ]
+}
+
+/// One point of a load sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Scheme label.
+    pub scheme: String,
+    /// Offered load in QPS.
+    pub qps: f64,
+    /// Violation/latency report of the run.
+    pub report: SloReport,
+    /// Raw outcomes (for custom breakdowns).
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+/// Runs every `(scheme, qps)` combination on a single shared replica over
+/// the same per-QPS trace and returns the reports. Traces are rebuilt per
+/// QPS (same seed) so schemes see identical workloads.
+pub fn load_sweep(
+    dataset: &Dataset,
+    hardware: &HardwareConfig,
+    schemes: &[SchedulerSpec],
+    qps_list: &[f64],
+    window: SimDuration,
+    mix: &TierMix,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &qps in qps_list {
+        let trace = TraceBuilder::new(dataset.clone())
+            .arrivals(ArrivalProcess::poisson(qps))
+            .duration(window)
+            .tier_mix(mix.clone())
+            .build(&SeedStream::new(seed));
+        let threshold = trace.long_prompt_threshold();
+        for scheme in schemes {
+            let outcomes = run_run(&trace, scheme, hardware, seed);
+            let report = SloReport::compute(&outcomes, threshold);
+            points.push(SweepPoint {
+                scheme: scheme.label(),
+                qps,
+                report,
+                outcomes,
+            });
+        }
+    }
+    points
+}
+
+/// Runs one trace on one shared replica of `hardware` under `scheme`.
+pub fn run_run(
+    trace: &Trace,
+    scheme: &SchedulerSpec,
+    hardware: &HardwareConfig,
+    seed: u64,
+) -> Vec<RequestOutcome> {
+    let config = ClusterConfig::new(hardware.clone());
+    run_shared(trace, 1, scheme, &config, &SeedStream::new(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_workload::TierId;
+
+    #[test]
+    fn scale_factor_defaults_to_one() {
+        // The test environment does not set QOSERVE_SCALE.
+        if std::env::var("QOSERVE_SCALE").is_err() {
+            assert_eq!(scale_factor(), 1.0);
+            assert_eq!(scaled_window(100), SimDuration::from_secs(100));
+        }
+    }
+
+    #[test]
+    fn scheme_list_matches_paper_plots() {
+        let labels: Vec<String> = shared_cluster_schemes()
+            .iter()
+            .map(|s| s.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["Sarathi-FCFS", "Sarathi-SRPF", "Sarathi-EDF", "QoServe"]
+        );
+    }
+
+    #[test]
+    fn sweep_produces_scheme_by_qps_grid() {
+        let points = load_sweep(
+            &Dataset::azure_conv(),
+            &HardwareConfig::llama3_8b_a100_tp1(),
+            &[SchedulerSpec::sarathi_fcfs(), SchedulerSpec::qoserve()],
+            &[1.0, 2.0],
+            SimDuration::from_secs(60),
+            &TierMix::paper_equal(),
+            7,
+        );
+        assert_eq!(points.len(), 4);
+        // Same trace per QPS: totals agree across schemes.
+        assert_eq!(points[0].report.total, points[1].report.total);
+        // Per-tier data exists.
+        assert!(points[0].report.by_tier.contains_key(&TierId::Q1));
+    }
+}

@@ -1,0 +1,82 @@
+//! # QoServe — breaking the silos of LLM inference serving
+//!
+//! A full-system Rust reproduction of *QoServe: Breaking the Silos of LLM
+//! Inference Serving* (ASPLOS 2026). QoServe co-schedules requests with
+//! diverse QoS targets — interactive TTFT/TBT tiers next to batch TTLT
+//! tiers — on shared replicas, using three techniques:
+//!
+//! 1. **Dynamic chunking**: grow the prefill chunk into the deadline slack
+//!    of in-flight decodes, recovering the throughput that small fixed
+//!    chunks sacrifice.
+//! 2. **Hybrid prioritization**: smoothly interpolate between EDF and
+//!    SRPF (`P = t_arrival + SLO + α · work`), getting EDF's low-load
+//!    optimality and SRPF's overload robustness without SRPF's unfairness
+//!    to long requests.
+//! 3. **Eager relegation**: proactively demote requests that have missed
+//!    (or provably will miss) their deadlines — low-priority/free-tier
+//!    first — so overload degrades a small slice of traffic instead of
+//!    cascading into everyone's SLOs.
+//!
+//! The GPU side is a calibrated discrete-event simulator (see `DESIGN.md`
+//! for the substitution argument); every table and figure of the paper
+//! has a regenerating binary in the `qoserve-bench` crate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qoserve::prelude::*;
+//!
+//! // One A100 replica running the QoServe scheduler.
+//! let mut server = QoServe::builder(HardwareConfig::llama3_8b_a100_tp1())
+//!     .seed(42)
+//!     .build();
+//!
+//! // An interactive chat request and a batch summarisation request
+//! // sharing the same replica.
+//! server.submit(
+//!     Request::interactive(1_024, 200)
+//!         .ttft_secs(6.0)
+//!         .tbt_ms(50.0)
+//!         .arriving_at_secs(0.1),
+//! );
+//! server.submit(
+//!     Request::batch(8_192, 400)
+//!         .ttlt_secs(600.0)
+//!         .arriving_at_secs(0.2),
+//! );
+//!
+//! let report = server.run();
+//! assert_eq!(report.outcomes.len(), 2);
+//! assert_eq!(report.slo.violations, 0);
+//! ```
+
+pub mod experiments;
+pub mod server;
+
+pub use server::{QoServe, QoServeBuilder, Request, RunReport};
+
+/// Convenient re-exports of the whole workspace surface.
+pub mod prelude {
+    pub use crate::server::{QoServe, QoServeBuilder, Request, RunReport};
+
+    pub use qoserve_cluster::{
+        max_goodput, min_replicas_for, run_shared, run_siloed, ClusterConfig, GoodputOptions,
+        Router, SchedulerSpec, SiloGroup,
+    };
+    pub use qoserve_engine::{ReplicaConfig, ReplicaEngine};
+    pub use qoserve_metrics::{LatencySummary, LogHistogram, RequestOutcome, RollingSeries, SloReport, Table};
+    pub use qoserve_perf::{
+        BatchProfile, ChunkBudget, ChunkLimits, HardwareConfig, LatencyModel, LatencyPredictor,
+        PredictorKind,
+    };
+    pub use qoserve_sched::{
+        AlphaPolicy, ConServeScheduler, MedhaConfig, MedhaScheduler, OrderPolicy, QoServeConfig,
+        QoServeScheduler, RateLimitScheduler, SarathiScheduler, Scheduler, SlosServeConfig,
+        SlosServeScheduler,
+    };
+    pub use qoserve_sim::{SeedStream, SimDuration, SimTime};
+    pub use qoserve_workload::{
+        ArrivalProcess, Dataset, Priority, QosClass, QosTier, RequestId, RequestSpec, Slo, TierId,
+        TierMix, Trace, TraceBuilder,
+    };
+}

@@ -1,0 +1,77 @@
+//! Prefill-decode disaggregation helpers (§4.1.3).
+//!
+//! In PD-disaggregated serving, prefill nodes never co-run decodes: a
+//! request leaves the prefill node as soon as its prompt is processed, and
+//! decoding happens on a separate fleet that the paper holds identical
+//! across schemes. QoServe's hybrid prioritization and eager relegation
+//! apply directly to the prefill nodes; dynamic chunking does not help
+//! because there is no decode slack to exploit — the paper therefore uses
+//! a large fixed 8 K chunk everywhere and still measures a prefill-goodput
+//! win from prioritization and relegation.
+//!
+//! The reproduction models a prefill node as a
+//! [`ReplicaEngine`](crate::ReplicaEngine) run over
+//! a transformed trace whose requests complete at their first token.
+
+use qoserve_perf::ChunkLimits;
+use qoserve_workload::Trace;
+
+/// The paper's default chunk size for disaggregated prefill nodes.
+pub const DISAGG_CHUNK: u32 = 8_192;
+
+/// Chunk-search limits for disaggregated prefill serving (up to the 8 K
+/// chunk, since no TBT constrains the node).
+pub fn disagg_chunk_limits() -> ChunkLimits {
+    ChunkLimits {
+        max_chunk: DISAGG_CHUNK,
+        step: 64,
+    }
+}
+
+/// Transforms a trace for prefill-node serving: every request completes at
+/// its first output token (`decode_tokens = 1`), so TTFT/TTLT are judged
+/// at prefill completion and no decode pool ever forms.
+pub fn to_prefill_only_trace(trace: &Trace) -> Trace {
+    let requests = trace
+        .requests()
+        .iter()
+        .map(|r| {
+            let mut spec = *r;
+            spec.decode_tokens = 1;
+            spec
+        })
+        .collect();
+    Trace::from_requests(&format!("{} (prefill-only)", trace.dataset_name), requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_sim::SeedStream;
+    use qoserve_workload::{ArrivalProcess, Dataset, TraceBuilder};
+
+    #[test]
+    fn transform_keeps_everything_but_decode() {
+        let trace = TraceBuilder::new(Dataset::azure_conv())
+            .arrivals(ArrivalProcess::poisson(2.0))
+            .num_requests(50)
+            .build(&SeedStream::new(1));
+        let prefill_only = to_prefill_only_trace(&trace);
+        assert_eq!(prefill_only.len(), trace.len());
+        for (a, b) in trace.requests().iter().zip(prefill_only.requests()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.prompt_tokens, b.prompt_tokens);
+            assert_eq!(a.slo, b.slo);
+            assert_eq!(b.decode_tokens, 1);
+        }
+        assert!(prefill_only.dataset_name.contains("prefill-only"));
+    }
+
+    #[test]
+    fn disagg_limits_reach_8k() {
+        let l = disagg_chunk_limits();
+        assert_eq!(l.max_chunk, 8_192);
+        assert!(l.step > 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Token-granular KV-cache accounting.
+//!
+//! QoServe never preempts decoding requests (§3.4) — once a request enters
+//! the decode phase its KV must stay resident until completion. The cache
+//! therefore tracks two quantities per request: tokens *used* (already
+//! written) and tokens *reserved* (guaranteed future decode growth). New
+//! prefill work is admitted only against `capacity − used − reserved`, so
+//! a decode can always grow.
+
+use std::collections::HashMap;
+
+use qoserve_workload::RequestId;
+
+/// KV-cache budget of one replica, in tokens.
+#[derive(Debug, Clone, Default)]
+pub struct KvCache {
+    capacity: u64,
+    used: u64,
+    reserved: u64,
+    per_request: HashMap<RequestId, Allocation>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Allocation {
+    used: u64,
+    reserved: u64,
+}
+
+impl KvCache {
+    /// Creates a cache holding `capacity_tokens` KV tokens.
+    pub fn new(capacity_tokens: u64) -> Self {
+        KvCache {
+            capacity: capacity_tokens,
+            ..Default::default()
+        }
+    }
+
+    /// Total capacity in tokens.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Tokens currently written.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Tokens reserved for future decode growth.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Tokens available for *new* prefill admission.
+    pub fn headroom(&self) -> u64 {
+        self.capacity.saturating_sub(self.used + self.reserved)
+    }
+
+    /// Registers a request with a guaranteed future decode growth of
+    /// `decode_reserve` tokens. Idempotent per id.
+    pub fn admit(&mut self, id: RequestId, decode_reserve: u64) {
+        let entry = self.per_request.entry(id).or_default();
+        let delta = decode_reserve.saturating_sub(entry.reserved);
+        entry.reserved += delta;
+        self.reserved += delta;
+    }
+
+    /// Writes `tokens` of prompt KV for `id` (prefill progress). The
+    /// caller must have checked [`headroom`](Self::headroom); this method
+    /// tracks even over-subscription so invariants remain auditable.
+    pub fn write_prefill(&mut self, id: RequestId, tokens: u64) {
+        let entry = self.per_request.entry(id).or_default();
+        entry.used += tokens;
+        self.used += tokens;
+    }
+
+    /// Converts one token of reservation into use (a decode step).
+    pub fn write_decode(&mut self, id: RequestId) {
+        let entry = self.per_request.entry(id).or_default();
+        entry.used += 1;
+        self.used += 1;
+        let consumed = entry.reserved.min(1);
+        entry.reserved -= consumed;
+        self.reserved -= consumed;
+    }
+
+    /// Releases everything held by `id`. Safe to call for unknown ids.
+    pub fn release(&mut self, id: RequestId) {
+        if let Some(a) = self.per_request.remove(&id) {
+            self.used -= a.used;
+            self.reserved -= a.reserved;
+        }
+    }
+
+    /// Number of requests currently holding KV.
+    pub fn resident_requests(&self) -> usize {
+        self.per_request.len()
+    }
+
+    /// Tokens held (used) by one request.
+    pub fn used_by(&self, id: RequestId) -> u64 {
+        self.per_request.get(&id).map_or(0, |a| a.used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_accounting() {
+        let mut kv = KvCache::new(10_000);
+        assert_eq!(kv.headroom(), 10_000);
+        kv.admit(RequestId(1), 500);
+        assert_eq!(kv.headroom(), 9_500);
+        kv.write_prefill(RequestId(1), 2_000);
+        assert_eq!(kv.used(), 2_000);
+        assert_eq!(kv.headroom(), 7_500);
+    }
+
+    #[test]
+    fn decode_consumes_reservation() {
+        let mut kv = KvCache::new(1_000);
+        kv.admit(RequestId(1), 10);
+        kv.write_prefill(RequestId(1), 100);
+        let headroom_before = kv.headroom();
+        kv.write_decode(RequestId(1));
+        // One reserved token became a used token: headroom unchanged.
+        assert_eq!(kv.headroom(), headroom_before);
+        assert_eq!(kv.used(), 101);
+        assert_eq!(kv.reserved(), 9);
+    }
+
+    #[test]
+    fn decode_beyond_reservation_still_tracks() {
+        let mut kv = KvCache::new(1_000);
+        kv.admit(RequestId(1), 1);
+        kv.write_prefill(RequestId(1), 10);
+        kv.write_decode(RequestId(1));
+        kv.write_decode(RequestId(1)); // reservation exhausted
+        assert_eq!(kv.used(), 12);
+        assert_eq!(kv.reserved(), 0);
+    }
+
+    #[test]
+    fn release_returns_everything() {
+        let mut kv = KvCache::new(5_000);
+        kv.admit(RequestId(1), 200);
+        kv.write_prefill(RequestId(1), 1_000);
+        kv.write_decode(RequestId(1));
+        kv.admit(RequestId(2), 300);
+        kv.write_prefill(RequestId(2), 500);
+
+        kv.release(RequestId(1));
+        assert_eq!(kv.used(), 500);
+        assert_eq!(kv.reserved(), 300);
+        assert_eq!(kv.resident_requests(), 1);
+
+        kv.release(RequestId(2));
+        assert_eq!(kv.headroom(), 5_000);
+        assert_eq!(kv.resident_requests(), 0);
+    }
+
+    #[test]
+    fn release_unknown_id_is_noop() {
+        let mut kv = KvCache::new(100);
+        kv.release(RequestId(99));
+        assert_eq!(kv.headroom(), 100);
+    }
+
+    #[test]
+    fn admit_is_idempotent() {
+        let mut kv = KvCache::new(1_000);
+        kv.admit(RequestId(1), 100);
+        kv.admit(RequestId(1), 100);
+        assert_eq!(kv.reserved(), 100);
+        // Raising the reservation adds only the delta.
+        kv.admit(RequestId(1), 150);
+        assert_eq!(kv.reserved(), 150);
+    }
+
+    #[test]
+    fn used_by_reports_per_request() {
+        let mut kv = KvCache::new(1_000);
+        kv.write_prefill(RequestId(3), 42);
+        assert_eq!(kv.used_by(RequestId(3)), 42);
+        assert_eq!(kv.used_by(RequestId(4)), 0);
+    }
+}

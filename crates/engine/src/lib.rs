@@ -1,0 +1,28 @@
+//! Replica serving engine for the QoServe reproduction.
+//!
+//! [`ReplicaEngine`] is the simulator's stand-in for one vLLM/Sarathi
+//! replica: it owns the request lifecycle (prefill → decode → completion),
+//! the KV-cache budget, and the iteration loop. Every iteration it asks
+//! its [`Scheduler`](qoserve_sched::Scheduler) for a batch plan, executes
+//! the mixed batch against the calibrated latency model (plus execution
+//! noise), advances simulated time by the batch latency, and emits output
+//! tokens — recording TTFT, per-token lateness against the Eq. 2/3
+//! deadlines, and TBT along the way.
+//!
+//! * [`kv`] — token-granular KV-cache accounting with decode-growth
+//!   reservation (decodes are never preempted, §3.4, so their future
+//!   growth is reserved at admission).
+//! * [`noise`] — multiplicative log-normal execution-time noise.
+//! * [`replica`] — the engine itself.
+//! * [`disagg`] — helpers for PD-disaggregated prefill-node serving
+//!   (§4.1.3).
+
+pub mod disagg;
+pub mod kv;
+pub mod noise;
+pub mod replica;
+
+pub use disagg::{disagg_chunk_limits, to_prefill_only_trace, DISAGG_CHUNK};
+pub use kv::KvCache;
+pub use noise::ExecutionNoise;
+pub use replica::{sustainable_decode_batch, BatchRecord, ReplicaConfig, ReplicaEngine};

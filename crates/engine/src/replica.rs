@@ -1,0 +1,466 @@
+//! The replica engine: one simulated serving instance.
+//!
+//! The engine advances in *iterations*, exactly like a chunked-prefill
+//! serving loop (§3.1): each iteration batches every in-flight decode with
+//! the prefill chunks the scheduler selected, executes the batch against
+//! the calibrated latency model (plus noise), and moves simulated time
+//! forward by the observed latency. Requests flow prefill queue → decode
+//! pool → completion; the KV cache bounds admission.
+
+use std::collections::{HashMap, HashSet};
+
+use qoserve_metrics::RequestOutcome;
+use qoserve_perf::{BatchProfile, HardwareConfig, LatencyModel, PrefillChunkProfile};
+use qoserve_sched::{Constraints, DecodeJob, PrefillJob, Scheduler};
+use qoserve_sim::time::SignedDuration;
+use qoserve_sim::{EventQueue, SeedStream, SimDuration, SimTime};
+use qoserve_workload::{RequestId, RequestSpec, Trace};
+
+use crate::kv::KvCache;
+use crate::noise::ExecutionNoise;
+
+/// Configuration of one replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Model/GPU/parallelism served by this replica.
+    pub hardware: HardwareConfig,
+    /// Maximum concurrent decoding requests (vLLM's `max_num_seqs`);
+    /// prefill admission pauses when the pool is full.
+    pub max_decode_batch: usize,
+    /// Relative execution-noise sigma (0 disables noise).
+    pub noise_sigma: f64,
+    /// Replica identity recorded into outcomes.
+    pub replica_id: u32,
+    /// Optional simulated-time cutoff: the run stops here and everything
+    /// unfinished is recorded as violated.
+    pub horizon: Option<SimTime>,
+    /// Record per-batch diagnostics (chunk budgets, latencies) — Fig. 9
+    /// and Fig. 15a read these.
+    pub record_batches: bool,
+}
+
+impl ReplicaConfig {
+    /// Defaults for `hardware`: TBT-sustainable decode pool (see
+    /// [`sustainable_decode_batch`]), 2 % noise, no horizon, no batch
+    /// recording.
+    pub fn new(hardware: HardwareConfig) -> Self {
+        let max_decode_batch = sustainable_decode_batch(&hardware);
+        ReplicaConfig {
+            hardware,
+            max_decode_batch,
+            noise_sigma: 0.02,
+            replica_id: 0,
+            horizon: None,
+            record_batches: false,
+        }
+    }
+
+    /// Sets the replica id.
+    pub fn with_replica_id(mut self, id: u32) -> Self {
+        self.replica_id = id;
+        self
+    }
+
+    /// Sets the simulated-time cutoff.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Enables per-batch diagnostics.
+    pub fn with_batch_recording(mut self) -> Self {
+        self.record_batches = true;
+        self
+    }
+}
+
+/// The default decode-pool cap for a hardware configuration: the largest
+/// pool whose *decode-only* iteration stays within a 40 ms budget at a
+/// representative 2.5 k-token context per request.
+///
+/// This is the simulator's analogue of tuning vLLM's `max_num_seqs` per
+/// model: a pool so deep that even a decode-only iteration exceeds the
+/// strictest TBT makes the 50 ms tier physically unservable no matter what
+/// the scheduler does — MHA models (4x the KV traffic of GQA) need a much
+/// shallower pool than GQA models.
+pub fn sustainable_decode_batch(hw: &HardwareConfig) -> usize {
+    const BUDGET_MS: f64 = 40.0;
+    const CTX_PER_DECODE: u64 = 2_500;
+    let model = LatencyModel::new(hw);
+    let fits = |n: u64| {
+        let batch = BatchProfile::builder()
+            .decodes(n as u32, n * CTX_PER_DECODE)
+            .build();
+        model.iteration_time_us(&batch) / 1e3 <= BUDGET_MS
+    };
+    let (mut lo, mut hi) = (8u64, 256u64);
+    if !fits(lo) {
+        return lo as usize;
+    }
+    if fits(hi) {
+        return hi as usize;
+    }
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as usize
+}
+
+/// Per-batch diagnostic record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchRecord {
+    /// Iteration start time.
+    pub start: SimTime,
+    /// Observed execution latency.
+    pub exec: SimDuration,
+    /// The scheduler's token budget for this batch (the dynamic chunk
+    /// size in QoServe).
+    pub token_budget: u32,
+    /// Prefill tokens actually scheduled.
+    pub prefill_tokens: u32,
+    /// Decode-pool size during the batch.
+    pub num_decodes: u32,
+}
+
+/// Runtime state of one admitted request.
+#[derive(Debug, Clone)]
+struct Running {
+    spec: RequestSpec,
+    prefill_done: u32,
+    generated: u32,
+    first_token: Option<SimTime>,
+    last_token: SimTime,
+    max_tbt: SimDuration,
+    worst_lateness_us: i64,
+    relegated: bool,
+}
+
+impl Running {
+    fn new(spec: RequestSpec) -> Self {
+        Running {
+            spec,
+            prefill_done: 0,
+            generated: 0,
+            first_token: None,
+            last_token: SimTime::ZERO,
+            max_tbt: SimDuration::ZERO,
+            worst_lateness_us: i64::MIN,
+            relegated: false,
+        }
+    }
+
+    /// Records the emission of the next output token at `at`.
+    fn emit_token(&mut self, at: SimTime) {
+        self.generated += 1;
+        if self.generated == 1 {
+            self.first_token = Some(at);
+        } else {
+            let gap = at.duration_since(self.last_token);
+            self.max_tbt = self.max_tbt.max(gap);
+        }
+        let deadline = self.spec.token_deadline(self.generated);
+        let lateness = at.signed_duration_since(deadline).as_micros();
+        self.worst_lateness_us = self.worst_lateness_us.max(lateness);
+        self.last_token = at;
+    }
+
+    fn is_done(&self) -> bool {
+        self.generated >= self.spec.decode_tokens.max(1)
+    }
+
+    fn into_outcome(self, replica: u32) -> RequestOutcome {
+        RequestOutcome {
+            spec: self.spec,
+            first_token: self.first_token,
+            completion: Some(self.last_token),
+            max_tbt: self.max_tbt,
+            worst_token_lateness: SignedDuration::from_micros(self.worst_lateness_us),
+            relegated: self.relegated,
+            replica,
+        }
+    }
+}
+
+/// One simulated serving replica.
+///
+/// # Example
+///
+/// ```
+/// use qoserve_engine::{ReplicaConfig, ReplicaEngine};
+/// use qoserve_perf::{HardwareConfig, LatencyPredictor};
+/// use qoserve_sched::{QoServeConfig, QoServeScheduler};
+/// use qoserve_sim::SeedStream;
+/// use qoserve_workload::{ArrivalProcess, Dataset, TraceBuilder};
+///
+/// let hw = HardwareConfig::llama3_8b_a100_tp1();
+/// let seeds = SeedStream::new(1);
+/// let sched = QoServeScheduler::new(
+///     QoServeConfig::default(),
+///     LatencyPredictor::analytical(&hw),
+/// );
+/// let mut engine = ReplicaEngine::new(ReplicaConfig::new(hw), Box::new(sched), &seeds);
+/// let trace = TraceBuilder::new(Dataset::azure_conv())
+///     .arrivals(ArrivalProcess::poisson(2.0))
+///     .num_requests(20)
+///     .build(&seeds);
+/// let outcomes = engine.run_trace(&trace);
+/// assert_eq!(outcomes.len(), 20);
+/// ```
+pub struct ReplicaEngine {
+    config: ReplicaConfig,
+    model: LatencyModel,
+    noise: ExecutionNoise,
+    scheduler: Box<dyn Scheduler>,
+    arrivals: EventQueue<RequestSpec>,
+    /// Specs of every request that has arrived (engine-side copy; the
+    /// scheduler owns the live prefill job until completion).
+    known_specs: HashMap<RequestId, RequestSpec>,
+    running: HashMap<RequestId, Running>,
+    decode_pool: Vec<RequestId>,
+    kv: KvCache,
+    now: SimTime,
+    outcomes: Vec<RequestOutcome>,
+    iterations: u64,
+    batch_log: Vec<BatchRecord>,
+    /// Consecutive iterations that made no progress (deadlock guard).
+    stall_streak: u32,
+}
+
+impl ReplicaEngine {
+    /// Builds an engine around a scheduler.
+    pub fn new(config: ReplicaConfig, scheduler: Box<dyn Scheduler>, seeds: &SeedStream) -> Self {
+        let model = LatencyModel::new(&config.hardware);
+        let kv = KvCache::new(config.hardware.kv_token_capacity());
+        let noise = ExecutionNoise::new(seeds, config.replica_id, config.noise_sigma);
+        ReplicaEngine {
+            config,
+            model,
+            noise,
+            scheduler,
+            arrivals: EventQueue::new(),
+            known_specs: HashMap::new(),
+            running: HashMap::new(),
+            decode_pool: Vec::new(),
+            kv,
+            now: SimTime::ZERO,
+            outcomes: Vec::new(),
+            iterations: 0,
+            batch_log: Vec::new(),
+            stall_streak: 0,
+        }
+    }
+
+    /// Queues a request for arrival at `spec.arrival`.
+    pub fn submit(&mut self, spec: RequestSpec) {
+        self.arrivals.push(spec.arrival, spec);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// The scheduler's display name.
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    /// Recorded batch diagnostics (empty unless enabled in the config).
+    pub fn batch_log(&self) -> &[BatchRecord] {
+        &self.batch_log
+    }
+
+    /// Submits every request of `trace` and runs to completion.
+    pub fn run_trace(&mut self, trace: &Trace) -> Vec<RequestOutcome> {
+        for spec in trace {
+            self.submit(*spec);
+        }
+        self.run()
+    }
+
+    /// Runs until all submitted work completes (or the horizon / deadlock
+    /// guard fires), returning one outcome per submitted request, ordered
+    /// by request id.
+    pub fn run(&mut self) -> Vec<RequestOutcome> {
+        while self.step() {}
+        self.finalize_unfinished();
+        let mut outcomes = std::mem::take(&mut self.outcomes);
+        outcomes.sort_by_key(|o| o.spec.id);
+        outcomes
+    }
+
+    /// Executes one engine step. Returns `false` when no work remains (or
+    /// the horizon was reached).
+    pub fn step(&mut self) -> bool {
+        if let Some(h) = self.config.horizon {
+            if self.now >= h {
+                return false;
+            }
+        }
+        // Safety net: a scheduler bug that never makes progress would
+        // otherwise spin forever.
+        if self.stall_streak > 10_000 {
+            return false;
+        }
+
+        // 1. Deliver due arrivals.
+        while let Some((_, spec)) = self.arrivals.pop_due(self.now) {
+            self.known_specs.insert(spec.id, spec);
+            self.scheduler.on_arrival(PrefillJob::new(spec), self.now);
+        }
+
+        // 2. Snapshot the decode pool.
+        let decodes: Vec<DecodeJob> = self
+            .decode_pool
+            .iter()
+            .map(|id| {
+                let r = &self.running[id];
+                DecodeJob {
+                    id: *id,
+                    context_len: r.prefill_done + r.generated,
+                    next_token_deadline: r.spec.token_deadline(r.generated + 1),
+                    relegated: r.relegated,
+                }
+            })
+            .collect();
+
+        // 3. Ask the scheduler for the prefill side.
+        let total_running = self.running.len();
+        let constraints = Constraints {
+            kv_headroom_tokens: self.kv.headroom(),
+            allow_prefill: total_running < self.config.max_decode_batch,
+            max_new_requests: self.config.max_decode_batch.saturating_sub(total_running),
+        };
+        let plan = self.scheduler.plan_batch(self.now, &decodes, constraints);
+
+        // 4. Idle handling: nothing runnable this instant.
+        if plan.is_empty() && decodes.is_empty() {
+            if let Some(next) = self.arrivals.peek_time() {
+                // Jump to the next arrival.
+                self.now = self.now.max(next);
+                self.stall_streak = 0;
+                return true;
+            }
+            if self.scheduler.pending_prefills() > 0 {
+                // Queued work that cannot be scheduled right now (e.g. KV
+                // exhausted); nudge time forward and retry.
+                self.now += SimDuration::from_millis(10);
+                self.stall_streak += 1;
+                return true;
+            }
+            return false; // fully drained
+        }
+        self.stall_streak = 0;
+
+        // 5. Execute the mixed batch.
+        let mut profile = BatchProfile::default();
+        for a in &plan.prefill {
+            profile
+                .prefill
+                .push(PrefillChunkProfile::new(a.tokens, a.context_before));
+        }
+        profile.num_decodes = decodes.len() as u32;
+        profile.decode_context_total = decodes.iter().map(|d| d.context_len as u64).sum();
+
+        let exec = self.noise.apply(self.model.iteration_time(&profile));
+        self.now += exec;
+        self.iterations += 1;
+        if self.config.record_batches {
+            self.batch_log.push(BatchRecord {
+                start: self.now - exec,
+                exec,
+                token_budget: plan.token_budget,
+                prefill_tokens: plan.prefill_tokens(),
+                num_decodes: decodes.len() as u32,
+            });
+        }
+
+        // 6. Decode side: each pooled request emits one token.
+        let mut finished: Vec<RequestId> = Vec::new();
+        for d in &decodes {
+            let r = self.running.get_mut(&d.id).expect("decode is running");
+            r.emit_token(self.now);
+            self.kv.write_decode(d.id);
+            if r.is_done() {
+                finished.push(d.id);
+            }
+        }
+        for id in finished {
+            self.complete(id);
+        }
+
+        // 7. Prefill side: apply progress; completions emit their first
+        // token and join the decode pool.
+        for a in &plan.prefill {
+            if !self.running.contains_key(&a.id) {
+                // Fresh admission: reserve the decode growth up front so
+                // the pooled decode can never be evicted (§3.4: decodes
+                // are not preempted).
+                let spec = *self
+                    .known_specs
+                    .get(&a.id)
+                    .expect("scheduler planned an unknown request");
+                self.kv
+                    .admit(a.id, spec.decode_tokens.saturating_sub(1) as u64);
+                self.running.insert(a.id, Running::new(spec));
+            }
+            let entry = self.running.get_mut(&a.id).expect("just inserted");
+            entry.prefill_done += a.tokens;
+            entry.relegated |= a.relegated;
+            self.kv.write_prefill(a.id, a.tokens as u64);
+            if a.completes_prefill {
+                entry.emit_token(self.now);
+                if entry.is_done() {
+                    self.complete(a.id);
+                } else {
+                    self.decode_pool.push(a.id);
+                }
+            }
+        }
+
+        true
+    }
+
+    fn complete(&mut self, id: RequestId) {
+        let r = self.running.remove(&id).expect("completing unknown request");
+        self.decode_pool.retain(|d| *d != id);
+        self.kv.release(id);
+        self.scheduler.on_completion(&r.spec, r.generated);
+        self.outcomes.push(r.into_outcome(self.config.replica_id));
+    }
+
+    /// Marks everything still in flight/queued/unarrived as unfinished.
+    fn finalize_unfinished(&mut self) {
+        let replica = self.config.replica_id;
+        let mut accounted: std::collections::HashSet<RequestId> = HashSet::new();
+        for (id, r) in self.running.drain() {
+            accounted.insert(id);
+            self.outcomes
+                .push(RequestOutcome::unfinished(r.spec, r.relegated, replica));
+        }
+        self.decode_pool.clear();
+        for job in self.scheduler.drain_pending() {
+            // Skip jobs that are also in `running` (partially prefilled) —
+            // those were already accounted above.
+            if accounted.insert(job.spec.id) {
+                self.outcomes
+                    .push(RequestOutcome::unfinished(job.spec, job.relegated, replica));
+            }
+        }
+        while let Some((_, spec)) = self.arrivals.pop() {
+            self.outcomes
+                .push(RequestOutcome::unfinished(spec, false, replica));
+        }
+        self.known_specs.clear();
+    }
+}

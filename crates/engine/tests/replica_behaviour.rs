@@ -1,0 +1,346 @@
+//! End-to-end behaviour tests of the replica engine: request lifecycle,
+//! latency bookkeeping, SLO semantics, determinism, and overload.
+
+use qoserve_engine::{to_prefill_only_trace, ReplicaConfig, ReplicaEngine};
+use qoserve_metrics::{RequestOutcome, SloReport};
+use qoserve_perf::{HardwareConfig, LatencyPredictor};
+use qoserve_sched::{
+    OrderPolicy, QoServeConfig, QoServeScheduler, SarathiScheduler, Scheduler,
+};
+use qoserve_sim::{SeedStream, SimDuration, SimTime};
+use qoserve_workload::{
+    ArrivalProcess, Dataset, QosTier, RequestId, RequestSpec, Slo, Trace, TraceBuilder,
+};
+
+fn hw() -> HardwareConfig {
+    HardwareConfig::llama3_8b_a100_tp1()
+}
+
+fn qoserve() -> Box<dyn Scheduler> {
+    Box::new(QoServeScheduler::new(
+        QoServeConfig::default(),
+        LatencyPredictor::analytical(&hw()),
+    ))
+}
+
+fn sarathi(policy: OrderPolicy) -> Box<dyn Scheduler> {
+    Box::new(SarathiScheduler::new(policy, 256))
+}
+
+fn engine(sched: Box<dyn Scheduler>, seed: u64) -> ReplicaEngine {
+    ReplicaEngine::new(ReplicaConfig::new(hw()), sched, &SeedStream::new(seed))
+}
+
+fn spec(id: u64, arrival_secs: f64, prompt: u32, decode: u32, tier: QosTier) -> RequestSpec {
+    RequestSpec {
+        id: RequestId(id),
+        arrival: SimTime::from_secs_f64(arrival_secs),
+        prompt_tokens: prompt,
+        decode_tokens: decode,
+        slo: Slo::of_tier(tier),
+        app_id: 0,
+    }
+}
+
+fn light_trace(seed: u64, qps: f64, n: usize) -> Trace {
+    TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(qps))
+        .num_requests(n)
+        .paper_tier_mix()
+        .build(&SeedStream::new(seed))
+}
+
+#[test]
+fn single_request_lifecycle() {
+    let mut e = engine(qoserve(), 1);
+    e.submit(spec(0, 1.0, 1_000, 20, QosTier::paper_q1()));
+    let outcomes = e.run();
+    assert_eq!(outcomes.len(), 1);
+    let o = &outcomes[0];
+    assert!(o.finished());
+    // First token strictly after arrival; completion after first token.
+    assert!(o.first_token.unwrap() > o.spec.arrival);
+    assert!(o.completion.unwrap() > o.first_token.unwrap());
+    // 20 decode tokens at tens of ms each: TTLT - TTFT should be hundreds
+    // of ms, not hours.
+    let decode_span = o.ttlt().unwrap() - o.ttft().unwrap();
+    assert!(decode_span > SimDuration::from_millis(100), "{decode_span}");
+    assert!(decode_span < SimDuration::from_secs(10), "{decode_span}");
+    // A lone request on an idle replica easily meets the 6s/50ms SLO.
+    assert!(!o.violated(), "lateness {:?}", o.worst_token_lateness);
+}
+
+#[test]
+fn single_token_request_completes_at_prefill() {
+    let mut e = engine(qoserve(), 2);
+    e.submit(spec(0, 0.5, 500, 1, QosTier::paper_q1()));
+    let outcomes = e.run();
+    let o = &outcomes[0];
+    assert!(o.finished());
+    assert_eq!(o.first_token, o.completion);
+    assert_eq!(o.max_tbt, SimDuration::ZERO);
+}
+
+#[test]
+fn ttft_scales_with_prompt_length() {
+    let run = |prompt: u32| -> SimDuration {
+        let mut e = engine(qoserve(), 3);
+        e.submit(spec(0, 1.0, prompt, 5, QosTier::paper_q1()));
+        e.run()[0].ttft().unwrap()
+    };
+    let short = run(256);
+    let long = run(8_192);
+    assert!(
+        long > short * 3,
+        "8k prompt TTFT ({long}) should dwarf 256 prompt TTFT ({short})"
+    );
+}
+
+#[test]
+fn token_deadlines_hold_under_light_load() {
+    // A handful of concurrent interactive requests on one replica: every
+    // Eq. 2 token deadline must hold. Note that QoServe deliberately lets
+    // raw inter-token gaps exceed the 50ms TBT *target* when a request has
+    // accumulated slack (§3.5's illustrative example) — violations are
+    // judged against the absolute deadlines, so we bound the raw gap only
+    // loosely by the largest possible dynamic-chunk iteration.
+    let mut e = engine(qoserve(), 4);
+    for i in 0..8 {
+        e.submit(spec(i, 1.0 + i as f64 * 0.2, 2_000, 100, QosTier::paper_q1()));
+    }
+    let outcomes = e.run();
+    for o in &outcomes {
+        assert!(o.finished());
+        assert!(
+            !o.violated(),
+            "request {} violated: lateness {:?}",
+            o.spec.id,
+            o.worst_token_lateness
+        );
+        assert!(
+            o.max_tbt <= SimDuration::from_millis(300),
+            "request {} max TBT {} exceeds even a max-chunk iteration",
+            o.spec.id,
+            o.max_tbt
+        );
+    }
+}
+
+#[test]
+fn all_requests_accounted_exactly_once() {
+    let trace = light_trace(5, 3.0, 300);
+    let mut e = engine(qoserve(), 5);
+    let outcomes = e.run_trace(&trace);
+    assert_eq!(outcomes.len(), trace.len());
+    let mut ids: Vec<u64> = outcomes.iter().map(|o| o.spec.id.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), trace.len(), "duplicate or missing outcomes");
+}
+
+#[test]
+fn identical_seeds_are_bit_reproducible() {
+    let trace = light_trace(6, 2.5, 150);
+    let run = |seed: u64| {
+        let mut e = engine(qoserve(), seed);
+        e.run_trace(&trace)
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a, b);
+    let c = run(8);
+    assert_ne!(a, c, "different noise seeds should perturb something");
+}
+
+#[test]
+fn light_load_meets_slos_for_all_schedulers() {
+    let trace = light_trace(9, 1.5, 200);
+    for sched in [
+        qoserve(),
+        sarathi(OrderPolicy::Fcfs),
+        sarathi(OrderPolicy::Edf),
+    ] {
+        let name = sched.name().to_owned();
+        let mut e = engine(sched, 9);
+        let outcomes = e.run_trace(&trace);
+        let report = SloReport::compute(&outcomes, trace.long_prompt_threshold());
+        assert!(
+            report.violation_pct() < 2.0,
+            "{name} at light load violated {:.1}%",
+            report.violation_pct()
+        );
+    }
+}
+
+#[test]
+fn overload_hurts_fcfs_more_than_qoserve() {
+    // An interactive-only workload well beyond single-replica capacity
+    // (~4-5 QPS for Az-Conv Q1): FCFS head-of-line blocking should
+    // violate far more than QoServe, and QoServe must shed hopeless work
+    // through eager relegation.
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(10.0))
+        .num_requests(400)
+        .tier_mix(qoserve_workload::TierMix::single(QosTier::paper_q1()))
+        .build(&SeedStream::new(10));
+    let threshold = trace.long_prompt_threshold();
+
+    let mut fcfs_engine = engine(sarathi(OrderPolicy::Fcfs), 10);
+    let fcfs = SloReport::compute(&fcfs_engine.run_trace(&trace), threshold);
+
+    let mut qs_engine = engine(qoserve(), 10);
+    let qs = SloReport::compute(&qs_engine.run_trace(&trace), threshold);
+
+    assert!(
+        fcfs.violation_pct() > qs.violation_pct(),
+        "FCFS {:.1}% should exceed QoServe {:.1}%",
+        fcfs.violation_pct(),
+        qs.violation_pct()
+    );
+    assert!(qs.relegated_fraction > 0.0, "overload should trigger relegation");
+}
+
+#[test]
+fn horizon_marks_unfinished_as_violations() {
+    let mut config = ReplicaConfig::new(hw());
+    config.horizon = Some(SimTime::from_secs(2));
+    let mut e = ReplicaEngine::new(config, qoserve(), &SeedStream::new(11));
+    // Arrives at t=1 with a prompt too large to finish by t=2.
+    e.submit(spec(0, 1.0, 100_000, 50, QosTier::paper_q2()));
+    // Arrives after the horizon entirely.
+    e.submit(spec(1, 10.0, 100, 5, QosTier::paper_q1()));
+    let outcomes = e.run();
+    assert_eq!(outcomes.len(), 2);
+    assert!(outcomes.iter().all(|o| o.violated()));
+    assert!(outcomes.iter().all(|o| !o.finished()));
+}
+
+#[test]
+fn decode_pool_cap_is_respected() {
+    let mut config = ReplicaConfig::new(hw());
+    config.max_decode_batch = 4;
+    config.record_batches = true;
+    let mut e = ReplicaEngine::new(config, qoserve(), &SeedStream::new(12));
+    for i in 0..16 {
+        e.submit(spec(i, 0.1, 300, 400, QosTier::paper_q2()));
+    }
+    let outcomes = e.run();
+    assert_eq!(outcomes.len(), 16);
+    assert!(outcomes.iter().all(|o| o.finished()));
+    assert!(e.batch_log().iter().all(|b| b.num_decodes <= 4));
+}
+
+#[test]
+fn batch_log_records_dynamic_chunks() {
+    // Run near capacity so decode slack actually binds sometimes: the
+    // dynamic chunk must then vary across batches (Fig. 9's behaviour).
+    let mut config = ReplicaConfig::new(hw());
+    config.record_batches = true;
+    let mut e = ReplicaEngine::new(config, qoserve(), &SeedStream::new(13));
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(5.0))
+        .num_requests(250)
+        .tier_mix(qoserve_workload::TierMix::single(QosTier::paper_q1()))
+        .build(&SeedStream::new(13));
+    let _ = e.run_trace(&trace);
+    let log = e.batch_log();
+    assert!(!log.is_empty());
+    // Dynamic chunking must have produced at least two distinct budgets.
+    let mut budgets: Vec<u32> = log.iter().map(|b| b.token_budget).collect();
+    budgets.sort_unstable();
+    budgets.dedup();
+    assert!(budgets.len() >= 2, "budgets never varied: {budgets:?}");
+    // Execution times are positive and ordered in time.
+    for w in log.windows(2) {
+        assert!(w[1].start >= w[0].start + w[0].exec);
+    }
+}
+
+#[test]
+fn prefill_only_trace_runs_without_decode_pool() {
+    let trace = to_prefill_only_trace(&light_trace(14, 2.0, 100));
+    let mut config = ReplicaConfig::new(hw());
+    config.record_batches = true;
+    let mut e = ReplicaEngine::new(config, qoserve(), &SeedStream::new(14));
+    let outcomes = e.run_trace(&trace);
+    assert!(outcomes.iter().all(RequestOutcome::finished));
+    assert!(e.batch_log().iter().all(|b| b.num_decodes == 0));
+    for o in &outcomes {
+        assert_eq!(o.first_token, o.completion);
+    }
+}
+
+#[test]
+fn non_interactive_judged_on_ttlt_only() {
+    // A Q3 request can have slow first tokens without violating, as long
+    // as it completes within 30 minutes.
+    let mut e = engine(sarathi(OrderPolicy::Fcfs), 15);
+    // Head-of-line: a huge Q3 prompt in front of another Q3.
+    e.submit(spec(0, 0.0, 30_000, 10, QosTier::paper_q3()));
+    e.submit(spec(1, 0.1, 30_000, 10, QosTier::paper_q3()));
+    let outcomes = e.run();
+    for o in &outcomes {
+        assert!(o.finished());
+        assert!(!o.violated(), "TTLT {:?} should fit 1800s", o.ttlt());
+        // TTFT is necessarily seconds-scale here — fine for Q3.
+        assert!(o.ttft().unwrap() > SimDuration::from_millis(500));
+    }
+}
+
+#[test]
+fn sustainable_decode_batch_is_hardware_aware() {
+    use qoserve_engine::sustainable_decode_batch;
+    let gqa = sustainable_decode_batch(&HardwareConfig::llama3_8b_a100_tp1());
+    let mha = sustainable_decode_batch(&HardwareConfig::qwen_7b_a100_tp2());
+    assert!(
+        gqa > mha,
+        "GQA ({gqa}) must sustain a deeper decode pool than MHA ({mha})"
+    );
+    assert!((8..=256).contains(&gqa));
+    assert!((8..=256).contains(&mha));
+    // The default config picks it up.
+    assert_eq!(
+        ReplicaConfig::new(HardwareConfig::qwen_7b_a100_tp2()).max_decode_batch,
+        mha
+    );
+}
+
+#[test]
+fn tiny_kv_cache_serialises_but_completes() {
+    // A replica whose KV holds barely two requests at a time: admission
+    // stalls, requests serialise, but everything still completes and is
+    // accounted — the engine must never deadlock on KV pressure.
+    let hw = hw();
+    let mut config = ReplicaConfig::new(hw.clone());
+    config.max_decode_batch = 64;
+    let mut e = ReplicaEngine::new(config, qoserve(), &SeedStream::new(31));
+    // Requests of ~5k prompt + 2k decode reserve against a 900k-token
+    // cache would never stall; shrink the workload instead: give each
+    // request a prompt near half the *effective* cache by using many
+    // concurrent arrivals so admission pressure is real.
+    for i in 0..40 {
+        e.submit(spec(i, 0.2, 30_000, 500, QosTier::paper_q3()));
+    }
+    let outcomes = e.run();
+    assert_eq!(outcomes.len(), 40);
+    assert!(
+        outcomes.iter().all(|o| o.finished()),
+        "KV pressure must serialise, not starve"
+    );
+}
+
+#[test]
+fn engine_survives_pathological_single_token_flood() {
+    // Thousands of 16-token prompts with 1-token decodes arriving at once:
+    // exercises the max_new_requests cap and per-iteration packing.
+    let mut e = engine(qoserve(), 32);
+    for i in 0..2_000 {
+        e.submit(spec(i, 0.5, 16, 1, QosTier::paper_q1()));
+    }
+    let outcomes = e.run();
+    assert_eq!(outcomes.len(), 2_000);
+    assert!(outcomes.iter().all(|o| o.finished()));
+    // 2000 * 16 = 32k tokens at >10k tok/s: done within a few seconds of
+    // simulated time.
+    assert!(e.now() < SimTime::from_secs(60), "took {}", e.now());
+}

@@ -1,0 +1,304 @@
+//! Streaming log-bucketed latency histogram.
+//!
+//! Long cluster runs produce millions of latency samples; sorting full
+//! vectors per percentile query (as [`percentile`](crate::percentile)
+//! does) is fine for experiment post-processing but not for online
+//! monitoring. [`LogHistogram`] records samples in logarithmically spaced
+//! buckets — constant memory, O(1) insert, bounded relative quantile
+//! error — the same trade HDR-style histograms make in production serving
+//! telemetry.
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming histogram with logarithmically spaced buckets.
+///
+/// Values are expected in `(0, +inf)`; non-positive values clamp into the
+/// first bucket. With the default `growth` of 1.05, quantile estimates
+/// carry at most ~5 % relative error.
+///
+/// # Example
+///
+/// ```
+/// use qoserve_metrics::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for i in 1..=1000 {
+///     h.record(i as f64);
+/// }
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!((p50 / 500.0 - 1.0).abs() < 0.06);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Smallest representable value; everything below lands in bucket 0.
+    floor: f64,
+    /// Bucket growth factor (> 1).
+    growth: f64,
+    /// ln(growth), cached.
+    ln_growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Default: 1 µs floor, 5 % buckets — spans µs to days in ~460
+    /// buckets.
+    pub fn new() -> Self {
+        Self::with_resolution(1e-6, 1.05)
+    }
+
+    /// Custom floor and growth factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor <= 0` or `growth <= 1`.
+    pub fn with_resolution(floor: f64, growth: f64) -> Self {
+        assert!(floor > 0.0, "floor must be positive");
+        assert!(growth > 1.0, "growth must exceed 1");
+        LogHistogram {
+            floor,
+            growth,
+            ln_growth: growth.ln(),
+            counts: Vec::new(),
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(&self, value: f64) -> usize {
+        if value <= self.floor {
+            return 0;
+        }
+        ((value / self.floor).ln() / self.ln_growth).floor() as usize + 1
+    }
+
+    /// Lower edge of bucket `i`.
+    fn bucket_low(&self, i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            self.floor * self.growth.powi(i as i32 - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        let idx = self.bucket_of(value);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact mean of the recorded values.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum / self.total as f64)
+        }
+    }
+
+    /// Exact minimum.
+    pub fn min(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Exact maximum.
+    pub fn max(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), within one bucket's
+    /// relative error; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.total - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c > rank {
+                // Geometric midpoint of the bucket, clamped to observed
+                // extremes so min/max quantiles are exact.
+                let low = self.bucket_low(i).max(self.min);
+                let high = (self.bucket_low(i + 1)).min(self.max).max(low);
+                return Some((low * high).sqrt().clamp(self.min, self.max));
+            }
+            seen += c;
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram with identical resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolutions differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.floor, other.floor, "floor mismatch");
+        assert_eq!(self.growth, other.growth, "growth mismatch");
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for LogHistogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for LogHistogram {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut h = LogHistogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::percentile::percentile;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn single_value_is_exact() {
+        let mut h = LogHistogram::new();
+        h.record(42.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.0), Some(42.0));
+        assert_eq!(h.quantile(1.0), Some(42.0));
+        assert_eq!(h.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn quantiles_track_exact_within_bucket_error() {
+        let values: Vec<f64> = (1..=10_000).map(|i| (i as f64).powf(1.3)).collect();
+        let h: LogHistogram = values.iter().copied().collect();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = percentile(&values, q).unwrap();
+            let est = h.quantile(q).unwrap();
+            assert!(
+                (est / exact - 1.0).abs() < 0.06,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_positive_values_clamp_to_first_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(1.0);
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.0).unwrap() <= 0.0 + 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let xs: Vec<f64> = (1..500).map(|i| i as f64 * 0.37).collect();
+        let mut a: LogHistogram = xs[..200].iter().copied().collect();
+        let b: LogHistogram = xs[200..].iter().copied().collect();
+        a.merge(&b);
+        let combined: LogHistogram = xs.iter().copied().collect();
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor mismatch")]
+    fn merge_rejects_mismatched_resolution() {
+        let mut a = LogHistogram::with_resolution(1e-3, 1.05);
+        let b = LogHistogram::with_resolution(1e-6, 1.05);
+        a.merge(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_within_observed_range(
+            xs in proptest::collection::vec(1e-6f64..1e6, 1..300),
+            q in 0.0f64..1.0,
+        ) {
+            let h: LogHistogram = xs.iter().copied().collect();
+            let v = h.quantile(q).unwrap();
+            let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9, "{v} not in [{min}, {max}]");
+        }
+
+        #[test]
+        fn quantile_monotone_in_q(xs in proptest::collection::vec(1e-3f64..1e5, 2..300)) {
+            let h: LogHistogram = xs.iter().copied().collect();
+            let q25 = h.quantile(0.25).unwrap();
+            let q75 = h.quantile(0.75).unwrap();
+            prop_assert!(q25 <= q75 + 1e-9);
+        }
+
+        #[test]
+        fn count_and_mean_are_exact(xs in proptest::collection::vec(1e-3f64..1e5, 1..200)) {
+            let h: LogHistogram = xs.iter().copied().collect();
+            prop_assert_eq!(h.count(), xs.len() as u64);
+            let exact = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((h.mean().unwrap() - exact).abs() < 1e-6 * exact.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Metrics layer for the QoServe reproduction.
+//!
+//! Everything the paper's evaluation section reports is computed here:
+//! TTFT / TBT / TTLT latency distributions (§2.1), deadline-violation
+//! percentages split by tier, request length, and importance (Fig. 11,
+//! Fig. 12), rolling tail-latency series (Fig. 13), and the goodput search
+//! ("maximum QPS with ≤ 1 % violations", §4.1.2).
+//!
+//! * [`outcome`] — [`RequestOutcome`], the per-request measurement record
+//!   emitted by the engine.
+//! * [`percentile()`] — interpolated percentiles and latency summaries.
+//! * [`histogram`] — streaming log-bucketed histogram for online
+//!   monitoring at constant memory.
+//! * [`slo`] — [`SloReport`]: violation accounting over outcome sets.
+//! * [`rolling`] — time-windowed percentile series.
+//! * [`goodput`] — monotone boundary search used for capacity numbers.
+//! * [`report`] — plain-text table rendering for the experiment binaries.
+
+pub mod goodput;
+pub mod histogram;
+pub mod outcome;
+pub mod percentile;
+pub mod report;
+pub mod rolling;
+pub mod slo;
+
+pub use goodput::max_supported_load;
+pub use histogram::LogHistogram;
+pub use outcome::RequestOutcome;
+pub use percentile::{percentile, LatencySummary};
+pub use report::Table;
+pub use rolling::RollingSeries;
+pub use slo::SloReport;

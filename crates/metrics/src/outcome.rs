@@ -1,0 +1,205 @@
+//! Per-request measurement records.
+
+use qoserve_sim::time::SignedDuration;
+use qoserve_sim::{SimDuration, SimTime};
+use qoserve_workload::{Priority, RequestSpec, TierId};
+use serde::{Deserialize, Serialize};
+
+/// Everything measured about one request during a simulation run.
+///
+/// Produced by the engine when a request completes (or when the simulation
+/// ends with the request still unfinished — then `first_token` /
+/// `completion` stay `None` and the request counts as violated).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// The request this outcome describes.
+    pub spec: RequestSpec,
+    /// When the first output token was produced (end of prefill).
+    pub first_token: Option<SimTime>,
+    /// When the last output token was produced.
+    pub completion: Option<SimTime>,
+    /// Largest observed gap between consecutive output tokens.
+    pub max_tbt: SimDuration,
+    /// Worst lateness across all per-token deadlines (Eq. 2): positive
+    /// means some token missed its deadline. For non-interactive requests
+    /// this is completion lateness vs. the TTLT deadline.
+    pub worst_token_lateness: SignedDuration,
+    /// Whether eager relegation demoted this request at any point.
+    pub relegated: bool,
+    /// Replica that served the request.
+    pub replica: u32,
+}
+
+impl RequestOutcome {
+    /// An outcome for a request that never finished before the simulation
+    /// horizon (counts as a violation everywhere).
+    pub fn unfinished(spec: RequestSpec, relegated: bool, replica: u32) -> Self {
+        RequestOutcome {
+            spec,
+            first_token: None,
+            completion: None,
+            max_tbt: SimDuration::ZERO,
+            worst_token_lateness: SignedDuration::from_micros(i64::MAX),
+            relegated,
+            replica,
+        }
+    }
+
+    /// Time to first token, when the request produced one.
+    pub fn ttft(&self) -> Option<SimDuration> {
+        self.first_token.map(|t| t.duration_since(self.spec.arrival))
+    }
+
+    /// Time to last token, when the request completed.
+    pub fn ttlt(&self) -> Option<SimDuration> {
+        self.completion.map(|t| t.duration_since(self.spec.arrival))
+    }
+
+    /// The latency that this request's tier is judged on: TTFT for
+    /// interactive requests, TTLT for non-interactive ones (how the paper
+    /// plots Fig. 10 per-bucket latency). Unfinished requests report
+    /// `None`.
+    pub fn tier_latency(&self) -> Option<SimDuration> {
+        if self.spec.class().is_interactive() {
+            self.ttft()
+        } else {
+            self.ttlt()
+        }
+    }
+
+    /// Whether the request finished within the simulation.
+    pub fn finished(&self) -> bool {
+        self.completion.is_some()
+    }
+
+    /// Whether the TTFT SLO was met (interactive only; `None` otherwise).
+    pub fn ttft_met(&self) -> Option<bool> {
+        let target = self.spec.class().ttft()?;
+        Some(match self.ttft() {
+            Some(observed) => observed <= target,
+            None => false,
+        })
+    }
+
+    /// Whether this request violated its SLO contract.
+    ///
+    /// * Interactive: violated when any token (including the first) missed
+    ///   its Eq. 2 deadline.
+    /// * Non-interactive: violated when completion exceeded the TTLT
+    ///   deadline.
+    /// * Unfinished requests are always violations.
+    pub fn violated(&self) -> bool {
+        if !self.finished() {
+            return true;
+        }
+        self.worst_token_lateness.as_micros() > 0
+    }
+
+    /// True when the prompt length reaches `threshold` — the paper's
+    /// "long request" classification (p90 of the dataset).
+    pub fn is_long(&self, threshold: u32) -> bool {
+        self.spec.prompt_tokens >= threshold
+    }
+
+    /// Tier identity shortcut.
+    pub fn tier(&self) -> TierId {
+        self.spec.tier()
+    }
+
+    /// Priority shortcut.
+    pub fn priority(&self) -> Priority {
+        self.spec.priority()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_workload::{QosTier, RequestId, Slo};
+
+    fn spec(tier: QosTier, arrival_secs: u64) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(0),
+            arrival: SimTime::from_secs(arrival_secs),
+            prompt_tokens: 1_000,
+            decode_tokens: 10,
+            slo: Slo::of_tier(tier),
+            app_id: 0,
+        }
+    }
+
+    fn on_time_outcome(tier: QosTier) -> RequestOutcome {
+        RequestOutcome {
+            spec: spec(tier, 10),
+            first_token: Some(SimTime::from_secs(12)),
+            completion: Some(SimTime::from_secs(13)),
+            max_tbt: SimDuration::from_millis(40),
+            worst_token_lateness: SignedDuration::from_micros(-1_000_000),
+            relegated: false,
+            replica: 0,
+        }
+    }
+
+    #[test]
+    fn latency_accessors() {
+        let o = on_time_outcome(QosTier::paper_q1());
+        assert_eq!(o.ttft(), Some(SimDuration::from_secs(2)));
+        assert_eq!(o.ttlt(), Some(SimDuration::from_secs(3)));
+        assert!(o.finished());
+        assert!(!o.violated());
+    }
+
+    #[test]
+    fn tier_latency_picks_metric_by_class() {
+        let interactive = on_time_outcome(QosTier::paper_q1());
+        assert_eq!(interactive.tier_latency(), interactive.ttft());
+        let batch = on_time_outcome(QosTier::paper_q3());
+        assert_eq!(batch.tier_latency(), batch.ttlt());
+    }
+
+    #[test]
+    fn positive_lateness_is_violation() {
+        let mut o = on_time_outcome(QosTier::paper_q1());
+        o.worst_token_lateness = SignedDuration::from_micros(1);
+        assert!(o.violated());
+    }
+
+    #[test]
+    fn unfinished_is_always_violated() {
+        let o = RequestOutcome::unfinished(spec(QosTier::paper_q2(), 0), true, 3);
+        assert!(o.violated());
+        assert!(!o.finished());
+        assert_eq!(o.ttft(), None);
+        assert_eq!(o.tier_latency(), None);
+        assert_eq!(o.ttft_met(), None); // non-interactive has no TTFT SLO
+        assert!(o.relegated);
+        assert_eq!(o.replica, 3);
+    }
+
+    #[test]
+    fn ttft_met_for_interactive() {
+        let o = on_time_outcome(QosTier::paper_q1()); // 2s TTFT vs 6s SLO
+        assert_eq!(o.ttft_met(), Some(true));
+        let mut late = o;
+        late.first_token = Some(SimTime::from_secs(20));
+        assert_eq!(late.ttft_met(), Some(false));
+        let mut never = o;
+        never.first_token = None;
+        assert_eq!(never.ttft_met(), Some(false));
+    }
+
+    #[test]
+    fn long_classification() {
+        let o = on_time_outcome(QosTier::paper_q1()); // 1000-token prompt
+        assert!(o.is_long(1_000));
+        assert!(o.is_long(500));
+        assert!(!o.is_long(1_001));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let o = on_time_outcome(QosTier::paper_q2());
+        let json = serde_json::to_string(&o).unwrap();
+        assert_eq!(serde_json::from_str::<RequestOutcome>(&json).unwrap(), o);
+    }
+}

@@ -1,0 +1,121 @@
+//! Time-windowed latency series (Fig. 13's rolling p99).
+
+use qoserve_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::percentile::percentile;
+
+/// A series of `(window_start_secs, value)` points computed over fixed
+/// windows of a timestamped sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RollingSeries {
+    /// Window length in seconds.
+    pub window_secs: f64,
+    /// `(window start in seconds, value)` pairs; windows with no samples
+    /// are omitted.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl RollingSeries {
+    /// Computes a rolling percentile over `(timestamp, latency_secs)`
+    /// samples, bucketed by `window` (the paper uses 60 s windows keyed by
+    /// arrival time).
+    pub fn percentile_over(
+        samples: &[(SimTime, f64)],
+        window: SimDuration,
+        p: f64,
+    ) -> RollingSeries {
+        let window_us = window.as_micros().max(1);
+        let mut buckets: std::collections::BTreeMap<u64, Vec<f64>> = Default::default();
+        for (t, v) in samples {
+            buckets.entry(t.as_micros() / window_us).or_default().push(*v);
+        }
+        RollingSeries {
+            window_secs: window.as_secs_f64(),
+            points: buckets
+                .into_iter()
+                .filter_map(|(idx, vals)| {
+                    percentile(&vals, p)
+                        .map(|val| ((idx * window_us) as f64 / 1e6, val))
+                })
+                .collect(),
+        }
+    }
+
+    /// The largest value in the series.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Mean of the series values.
+    pub fn mean_value(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// Values within `[from_secs, to_secs)` of window-start time.
+    pub fn slice(&self, from_secs: f64, to_secs: f64) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter(|(t, _)| *t >= from_secs && *t < to_secs)
+            .map(|(_, v)| *v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<(SimTime, f64)> {
+        // Two windows: [0,60) holds 1..=10, [60,120) holds 100.
+        let mut s: Vec<(SimTime, f64)> = (1..=10)
+            .map(|i| (SimTime::from_secs(i as u64 * 5), i as f64))
+            .collect();
+        s.push((SimTime::from_secs(70), 100.0));
+        s
+    }
+
+    #[test]
+    fn buckets_by_window() {
+        let series =
+            RollingSeries::percentile_over(&samples(), SimDuration::from_secs(60), 0.5);
+        assert_eq!(series.points.len(), 2);
+        assert_eq!(series.points[0].0, 0.0);
+        assert_eq!(series.points[0].1, 5.5); // median of 1..=10
+        assert_eq!(series.points[1], (60.0, 100.0));
+    }
+
+    #[test]
+    fn empty_windows_are_omitted() {
+        let s = vec![(SimTime::from_secs(500), 1.0)];
+        let series = RollingSeries::percentile_over(&s, SimDuration::from_secs(60), 0.99);
+        assert_eq!(series.points.len(), 1);
+        assert_eq!(series.points[0].0, 480.0);
+    }
+
+    #[test]
+    fn max_and_mean() {
+        let series =
+            RollingSeries::percentile_over(&samples(), SimDuration::from_secs(60), 0.5);
+        assert_eq!(series.max_value(), Some(100.0));
+        assert_eq!(series.mean_value(), Some(52.75));
+        let empty = RollingSeries::percentile_over(&[], SimDuration::from_secs(60), 0.5);
+        assert_eq!(empty.max_value(), None);
+        assert_eq!(empty.mean_value(), None);
+    }
+
+    #[test]
+    fn slice_filters_by_time() {
+        let series =
+            RollingSeries::percentile_over(&samples(), SimDuration::from_secs(60), 0.5);
+        assert_eq!(series.slice(0.0, 60.0), vec![5.5]);
+        assert_eq!(series.slice(60.0, 120.0), vec![100.0]);
+        assert!(series.slice(120.0, 240.0).is_empty());
+    }
+}

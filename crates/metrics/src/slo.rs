@@ -1,0 +1,261 @@
+//! SLO-violation accounting over outcome sets.
+//!
+//! [`SloReport`] computes every violation breakdown the paper plots:
+//! overall (Fig. 11a), by request length (Fig. 11b/c), by tier
+//! (Fig. 11d–f), by importance (Fig. 12's table), plus per-tier latency
+//! summaries (Fig. 10, Table 4, Table 6).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use qoserve_workload::{Priority, TierId};
+
+use crate::outcome::RequestOutcome;
+use crate::percentile::LatencySummary;
+
+/// Violation and latency breakdowns over a set of request outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Total requests.
+    pub total: usize,
+    /// Requests that violated their SLO.
+    pub violations: usize,
+    /// Per-tier (total, violated) counts.
+    pub by_tier: BTreeMap<TierId, (usize, usize)>,
+    /// (total, violated) among short requests (prompt < threshold).
+    pub short: (usize, usize),
+    /// (total, violated) among long requests (prompt >= threshold).
+    pub long: (usize, usize),
+    /// (total, violated) among important (non-low-priority) requests.
+    pub important: (usize, usize),
+    /// Fraction of requests that were relegated at some point.
+    pub relegated_fraction: f64,
+    /// Prompt-length threshold used for the short/long split.
+    pub long_threshold: u32,
+    /// Per-tier latency summaries over the tier's judged metric (TTFT for
+    /// interactive tiers, TTLT otherwise), finished requests only.
+    pub tier_latency: BTreeMap<TierId, LatencySummary>,
+}
+
+impl SloReport {
+    /// Builds the report. `long_threshold` is the p90 prompt length of the
+    /// trace (see `Trace::long_prompt_threshold`).
+    pub fn compute(outcomes: &[RequestOutcome], long_threshold: u32) -> Self {
+        let mut by_tier: BTreeMap<TierId, (usize, usize)> = BTreeMap::new();
+        let mut tier_lat: BTreeMap<TierId, Vec<f64>> = BTreeMap::new();
+        let mut short = (0, 0);
+        let mut long = (0, 0);
+        let mut important = (0, 0);
+        let mut violations = 0;
+        let mut relegated = 0;
+
+        for o in outcomes {
+            let v = o.violated();
+            let entry = by_tier.entry(o.tier()).or_default();
+            entry.0 += 1;
+            let length_bucket = if o.is_long(long_threshold) {
+                &mut long
+            } else {
+                &mut short
+            };
+            length_bucket.0 += 1;
+            if o.priority() == Priority::Important {
+                important.0 += 1;
+            }
+            if v {
+                violations += 1;
+                entry.1 += 1;
+                length_bucket.1 += 1;
+                if o.priority() == Priority::Important {
+                    important.1 += 1;
+                }
+            }
+            if o.relegated {
+                relegated += 1;
+            }
+            if let Some(lat) = o.tier_latency() {
+                tier_lat.entry(o.tier()).or_default().push(lat.as_secs_f64());
+            }
+        }
+
+        SloReport {
+            total: outcomes.len(),
+            violations,
+            by_tier,
+            short,
+            long,
+            important,
+            relegated_fraction: if outcomes.is_empty() {
+                0.0
+            } else {
+                relegated as f64 / outcomes.len() as f64
+            },
+            long_threshold,
+            tier_latency: tier_lat
+                .into_iter()
+                .map(|(t, xs)| (t, LatencySummary::of_seconds(&xs)))
+                .collect(),
+        }
+    }
+
+    /// Overall violation percentage in `[0, 100]`.
+    pub fn violation_pct(&self) -> f64 {
+        pct(self.violations, self.total)
+    }
+
+    /// Violation percentage within one tier.
+    pub fn tier_violation_pct(&self, tier: TierId) -> f64 {
+        self.by_tier
+            .get(&tier)
+            .map_or(0.0, |(total, v)| pct(*v, *total))
+    }
+
+    /// Violation percentage among short requests.
+    pub fn short_violation_pct(&self) -> f64 {
+        pct(self.short.1, self.short.0)
+    }
+
+    /// Violation percentage among long requests.
+    pub fn long_violation_pct(&self) -> f64 {
+        pct(self.long.1, self.long.0)
+    }
+
+    /// Violation percentage among important requests.
+    pub fn important_violation_pct(&self) -> f64 {
+        pct(self.important.1, self.important.0)
+    }
+
+    /// Latency summary for one tier's judged metric.
+    pub fn tier_summary(&self, tier: TierId) -> LatencySummary {
+        self.tier_latency.get(&tier).copied().unwrap_or_default()
+    }
+
+    /// True when the run "meets QoS" under the paper's goodput criterion:
+    /// at most `allowed_violation_pct` percent of requests violated.
+    pub fn meets_goodput_bar(&self, allowed_violation_pct: f64) -> bool {
+        self.violation_pct() <= allowed_violation_pct
+    }
+}
+
+fn pct(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_sim::time::SignedDuration;
+    use qoserve_sim::{SimDuration, SimTime};
+    use qoserve_workload::{QosTier, RequestId, RequestSpec, Slo};
+
+    fn outcome(
+        id: u64,
+        tier: QosTier,
+        prompt: u32,
+        priority: Priority,
+        violated: bool,
+        relegated: bool,
+    ) -> RequestOutcome {
+        let spec = RequestSpec {
+            id: RequestId(id),
+            arrival: SimTime::ZERO,
+            prompt_tokens: prompt,
+            decode_tokens: 10,
+            slo: Slo::of_tier(tier).with_priority(priority),
+            app_id: 0,
+        };
+        RequestOutcome {
+            spec,
+            first_token: Some(SimTime::from_secs(1)),
+            completion: Some(SimTime::from_secs(2)),
+            max_tbt: SimDuration::from_millis(30),
+            worst_token_lateness: SignedDuration::from_micros(if violated { 1 } else { -1 }),
+            relegated,
+            replica: 0,
+        }
+    }
+
+    fn sample() -> Vec<RequestOutcome> {
+        vec![
+            outcome(0, QosTier::paper_q1(), 100, Priority::Important, false, false),
+            outcome(1, QosTier::paper_q1(), 5_000, Priority::Important, true, true),
+            outcome(2, QosTier::paper_q2(), 100, Priority::Low, true, true),
+            outcome(3, QosTier::paper_q3(), 100, Priority::Important, false, false),
+        ]
+    }
+
+    #[test]
+    fn overall_counts() {
+        let r = SloReport::compute(&sample(), 4_000);
+        assert_eq!(r.total, 4);
+        assert_eq!(r.violations, 2);
+        assert_eq!(r.violation_pct(), 50.0);
+        assert_eq!(r.relegated_fraction, 0.5);
+    }
+
+    #[test]
+    fn per_tier_breakdown() {
+        let r = SloReport::compute(&sample(), 4_000);
+        assert_eq!(r.tier_violation_pct(TierId::Q1), 50.0);
+        assert_eq!(r.tier_violation_pct(TierId::Q2), 100.0);
+        assert_eq!(r.tier_violation_pct(TierId::Q3), 0.0);
+        assert_eq!(r.tier_violation_pct(TierId(9)), 0.0);
+    }
+
+    #[test]
+    fn length_split() {
+        let r = SloReport::compute(&sample(), 4_000);
+        // One long request (5000 tokens), which violated.
+        assert_eq!(r.long, (1, 1));
+        assert_eq!(r.long_violation_pct(), 100.0);
+        assert_eq!(r.short, (3, 1));
+        assert!((r.short_violation_pct() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn importance_split() {
+        let r = SloReport::compute(&sample(), 4_000);
+        // 3 important, 1 of them violated.
+        assert_eq!(r.important, (3, 1));
+        assert!((r.important_violation_pct() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goodput_bar() {
+        let r = SloReport::compute(&sample(), 4_000);
+        assert!(!r.meets_goodput_bar(1.0));
+        assert!(r.meets_goodput_bar(50.0));
+    }
+
+    #[test]
+    fn tier_latency_uses_judged_metric() {
+        let r = SloReport::compute(&sample(), 4_000);
+        // Q1 is interactive: judged on TTFT = 1s.
+        assert_eq!(r.tier_summary(TierId::Q1).p50, 1.0);
+        // Q2 is non-interactive: judged on TTLT = 2s.
+        assert_eq!(r.tier_summary(TierId::Q2).p50, 2.0);
+        // Unknown tier yields the empty summary.
+        assert_eq!(r.tier_summary(TierId(9)).count, 0);
+    }
+
+    #[test]
+    fn empty_outcomes() {
+        let r = SloReport::compute(&[], 100);
+        assert_eq!(r.total, 0);
+        assert_eq!(r.violation_pct(), 0.0);
+        assert_eq!(r.relegated_fraction, 0.0);
+        assert!(r.meets_goodput_bar(0.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = SloReport::compute(&sample(), 4_000);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<SloReport>(&json).unwrap(), r);
+    }
+}

@@ -1,0 +1,409 @@
+//! Runtime latency prediction and the dynamic-chunk budget search.
+//!
+//! [`LatencyPredictor`] is what the scheduler consults every iteration. It
+//! comes in two flavours: the trained random forest (the paper's deployed
+//! configuration) and the raw analytical model (exact, useful for fast
+//! simulation sweeps and as an oracle in tests). Both apply a configurable
+//! *safety margin* that inflates predictions, implementing the paper's
+//! "err on the side of under-predicting chunk size" tuning.
+//!
+//! [`ChunkBudget`] is `GET_PREFILL_BUDGET` from Algorithm 1: given the
+//! decode pool and the minimum slack across decoding requests, find the
+//! largest prefill chunk whose predicted iteration latency still fits.
+
+use qoserve_sim::{SeedStream, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::analytical::LatencyModel;
+use crate::batch::BatchProfile;
+use crate::forest::{RandomForest, RandomForestConfig};
+use crate::hardware::HardwareConfig;
+use crate::profiler::{Profiler, ProfilerConfig};
+
+/// Which estimator backs a [`LatencyPredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// The calibrated analytical model (exact w.r.t. the simulator's ground
+    /// truth, minus execution noise).
+    Analytical,
+    /// The random forest trained on profiler samples — the paper's setup.
+    Forest,
+}
+
+/// Batch latency estimator with a safety margin.
+#[derive(Debug, Clone)]
+pub struct LatencyPredictor {
+    backend: Backend,
+    /// Multiplicative inflation applied to every prediction (0.08 = +8 %).
+    margin: f64,
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    Analytical(LatencyModel),
+    Forest(RandomForest),
+}
+
+impl LatencyPredictor {
+    /// Default safety margin, chosen so the < 10 % model error never turns
+    /// into a TBT violation (under-predicting the chunk is safe, over-
+    /// predicting is not).
+    pub const DEFAULT_MARGIN: f64 = 0.08;
+
+    /// Builds an analytical predictor for `hw`.
+    pub fn analytical(hw: &HardwareConfig) -> Self {
+        LatencyPredictor {
+            backend: Backend::Analytical(LatencyModel::new(hw)),
+            margin: Self::DEFAULT_MARGIN,
+        }
+    }
+
+    /// Trains a random-forest predictor for `hw` by running the profiling
+    /// harness and fitting the forest, exactly as the paper's offline step.
+    pub fn train_forest(hw: &HardwareConfig, seeds: &SeedStream) -> Self {
+        let profiler = Profiler::new(hw.clone(), ProfilerConfig::default());
+        let samples = profiler.collect(seeds);
+        let (rows, labels) = Profiler::to_training_set(&samples);
+        let mut rng = seeds.derive("forest-fit");
+        let forest = RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng)
+            .expect("profiler always yields a non-empty training set");
+        LatencyPredictor {
+            backend: Backend::Forest(forest),
+            margin: Self::DEFAULT_MARGIN,
+        }
+    }
+
+    /// Builds a predictor of the requested kind.
+    pub fn of_kind(kind: PredictorKind, hw: &HardwareConfig, seeds: &SeedStream) -> Self {
+        match kind {
+            PredictorKind::Analytical => Self::analytical(hw),
+            PredictorKind::Forest => Self::train_forest(hw, seeds),
+        }
+    }
+
+    /// Replaces the safety margin (clamped to be non-negative).
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        self.margin = margin.max(0.0);
+        self
+    }
+
+    /// The active safety margin.
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// Which backend this predictor uses.
+    pub fn kind(&self) -> PredictorKind {
+        match self.backend {
+            Backend::Analytical(_) => PredictorKind::Analytical,
+            Backend::Forest(_) => PredictorKind::Forest,
+        }
+    }
+
+    /// Predicted iteration latency including the safety margin.
+    pub fn predict(&self, batch: &BatchProfile) -> SimDuration {
+        SimDuration::from_micros((self.predict_raw_us(batch) * (1.0 + self.margin)).round() as u64)
+    }
+
+    /// Margin-free prediction in microseconds.
+    pub fn predict_raw_us(&self, batch: &BatchProfile) -> f64 {
+        match &self.backend {
+            Backend::Analytical(m) => m.iteration_time_us(batch),
+            Backend::Forest(f) => f.predict(&batch.features()).max(0.0),
+        }
+    }
+}
+
+/// Bounds for the dynamic-chunk search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChunkLimits {
+    /// Chunk used when latency is unconstrained is capped here; Figure 4
+    /// saturates around 2.5 k tokens, so larger chunks add latency for no
+    /// throughput.
+    pub max_chunk: u32,
+    /// Search granularity in tokens.
+    pub step: u32,
+}
+
+impl Default for ChunkLimits {
+    fn default() -> Self {
+        ChunkLimits {
+            max_chunk: 2_560,
+            step: 32,
+        }
+    }
+}
+
+/// The `GET_PREFILL_BUDGET` search of Algorithm 1.
+///
+/// # Example
+///
+/// ```
+/// use qoserve_perf::{ChunkBudget, ChunkLimits, HardwareConfig, LatencyPredictor};
+/// use qoserve_sim::SimDuration;
+///
+/// let hw = HardwareConfig::llama3_8b_a100_tp1();
+/// let budget = ChunkBudget::new(LatencyPredictor::analytical(&hw), ChunkLimits::default());
+/// // Plenty of slack: the budget should open up far beyond the 256 default.
+/// let roomy = budget.prefill_budget(16, 16 * 500, 0, Some(SimDuration::from_millis(200)));
+/// // Tight slack: the budget must shrink.
+/// let tight = budget.prefill_budget(16, 16 * 500, 0, Some(SimDuration::from_millis(25)));
+/// assert!(roomy > tight);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChunkBudget {
+    predictor: LatencyPredictor,
+    limits: ChunkLimits,
+}
+
+impl ChunkBudget {
+    /// Creates the budget search over `predictor` with `limits`.
+    pub fn new(predictor: LatencyPredictor, limits: ChunkLimits) -> Self {
+        ChunkBudget { predictor, limits }
+    }
+
+    /// Access to the underlying predictor.
+    pub fn predictor(&self) -> &LatencyPredictor {
+        &self.predictor
+    }
+
+    /// The search bounds.
+    pub fn limits(&self) -> ChunkLimits {
+        self.limits
+    }
+
+    /// Largest prefill-token budget whose predicted iteration latency fits
+    /// within `slack`, given the current decode pool.
+    ///
+    /// * `num_decodes` / `decode_context_total` — the decode side of the
+    ///   upcoming batch.
+    /// * `prefill_context` — prompt tokens of the head prefill request that
+    ///   are already in the KV cache (deep chunks cost more).
+    /// * `slack` — minimum next-token slack across decoding requests;
+    ///   `None` means unconstrained (no decodes with deadlines), which
+    ///   yields `max_chunk`.
+    ///
+    /// Returns 0 when even the smallest step would blow the slack — the
+    /// engine then runs a decode-only iteration.
+    pub fn prefill_budget(
+        &self,
+        num_decodes: u32,
+        decode_context_total: u64,
+        prefill_context: u32,
+        slack: Option<SimDuration>,
+    ) -> u32 {
+        let slack = match slack {
+            None => return self.limits.max_chunk,
+            Some(s) => s,
+        };
+
+        let fits = |chunk: u32| -> bool {
+            let batch = BatchProfile::builder()
+                .prefill_chunk(chunk, prefill_context)
+                .decodes(num_decodes, decode_context_total)
+                .build();
+            self.predictor.predict(&batch) <= slack
+        };
+
+        let step = self.limits.step.max(1);
+        let max_steps = self.limits.max_chunk / step;
+        if max_steps == 0 || !fits(step) {
+            return 0;
+        }
+        if fits(max_steps * step) {
+            return max_steps * step;
+        }
+
+        // Invariant: fits(lo*step), !fits(hi*step). The predictor is
+        // monotone in chunk size for the analytical backend and very nearly
+        // so for the forest; binary search finds the boundary, then a short
+        // downward fix-up guards against local non-monotonicity.
+        let (mut lo, mut hi) = (1u32, max_steps);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if fits(mid * step) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut chunk = lo * step;
+        while chunk > 0 && !fits(chunk) {
+            chunk -= step;
+        }
+        chunk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareConfig {
+        HardwareConfig::llama3_8b_a100_tp1()
+    }
+
+    fn analytical_budget() -> ChunkBudget {
+        ChunkBudget::new(LatencyPredictor::analytical(&hw()), ChunkLimits::default())
+    }
+
+    #[test]
+    fn margin_inflates_predictions() {
+        let batch = BatchProfile::builder()
+            .prefill_chunk(512, 0)
+            .decodes(16, 16_000)
+            .build();
+        let plain = LatencyPredictor::analytical(&hw()).with_margin(0.0);
+        let padded = LatencyPredictor::analytical(&hw()).with_margin(0.2);
+        let ratio =
+            padded.predict(&batch).as_micros() as f64 / plain.predict(&batch).as_micros() as f64;
+        assert!((ratio - 1.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn negative_margin_is_clamped() {
+        let p = LatencyPredictor::analytical(&hw()).with_margin(-5.0);
+        assert_eq!(p.margin(), 0.0);
+    }
+
+    #[test]
+    fn unconstrained_slack_yields_max_chunk() {
+        let b = analytical_budget();
+        assert_eq!(b.prefill_budget(0, 0, 0, None), ChunkLimits::default().max_chunk);
+    }
+
+    #[test]
+    fn zero_slack_yields_zero_budget() {
+        let b = analytical_budget();
+        assert_eq!(
+            b.prefill_budget(64, 64 * 2_000, 0, Some(SimDuration::ZERO)),
+            0
+        );
+    }
+
+    #[test]
+    fn budget_grows_with_slack() {
+        let b = analytical_budget();
+        let mut last = 0;
+        for ms in [20u64, 40, 80, 160, 320] {
+            let c = b.prefill_budget(32, 32 * 1_500, 0, Some(SimDuration::from_millis(ms)));
+            assert!(c >= last, "slack {ms}ms: budget {c} < previous {last}");
+            last = c;
+        }
+        assert!(last > 1_000, "large slack should open large chunks, got {last}");
+    }
+
+    #[test]
+    fn budget_shrinks_with_decode_pressure() {
+        let b = analytical_budget();
+        let slack = Some(SimDuration::from_millis(60));
+        let light = b.prefill_budget(8, 8 * 500, 0, slack);
+        let heavy = b.prefill_budget(150, 150 * 3_000, 0, slack);
+        assert!(
+            light > heavy,
+            "heavier decode pool must shrink the budget: {light} vs {heavy}"
+        );
+    }
+
+    #[test]
+    fn budget_shrinks_with_prefill_depth() {
+        let b = analytical_budget();
+        let slack = Some(SimDuration::from_millis(60));
+        let shallow = b.prefill_budget(32, 32 * 1_000, 0, slack);
+        let deep = b.prefill_budget(32, 32 * 1_000, 60_000, slack);
+        assert!(
+            shallow > deep,
+            "deep prompt context must shrink the budget: {shallow} vs {deep}"
+        );
+    }
+
+    #[test]
+    fn budget_result_actually_fits() {
+        // The returned chunk's (margin-inflated) prediction must be within
+        // slack — the whole point of under-predicting.
+        let b = analytical_budget();
+        let slack = SimDuration::from_millis(55);
+        let chunk = b.prefill_budget(48, 48 * 1_800, 2_048, Some(slack));
+        assert!(chunk > 0);
+        let batch = BatchProfile::builder()
+            .prefill_chunk(chunk, 2_048)
+            .decodes(48, 48 * 1_800)
+            .build();
+        assert!(b.predictor().predict(&batch) <= slack);
+        // And one more step would not fit (maximality).
+        let bigger = BatchProfile::builder()
+            .prefill_chunk(chunk + b.limits().step, 2_048)
+            .decodes(48, 48 * 1_800)
+            .build();
+        assert!(b.predictor().predict(&bigger) > slack);
+    }
+
+    #[test]
+    fn budget_respects_max_chunk() {
+        let limits = ChunkLimits {
+            max_chunk: 512,
+            step: 64,
+        };
+        let b = ChunkBudget::new(LatencyPredictor::analytical(&hw()), limits);
+        let c = b.prefill_budget(1, 100, 0, Some(SimDuration::from_secs(10)));
+        assert_eq!(c, 512);
+    }
+
+    #[test]
+    fn budget_is_step_aligned() {
+        let b = analytical_budget();
+        let c = b.prefill_budget(32, 32 * 1_500, 0, Some(SimDuration::from_millis(47)));
+        assert_eq!(c % ChunkLimits::default().step, 0);
+    }
+
+    #[test]
+    fn forest_predictor_tracks_analytical() {
+        let seeds = SeedStream::new(77);
+        let forest = LatencyPredictor::train_forest(&hw(), &seeds).with_margin(0.0);
+        let analytical = LatencyPredictor::analytical(&hw()).with_margin(0.0);
+        let batches = [
+            BatchProfile::builder().decodes(32, 32 * 1_000).build(),
+            BatchProfile::builder().prefill_chunk(512, 0).build(),
+            BatchProfile::builder()
+                .prefill_chunk(1_024, 4_096)
+                .decodes(64, 64 * 2_000)
+                .build(),
+        ];
+        for batch in &batches {
+            let f = forest.predict_raw_us(batch);
+            let a = analytical.predict_raw_us(batch);
+            let rel = (f - a).abs() / a;
+            assert!(
+                rel < 0.15,
+                "forest should track the ground truth within 15%: {f:.0} vs {a:.0}"
+            );
+        }
+        assert_eq!(forest.kind(), PredictorKind::Forest);
+    }
+
+    #[test]
+    fn forest_budget_is_close_to_analytical_budget() {
+        let seeds = SeedStream::new(78);
+        let fb = ChunkBudget::new(
+            LatencyPredictor::train_forest(&hw(), &seeds),
+            ChunkLimits::default(),
+        );
+        let ab = analytical_budget();
+        let slack = Some(SimDuration::from_millis(80));
+        let f = fb.prefill_budget(40, 40 * 1_500, 0, slack) as f64;
+        let a = ab.prefill_budget(40, 40 * 1_500, 0, slack) as f64;
+        assert!(
+            (f - a).abs() / a < 0.35,
+            "forest budget {f} should be in the neighbourhood of analytical {a}"
+        );
+    }
+
+    #[test]
+    fn of_kind_selects_backend() {
+        let seeds = SeedStream::new(1);
+        assert_eq!(
+            LatencyPredictor::of_kind(PredictorKind::Analytical, &hw(), &seeds).kind(),
+            PredictorKind::Analytical
+        );
+    }
+}

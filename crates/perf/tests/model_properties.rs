@@ -1,0 +1,143 @@
+//! Property-based tests of the performance substrate: the analytical
+//! model's monotonicity (which the chunk-budget search depends on), and
+//! budget-search safety under arbitrary operating points.
+
+use proptest::prelude::*;
+
+use qoserve_perf::{
+    BatchProfile, ChunkBudget, ChunkLimits, HardwareConfig, LatencyModel, LatencyPredictor,
+};
+use qoserve_sim::SimDuration;
+
+fn models() -> Vec<LatencyModel> {
+    HardwareConfig::paper_configs()
+        .iter()
+        .map(LatencyModel::new)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Latency increases (weakly) when the chunk grows, all else equal —
+    /// the monotonicity the binary search in `prefill_budget` relies on.
+    #[test]
+    fn latency_monotone_in_chunk(
+        chunk in 16u32..4_000,
+        extra in 1u32..2_000,
+        ctx in 0u32..16_000,
+        decodes in 0u32..128,
+        mean_ctx in 16u64..4_000,
+    ) {
+        for m in models() {
+            let small = BatchProfile::builder()
+                .prefill_chunk(chunk, ctx)
+                .decodes(decodes, decodes as u64 * mean_ctx)
+                .build();
+            let big = BatchProfile::builder()
+                .prefill_chunk(chunk + extra, ctx)
+                .decodes(decodes, decodes as u64 * mean_ctx)
+                .build();
+            prop_assert!(m.iteration_time_us(&big) >= m.iteration_time_us(&small));
+        }
+    }
+
+    /// Latency increases (weakly) with decode-pool context.
+    #[test]
+    fn latency_monotone_in_decode_context(
+        chunk in 0u32..2_000,
+        decodes in 1u32..128,
+        ctx_a in 16u64..2_000,
+        ctx_extra in 1u64..4_000,
+    ) {
+        for m in models() {
+            let light = BatchProfile::builder()
+                .prefill_chunk(chunk, 0)
+                .decodes(decodes, decodes as u64 * ctx_a)
+                .build();
+            let heavy = BatchProfile::builder()
+                .prefill_chunk(chunk, 0)
+                .decodes(decodes, decodes as u64 * (ctx_a + ctx_extra))
+                .build();
+            prop_assert!(m.iteration_time_us(&heavy) >= m.iteration_time_us(&light));
+        }
+    }
+
+    /// Latency increases (weakly) with the chunk's context depth (the
+    /// quadratic prefill-attention term — Medha's whole reason to exist).
+    #[test]
+    fn latency_monotone_in_prefill_depth(
+        chunk in 16u32..2_000,
+        depth in 0u32..50_000,
+        extra in 1u32..50_000,
+    ) {
+        for m in models() {
+            let shallow = BatchProfile::builder().prefill_chunk(chunk, depth).build();
+            let deep = BatchProfile::builder()
+                .prefill_chunk(chunk, depth + extra)
+                .build();
+            prop_assert!(m.iteration_time_us(&deep) >= m.iteration_time_us(&shallow));
+        }
+    }
+
+    /// Whatever budget the search returns actually fits the slack (with
+    /// the safety margin), and is maximal to within one step.
+    #[test]
+    fn budget_is_safe_and_maximal(
+        decodes in 0u32..160,
+        mean_ctx in 16u64..3_000,
+        prefill_ctx in 0u32..20_000,
+        slack_ms in 1u64..500,
+    ) {
+        let hw = HardwareConfig::llama3_8b_a100_tp1();
+        let budget = ChunkBudget::new(LatencyPredictor::analytical(&hw), ChunkLimits::default());
+        let slack = SimDuration::from_millis(slack_ms);
+        let ctx_total = decodes as u64 * mean_ctx;
+        let chunk = budget.prefill_budget(decodes, ctx_total, prefill_ctx, Some(slack));
+        let limits = budget.limits();
+        prop_assert!(chunk <= limits.max_chunk);
+        prop_assert_eq!(chunk % limits.step, 0);
+        if chunk > 0 {
+            let fits = BatchProfile::builder()
+                .prefill_chunk(chunk, prefill_ctx)
+                .decodes(decodes, ctx_total)
+                .build();
+            prop_assert!(
+                budget.predictor().predict(&fits) <= slack,
+                "returned chunk {} does not fit slack {}",
+                chunk,
+                slack
+            );
+        }
+        if chunk < limits.max_chunk {
+            let bigger = BatchProfile::builder()
+                .prefill_chunk(chunk + limits.step, prefill_ctx)
+                .decodes(decodes, ctx_total)
+                .build();
+            prop_assert!(
+                budget.predictor().predict(&bigger) > slack,
+                "chunk {} was not maximal",
+                chunk
+            );
+        }
+    }
+
+    /// Throughput never exceeds the model's asymptotic ceiling and is
+    /// positive for non-empty batches.
+    #[test]
+    fn throughput_is_sane(
+        chunk in 1u32..4_096,
+        decodes in 0u32..128,
+        mean_ctx in 16u64..3_000,
+    ) {
+        for m in models() {
+            let b = BatchProfile::builder()
+                .prefill_chunk(chunk, 0)
+                .decodes(decodes, decodes as u64 * mean_ctx)
+                .build();
+            let tput = m.throughput_tokens_per_sec(&b);
+            prop_assert!(tput > 0.0);
+            prop_assert!(tput < 100_000.0, "implausible {tput} tok/s");
+        }
+    }
+}

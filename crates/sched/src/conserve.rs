@@ -1,0 +1,260 @@
+//! ConServe-style binary collocation (§5, related work).
+//!
+//! ConServe [Qiao et al. 2024] harvests idle capacity by collocating
+//! offline (batch) work with online (interactive) serving under a strict
+//! binary rule: interactive requests always run first, and offline work
+//! fills whatever budget remains. The paper's critique — which this
+//! implementation lets the benchmarks verify — is that a binary
+//! interactive/offline split is "inadequate for multi-QoS scenarios where
+//! all requests have definite SLO requirements": every non-interactive
+//! tier collapses into one best-effort class, so a 600 s-TTLT tier gets
+//! no more protection than an 1800 s one, and offline work receives
+//! nothing at all under sustained interactive pressure.
+
+use qoserve_sim::SimTime;
+use qoserve_workload::RequestSpec;
+
+use crate::job::{DecodeJob, PrefillJob};
+use crate::policy::OrderPolicy;
+use crate::queue::JobQueue;
+use crate::{BatchPlan, Constraints, PrefillAssignment, Scheduler};
+
+/// Binary interactive-first scheduler modelling ConServe.
+///
+/// Interactive requests are served FCFS with the fixed chunk budget;
+/// offline (non-interactive) requests only receive tokens when no
+/// interactive prefill is pending.
+#[derive(Debug, Clone)]
+pub struct ConServeScheduler {
+    chunk_size: u32,
+    interactive: JobQueue,
+    offline: JobQueue,
+}
+
+impl ConServeScheduler {
+    /// Creates the scheduler with the given fixed token budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn new(chunk_size: u32) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ConServeScheduler {
+            chunk_size,
+            interactive: JobQueue::new(),
+            offline: JobQueue::new(),
+        }
+    }
+
+    /// Pending interactive prefills (diagnostics).
+    pub fn pending_interactive(&self) -> usize {
+        self.interactive.len()
+    }
+
+    /// Pending offline prefills (diagnostics).
+    pub fn pending_offline(&self) -> usize {
+        self.offline.len()
+    }
+
+    /// Fills up to `budget` tokens from `queue` into `plan`.
+    fn fill_from(
+        queue: &mut JobQueue,
+        plan: &mut BatchPlan,
+        budget: &mut u32,
+        kv_left: &mut u64,
+        new_started: &mut usize,
+        max_new: usize,
+    ) {
+        while *budget > 0 && *kv_left > 0 {
+            let mut job = match queue.pop() {
+                Some(j) => j,
+                None => break,
+            };
+            if job.prefill_done == 0 && *new_started >= max_new {
+                let key = OrderPolicy::Fcfs.key(&job);
+                queue.reinsert(job, key);
+                break;
+            }
+            let take = (*budget)
+                .min(job.remaining_tokens())
+                .min((*kv_left).min(u32::MAX as u64) as u32);
+            if take == 0 {
+                let key = OrderPolicy::Fcfs.key(&job);
+                queue.reinsert(job, key);
+                break;
+            }
+            if job.prefill_done == 0 {
+                *new_started += 1;
+            }
+            let context_before = job.prefill_done;
+            job.prefill_done += take;
+            *budget -= take;
+            *kv_left -= take as u64;
+            plan.prefill.push(PrefillAssignment {
+                id: job.id(),
+                tokens: take,
+                context_before,
+                completes_prefill: job.is_complete(),
+                relegated: false,
+            });
+            if !job.is_complete() {
+                let key = OrderPolicy::Fcfs.key(&job);
+                queue.reinsert(job, key);
+            }
+        }
+    }
+}
+
+impl Scheduler for ConServeScheduler {
+    fn name(&self) -> &str {
+        "ConServe"
+    }
+
+    fn on_arrival(&mut self, job: PrefillJob, _now: SimTime) {
+        let key = OrderPolicy::Fcfs.key(&job);
+        if job.spec.class().is_interactive() {
+            self.interactive.push(job, key);
+        } else {
+            self.offline.push(job, key);
+        }
+    }
+
+    fn plan_batch(
+        &mut self,
+        _now: SimTime,
+        decodes: &[DecodeJob],
+        constraints: Constraints,
+    ) -> BatchPlan {
+        let mut budget = self.chunk_size.saturating_sub(decodes.len() as u32);
+        let mut plan = BatchPlan {
+            prefill: Vec::new(),
+            token_budget: budget,
+        };
+        if !constraints.allow_prefill {
+            return plan;
+        }
+        let mut kv_left = constraints.kv_headroom_tokens;
+        let mut new_started = 0usize;
+        // Online first; offline only harvests the leftovers.
+        Self::fill_from(
+            &mut self.interactive,
+            &mut plan,
+            &mut budget,
+            &mut kv_left,
+            &mut new_started,
+            constraints.max_new_requests,
+        );
+        Self::fill_from(
+            &mut self.offline,
+            &mut plan,
+            &mut budget,
+            &mut kv_left,
+            &mut new_started,
+            constraints.max_new_requests,
+        );
+        plan
+    }
+
+    fn on_completion(&mut self, _spec: &RequestSpec, _observed_decode_tokens: u32) {}
+
+    fn pending_prefills(&self) -> usize {
+        self.interactive.len() + self.offline.len()
+    }
+
+    fn pending_prefill_tokens(&self) -> u64 {
+        self.interactive.pending_tokens() + self.offline.pending_tokens()
+    }
+
+    fn drain_pending(&mut self) -> Vec<PrefillJob> {
+        let mut jobs = self.interactive.drain();
+        jobs.extend(self.offline.drain());
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_workload::{QosTier, RequestId, Slo};
+
+    fn spec(id: u64, arrival_secs: u64, prompt: u32, tier: QosTier) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(id),
+            arrival: SimTime::from_secs(arrival_secs),
+            prompt_tokens: prompt,
+            decode_tokens: 10,
+            slo: Slo::of_tier(tier),
+            app_id: 0,
+        }
+    }
+
+    #[test]
+    fn interactive_always_preempts_offline() {
+        let mut s = ConServeScheduler::new(256);
+        // Offline arrived first and even started prefilling.
+        s.on_arrival(PrefillJob::new(spec(0, 0, 1_000, QosTier::paper_q2())), SimTime::ZERO);
+        let p1 = s.plan_batch(SimTime::from_secs(1), &[], Constraints::unlimited());
+        assert_eq!(p1.prefill[0].id, RequestId(0));
+        // An interactive request lands: it must take the whole next budget.
+        s.on_arrival(
+            PrefillJob::new(spec(1, 2, 1_000, QosTier::paper_q1())),
+            SimTime::from_secs(2),
+        );
+        let p2 = s.plan_batch(SimTime::from_secs(2), &[], Constraints::unlimited());
+        assert_eq!(p2.prefill[0].id, RequestId(1));
+        assert_eq!(p2.prefill_tokens(), 256);
+        assert_eq!(p2.prefill.len(), 1, "offline gets nothing while online is pending");
+    }
+
+    #[test]
+    fn offline_harvests_leftover_budget() {
+        let mut s = ConServeScheduler::new(256);
+        s.on_arrival(PrefillJob::new(spec(0, 0, 100, QosTier::paper_q1())), SimTime::ZERO);
+        s.on_arrival(PrefillJob::new(spec(1, 0, 1_000, QosTier::paper_q3())), SimTime::ZERO);
+        let plan = s.plan_batch(SimTime::from_secs(1), &[], Constraints::unlimited());
+        assert_eq!(plan.prefill.len(), 2);
+        assert_eq!(plan.prefill[0].id, RequestId(0));
+        assert!(plan.prefill[0].completes_prefill);
+        assert_eq!(plan.prefill[1].id, RequestId(1));
+        assert_eq!(plan.prefill[1].tokens, 156);
+    }
+
+    #[test]
+    fn no_distinction_between_offline_tiers() {
+        // The critique: Q2 (600s) and Q3 (1800s) are served FCFS with no
+        // deadline awareness — an earlier Q3 beats a later, tighter Q2.
+        let mut s = ConServeScheduler::new(64);
+        s.on_arrival(PrefillJob::new(spec(0, 0, 500, QosTier::paper_q3())), SimTime::ZERO);
+        s.on_arrival(PrefillJob::new(spec(1, 1, 500, QosTier::paper_q2())), SimTime::ZERO);
+        let plan = s.plan_batch(SimTime::from_secs(2), &[], Constraints::unlimited());
+        assert_eq!(plan.prefill[0].id, RequestId(0), "FCFS across offline tiers");
+    }
+
+    #[test]
+    fn queue_accounting() {
+        let mut s = ConServeScheduler::new(256);
+        s.on_arrival(PrefillJob::new(spec(0, 0, 300, QosTier::paper_q1())), SimTime::ZERO);
+        s.on_arrival(PrefillJob::new(spec(1, 0, 700, QosTier::paper_q2())), SimTime::ZERO);
+        assert_eq!(s.pending_interactive(), 1);
+        assert_eq!(s.pending_offline(), 1);
+        assert_eq!(s.pending_prefill_tokens(), 1_000);
+        assert_eq!(s.drain_pending().len(), 2);
+        assert_eq!(s.pending_prefills(), 0);
+    }
+
+    #[test]
+    fn respects_gates() {
+        let mut s = ConServeScheduler::new(256);
+        s.on_arrival(PrefillJob::new(spec(0, 0, 300, QosTier::paper_q1())), SimTime::ZERO);
+        let blocked = s.plan_batch(
+            SimTime::ZERO,
+            &[],
+            Constraints {
+                kv_headroom_tokens: u64::MAX,
+                allow_prefill: false,
+                max_new_requests: usize::MAX,
+            },
+        );
+        assert!(blocked.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Processing-time estimation used by priorities and the violation
+//! checker.
+//!
+//! Two estimates drive QoServe's decisions (§3.4):
+//!
+//! 1. **Prefill time** — predictable from the remaining prompt tokens and
+//!    a per-token rate derived from the latency predictor.
+//! 2. **Decode time** — unknown at serving time; the paper keeps a running
+//!    per-application history of generated token counts and
+//!    over-approximates by two standard deviations.
+
+use std::collections::HashMap;
+
+use qoserve_perf::{BatchProfile, LatencyPredictor};
+use qoserve_sim::{OnlineStats, SimDuration};
+
+/// Estimates remaining processing time for queued requests.
+#[derive(Debug, Clone)]
+pub struct ProcessingEstimator {
+    /// Estimated prefill cost per prompt token, µs (derived from the
+    /// predictor at full-chunk throughput).
+    prefill_us_per_token: f64,
+    /// Estimated wall-clock per decode token, µs (one iteration of a
+    /// typical mixed batch produces one token per decoding request).
+    decode_us_per_token: f64,
+    /// Fallback decode-length estimate before any history exists.
+    default_decode_tokens: f64,
+    /// Per-application decode-length history.
+    history: HashMap<u32, OnlineStats>,
+}
+
+impl ProcessingEstimator {
+    /// Derives per-token rates from `predictor`.
+    ///
+    /// * Prefill rate: a saturated 2048-token chunk amortises fixed costs,
+    ///   giving the marginal cost per prompt token.
+    /// * Decode rate: the iteration time of a representative mixed batch
+    ///   (256-token chunk + 64 decodes at 1 k context), since each
+    ///   iteration advances every decode by one token.
+    pub fn from_predictor(predictor: &LatencyPredictor) -> Self {
+        let big_chunk = BatchProfile::builder().prefill_chunk(2_048, 0).build();
+        let prefill_us_per_token = predictor.predict_raw_us(&big_chunk) / 2_048.0;
+
+        let typical = BatchProfile::builder()
+            .prefill_chunk(256, 0)
+            .decodes(64, 64 * 1_024)
+            .build();
+        let decode_us_per_token = predictor.predict_raw_us(&typical);
+
+        ProcessingEstimator {
+            prefill_us_per_token,
+            decode_us_per_token,
+            default_decode_tokens: 200.0,
+            history: HashMap::new(),
+        }
+    }
+
+    /// Builds an estimator with explicit rates (tests).
+    pub fn with_rates(prefill_us_per_token: f64, decode_us_per_token: f64) -> Self {
+        ProcessingEstimator {
+            prefill_us_per_token,
+            decode_us_per_token,
+            default_decode_tokens: 200.0,
+            history: HashMap::new(),
+        }
+    }
+
+    /// Records the observed decode length of a completed request.
+    pub fn record_decode(&mut self, app_id: u32, decode_tokens: u32) {
+        self.history
+            .entry(app_id)
+            .or_default()
+            .push(decode_tokens as f64);
+    }
+
+    /// The paper's decode-length over-approximation for `app_id`:
+    /// `mean + 2σ` from history, or the cold-start default.
+    pub fn estimated_decode_tokens(&self, app_id: u32) -> f64 {
+        self.history
+            .get(&app_id)
+            .map_or(self.default_decode_tokens, |s| {
+                s.mean_plus_two_sigma_or(self.default_decode_tokens)
+            })
+    }
+
+    /// Estimated time to process `tokens` of prefill.
+    pub fn prefill_time(&self, tokens: u32) -> SimDuration {
+        SimDuration::from_micros((tokens as f64 * self.prefill_us_per_token).round() as u64)
+    }
+
+    /// Estimated time to decode `tokens` output tokens.
+    pub fn decode_time(&self, tokens: f64) -> SimDuration {
+        SimDuration::from_micros((tokens.max(0.0) * self.decode_us_per_token).round() as u64)
+    }
+
+    /// Estimated end-to-end remaining time for a request of `app_id` with
+    /// `prefill_remaining` prompt tokens still to run: prefill plus the
+    /// estimated decode tail.
+    pub fn remaining_time(&self, app_id: u32, prefill_remaining: u32) -> SimDuration {
+        self.prefill_time(prefill_remaining)
+            + self.decode_time(self.estimated_decode_tokens(app_id))
+    }
+
+    /// Prefill µs/token rate (diagnostics).
+    pub fn prefill_rate_us(&self) -> f64 {
+        self.prefill_us_per_token
+    }
+
+    /// Decode µs/token rate (diagnostics).
+    pub fn decode_rate_us(&self) -> f64 {
+        self.decode_us_per_token
+    }
+
+    /// Number of applications with recorded history.
+    pub fn tracked_apps(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_perf::HardwareConfig;
+
+    fn estimator() -> ProcessingEstimator {
+        ProcessingEstimator::from_predictor(&LatencyPredictor::analytical(
+            &HardwareConfig::llama3_8b_a100_tp1(),
+        ))
+    }
+
+    #[test]
+    fn rates_are_plausible_for_8b_a100() {
+        let e = estimator();
+        // Prefill: tens of µs per token (≈10-20k tokens/s saturated).
+        assert!(
+            (30.0..150.0).contains(&e.prefill_rate_us()),
+            "prefill rate {} us/token",
+            e.prefill_rate_us()
+        );
+        // Decode: one iteration of a typical batch, i.e. tens of ms.
+        assert!(
+            (10_000.0..80_000.0).contains(&e.decode_rate_us()),
+            "decode rate {} us/token",
+            e.decode_rate_us()
+        );
+    }
+
+    #[test]
+    fn cold_start_uses_default() {
+        let e = estimator();
+        assert_eq!(e.estimated_decode_tokens(42), 200.0);
+    }
+
+    #[test]
+    fn history_mean_plus_two_sigma() {
+        let mut e = ProcessingEstimator::with_rates(50.0, 30_000.0);
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            e.record_decode(7, v as u32);
+        }
+        // mean 5, sigma 2 -> 9.
+        assert!((e.estimated_decode_tokens(7) - 9.0).abs() < 1e-9);
+        // Other apps unaffected.
+        assert_eq!(e.estimated_decode_tokens(8), 200.0);
+        assert_eq!(e.tracked_apps(), 1);
+    }
+
+    #[test]
+    fn time_estimates_scale_linearly() {
+        let e = ProcessingEstimator::with_rates(100.0, 10_000.0);
+        assert_eq!(e.prefill_time(1_000), SimDuration::from_micros(100_000));
+        assert_eq!(e.decode_time(50.0), SimDuration::from_micros(500_000));
+        assert_eq!(
+            e.remaining_time(1, 1_000),
+            SimDuration::from_micros(100_000) + e.decode_time(200.0)
+        );
+    }
+
+    #[test]
+    fn negative_decode_estimate_clamps() {
+        let e = ProcessingEstimator::with_rates(1.0, 1.0);
+        assert_eq!(e.decode_time(-5.0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,179 @@
+//! Scheduler-side request state.
+
+use qoserve_sim::time::SignedDuration;
+use qoserve_sim::SimTime;
+use qoserve_workload::{Priority, RequestId, RequestSpec};
+
+/// A request waiting in (or partially through) the prefill phase, owned by
+/// the scheduler from arrival until its last prompt token is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefillJob {
+    /// The underlying request.
+    pub spec: RequestSpec,
+    /// Prompt tokens already scheduled in earlier iterations.
+    pub prefill_done: u32,
+    /// Whether eager relegation has demoted this job.
+    pub relegated: bool,
+}
+
+impl PrefillJob {
+    /// Wraps a freshly arrived request.
+    pub fn new(spec: RequestSpec) -> Self {
+        PrefillJob {
+            spec,
+            prefill_done: 0,
+            relegated: false,
+        }
+    }
+
+    /// Request identity.
+    pub fn id(&self) -> RequestId {
+        self.spec.id
+    }
+
+    /// Prompt tokens still to process.
+    pub fn remaining_tokens(&self) -> u32 {
+        self.spec.prompt_tokens.saturating_sub(self.prefill_done)
+    }
+
+    /// True when every prompt token has been scheduled.
+    pub fn is_complete(&self) -> bool {
+        self.remaining_tokens() == 0
+    }
+
+    /// The deadline that decides this job's urgency: TTFT for interactive
+    /// requests, TTLT otherwise (Eq. 1 / Eq. 3).
+    pub fn urgency_deadline(&self) -> SimTime {
+        self.spec.first_token_deadline()
+    }
+
+    /// Importance hint.
+    pub fn priority(&self) -> Priority {
+        self.spec.priority()
+    }
+}
+
+/// Snapshot of one decoding request, taken by the engine each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeJob {
+    /// The request.
+    pub id: RequestId,
+    /// Tokens currently in the KV cache for this request (prompt plus
+    /// generated so far) — the decode-attention read cost.
+    pub context_len: u32,
+    /// Absolute deadline of the *next* token (Eq. 2 for interactive,
+    /// Eq. 3 for non-interactive).
+    pub next_token_deadline: SimTime,
+    /// Whether the request was relegated during its prefill (its deadlines
+    /// are already forfeit, so it must not constrain the batch's slack).
+    pub relegated: bool,
+}
+
+impl DecodeJob {
+    /// Signed slack of the next token at `now`; negative when the token is
+    /// already late.
+    pub fn slack(&self, now: SimTime) -> SignedDuration {
+        self.next_token_deadline.signed_duration_since(now)
+    }
+
+    /// True when this decode should bound the batch's latency budget:
+    /// relegated requests and requests that are already hopelessly late do
+    /// not constrain the chunk (they would freeze the whole replica at a
+    /// zero budget — the cascade the paper's relegation exists to stop).
+    pub fn constrains_slack(&self, now: SimTime) -> bool {
+        !self.relegated && !self.slack(now).is_negative()
+    }
+}
+
+/// Minimum positive slack across the decode pool at `now`; `None` when no
+/// decode constrains the batch (then the chunk budget is unconstrained).
+pub fn min_decode_slack(
+    decodes: &[DecodeJob],
+    now: SimTime,
+) -> Option<qoserve_sim::SimDuration> {
+    decodes
+        .iter()
+        .filter(|d| d.constrains_slack(now))
+        .map(|d| d.slack(now).clamp_non_negative())
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_sim::SimDuration;
+    use qoserve_workload::{QosTier, Slo};
+
+    fn spec(prompt: u32) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(1),
+            arrival: SimTime::from_secs(10),
+            prompt_tokens: prompt,
+            decode_tokens: 50,
+            slo: Slo::of_tier(QosTier::paper_q1()),
+            app_id: 0,
+        }
+    }
+
+    #[test]
+    fn prefill_progress() {
+        let mut j = PrefillJob::new(spec(1_000));
+        assert_eq!(j.remaining_tokens(), 1_000);
+        assert!(!j.is_complete());
+        j.prefill_done = 600;
+        assert_eq!(j.remaining_tokens(), 400);
+        j.prefill_done = 1_000;
+        assert!(j.is_complete());
+    }
+
+    #[test]
+    fn urgency_deadline_is_ttft_for_interactive() {
+        let j = PrefillJob::new(spec(100));
+        assert_eq!(j.urgency_deadline(), SimTime::from_secs(16));
+    }
+
+    #[test]
+    fn decode_slack_signs() {
+        let d = DecodeJob {
+            id: RequestId(0),
+            context_len: 500,
+            next_token_deadline: SimTime::from_secs(20),
+            relegated: false,
+        };
+        assert_eq!(
+            d.slack(SimTime::from_secs(18)).clamp_non_negative(),
+            SimDuration::from_secs(2)
+        );
+        assert!(d.slack(SimTime::from_secs(21)).is_negative());
+        assert!(d.constrains_slack(SimTime::from_secs(19)));
+        assert!(!d.constrains_slack(SimTime::from_secs(21)));
+    }
+
+    #[test]
+    fn relegated_decode_never_constrains() {
+        let d = DecodeJob {
+            id: RequestId(0),
+            context_len: 500,
+            next_token_deadline: SimTime::from_secs(100),
+            relegated: true,
+        };
+        assert!(!d.constrains_slack(SimTime::ZERO));
+    }
+
+    #[test]
+    fn min_slack_over_pool() {
+        let now = SimTime::from_secs(10);
+        let mk = |deadline_secs: u64, relegated: bool| DecodeJob {
+            id: RequestId(0),
+            context_len: 1,
+            next_token_deadline: SimTime::from_secs(deadline_secs),
+            relegated,
+        };
+        // Tightest non-relegated, non-late decode wins.
+        let pool = vec![mk(30, false), mk(12, false), mk(11, true), mk(5, false)];
+        assert_eq!(min_decode_slack(&pool, now), Some(SimDuration::from_secs(2)));
+        // Empty / all-relegated pools are unconstrained.
+        assert_eq!(min_decode_slack(&[], now), None);
+        assert_eq!(min_decode_slack(&[mk(50, true)], now), None);
+    }
+}

@@ -1,0 +1,310 @@
+//! The prefill priority queue of Algorithm 1.
+//!
+//! Jobs are ordered by the comparator of Algorithm 1 (lines 26–33): all
+//! non-relegated jobs sort before all relegated ones, then by a policy-
+//! computed priority key (smaller = more urgent), with arrival sequence as
+//! the final tie-break. Keys are computed when a job is (re-)inserted, so
+//! a job whose key inputs changed (tokens consumed, relegation flipped)
+//! must be popped and pushed back — exactly the access pattern of the
+//! batch-filling loop.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use qoserve_workload::{RequestId, TierId};
+
+use crate::job::PrefillJob;
+
+/// Heap key: `(relegated, priority, seq)` ascending.
+type Key = (bool, i64, u64);
+
+/// A priority queue of [`PrefillJob`]s with explicit keys.
+#[derive(Debug, Clone, Default)]
+pub struct JobQueue {
+    jobs: HashMap<RequestId, PrefillJob>,
+    heap: BinaryHeap<Reverse<(Key, RequestId)>>,
+    next_seq: u64,
+    /// Remaining prompt tokens across all queued jobs (O(1) load signal).
+    total_tokens: u64,
+    /// Remaining prompt tokens across non-relegated queued jobs.
+    live_tokens: u64,
+    /// Per-tier live-token accounting: `(urgency SLO offset in µs,
+    /// live tokens)` — lets the scheduler estimate the queue ahead of a
+    /// job under deadline-dominated orderings.
+    live_by_tier: HashMap<TierId, (i64, u64)>,
+}
+
+impl JobQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        JobQueue::default()
+    }
+
+    /// Inserts `job` with priority `key` (smaller = scheduled sooner).
+    /// The job's `relegated` flag is folded into the ordering: relegated
+    /// jobs always sort after non-relegated ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a job with the same id is already queued.
+    pub fn push(&mut self, job: PrefillJob, key: i64) {
+        debug_assert!(
+            !self.jobs.contains_key(&job.id()),
+            "job {} already queued",
+            job.id()
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap
+            .push(Reverse(((job.relegated, key, seq), job.id())));
+        self.account_insert(&job);
+        self.jobs.insert(job.id(), job);
+    }
+
+    fn account_insert(&mut self, job: &PrefillJob) {
+        let tokens = job.remaining_tokens() as u64;
+        self.total_tokens += tokens;
+        if !job.relegated {
+            self.live_tokens += tokens;
+            let entry = self
+                .live_by_tier
+                .entry(job.spec.tier())
+                .or_insert((Self::slo_offset_us(job), 0));
+            entry.1 += tokens;
+        }
+    }
+
+    fn account_remove(&mut self, job: &PrefillJob) {
+        let tokens = job.remaining_tokens() as u64;
+        self.total_tokens -= tokens;
+        if !job.relegated {
+            self.live_tokens -= tokens;
+            if let Some(entry) = self.live_by_tier.get_mut(&job.spec.tier()) {
+                entry.1 -= tokens;
+            }
+        }
+    }
+
+    /// The urgency-deadline offset of a job's tier (TTFT for interactive,
+    /// TTLT otherwise), in µs: the quantity that dominates deadline-based
+    /// orderings.
+    fn slo_offset_us(job: &PrefillJob) -> i64 {
+        job.urgency_deadline()
+            .signed_duration_since(job.spec.arrival)
+            .as_micros()
+    }
+
+    /// Removes and returns the most urgent job.
+    pub fn pop(&mut self) -> Option<PrefillJob> {
+        while let Some(Reverse((_, id))) = self.heap.pop() {
+            if let Some(job) = self.jobs.remove(&id) {
+                self.account_remove(&job);
+                return Some(job);
+            }
+            // Stale heap entry for a job that was re-keyed; skip.
+        }
+        None
+    }
+
+    /// The most urgent job without removing it.
+    pub fn peek(&mut self) -> Option<&PrefillJob> {
+        // Drop stale entries so the visible top is live.
+        while let Some(Reverse((_, id))) = self.heap.peek() {
+            if self.jobs.contains_key(id) {
+                let id = *id;
+                return self.jobs.get(&id);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Re-inserts a job that was popped (after progress or relegation)
+    /// with a freshly computed key. Unlike [`push`](Self::push) this
+    /// tolerates the id having been seen before.
+    pub fn reinsert(&mut self, job: PrefillJob, key: i64) {
+        // Remove any live entry (defensive; normal flow pops first).
+        if let Some(old) = self.jobs.remove(&job.id()) {
+            self.account_remove(&old);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap
+            .push(Reverse(((job.relegated, key, seq), job.id())));
+        self.account_insert(&job);
+        self.jobs.insert(job.id(), job);
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Sum of remaining prompt tokens across queued jobs (O(1)).
+    pub fn pending_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Remaining prompt tokens across non-relegated jobs (O(1)) — the
+    /// live-backlog overload signal.
+    pub fn live_tokens(&self) -> u64 {
+        self.live_tokens
+    }
+
+    /// Estimated live tokens that will be served *before* `job` under a
+    /// deadline-dominated ordering: all tokens of tiers with a stricter
+    /// SLO offset, plus half of the job's own tier (expected position).
+    pub fn live_tokens_ahead_of(&self, job: &PrefillJob) -> u64 {
+        let own_offset = Self::slo_offset_us(job);
+        let own_tier = job.spec.tier();
+        self.live_by_tier
+            .iter()
+            .map(|(tier, (offset, tokens))| {
+                if *tier == own_tier {
+                    tokens / 2
+                } else if *offset < own_offset {
+                    *tokens
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Iterates over queued jobs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &PrefillJob> {
+        self.jobs.values()
+    }
+
+    /// Removes and returns every queued job (arbitrary order). Used when
+    /// a simulation ends with work still queued.
+    pub fn drain(&mut self) -> Vec<PrefillJob> {
+        self.heap.clear();
+        self.total_tokens = 0;
+        self.live_tokens = 0;
+        self.live_by_tier.clear();
+        self.jobs.drain().map(|(_, j)| j).collect()
+    }
+
+    /// Rebuilds every heap key via `key_of` — needed when a global input
+    /// of the priority function changes (e.g. the load-adaptive α).
+    pub fn rekey<F: FnMut(&PrefillJob) -> i64>(&mut self, mut key_of: F) {
+        self.heap.clear();
+        let mut seq = self.next_seq;
+        for (id, job) in &self.jobs {
+            self.heap.push(Reverse(((job.relegated, key_of(job), seq), *id)));
+            seq += 1;
+        }
+        self.next_seq = seq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_sim::SimTime;
+    use qoserve_workload::{QosTier, RequestSpec, Slo};
+
+    fn job(id: u64, relegated: bool) -> PrefillJob {
+        let mut j = PrefillJob::new(RequestSpec {
+            id: RequestId(id),
+            arrival: SimTime::ZERO,
+            prompt_tokens: 100,
+            decode_tokens: 10,
+            slo: Slo::of_tier(QosTier::paper_q1()),
+            app_id: 0,
+        });
+        j.relegated = relegated;
+        j
+    }
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut q = JobQueue::new();
+        q.push(job(1, false), 30);
+        q.push(job(2, false), 10);
+        q.push(job(3, false), 20);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|j| j.id().0)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn relegated_jobs_sort_last_regardless_of_key() {
+        let mut q = JobQueue::new();
+        q.push(job(1, true), -1_000_000); // relegated with tiny key
+        q.push(job(2, false), 1_000_000); // live with huge key
+        assert_eq!(q.pop().unwrap().id().0, 2);
+        assert_eq!(q.pop().unwrap().id().0, 1);
+    }
+
+    #[test]
+    fn equal_keys_are_fifo() {
+        let mut q = JobQueue::new();
+        for i in 0..10 {
+            q.push(job(i, false), 5);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|j| j.id().0)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reinsert_updates_position() {
+        let mut q = JobQueue::new();
+        q.push(job(1, false), 10);
+        q.push(job(2, false), 20);
+        let j1 = q.pop().unwrap();
+        assert_eq!(j1.id().0, 1);
+        // Push it back relegated: it must now sort after job 2.
+        let mut j1 = j1;
+        j1.relegated = true;
+        q.reinsert(j1, 10);
+        assert_eq!(q.pop().unwrap().id().0, 2);
+        assert_eq!(q.pop().unwrap().id().0, 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = JobQueue::new();
+        q.push(job(5, false), 50);
+        q.push(job(6, false), 5);
+        assert_eq!(q.peek().unwrap().id().0, 6);
+        assert_eq!(q.pop().unwrap().id().0, 6);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pending_tokens_accumulates() {
+        let mut q = JobQueue::new();
+        q.push(job(1, false), 1);
+        let mut j = job(2, false);
+        j.prefill_done = 40;
+        q.push(j, 2);
+        assert_eq!(q.pending_tokens(), 100 + 60);
+    }
+
+    #[test]
+    fn rekey_reorders() {
+        let mut q = JobQueue::new();
+        q.push(job(1, false), 1);
+        q.push(job(2, false), 2);
+        // Invert the ordering.
+        q.rekey(|j| -(j.id().0 as i64));
+        assert_eq!(q.pop().unwrap().id().0, 2);
+        assert_eq!(q.pop().unwrap().id().0, 1);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = JobQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert!(q.peek().is_none());
+        assert_eq!(q.pending_tokens(), 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Property-based invariants that every scheduler implementation must
+//! uphold, exercised over randomly generated queues, decode pools, and
+//! constraints.
+//!
+//! These are the contracts the engine relies on:
+//!
+//! 1. A plan never exceeds the KV headroom.
+//! 2. A plan never schedules more *new* requests than allowed.
+//! 3. No request appears twice in one plan.
+//! 4. Scheduled tokens never exceed a request's remaining prompt.
+//! 5. `completes_prefill` is set iff the cumulative scheduled tokens
+//!    reach the prompt length.
+//! 6. `allow_prefill == false` yields an empty plan.
+//! 7. Conservation: queued tokens + scheduled tokens is invariant.
+
+use proptest::prelude::*;
+
+use qoserve_perf::{HardwareConfig, LatencyPredictor};
+use qoserve_sched::{
+    ConServeScheduler, Constraints, DecodeJob, MedhaConfig, MedhaScheduler, OrderPolicy,
+    PrefillJob, QoServeConfig, QoServeScheduler, RateLimitScheduler, SarathiScheduler, Scheduler,
+    SlosServeConfig, SlosServeScheduler,
+};
+use qoserve_sim::SimTime;
+use qoserve_workload::{QosTier, RequestId, RequestSpec, Slo};
+
+fn predictor() -> LatencyPredictor {
+    LatencyPredictor::analytical(&HardwareConfig::llama3_8b_a100_tp1())
+}
+
+/// All scheduler implementations under test, freshly constructed.
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(SarathiScheduler::new(OrderPolicy::Fcfs, 256)),
+        Box::new(SarathiScheduler::new(OrderPolicy::Srpf, 512)),
+        Box::new(SarathiScheduler::new(OrderPolicy::Edf, 2_048)),
+        Box::new(QoServeScheduler::new(QoServeConfig::default(), predictor())),
+        Box::new(QoServeScheduler::new(
+            QoServeConfig::ablation_dc(),
+            predictor(),
+        )),
+        Box::new(MedhaScheduler::new(MedhaConfig::default(), predictor())),
+        Box::new(SlosServeScheduler::new(
+            SlosServeConfig::default(),
+            predictor(),
+        )),
+        Box::new(RateLimitScheduler::new(
+            SarathiScheduler::new(OrderPolicy::Fcfs, 256),
+            200_000,
+        )),
+        Box::new(ConServeScheduler::new(512)),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct QueueScenario {
+    jobs: Vec<(u32 /* prompt */, u8 /* tier 0..3 */, u32 /* arrival ms */)>,
+    decodes: Vec<(u32 /* ctx */, u32 /* deadline ms from now */)>,
+    now_ms: u32,
+    kv_headroom: u64,
+    max_new: usize,
+    allow_prefill: bool,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = QueueScenario> {
+    (
+        proptest::collection::vec((16u32..20_000, 0u8..3, 0u32..5_000), 0..40),
+        proptest::collection::vec((16u32..4_000, 1u32..10_000), 0..32),
+        5_000u32..100_000,
+        proptest::prop_oneof![Just(u64::MAX), 0u64..5_000],
+        proptest::prop_oneof![Just(usize::MAX), 0usize..4],
+        proptest::bool::ANY,
+    )
+        .prop_map(
+            |(jobs, decodes, now_ms, kv_headroom, max_new, allow_prefill)| QueueScenario {
+                jobs,
+                decodes,
+                now_ms,
+                kv_headroom,
+                max_new,
+                allow_prefill,
+            },
+        )
+}
+
+fn run_scenario(sched: &mut dyn Scheduler, s: &QueueScenario) {
+    let tiers = QosTier::paper_tiers();
+    for (i, (prompt, tier, arrival_ms)) in s.jobs.iter().enumerate() {
+        let spec = RequestSpec {
+            id: RequestId(i as u64),
+            arrival: SimTime::from_millis(*arrival_ms as u64),
+            prompt_tokens: *prompt,
+            decode_tokens: 10,
+            slo: Slo::of_tier(tiers[*tier as usize]),
+            app_id: *tier as u32,
+        };
+        sched.on_arrival(PrefillJob::new(spec), spec.arrival);
+    }
+    let now = SimTime::from_millis(s.now_ms as u64);
+    let decodes: Vec<DecodeJob> = s
+        .decodes
+        .iter()
+        .enumerate()
+        .map(|(i, (ctx, deadline_ms))| DecodeJob {
+            id: RequestId(100_000 + i as u64),
+            context_len: *ctx,
+            next_token_deadline: now + qoserve_sim::SimDuration::from_millis(*deadline_ms as u64),
+            relegated: false,
+        })
+        .collect();
+    let constraints = Constraints {
+        kv_headroom_tokens: s.kv_headroom,
+        allow_prefill: s.allow_prefill,
+        max_new_requests: s.max_new,
+    };
+
+    let admitted_tokens: u64 = sched.pending_prefill_tokens();
+    let mut progress: std::collections::HashMap<RequestId, u32> = Default::default();
+
+    // Run several consecutive planning rounds to exercise partial
+    // progress and reinsertion paths.
+    let mut scheduled_total: u64 = 0;
+    for round in 0..4u64 {
+        let plan = sched.plan_batch(
+            now + qoserve_sim::SimDuration::from_millis(50 * round),
+            &decodes,
+            constraints,
+        );
+
+        if !s.allow_prefill {
+            assert!(plan.is_empty(), "{}: prefill gate ignored", sched.name());
+        }
+        if s.kv_headroom != u64::MAX {
+            assert!(
+                plan.prefill_tokens() as u64 <= s.kv_headroom * 4,
+                "{}: plan exceeds cumulative KV headroom",
+                sched.name()
+            );
+        }
+        // Invariant 3: no duplicate request in one plan.
+        let mut seen = std::collections::HashSet::new();
+        for a in &plan.prefill {
+            assert!(seen.insert(a.id), "{}: duplicate assignment {:?}", sched.name(), a.id);
+        }
+        // Invariant 2: new-request cap per plan.
+        let new_started = plan
+            .prefill
+            .iter()
+            .filter(|a| a.context_before == 0)
+            .count();
+        assert!(
+            new_started <= s.max_new,
+            "{}: started {new_started} new requests, cap {}",
+            sched.name(),
+            s.max_new
+        );
+        // Invariants 4/5: per-request token accounting.
+        for a in &plan.prefill {
+            let prompt = s.jobs[a.id.0 as usize].0;
+            let done = progress.entry(a.id).or_insert(0);
+            assert_eq!(
+                a.context_before, *done,
+                "{}: context_before mismatch for {:?}",
+                sched.name(),
+                a.id
+            );
+            *done += a.tokens;
+            assert!(
+                *done <= prompt,
+                "{}: over-scheduled {:?}: {} > {prompt}",
+                sched.name(),
+                a.id,
+                *done
+            );
+            assert_eq!(
+                a.completes_prefill,
+                *done == prompt,
+                "{}: completes_prefill wrong for {:?}",
+                sched.name(),
+                a.id
+            );
+        }
+        scheduled_total += plan.prefill_tokens() as u64;
+        // Per-plan KV cap (invariant 1, per round).
+        if s.kv_headroom != u64::MAX {
+            assert!(
+                plan.prefill_tokens() as u64 <= s.kv_headroom,
+                "{}: single plan exceeds KV headroom",
+                sched.name()
+            );
+        }
+    }
+
+    // Invariant 7: conservation across rounds.
+    assert_eq!(
+        sched.pending_prefill_tokens() + scheduled_total,
+        admitted_tokens,
+        "{}: token conservation broken",
+        sched.name()
+    );
+
+    // Draining returns every unfinished job — including any the rate
+    // limiter rejected at admission (those never entered `pending`, so
+    // the drain equality is against the total offered work, not the
+    // admitted backlog).
+    let total_offered: u64 = s.jobs.iter().map(|(p, _, _)| *p as u64).sum();
+    let drained = sched.drain_pending();
+    let drained_tokens: u64 = drained.iter().map(|j| j.remaining_tokens() as u64).sum();
+    assert_eq!(
+        drained_tokens + scheduled_total,
+        total_offered,
+        "{}: drain conservation broken",
+        sched.name()
+    );
+    assert_eq!(sched.pending_prefills(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_schedulers_uphold_plan_invariants(s in scenario_strategy()) {
+        for mut sched in all_schedulers() {
+            run_scenario(sched.as_mut(), &s);
+        }
+    }
+}
+
+#[test]
+fn empty_queue_plans_are_empty_for_all_schedulers() {
+    for mut sched in all_schedulers() {
+        let plan = sched.plan_batch(SimTime::from_secs(1), &[], Constraints::unlimited());
+        assert!(plan.is_empty(), "{}", sched.name());
+        assert_eq!(sched.pending_prefills(), 0);
+    }
+}

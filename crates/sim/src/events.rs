@@ -1,0 +1,214 @@
+//! A stable, time-ordered event queue.
+//!
+//! [`EventQueue`] wraps a binary heap keyed by [`SimTime`] with a
+//! monotonically increasing sequence number as tie-breaker, so events
+//! scheduled for the same instant pop in the order they were pushed. Stable
+//! ordering is what makes whole-simulation runs reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event queue ordered by time, FIFO among equal timestamps.
+///
+/// # Example
+///
+/// ```
+/// use qoserve_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "b");
+/// q.push(SimTime::from_secs(1), "a");
+/// q.push(SimTime::from_secs(2), "c");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Borrow of the earliest payload without removing it.
+    pub fn peek(&self) -> Option<(&T, SimTime)> {
+        self.heap.peek().map(|e| (&e.payload, e.time))
+    }
+
+    /// Removes and returns the earliest event only if it is due at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, T)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> Extend<(SimTime, T)> for EventQueue<T> {
+    fn extend<I: IntoIterator<Item = (SimTime, T)>>(&mut self, iter: I) {
+        for (time, payload) in iter {
+            self.push(time, payload);
+        }
+    }
+}
+
+impl<T> FromIterator<(SimTime, T)> for EventQueue<T> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, T)>>(iter: I) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for secs in [5u64, 1, 3, 2, 4] {
+            q.push(SimTime::from_secs(secs), secs);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), "early");
+        q.push(SimTime::from_secs(10), "late");
+        assert_eq!(q.pop_due(SimTime::from_secs(5)).map(|(_, v)| v), Some("early"));
+        assert_eq!(q.pop_due(SimTime::from_secs(5)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), 7);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.peek(), Some((&7, SimTime::from_secs(2))));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut q: EventQueue<&str> =
+            vec![(SimTime::from_secs(2), "b"), (SimTime::from_secs(1), "a")]
+                .into_iter()
+                .collect();
+        q.extend([(SimTime::from_secs(3), "c")]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, "a");
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Discrete-event simulation kernel for the QoServe reproduction.
+//!
+//! This crate provides the time base, event queue, deterministic random
+//! number streams, and online statistics shared by every other crate in the
+//! workspace. Nothing in here knows about LLM serving; it is a small,
+//! general-purpose simulation substrate.
+//!
+//! # Design
+//!
+//! * Time is an integer number of **microseconds** ([`SimTime`] /
+//!   [`SimDuration`]). Integer ticks make event ordering total and runs
+//!   bit-reproducible across platforms, which floating-point seconds would
+//!   not.
+//! * Randomness flows from a single `u64` seed through [`rng::SeedStream`],
+//!   which derives independent ChaCha8 substreams by label. Two runs with
+//!   the same seed produce identical traces, arrivals, and noise.
+//! * [`events::EventQueue`] is a stable priority queue: events at the same
+//!   timestamp pop in push order, so simulations never depend on heap
+//!   tie-breaking.
+//!
+//! # Example
+//!
+//! ```
+//! use qoserve_sim::{SimTime, SimDuration};
+//!
+//! let start = SimTime::ZERO;
+//! let later = start + SimDuration::from_millis(50);
+//! assert_eq!(later.signed_duration_since(start).as_millis_f64(), 50.0);
+//! ```
+
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use rng::SeedStream;
+pub use stats::OnlineStats;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,243 @@
+//! Request arrival processes.
+//!
+//! The paper generates arrivals from a Poisson process at a target QPS
+//! (§4, following Sarathi's methodology), and evaluates transient overload
+//! with a diurnal square wave alternating between a low and a high rate
+//! every 15 minutes (Fig. 12a).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qoserve_sim::rng::exponential_gap_secs;
+use qoserve_sim::{SimDuration, SimTime};
+
+/// How request arrival times are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate.
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        qps: f64,
+    },
+    /// Piecewise-Poisson square wave: `low_qps` and `high_qps` alternate
+    /// every `half_period` (the paper uses 2.0 / 5.0 QPS and 15 minutes).
+    /// The wave starts in the low phase.
+    DiurnalSquare {
+        /// Rate during the low phase.
+        low_qps: f64,
+        /// Rate during the high phase.
+        high_qps: f64,
+        /// Duration of each phase.
+        half_period: SimDuration,
+    },
+    /// Deterministic arrivals at an exact spacing (useful for tests and for
+    /// the Medha chunking comparison where queueing noise is unwanted).
+    Uniform {
+        /// Arrival rate in requests per second.
+        qps: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `qps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is not strictly positive.
+    pub fn poisson(qps: f64) -> Self {
+        assert!(qps > 0.0, "qps must be positive");
+        ArrivalProcess::Poisson { qps }
+    }
+
+    /// The paper's Fig. 12 workload: 2 ↔ 5 QPS every 15 minutes.
+    pub fn paper_diurnal() -> Self {
+        ArrivalProcess::DiurnalSquare {
+            low_qps: 2.0,
+            high_qps: 5.0,
+            half_period: SimDuration::from_secs(15 * 60),
+        }
+    }
+
+    /// Deterministic arrivals at `qps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is not strictly positive.
+    pub fn uniform(qps: f64) -> Self {
+        assert!(qps > 0.0, "qps must be positive");
+        ArrivalProcess::Uniform { qps }
+    }
+
+    /// Long-run mean rate of the process in requests per second.
+    pub fn mean_qps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { qps } | ArrivalProcess::Uniform { qps } => qps,
+            ArrivalProcess::DiurnalSquare {
+                low_qps, high_qps, ..
+            } => (low_qps + high_qps) / 2.0,
+        }
+    }
+
+    /// The instantaneous rate at `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { qps } | ArrivalProcess::Uniform { qps } => qps,
+            ArrivalProcess::DiurnalSquare {
+                low_qps,
+                high_qps,
+                half_period,
+            } => {
+                let phase = (t.as_micros() / half_period.as_micros().max(1)) % 2;
+                if phase == 0 {
+                    low_qps
+                } else {
+                    high_qps
+                }
+            }
+        }
+    }
+
+    /// Generates the first `count` arrival times.
+    pub fn generate_count<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<SimTime> {
+        let mut times = Vec::with_capacity(count);
+        let mut t = SimTime::ZERO;
+        while times.len() < count {
+            t = self.next_after(t, rng);
+            times.push(t);
+        }
+        times
+    }
+
+    /// Generates every arrival within `[0, duration)`.
+    pub fn generate_for<R: Rng + ?Sized>(
+        &self,
+        duration: SimDuration,
+        rng: &mut R,
+    ) -> Vec<SimTime> {
+        let mut times = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            t = self.next_after(t, rng);
+            if t.duration_since(SimTime::ZERO) >= duration {
+                return times;
+            }
+            times.push(t);
+        }
+    }
+
+    /// The next arrival strictly after `t`.
+    ///
+    /// For the diurnal wave this uses thinning-free piecewise generation:
+    /// the gap is drawn at the current phase's rate and re-drawn from the
+    /// phase boundary if it crosses into the next phase (exactly correct
+    /// for piecewise-constant rates thanks to memorylessness).
+    pub fn next_after<R: Rng + ?Sized>(&self, t: SimTime, rng: &mut R) -> SimTime {
+        match *self {
+            ArrivalProcess::Poisson { qps } => {
+                t + SimDuration::from_secs_f64(exponential_gap_secs(rng, qps))
+            }
+            ArrivalProcess::Uniform { qps } => t + SimDuration::from_secs_f64(1.0 / qps),
+            ArrivalProcess::DiurnalSquare { half_period, .. } => {
+                let mut now = t;
+                loop {
+                    let rate = self.rate_at(now);
+                    let gap = SimDuration::from_secs_f64(exponential_gap_secs(rng, rate));
+                    let phase_index = now.as_micros() / half_period.as_micros().max(1);
+                    let phase_end =
+                        SimTime::from_micros((phase_index + 1) * half_period.as_micros());
+                    let candidate = now + gap;
+                    if candidate < phase_end {
+                        return candidate.max(t + SimDuration::from_micros(1));
+                    }
+                    // Restart from the phase boundary at the new rate.
+                    now = phase_end;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_sim::SeedStream;
+
+    #[test]
+    fn poisson_rate_matches_target() {
+        let p = ArrivalProcess::poisson(5.0);
+        let mut rng = SeedStream::new(1).derive("a");
+        let times = p.generate_for(SimDuration::from_secs(2_000), &mut rng);
+        let rate = times.len() as f64 / 2_000.0;
+        assert!((rate - 5.0).abs() < 0.25, "rate was {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        for proc in [
+            ArrivalProcess::poisson(10.0),
+            ArrivalProcess::uniform(10.0),
+            ArrivalProcess::paper_diurnal(),
+        ] {
+            let mut rng = SeedStream::new(2).derive("inc");
+            let times = proc.generate_count(2_000, &mut rng);
+            for w in times.windows(2) {
+                assert!(w[1] > w[0], "{proc:?} produced non-increasing arrivals");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_exact() {
+        let p = ArrivalProcess::uniform(4.0);
+        let mut rng = SeedStream::new(3).derive("u");
+        let times = p.generate_count(8, &mut rng);
+        assert_eq!(times[0], SimTime::from_millis(250));
+        assert_eq!(times[7], SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn diurnal_phases_have_different_rates() {
+        let p = ArrivalProcess::DiurnalSquare {
+            low_qps: 2.0,
+            high_qps: 5.0,
+            half_period: SimDuration::from_secs(900),
+        };
+        let mut rng = SeedStream::new(4).derive("d");
+        let times = p.generate_for(SimDuration::from_secs(3_600), &mut rng);
+        let in_window = |lo: u64, hi: u64| {
+            times
+                .iter()
+                .filter(|t| {
+                    t.as_secs_f64() >= lo as f64 && t.as_secs_f64() < hi as f64
+                })
+                .count() as f64
+        };
+        let low_rate = (in_window(0, 900) + in_window(1_800, 2_700)) / 1_800.0;
+        let high_rate = (in_window(900, 1_800) + in_window(2_700, 3_600)) / 1_800.0;
+        assert!((low_rate - 2.0).abs() < 0.35, "low phase rate {low_rate}");
+        assert!((high_rate - 5.0).abs() < 0.5, "high phase rate {high_rate}");
+    }
+
+    #[test]
+    fn rate_at_tracks_phase() {
+        let p = ArrivalProcess::paper_diurnal();
+        assert_eq!(p.rate_at(SimTime::ZERO), 2.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(900)), 5.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(1_800)), 2.0);
+        assert_eq!(p.mean_qps(), 3.5);
+    }
+
+    #[test]
+    fn generate_count_is_deterministic() {
+        let p = ArrivalProcess::poisson(3.0);
+        let a = p.generate_count(100, &mut SeedStream::new(5).derive("x"));
+        let b = p.generate_count(100, &mut SeedStream::new(5).derive("x"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "qps must be positive")]
+    fn poisson_rejects_zero_rate() {
+        let _ = ArrivalProcess::poisson(0.0);
+    }
+}

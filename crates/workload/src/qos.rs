@@ -1,0 +1,318 @@
+//! QoS classes, SLO targets, tiers, and deadline computation.
+//!
+//! QoServe defines two QoS *classes* — interactive (TTFT + TBT SLOs) and
+//! non-interactive (TTLT SLO) — while letting each application pick its own
+//! targets within the class (§3.2). A [`QosTier`] pairs a class+SLO with a
+//! tier identity (the paper's Q1/Q2/Q3). Deadlines follow Eq. 1–3:
+//!
+//! * `D_first = t_arrival + SLO_TTFT`
+//! * `D_n     = t_arrival + SLO_TTFT + (n − 1) · SLO_TBT`
+//! * `D_total = t_arrival + SLO_TTLT`
+
+use qoserve_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a QoS tier (the paper's Q1, Q2, Q3 — but any number of
+/// tiers is supported).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TierId(pub u8);
+
+impl TierId {
+    /// Interactive tier of Table 3.
+    pub const Q1: TierId = TierId(1);
+    /// Relaxed non-interactive tier of Table 3 (10-minute TTLT).
+    pub const Q2: TierId = TierId(2);
+    /// Batch tier of Table 3 (30-minute TTLT).
+    pub const Q3: TierId = TierId(3);
+}
+
+impl fmt::Display for TierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+/// Latency SLO of a QoS class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QosClass {
+    /// Interactive: bounded time-to-first-token and time-between-tokens.
+    Interactive {
+        /// TTFT target.
+        ttft: SimDuration,
+        /// Per-token pacing target.
+        tbt: SimDuration,
+    },
+    /// Non-interactive: bounded total completion time only.
+    NonInteractive {
+        /// TTLT target.
+        ttlt: SimDuration,
+    },
+}
+
+impl QosClass {
+    /// Convenience constructor for an interactive class with targets in
+    /// seconds / milliseconds.
+    pub fn interactive_secs_ms(ttft_secs: f64, tbt_ms: f64) -> Self {
+        QosClass::Interactive {
+            ttft: SimDuration::from_secs_f64(ttft_secs),
+            tbt: SimDuration::from_millis_f64(tbt_ms),
+        }
+    }
+
+    /// Convenience constructor for a non-interactive class with a TTLT in
+    /// seconds.
+    pub fn non_interactive_secs(ttlt_secs: f64) -> Self {
+        QosClass::NonInteractive {
+            ttlt: SimDuration::from_secs_f64(ttlt_secs),
+        }
+    }
+
+    /// True for the interactive class.
+    pub fn is_interactive(&self) -> bool {
+        matches!(self, QosClass::Interactive { .. })
+    }
+
+    /// The TTFT target, if interactive.
+    pub fn ttft(&self) -> Option<SimDuration> {
+        match self {
+            QosClass::Interactive { ttft, .. } => Some(*ttft),
+            QosClass::NonInteractive { .. } => None,
+        }
+    }
+
+    /// The TBT target, if interactive.
+    pub fn tbt(&self) -> Option<SimDuration> {
+        match self {
+            QosClass::Interactive { tbt, .. } => Some(*tbt),
+            QosClass::NonInteractive { .. } => None,
+        }
+    }
+
+    /// The TTLT target, if non-interactive.
+    pub fn ttlt(&self) -> Option<SimDuration> {
+        match self {
+            QosClass::Interactive { .. } => None,
+            QosClass::NonInteractive { ttlt } => Some(*ttlt),
+        }
+    }
+
+    /// Deadline for the first output token (Eq. 1). Non-interactive
+    /// requests have no first-token deadline; their TTLT deadline is
+    /// returned instead so schedulers can treat both uniformly as "the
+    /// deadline that matters for prefill urgency".
+    pub fn first_token_deadline(&self, arrival: SimTime) -> SimTime {
+        match self {
+            QosClass::Interactive { ttft, .. } => arrival + *ttft,
+            QosClass::NonInteractive { ttlt } => arrival + *ttlt,
+        }
+    }
+
+    /// Deadline for the `n`-th output token, 1-based (Eq. 2). For
+    /// non-interactive requests every token shares the TTLT deadline
+    /// (Eq. 3) — only completion matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `n` is zero.
+    pub fn token_deadline(&self, arrival: SimTime, n: u32) -> SimTime {
+        debug_assert!(n >= 1, "token positions are 1-based");
+        match self {
+            QosClass::Interactive { ttft, tbt } => arrival + *ttft + *tbt * (n.max(1) - 1) as u64,
+            QosClass::NonInteractive { ttlt } => arrival + *ttlt,
+        }
+    }
+
+    /// Deadline for full completion given the request will emit
+    /// `decode_tokens` tokens: Eq. 3 for non-interactive, Eq. 2 evaluated
+    /// at the last token for interactive.
+    pub fn completion_deadline(&self, arrival: SimTime, decode_tokens: u32) -> SimTime {
+        match self {
+            QosClass::Interactive { .. } => self.token_deadline(arrival, decode_tokens.max(1)),
+            QosClass::NonInteractive { ttlt } => arrival + *ttlt,
+        }
+    }
+}
+
+/// A named QoS tier: identity plus class/SLO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QosTier {
+    /// Tier identity.
+    pub id: TierId,
+    /// Latency class and targets.
+    pub class: QosClass,
+}
+
+impl QosTier {
+    /// Creates a tier.
+    pub fn new(id: TierId, class: QosClass) -> Self {
+        QosTier { id, class }
+    }
+
+    /// Table 3's Q1: interactive, TTFT 6 s, TBT 50 ms.
+    pub fn paper_q1() -> Self {
+        QosTier::new(TierId::Q1, QosClass::interactive_secs_ms(6.0, 50.0))
+    }
+
+    /// Table 3's Q2: non-interactive, TTLT 600 s.
+    pub fn paper_q2() -> Self {
+        QosTier::new(TierId::Q2, QosClass::non_interactive_secs(600.0))
+    }
+
+    /// Table 3's Q3: non-interactive, TTLT 1800 s.
+    pub fn paper_q3() -> Self {
+        QosTier::new(TierId::Q3, QosClass::non_interactive_secs(1_800.0))
+    }
+
+    /// All three Table 3 tiers in order.
+    pub fn paper_tiers() -> [QosTier; 3] {
+        [Self::paper_q1(), Self::paper_q2(), Self::paper_q3()]
+    }
+}
+
+/// Application-provided importance hint used by eager relegation during
+/// overload (the paper's free-vs-paid-tier example, §3.4).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Priority {
+    /// Preferentially relegated under overload.
+    Low,
+    /// Protected as long as any low-priority work can be relegated instead.
+    #[default]
+    Important,
+}
+
+/// A fully-specified SLO: tier plus the metrics derived from it. This is
+/// the value attached to each request at submission, mirroring the paper's
+/// extended vLLM API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Slo {
+    /// The tier the request belongs to.
+    pub tier: QosTier,
+    /// Application importance hint.
+    pub priority: Priority,
+}
+
+impl Slo {
+    /// Creates an SLO from a tier with default (important) priority.
+    pub fn of_tier(tier: QosTier) -> Self {
+        Slo {
+            tier,
+            priority: Priority::Important,
+        }
+    }
+
+    /// Sets the priority hint.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_first_token_deadline() {
+        let q1 = QosTier::paper_q1();
+        let arrival = SimTime::from_secs(100);
+        assert_eq!(
+            q1.class.first_token_deadline(arrival),
+            SimTime::from_secs(106)
+        );
+    }
+
+    #[test]
+    fn eq2_token_deadlines_pace_by_tbt() {
+        let class = QosClass::interactive_secs_ms(6.0, 50.0);
+        let arrival = SimTime::ZERO;
+        assert_eq!(class.token_deadline(arrival, 1), SimTime::from_secs(6));
+        assert_eq!(
+            class.token_deadline(arrival, 2),
+            SimTime::from_secs(6) + SimDuration::from_millis(50)
+        );
+        assert_eq!(
+            class.token_deadline(arrival, 21),
+            SimTime::from_secs(7) // 6s + 20 * 50ms
+        );
+    }
+
+    #[test]
+    fn eq3_non_interactive_deadline_is_flat() {
+        let class = QosClass::non_interactive_secs(600.0);
+        let arrival = SimTime::from_secs(50);
+        let expected = SimTime::from_secs(650);
+        assert_eq!(class.first_token_deadline(arrival), expected);
+        assert_eq!(class.token_deadline(arrival, 1), expected);
+        assert_eq!(class.token_deadline(arrival, 500), expected);
+        assert_eq!(class.completion_deadline(arrival, 123), expected);
+    }
+
+    #[test]
+    fn interactive_completion_deadline_uses_last_token() {
+        let class = QosClass::interactive_secs_ms(6.0, 50.0);
+        let arrival = SimTime::ZERO;
+        assert_eq!(
+            class.completion_deadline(arrival, 101),
+            SimTime::from_secs(6) + SimDuration::from_millis(50) * 100
+        );
+        // Degenerate zero-decode request still has the TTFT deadline.
+        assert_eq!(class.completion_deadline(arrival, 0), SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn accessors_match_class() {
+        let i = QosClass::interactive_secs_ms(3.0, 25.0);
+        assert!(i.is_interactive());
+        assert_eq!(i.ttft(), Some(SimDuration::from_secs(3)));
+        assert_eq!(i.tbt(), Some(SimDuration::from_millis(25)));
+        assert_eq!(i.ttlt(), None);
+
+        let n = QosClass::non_interactive_secs(1_000.0);
+        assert!(!n.is_interactive());
+        assert_eq!(n.ttlt(), Some(SimDuration::from_secs(1_000)));
+        assert_eq!(n.ttft(), None);
+        assert_eq!(n.tbt(), None);
+    }
+
+    #[test]
+    fn paper_tiers_match_table3() {
+        let [q1, q2, q3] = QosTier::paper_tiers();
+        assert_eq!(q1.id, TierId::Q1);
+        assert_eq!(q1.class.ttft(), Some(SimDuration::from_secs(6)));
+        assert_eq!(q1.class.tbt(), Some(SimDuration::from_millis(50)));
+        assert_eq!(q2.class.ttlt(), Some(SimDuration::from_secs(600)));
+        assert_eq!(q3.class.ttlt(), Some(SimDuration::from_secs(1_800)));
+    }
+
+    #[test]
+    fn priority_orders_low_first() {
+        assert!(Priority::Low < Priority::Important);
+        assert_eq!(Priority::default(), Priority::Important);
+    }
+
+    #[test]
+    fn tier_display() {
+        assert_eq!(TierId::Q1.to_string(), "Q1");
+        assert_eq!(TierId(7).to_string(), "Q7");
+    }
+
+    #[test]
+    fn slo_builder() {
+        let slo = Slo::of_tier(QosTier::paper_q1()).with_priority(Priority::Low);
+        assert_eq!(slo.priority, Priority::Low);
+        assert_eq!(slo.tier.id, TierId::Q1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let slo = Slo::of_tier(QosTier::paper_q2());
+        let json = serde_json::to_string(&slo).unwrap();
+        assert_eq!(serde_json::from_str::<Slo>(&json).unwrap(), slo);
+    }
+}

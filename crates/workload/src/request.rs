@@ -1,0 +1,148 @@
+//! Request specifications.
+//!
+//! A [`RequestSpec`] is one row of a workload trace: arrival time, token
+//! counts, and the QoS contract attached at submission. It is immutable —
+//! runtime state (prefill progress, relegation, emitted tokens) lives in
+//! the engine's request records, not here.
+
+use qoserve_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::qos::{Priority, QosClass, Slo, TierId};
+
+/// Globally unique request identity within a trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One request of a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// Trace-unique identity.
+    pub id: RequestId,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Number of output tokens the request will generate. (The scheduler
+    /// never reads this — decode length is unknown at serving time; only
+    /// the engine's token generator and the metrics layer use it.)
+    pub decode_tokens: u32,
+    /// QoS contract: tier, SLO targets, and priority hint.
+    pub slo: Slo,
+    /// Application identity, used for the per-application decode-length
+    /// history behind the non-interactive priority term (§3.4).
+    pub app_id: u32,
+}
+
+impl RequestSpec {
+    /// The QoS class of this request.
+    pub fn class(&self) -> QosClass {
+        self.slo.tier.class
+    }
+
+    /// The tier identity.
+    pub fn tier(&self) -> TierId {
+        self.slo.tier.id
+    }
+
+    /// The importance hint.
+    pub fn priority(&self) -> Priority {
+        self.slo.priority
+    }
+
+    /// Deadline for the first output token (Eq. 1; TTLT for
+    /// non-interactive requests).
+    pub fn first_token_deadline(&self) -> SimTime {
+        self.class().first_token_deadline(self.arrival)
+    }
+
+    /// Deadline for the 1-based `n`-th output token (Eq. 2 / Eq. 3).
+    pub fn token_deadline(&self, n: u32) -> SimTime {
+        self.class().token_deadline(self.arrival, n)
+    }
+
+    /// Deadline for full completion.
+    pub fn completion_deadline(&self) -> SimTime {
+        self.class()
+            .completion_deadline(self.arrival, self.decode_tokens)
+    }
+
+    /// Total tokens (prompt + decode) this request moves through the
+    /// system; the quadratic-load argument of the paper's overload analysis
+    /// keys off prompt length.
+    pub fn total_tokens(&self) -> u32 {
+        self.prompt_tokens + self.decode_tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::QosTier;
+    use qoserve_sim::SimDuration;
+
+    fn spec(tier: QosTier) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(1),
+            arrival: SimTime::from_secs(10),
+            prompt_tokens: 1_000,
+            decode_tokens: 100,
+            slo: Slo::of_tier(tier),
+            app_id: 0,
+        }
+    }
+
+    #[test]
+    fn interactive_deadlines() {
+        let r = spec(QosTier::paper_q1());
+        assert_eq!(r.first_token_deadline(), SimTime::from_secs(16));
+        assert_eq!(
+            r.token_deadline(2),
+            SimTime::from_secs(16) + SimDuration::from_millis(50)
+        );
+        assert_eq!(
+            r.completion_deadline(),
+            SimTime::from_secs(16) + SimDuration::from_millis(50) * 99
+        );
+    }
+
+    #[test]
+    fn non_interactive_deadlines() {
+        let r = spec(QosTier::paper_q3());
+        let d = SimTime::from_secs(1_810);
+        assert_eq!(r.first_token_deadline(), d);
+        assert_eq!(r.token_deadline(50), d);
+        assert_eq!(r.completion_deadline(), d);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = spec(QosTier::paper_q2());
+        assert_eq!(r.tier(), TierId::Q2);
+        assert_eq!(r.priority(), Priority::Important);
+        assert_eq!(r.total_tokens(), 1_100);
+        assert!(!r.class().is_interactive());
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(RequestId(42).to_string(), "r42");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = spec(QosTier::paper_q1());
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<RequestSpec>(&json).unwrap(), r);
+    }
+}

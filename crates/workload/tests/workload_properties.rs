@@ -1,0 +1,110 @@
+//! Property-based tests of the workload substrate: deadline algebra,
+//! trace structure, and arrival-process statistics.
+
+use proptest::prelude::*;
+
+use qoserve_sim::{SeedStream, SimDuration, SimTime};
+use qoserve_workload::{
+    ArrivalProcess, Dataset, Priority, QosClass, QosTier, TierId, TierMix, TraceBuilder,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 2: token deadlines are strictly increasing in the token index
+    /// for interactive classes, and constant for non-interactive ones.
+    #[test]
+    fn token_deadlines_monotone(
+        ttft_s in 0.1f64..60.0,
+        tbt_ms in 1.0f64..500.0,
+        ttlt_s in 1.0f64..7_200.0,
+        arrival_s in 0.0f64..10_000.0,
+        n in 1u32..2_000,
+    ) {
+        let arrival = SimTime::from_secs_f64(arrival_s);
+        let interactive = QosClass::interactive_secs_ms(ttft_s, tbt_ms);
+        prop_assert!(interactive.token_deadline(arrival, n + 1) > interactive.token_deadline(arrival, n));
+        prop_assert_eq!(interactive.token_deadline(arrival, 1), interactive.first_token_deadline(arrival));
+
+        let batch = QosClass::non_interactive_secs(ttlt_s);
+        prop_assert_eq!(batch.token_deadline(arrival, n), batch.token_deadline(arrival, n + 1));
+        prop_assert_eq!(batch.completion_deadline(arrival, n), batch.first_token_deadline(arrival));
+    }
+
+    /// Eq. 2 at the last token equals the interactive completion deadline.
+    #[test]
+    fn completion_deadline_matches_last_token(
+        ttft_s in 0.1f64..60.0,
+        tbt_ms in 1.0f64..500.0,
+        decode_tokens in 1u32..5_000,
+    ) {
+        let c = QosClass::interactive_secs_ms(ttft_s, tbt_ms);
+        prop_assert_eq!(
+            c.completion_deadline(SimTime::ZERO, decode_tokens),
+            c.token_deadline(SimTime::ZERO, decode_tokens)
+        );
+    }
+
+    /// Traces are sorted, id-dense, respect the tier mix support, and are
+    /// deterministic per seed.
+    #[test]
+    fn trace_structure(seed in 0u64..10_000, n in 1usize..300, qps in 0.2f64..20.0) {
+        let build = || TraceBuilder::new(Dataset::azure_conv())
+            .arrivals(ArrivalProcess::poisson(qps))
+            .num_requests(n)
+            .paper_tier_mix()
+            .low_priority_fraction(0.3)
+            .build(&SeedStream::new(seed));
+        let t = build();
+        prop_assert_eq!(t.len(), n);
+        for (i, w) in t.requests().windows(2).enumerate() {
+            prop_assert!(w[1].arrival > w[0].arrival, "at {i}");
+        }
+        for (i, r) in t.requests().iter().enumerate() {
+            prop_assert_eq!(r.id.0, i as u64);
+            prop_assert!(matches!(r.tier(), TierId::Q1 | TierId::Q2 | TierId::Q3));
+            prop_assert!(r.prompt_tokens >= 16);
+            prop_assert!(r.decode_tokens >= 1);
+            prop_assert!(matches!(r.priority(), Priority::Low | Priority::Important));
+        }
+        prop_assert_eq!(t, build());
+    }
+
+    /// Mean arrival rate tracks the requested QPS for every process.
+    #[test]
+    fn arrival_rates_track_qps(seed in 0u64..1_000, qps in 1.0f64..20.0) {
+        let window = SimDuration::from_secs(600);
+        for proc in [ArrivalProcess::poisson(qps), ArrivalProcess::uniform(qps)] {
+            let mut rng = SeedStream::new(seed).derive("rate");
+            let times = proc.generate_for(window, &mut rng);
+            let rate = times.len() as f64 / 600.0;
+            prop_assert!(
+                (rate - qps).abs() < qps * 0.25 + 0.5,
+                "{proc:?}: rate {rate} vs requested {qps}"
+            );
+        }
+    }
+
+    /// Weighted tier sampling converges to the weights.
+    #[test]
+    fn tier_mix_weights_converge(w1 in 0.05f64..1.0, w2 in 0.05f64..1.0, w3 in 0.05f64..1.0) {
+        let [q1, q2, q3] = QosTier::paper_tiers();
+        let mix = TierMix::new(vec![(q1, w1), (q2, w2), (q3, w3)]);
+        let mut rng = SeedStream::new(9).derive("mix");
+        let n = 6_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            match mix.sample(&mut rng).id {
+                TierId::Q1 => counts[0] += 1,
+                TierId::Q2 => counts[1] += 1,
+                _ => counts[2] += 1,
+            }
+        }
+        let total = w1 + w2 + w3;
+        for (count, w) in counts.iter().zip([w1, w2, w3]) {
+            let expected = w / total;
+            let got = *count as f64 / n as f64;
+            prop_assert!((got - expected).abs() < 0.04, "expected {expected}, got {got}");
+        }
+    }
+}

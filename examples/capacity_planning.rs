@@ -1,0 +1,69 @@
+//! Capacity planning: how many GPUs does a target load need?
+//!
+//! Uses the goodput search and the min-replica planner to answer the
+//! deployment question behind the paper's Table 4 — first measuring
+//! per-replica goodput for a siloed and a shared design, then sizing a
+//! cluster for a 12-QPS three-tier workload.
+//!
+//! ```sh
+//! cargo run --release -p qoserve-examples --bin capacity_planning
+//! ```
+
+use qoserve::prelude::*;
+
+fn main() {
+    let hw = HardwareConfig::llama3_8b_a100_tp1();
+    let config = ClusterConfig::new(hw.clone());
+    let options = GoodputOptions {
+        window: SimDuration::from_secs(900),
+        resolution: 0.25,
+        ..Default::default()
+    };
+    let seeds = SeedStream::new(11);
+
+    // Step 1: per-replica goodput of the two designs on the mixed
+    // three-tier workload.
+    println!("measuring per-replica goodput (Az-Conv, three tiers)...");
+    let fcfs = max_goodput(
+        &Dataset::azure_conv(),
+        &SchedulerSpec::sarathi_fcfs(),
+        &config,
+        &options,
+        &seeds,
+    );
+    let qoserve = max_goodput(
+        &Dataset::azure_conv(),
+        &SchedulerSpec::qoserve(),
+        &config,
+        &options,
+        &seeds,
+    );
+    println!("  Sarathi-FCFS: {fcfs:.2} QPS/replica");
+    println!("  QoServe:      {qoserve:.2} QPS/replica\n");
+
+    // Step 2: size a cluster for 12 QPS with the planner (which accounts
+    // for routing imbalance that a naive division would miss).
+    let target_qps = 12.0;
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(target_qps))
+        .duration(SimDuration::from_secs(900))
+        .paper_tier_mix()
+        .build(&seeds);
+
+    println!("planning for {target_qps} QPS ({} requests in the probe)...", trace.len());
+    let mut table = Table::new(vec!["design", "replicas needed", "naive estimate"]);
+    for (label, spec, goodput) in [
+        ("Sarathi-FCFS shared", SchedulerSpec::sarathi_fcfs(), fcfs),
+        ("QoServe shared", SchedulerSpec::qoserve(), qoserve),
+    ] {
+        let planned = min_replicas_for(&trace, &spec, &config, 1.0, 24, &seeds)
+            .map_or("> 24".to_owned(), |n| n.to_string());
+        table.row(vec![
+            label.to_owned(),
+            planned,
+            format!("{:.0}", (target_qps / goodput.max(1e-9)).ceil()),
+        ]);
+    }
+    print!("{table}");
+    println!("\nfewer replicas at identical SLOs is the paper's headline economics.");
+}

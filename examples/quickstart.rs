@@ -1,0 +1,54 @@
+//! Quickstart: co-serve an interactive chat request and a batch
+//! summarisation job on one shared replica.
+//!
+//! ```sh
+//! cargo run --release -p qoserve-examples --bin quickstart
+//! ```
+
+use qoserve::prelude::*;
+
+fn main() {
+    // One Llama3-8B replica on an A100, running the full QoServe
+    // scheduler (dynamic chunking + hybrid prioritization + eager
+    // relegation), deterministic under the given seed.
+    let mut server = QoServe::builder(HardwareConfig::llama3_8b_a100_tp1())
+        .seed(42)
+        .build();
+
+    // A latency-sensitive chat turn: first token within 6 s, smooth
+    // 50 ms pacing afterwards.
+    let chat = server.submit(
+        Request::interactive(1_024, 200)
+            .ttft_secs(6.0)
+            .tbt_ms(50.0)
+            .arriving_at_secs(0.10),
+    );
+
+    // A background document summarisation: only total completion time
+    // matters (10 minutes).
+    let summary = server.submit(
+        Request::batch(8_192, 400)
+            .ttlt_secs(600.0)
+            .arriving_at_secs(0.15),
+    );
+
+    let report = server.run();
+
+    for outcome in &report.outcomes {
+        let kind = if outcome.spec.id == chat { "chat   " } else { "summary" };
+        println!(
+            "{kind}  TTFT {:>8}  TTLT {:>8}  worst token lateness {:>10}  violated: {}",
+            outcome.ttft().map_or("-".into(), |d| d.to_string()),
+            outcome.ttlt().map_or("-".into(), |d| d.to_string()),
+            outcome.worst_token_lateness,
+            outcome.violated(),
+        );
+    }
+    assert_eq!(report.outcomes[1].spec.id, summary);
+
+    println!(
+        "\noverall: {}/{} requests met their QoS contract",
+        report.slo.total - report.slo.violations,
+        report.slo.total
+    );
+}

@@ -1,0 +1,156 @@
+//! Cross-crate conservation and consistency invariants, checked over full
+//! simulation runs (including property-based workload generation).
+
+use proptest::prelude::*;
+
+use qoserve::prelude::*;
+
+fn hw() -> HardwareConfig {
+    HardwareConfig::llama3_8b_a100_tp1()
+}
+
+fn run(trace: &Trace, spec: &SchedulerSpec, seed: u64) -> Vec<RequestOutcome> {
+    let config = ClusterConfig::new(hw());
+    run_shared(trace, 1, spec, &config, &SeedStream::new(seed))
+}
+
+/// Every outcome of a finished request is temporally consistent.
+fn check_outcome_consistency(outcomes: &[RequestOutcome]) {
+    for o in outcomes {
+        if let (Some(first), Some(done)) = (o.first_token, o.completion) {
+            assert!(first > o.spec.arrival, "{}: first token before arrival", o.spec.id);
+            assert!(done >= first, "{}: completion before first token", o.spec.id);
+            // TTLT >= TTFT by construction.
+            assert!(o.ttlt().unwrap() >= o.ttft().unwrap());
+            // A finished request with non-positive worst lateness is not a
+            // violation, and vice versa.
+            assert_eq!(o.violated(), o.worst_token_lateness.as_micros() > 0);
+            // Decode span sanity: at least one token, gaps accumulate.
+            if o.spec.decode_tokens > 1 {
+                assert!(o.max_tbt > SimDuration::ZERO, "{}: zero TBT", o.spec.id);
+            }
+        } else {
+            assert!(o.violated(), "unfinished must count as violated");
+        }
+    }
+}
+
+#[test]
+fn outcomes_are_consistent_across_schedulers() {
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(5.0))
+        .num_requests(400)
+        .paper_tier_mix()
+        .build(&SeedStream::new(1));
+    for spec in [
+        SchedulerSpec::sarathi_fcfs(),
+        SchedulerSpec::sarathi_srpf(),
+        SchedulerSpec::sarathi_edf(),
+        SchedulerSpec::qoserve(),
+    ] {
+        let outcomes = run(&trace, &spec, 1);
+        assert_eq!(outcomes.len(), trace.len(), "{}", spec.label());
+        check_outcome_consistency(&outcomes);
+    }
+}
+
+#[test]
+fn siloed_and_shared_account_identically() {
+    let trace = TraceBuilder::new(Dataset::azure_code())
+        .arrivals(ArrivalProcess::poisson(6.0))
+        .num_requests(600)
+        .paper_tier_mix()
+        .build(&SeedStream::new(2));
+    let config = ClusterConfig::new(hw());
+    let seeds = SeedStream::new(2);
+
+    let shared = run_shared(&trace, 3, &SchedulerSpec::qoserve(), &config, &seeds);
+    let siloed = run_siloed(
+        &trace,
+        &[
+            SiloGroup::new(vec![TierId::Q1], 1, SchedulerSpec::sarathi_fcfs()),
+            SiloGroup::new(vec![TierId::Q2, TierId::Q3], 2, SchedulerSpec::sarathi_fcfs()),
+        ],
+        &config,
+        &seeds,
+    );
+    for outcomes in [&shared, &siloed] {
+        assert_eq!(outcomes.len(), trace.len());
+        let ids: std::collections::BTreeSet<u64> =
+            outcomes.iter().map(|o| o.spec.id.0).collect();
+        assert_eq!(ids.len(), trace.len(), "unique accounting");
+    }
+    check_outcome_consistency(&shared);
+    check_outcome_consistency(&siloed);
+}
+
+#[test]
+fn full_stack_determinism() {
+    let trace = TraceBuilder::new(Dataset::sharegpt())
+        .arrivals(ArrivalProcess::poisson(2.0))
+        .num_requests(150)
+        .paper_tier_mix()
+        .low_priority_fraction(0.2)
+        .build(&SeedStream::new(3));
+    let a = run(&trace, &SchedulerSpec::qoserve(), 3);
+    let b = run(&trace, &SchedulerSpec::qoserve(), 3);
+    assert_eq!(a, b, "identical seeds must reproduce bit-identical outcomes");
+}
+
+#[test]
+fn trace_survives_serde_and_produces_identical_run() {
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(3.0))
+        .num_requests(100)
+        .paper_tier_mix()
+        .build(&SeedStream::new(4));
+    let json = serde_json::to_string(&trace).expect("serialize");
+    let back: Trace = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, trace);
+    assert_eq!(
+        run(&trace, &SchedulerSpec::qoserve(), 4),
+        run(&back, &SchedulerSpec::qoserve(), 4)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conservation holds for arbitrary workload shapes: every request
+    /// yields exactly one outcome, and finished outcomes are consistent.
+    #[test]
+    fn conservation_over_random_workloads(
+        seed in 0u64..1_000,
+        qps in 0.5f64..8.0,
+        n in 20usize..150,
+        low_frac in 0.0f64..0.5,
+    ) {
+        let trace = TraceBuilder::new(Dataset::azure_conv())
+            .arrivals(ArrivalProcess::poisson(qps))
+            .num_requests(n)
+            .paper_tier_mix()
+            .low_priority_fraction(low_frac)
+            .build(&SeedStream::new(seed));
+        let outcomes = run(&trace, &SchedulerSpec::qoserve(), seed);
+        prop_assert_eq!(outcomes.len(), n);
+        check_outcome_consistency(&outcomes);
+    }
+
+    /// The facade API preserves the same invariants.
+    #[test]
+    fn facade_conservation(seed in 0u64..100, n in 1usize..40) {
+        let mut server = QoServe::builder(hw()).seed(seed).build();
+        for i in 0..n {
+            let req = if i % 2 == 0 {
+                Request::interactive(200 + i as u32 * 50, 10)
+            } else {
+                Request::batch(1_000 + i as u32 * 100, 30)
+            };
+            server.submit(req.arriving_at_secs(i as f64 * 0.2));
+        }
+        let report = server.run();
+        prop_assert_eq!(report.outcomes.len(), n);
+        prop_assert_eq!(report.slo.total, n);
+        check_outcome_consistency(&report.outcomes);
+    }
+}

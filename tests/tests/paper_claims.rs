@@ -1,0 +1,203 @@
+//! End-to-end tests of the paper's headline claims, at reduced scale.
+//!
+//! Each test runs full simulations through the public API and checks the
+//! *direction* of a published result (who wins, and that the win is
+//! material). Magnitudes are asserted loosely — the substrate is a
+//! calibrated simulator, not the authors' testbed (see DESIGN.md).
+
+use qoserve::prelude::*;
+
+fn hw() -> HardwareConfig {
+    HardwareConfig::llama3_8b_a100_tp1()
+}
+
+fn trace(dataset: Dataset, qps: f64, secs: u64, seed: u64) -> Trace {
+    TraceBuilder::new(dataset)
+        .arrivals(ArrivalProcess::poisson(qps))
+        .duration(SimDuration::from_secs(secs))
+        .paper_tier_mix()
+        .build(&SeedStream::new(seed))
+}
+
+fn violations(trace: &Trace, spec: &SchedulerSpec, seed: u64) -> SloReport {
+    let config = ClusterConfig::new(hw());
+    let outcomes = run_shared(trace, 1, spec, &config, &SeedStream::new(seed));
+    SloReport::compute(&outcomes, trace.long_prompt_threshold())
+}
+
+/// §4.2 / Fig. 11: at heavy overload QoServe has an order of magnitude
+/// fewer violations than FCFS and EDF.
+#[test]
+fn overload_violation_gap_is_an_order_of_magnitude() {
+    let t = trace(Dataset::azure_code(), 6.0, 2_400, 1);
+    let fcfs = violations(&t, &SchedulerSpec::sarathi_fcfs(), 1).violation_pct();
+    let edf = violations(&t, &SchedulerSpec::sarathi_edf(), 1).violation_pct();
+    let qs = violations(&t, &SchedulerSpec::qoserve(), 1).violation_pct();
+    assert!(
+        fcfs > 10.0 * qs.max(0.5),
+        "FCFS {fcfs:.1}% should be >= 10x QoServe {qs:.1}%"
+    );
+    assert!(
+        edf > 5.0 * qs.max(0.5),
+        "EDF {edf:.1}% should be far above QoServe {qs:.1}%"
+    );
+}
+
+/// §2.4 / Fig. 2: SRPF starves long requests even at loads where QoServe
+/// serves them cleanly.
+#[test]
+fn srpf_is_unfair_to_long_requests() {
+    let t = trace(Dataset::azure_code(), 4.5, 2_400, 2);
+    let srpf = violations(&t, &SchedulerSpec::sarathi_srpf(), 2);
+    let qs = violations(&t, &SchedulerSpec::qoserve(), 2);
+    assert!(
+        srpf.long_violation_pct() > 10.0,
+        "SRPF long violations {:.1}% should be substantial",
+        srpf.long_violation_pct()
+    );
+    assert!(
+        qs.long_violation_pct() < srpf.long_violation_pct() / 4.0,
+        "QoServe long violations {:.1}% vs SRPF {:.1}%",
+        qs.long_violation_pct(),
+        srpf.long_violation_pct()
+    );
+    // And SRPF's unfairness: long requests fare far worse than short ones.
+    assert!(srpf.long_violation_pct() > 5.0 * srpf.short_violation_pct().max(0.2));
+}
+
+/// §4.1.1 / Table 4: a shared QoServe pool needs fewer replicas than a
+/// siloed deployment at the same load and SLOs.
+#[test]
+fn shared_qoserve_beats_siloed_on_gpu_count() {
+    let t = trace(Dataset::azure_code(), 14.0, 1_200, 3);
+    let config = ClusterConfig::new(hw());
+    let seeds = SeedStream::new(3);
+
+    // Siloed: size each silo independently (interactive chunk 256, batch
+    // chunk 2048), mimicking the paper's capacity estimation.
+    let interactive = SchedulerSpec::Sarathi {
+        policy: OrderPolicy::Fcfs,
+        chunk: 256,
+    };
+    let batch = SchedulerSpec::Sarathi {
+        policy: OrderPolicy::Fcfs,
+        chunk: 2_048,
+    };
+    let mut siloed_total = 0u32;
+    for (tier, spec) in [
+        (TierId::Q1, &interactive),
+        (TierId::Q2, &batch),
+        (TierId::Q3, &batch),
+    ] {
+        let sub = Trace::from_requests(
+            "silo",
+            t.requests().iter().filter(|r| r.tier() == tier).copied().collect(),
+        );
+        let n = min_replicas_for(&sub, spec, &config, 1.0, 12, &seeds)
+            .expect("12 replicas must cover a third of the load");
+        siloed_total += n;
+    }
+
+    let shared = min_replicas_for(&t, &SchedulerSpec::qoserve(), &config, 1.0, 12, &seeds)
+        .expect("12 replicas must cover the full load");
+
+    assert!(
+        shared < siloed_total,
+        "QoServe shared ({shared}) should need fewer GPUs than siloed ({siloed_total})"
+    );
+}
+
+/// §4.4.1 / Table 5: each technique helps — capacity rises monotonically
+/// from EDF through DC, and overload violations fall through ER and HP.
+#[test]
+fn ablation_is_monotone() {
+    let overload = trace(Dataset::azure_code(), 9.0, 1_800, 4);
+    let edf = violations(&overload, &SchedulerSpec::sarathi_edf(), 4).violation_pct();
+    let dc = violations(
+        &overload,
+        &SchedulerSpec::qoserve_with(QoServeConfig::ablation_dc()),
+        4,
+    )
+    .violation_pct();
+    let dc_er = violations(
+        &overload,
+        &SchedulerSpec::qoserve_with(QoServeConfig::ablation_dc_er()),
+        4,
+    )
+    .violation_pct();
+    let full = violations(
+        &overload,
+        &SchedulerSpec::qoserve_with(QoServeConfig::ablation_full()),
+        4,
+    )
+    .violation_pct();
+    assert!(dc < edf, "DC {dc:.1}% should improve on EDF {edf:.1}%");
+    assert!(dc_er <= dc, "ER {dc_er:.1}% should improve on DC {dc:.1}%");
+    assert!(
+        full < dc_er,
+        "HP {full:.1}% should improve on DC+ER {dc_er:.1}% at overload"
+    );
+}
+
+/// §4.3 / Fig. 12: under a diurnal overload with free-tier tagging,
+/// QoServe keeps important requests nearly violation-free while shedding
+/// a bounded slice.
+#[test]
+fn important_requests_survive_transient_overload() {
+    let t = TraceBuilder::new(Dataset::azure_code())
+        .arrivals(ArrivalProcess::DiurnalSquare {
+            low_qps: 3.0,
+            high_qps: 8.0,
+            half_period: SimDuration::from_secs(300),
+        })
+        .duration(SimDuration::from_secs(2_400))
+        .paper_tier_mix()
+        .low_priority_fraction(0.2)
+        .build(&SeedStream::new(5));
+
+    let qs = violations(&t, &SchedulerSpec::qoserve(), 5);
+    let fcfs = violations(&t, &SchedulerSpec::sarathi_fcfs(), 5);
+
+    assert!(
+        qs.important_violation_pct() < 2.0,
+        "important violations {:.2}% should be near zero",
+        qs.important_violation_pct()
+    );
+    assert!(
+        fcfs.violation_pct() > 3.0 * qs.violation_pct().max(1.0),
+        "FCFS {:.1}% vs QoServe {:.1}%",
+        fcfs.violation_pct(),
+        qs.violation_pct()
+    );
+    assert!(
+        qs.relegated_fraction < 0.35,
+        "relegation should shed a bounded slice, got {:.0}%",
+        qs.relegated_fraction * 100.0
+    );
+}
+
+/// §4.1.2 / Fig. 7 (one cell): goodput ordering QoServe > EDF > FCFS on
+/// the Azure-Code trace.
+#[test]
+fn goodput_ordering_holds() {
+    let config = ClusterConfig::new(hw());
+    let options = GoodputOptions {
+        window: SimDuration::from_secs(1_200),
+        resolution: 0.25,
+        ..Default::default()
+    };
+    let seeds = SeedStream::new(6);
+    let g = |spec: &SchedulerSpec| {
+        max_goodput(&Dataset::azure_code(), spec, &config, &options, &seeds)
+    };
+    let fcfs = g(&SchedulerSpec::sarathi_fcfs());
+    let edf = g(&SchedulerSpec::sarathi_edf());
+    let qs = g(&SchedulerSpec::qoserve());
+    assert!(edf > fcfs, "EDF {edf} should beat FCFS {fcfs}");
+    assert!(qs > edf, "QoServe {qs} should beat EDF {edf}");
+    assert!(
+        qs / fcfs > 1.5,
+        "QoServe/FCFS ratio {:.2} should be material (paper: 1.5-2.4x)",
+        qs / fcfs
+    );
+}
