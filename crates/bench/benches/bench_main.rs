@@ -43,16 +43,26 @@ fn bench_forest_predict(c: &mut Criterion) {
 fn bench_chunk_budget(c: &mut Criterion) {
     let analytical = ChunkBudget::new(LatencyPredictor::analytical(&hw()), ChunkLimits::default());
     let seeds = SeedStream::new(2);
-    let forest = ChunkBudget::new(
-        LatencyPredictor::train_forest(&hw(), &seeds),
-        ChunkLimits::default(),
-    );
+    let forest_predictor = LatencyPredictor::train_forest(&hw(), &seeds);
+    let forest = ChunkBudget::new(forest_predictor.clone(), ChunkLimits::default());
+    // The uncached variants quantify what the prediction memo buys; the
+    // memoized searches above them run warm (repeated identical args), so
+    // the pair brackets the cold-vs-hot range a live scheduler sits in.
+    let analytical_uncached =
+        ChunkBudget::uncached(LatencyPredictor::analytical(&hw()), ChunkLimits::default());
+    let forest_uncached = ChunkBudget::uncached(forest_predictor, ChunkLimits::default());
     let slack = Some(SimDuration::from_millis(80));
     c.bench_function("chunk_budget/analytical", |b| {
         b.iter(|| analytical.prefill_budget(black_box(64), 64 * 1_500, 1_024, slack))
     });
+    c.bench_function("chunk_budget/analytical_uncached", |b| {
+        b.iter(|| analytical_uncached.prefill_budget(black_box(64), 64 * 1_500, 1_024, slack))
+    });
     c.bench_function("chunk_budget/forest", |b| {
         b.iter(|| forest.prefill_budget(black_box(64), 64 * 1_500, 1_024, slack))
+    });
+    c.bench_function("chunk_budget/forest_uncached", |b| {
+        b.iter(|| forest_uncached.prefill_budget(black_box(64), 64 * 1_500, 1_024, slack))
     });
 }
 

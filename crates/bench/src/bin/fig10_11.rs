@@ -10,10 +10,13 @@
 
 use qoserve::experiments::{load_sweep, scaled_window, shared_cluster_schemes};
 use qoserve::prelude::*;
-use qoserve_bench::{banner, p50_p95, tier_violation_cells};
+use qoserve_bench::{banner, emit_results, p50_p95, sweep_row, tier_violation_cells};
 
 fn main() {
-    banner("fig10_11", "Latency and SLO violations under load (Az-Code, Llama3-8B)");
+    banner(
+        "fig10_11",
+        "Latency and SLO violations under load (Az-Code, Llama3-8B)",
+    );
 
     let qps_list = [2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0];
     let points = load_sweep(
@@ -68,4 +71,7 @@ fn main() {
         println!("  {label:>14}: {max_clean:.1} QPS");
     }
     println!("\npaper: QoServe handles up to 40% higher load than the best baseline while meeting tail SLOs");
+
+    let rows: Vec<serde_json::Value> = points.iter().map(sweep_row).collect();
+    emit_results("fig10_11", &rows);
 }

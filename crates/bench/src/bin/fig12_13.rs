@@ -14,7 +14,10 @@ use qoserve_bench::banner;
 use qoserve_metrics::{RollingSeries, SloReport};
 
 fn main() {
-    banner("fig12_13", "Diurnal transient overload (Az-Code, Llama3-8B)");
+    banner(
+        "fig12_13",
+        "Diurnal transient overload (Az-Code, Llama3-8B)",
+    );
 
     // 4h of 15-minute phases in the paper; compressed by default so the
     // binary finishes quickly, stretched by QOSERVE_SCALE toward paper
@@ -55,7 +58,14 @@ fn main() {
 
     println!("\n--- Figure 12: deadline violations (%) ---");
     let mut fig12 = Table::new(vec![
-        "scheme", "overall", "important", "Q1", "Q2", "Q3", "relegated", "max latency (s)",
+        "scheme",
+        "overall",
+        "important",
+        "Q1",
+        "Q2",
+        "Q3",
+        "relegated",
+        "max latency (s)",
     ]);
     let mut all_outcomes = Vec::new();
     for scheme in &schemes {
@@ -80,15 +90,18 @@ fn main() {
         eprintln!("  done: {}", scheme.label());
     }
     print!("{fig12}");
-    println!(
-        "paper: FCFS 81.9%/EDF 84.1% overall vs QoServe 8.6% overall and 0% important"
-    );
+    println!("paper: FCFS 81.9%/EDF 84.1% overall vs QoServe 8.6% overall and 0% important");
 
     println!("\n--- Figure 13: rolling p99 of tier-judged latency (60s windows, seconds) ---");
     let window = SimDuration::from_secs(60);
     for tier in [TierId::Q1, TierId::Q2, TierId::Q3] {
         println!("\ntier {tier} (high-priority requests):");
-        let mut table = Table::new(vec!["scheme", "mean p99", "max p99", "final-quarter mean p99"]);
+        let mut table = Table::new(vec![
+            "scheme",
+            "mean p99",
+            "max p99",
+            "final-quarter mean p99",
+        ]);
         for (label, outcomes) in &all_outcomes {
             let samples: Vec<(SimTime, f64)> = outcomes
                 .iter()

@@ -10,7 +10,10 @@ use qoserve::prelude::*;
 use qoserve_bench::{banner, overall_median_latency};
 
 fn main() {
-    banner("fig14", "Varying the hybrid prioritization parameter (Az-Code)");
+    banner(
+        "fig14",
+        "Varying the hybrid prioritization parameter (Az-Code)",
+    );
 
     let alphas = [0.0, 2.0, 4.0];
     let schemes: Vec<SchedulerSpec> = alphas

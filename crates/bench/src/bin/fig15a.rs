@@ -55,7 +55,10 @@ fn chunk_trace(spec: &SchedulerSpec, trace: &Trace, seeds: &SeedStream) -> Vec<u
 }
 
 fn main() {
-    banner("fig15a", "Chunk-size traces: Medha vs QoServe (synthetic 10k/500)");
+    banner(
+        "fig15a",
+        "Chunk-size traces: Medha vs QoServe (synthetic 10k/500)",
+    );
 
     let seeds = SeedStream::new(15);
     let trace = synthetic_trace(0.25, SimDuration::from_secs(600), &seeds);
@@ -75,7 +78,13 @@ fn main() {
     let (m_min, m_med, m_max) = stats(&medha_chunks);
     let (q_min, q_med, q_max) = stats(&qoserve_chunks);
 
-    let mut table = Table::new(vec!["scheme", "batches", "chunk min", "chunk p50", "chunk max"]);
+    let mut table = Table::new(vec![
+        "scheme",
+        "batches",
+        "chunk min",
+        "chunk p50",
+        "chunk max",
+    ]);
     table.row(vec![
         "Medha".into(),
         medha_chunks.len().to_string(),
@@ -93,8 +102,14 @@ fn main() {
     print!("{table}");
 
     println!("\nfirst 24 chunk sizes of one long prefill:");
-    println!("  Medha:   {:?}", &medha_chunks[..24.min(medha_chunks.len())]);
-    println!("  QoServe: {:?}", &qoserve_chunks[..24.min(qoserve_chunks.len())]);
+    println!(
+        "  Medha:   {:?}",
+        &medha_chunks[..24.min(medha_chunks.len())]
+    );
+    println!(
+        "  QoServe: {:?}",
+        &qoserve_chunks[..24.min(qoserve_chunks.len())]
+    );
 
     // Isolated goodput comparison.
     let hw = HardwareConfig::llama3_8b_a100_tp1();
@@ -112,6 +127,9 @@ fn main() {
     };
     let gm = goodput(&medha());
     let gq = goodput(&dc_only());
-    println!("\ngoodput: Medha {gm:.2} QPS vs QoServe-DC {gq:.2} QPS -> {:.0}% gain", (gq / gm.max(1e-9) - 1.0) * 100.0);
+    println!(
+        "\ngoodput: Medha {gm:.2} QPS vs QoServe-DC {gq:.2} QPS -> {:.0}% gain",
+        (gq / gm.max(1e-9) - 1.0) * 100.0
+    );
     println!("paper: 0.26 vs 0.32 QPS (23% gain) from the chunking strategy alone");
 }

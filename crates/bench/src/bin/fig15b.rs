@@ -12,8 +12,8 @@
 
 use qoserve::experiments::scaled_window;
 use qoserve::prelude::*;
-use qoserve_bench::banner;
-use qoserve_metrics::{max_supported_load, SloReport};
+use qoserve_bench::{banner, emit_results};
+use qoserve_metrics::SloReport;
 
 fn tier_50ms() -> QosTier {
     QosTier::new(TierId::Q1, QosClass::interactive_secs_ms(6.0, 50.0))
@@ -23,12 +23,14 @@ fn tier_100ms() -> QosTier {
     QosTier::new(TierId::Q2, QosClass::interactive_secs_ms(6.0, 100.0))
 }
 
-/// Per-replica goodput for a given tier mix under a scheduler.
+/// Per-replica goodput for a given tier mix under a scheduler. The
+/// bracketing probes run on the parallel harness (`par_max_passing`
+/// returns the same boundary as the serial search).
 fn goodput_for_mix(mix: TierMix, spec: &SchedulerSpec, window: SimDuration, seed: u64) -> f64 {
     let hw = HardwareConfig::llama3_8b_a100_tp1();
     let config = ClusterConfig::new(hw);
     let seeds = SeedStream::new(seed);
-    max_supported_load(0.5, 30.0, 0.25, |qps| {
+    par_max_passing(0.5, 30.0, 0.25, |qps| {
         let trace = TraceBuilder::new(Dataset::azure_conv())
             .arrivals(ArrivalProcess::poisson(qps))
             .duration(window)
@@ -44,7 +46,10 @@ fn goodput_for_mix(mix: TierMix, spec: &SchedulerSpec, window: SimDuration, seed
 }
 
 fn main() {
-    banner("fig15b", "GPUs to serve 50 QPS across two TBT classes: PolyServe vs QoServe");
+    banner(
+        "fig15b",
+        "GPUs to serve 50 QPS across two TBT classes: PolyServe vs QoServe",
+    );
 
     let window = scaled_window(600);
     let total_qps = 50.0;
@@ -59,8 +64,15 @@ fn main() {
         predictor: PredictorKind::Analytical,
     };
     eprintln!("measuring per-class goodputs...");
-    let g_poly_50 = goodput_for_mix(TierMix::single(tier_50ms()), &poly_sched(50), window, 151);
-    let g_poly_100 = goodput_for_mix(TierMix::single(tier_100ms()), &poly_sched(100), window, 152);
+    // The two per-class measurements are independent — run them side by
+    // side (each one also parallelizes its own bracketing internally).
+    let per_class = par_map(
+        vec![(tier_50ms(), 50u64, 151u64), (tier_100ms(), 100u64, 152u64)],
+        |_, (tier, tbt_ms, seed)| {
+            goodput_for_mix(TierMix::single(tier), &poly_sched(tbt_ms), window, seed)
+        },
+    );
+    let (g_poly_50, g_poly_100) = (per_class[0], per_class[1]);
     eprintln!("  PolyServe per-replica goodput: 50ms class {g_poly_50:.1} QPS, 100ms class {g_poly_100:.1} QPS");
 
     let mut table = Table::new(vec![
@@ -69,11 +81,15 @@ fn main() {
         "QoServe GPUs",
         "savings",
     ]);
+    let mut rows = Vec::new();
     for q1_share in [0.9, 0.7, 0.5, 0.3, 0.1] {
         let poly_gpus = (total_qps * q1_share / g_poly_50.max(1e-9)).ceil()
             + (total_qps * (1.0 - q1_share) / g_poly_100.max(1e-9)).ceil();
 
-        let mix = TierMix::new(vec![(tier_50ms(), q1_share), (tier_100ms(), 1.0 - q1_share)]);
+        let mix = TierMix::new(vec![
+            (tier_50ms(), q1_share),
+            (tier_100ms(), 1.0 - q1_share),
+        ]);
         let g_qs = goodput_for_mix(mix, &SchedulerSpec::qoserve(), window, 153);
         let qs_gpus = (total_qps / g_qs.max(1e-9)).ceil();
 
@@ -83,8 +99,21 @@ fn main() {
             format!("{qs_gpus:.0}"),
             format!("{:.0}%", (1.0 - qs_gpus / poly_gpus) * 100.0),
         ]);
-        eprintln!("  done: Q1 share {:.0}% (QoServe goodput {g_qs:.1})", q1_share * 100.0);
+        eprintln!(
+            "  done: Q1 share {:.0}% (QoServe goodput {g_qs:.1})",
+            q1_share * 100.0
+        );
+        rows.push(serde_json::json!({
+            "q1_share": q1_share,
+            "qps": total_qps,
+            "polyserve_gpus": poly_gpus,
+            "qoserve_gpus": qs_gpus,
+            "qoserve_goodput_qps": g_qs,
+            "polyserve_goodput_50ms_qps": g_poly_50,
+            "polyserve_goodput_100ms_qps": g_poly_100,
+        }));
     }
     print!("{table}");
     println!("\npaper: QoServe always requires fewer A100s than PolyServe's per-class deployments");
+    emit_results("fig15b", &rows);
 }

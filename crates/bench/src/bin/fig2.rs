@@ -14,7 +14,10 @@ use qoserve_bench::banner;
 use qoserve_metrics::percentile;
 
 fn main() {
-    banner("fig2", "Traditional policies for multi-SLA scheduling (Az-Code, Llama3-8B)");
+    banner(
+        "fig2",
+        "Traditional policies for multi-SLA scheduling (Az-Code, Llama3-8B)",
+    );
 
     let schemes = vec![
         SchedulerSpec::sarathi_fcfs(),

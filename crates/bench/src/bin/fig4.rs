@@ -9,7 +9,10 @@ use qoserve::prelude::*;
 use qoserve_bench::banner;
 
 fn main() {
-    banner("fig4", "Throughput-latency tradeoff vs chunk size (Llama3-8B, A100)");
+    banner(
+        "fig4",
+        "Throughput-latency tradeoff vs chunk size (Llama3-8B, A100)",
+    );
 
     let hw = HardwareConfig::llama3_8b_a100_tp1();
     let model = LatencyModel::new(&hw);

@@ -10,7 +10,10 @@ use qoserve::prelude::*;
 use qoserve_bench::{banner, overall_median_latency};
 
 fn main() {
-    banner("fig5", "Eager relegation keeps the median stable under overload (Az-Code)");
+    banner(
+        "fig5",
+        "Eager relegation keeps the median stable under overload (Az-Code)",
+    );
 
     // Ablate relegation on the deadline-ordered base (EDF + dynamic
     // chunking, as in Table 5's DC row) so the cascade is visible: with
@@ -40,7 +43,11 @@ fn main() {
     for (i, p) in points.iter().enumerate() {
         // load_sweep interleaves schemes per QPS; relabel the ER-disabled
         // QoServe variant for readability.
-        let label = if i % 2 == 0 { "No relegation" } else { "Eager relegation" };
+        let label = if i % 2 == 0 {
+            "No relegation"
+        } else {
+            "Eager relegation"
+        };
         table.row(vec![
             format!("{:.2}", p.qps),
             label.to_owned(),

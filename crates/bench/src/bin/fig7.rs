@@ -10,7 +10,10 @@ use qoserve::prelude::*;
 use qoserve_bench::banner;
 
 fn main() {
-    banner("fig7", "Max goodput per replica (shared cluster, PD colocation)");
+    banner(
+        "fig7",
+        "Max goodput per replica (shared cluster, PD colocation)",
+    );
 
     let schemes = [
         SchedulerSpec::sarathi_fcfs(),

@@ -16,20 +16,14 @@ fn main() {
     let seeds = SeedStream::new(9);
     // Interactive-heavy near-capacity load: decode slack actually binds,
     // so the budget oscillates between the TBT floor and the 2560 cap.
-    let mix = TierMix::new(vec![
-        (QosTier::paper_q1(), 2.0),
-        (QosTier::paper_q2(), 1.0),
-    ]);
+    let mix = TierMix::new(vec![(QosTier::paper_q1(), 2.0), (QosTier::paper_q2(), 1.0)]);
     let trace = TraceBuilder::new(Dataset::azure_conv())
         .arrivals(ArrivalProcess::poisson(7.0))
         .duration(SimDuration::from_secs(600))
         .tier_mix(mix)
         .build(&seeds);
 
-    let sched = QoServeScheduler::new(
-        QoServeConfig::default(),
-        LatencyPredictor::analytical(&hw),
-    );
+    let sched = QoServeScheduler::new(QoServeConfig::default(), LatencyPredictor::analytical(&hw));
     let config = ReplicaConfig::new(hw).with_batch_recording();
     let mut engine = ReplicaEngine::new(config, Box::new(sched), &seeds);
     let _ = engine.run_trace(&trace);
@@ -38,7 +32,13 @@ fn main() {
     let start = log.len() / 3;
     let window = &log[start..(start + 200).min(log.len())];
 
-    let mut table = Table::new(vec!["batch", "chunk budget", "prefill tokens", "exec (ms)", "decodes"]);
+    let mut table = Table::new(vec![
+        "batch",
+        "chunk budget",
+        "prefill tokens",
+        "exec (ms)",
+        "decodes",
+    ]);
     for (i, b) in window.iter().enumerate().step_by(10) {
         table.row(vec![
             (start + i).to_string(),

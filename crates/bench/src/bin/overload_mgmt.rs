@@ -13,7 +13,10 @@ use qoserve::prelude::*;
 use qoserve_bench::banner;
 
 fn main() {
-    banner("overload_mgmt", "Rate limiting vs SRPF vs eager relegation under overload");
+    banner(
+        "overload_mgmt",
+        "Rate limiting vs SRPF vs eager relegation under overload",
+    );
 
     let trace = TraceBuilder::new(Dataset::azure_code())
         .arrivals(ArrivalProcess::poisson(9.0))
@@ -21,7 +24,10 @@ fn main() {
         .paper_tier_mix()
         .low_priority_fraction(0.2)
         .build(&SeedStream::new(22));
-    println!("workload: {} requests at ~1.5x capacity, 20% free tier\n", trace.len());
+    println!(
+        "workload: {} requests at ~1.5x capacity, 20% free tier\n",
+        trace.len()
+    );
 
     let schemes: Vec<SchedulerSpec> = vec![
         // Naive throttling in front of the SOTA baseline: reject once the

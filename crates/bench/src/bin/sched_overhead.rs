@@ -60,7 +60,10 @@ where
 }
 
 fn main() {
-    banner("sched_overhead", "Per-decision scheduling cost: QoServe vs SLOs-Serve (§4.5.3)");
+    banner(
+        "sched_overhead",
+        "Per-decision scheduling cost: QoServe vs SLOs-Serve (§4.5.3)",
+    );
 
     let hw = HardwareConfig::llama3_8b_a100_tp1();
     let mut table = Table::new(vec![
@@ -77,7 +80,12 @@ fn main() {
             reps,
         );
         let slos = plan_cost(
-            || SlosServeScheduler::new(SlosServeConfig::default(), LatencyPredictor::analytical(&hw)),
+            || {
+                SlosServeScheduler::new(
+                    SlosServeConfig::default(),
+                    LatencyPredictor::analytical(&hw),
+                )
+            },
             n,
             reps,
         );

@@ -8,11 +8,14 @@
 
 use qoserve::experiments::scaled_window;
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results, overall_median_latency, overall_p95_latency};
 use qoserve_metrics::SloReport;
 
 fn main() {
-    banner("table4", "Cluster-scale: siloed vs QoServe shared (Az-Code @ 35 QPS)");
+    banner(
+        "table4",
+        "Cluster-scale: siloed vs QoServe shared (Az-Code @ 35 QPS)",
+    );
 
     let hw = HardwareConfig::llama3_8b_a100_tp1();
     let window = scaled_window(3600);
@@ -44,6 +47,22 @@ fn main() {
         ]
     };
 
+    // The three deployments are independent seeded simulations — run them
+    // on the parallel harness (results are identical to running in order).
+    let scenarios: Vec<(&str, u32, Option<Vec<SiloGroup>>)> = vec![
+        ("Silo-(7,3,3)", 13, Some(silo(7, 3, 3))),
+        ("Silo-(6,2,2)", 10, Some(silo(6, 2, 2))),
+        ("QoServe-(10)", 10, None),
+    ];
+    let runs = par_map(scenarios, |_, (label, gpus, groups)| {
+        let outcomes = match &groups {
+            Some(groups) => run_siloed(&trace, groups, &config, &seeds),
+            None => run_shared(&trace, gpus, &SchedulerSpec::qoserve(), &config, &seeds),
+        };
+        eprintln!("  done: {label}");
+        (label, gpus, outcomes)
+    });
+
     let mut table = Table::new(vec![
         "scheme",
         "GPUs",
@@ -52,35 +71,28 @@ fn main() {
         "Q3 p99 (1800s)",
         "overall violations",
     ]);
-    let mut run = |label: &str, gpus: u32, outcomes: Vec<RequestOutcome>| {
-        let report = SloReport::compute(&outcomes, trace.long_prompt_threshold());
+    let mut rows = Vec::new();
+    for (label, gpus, outcomes) in &runs {
+        let report = SloReport::compute(outcomes, trace.long_prompt_threshold());
         table.row(vec![
-            label.to_owned(),
+            (*label).to_owned(),
             gpus.to_string(),
             format!("{:.2}", report.tier_summary(TierId::Q1).p99),
             format!("{:.2}", report.tier_summary(TierId::Q2).p99),
             format!("{:.2}", report.tier_summary(TierId::Q3).p99),
             format!("{:.2}%", report.violation_pct()),
         ]);
-        eprintln!("  done: {label}");
-    };
-
-    run(
-        "Silo-(7,3,3)",
-        13,
-        run_siloed(&trace, &silo(7, 3, 3), &config, &seeds),
-    );
-    run(
-        "Silo-(6,2,2)",
-        10,
-        run_siloed(&trace, &silo(6, 2, 2), &config, &seeds),
-    );
-    run(
-        "QoServe-(10)",
-        10,
-        run_shared(&trace, 10, &SchedulerSpec::qoserve(), &config, &seeds),
-    );
+        rows.push(serde_json::json!({
+            "scheme": label,
+            "gpus": gpus,
+            "qps": 35.0,
+            "violation_pct": report.violation_pct(),
+            "p50_secs": overall_median_latency(outcomes),
+            "p95_secs": overall_p95_latency(outcomes),
+        }));
+    }
     print!("{table}");
+    emit_results("table4", &rows);
 
     println!();
     println!(
@@ -90,8 +102,7 @@ fn main() {
 
     // How few replicas would QoServe actually need at this load?
     eprintln!("searching minimum QoServe replicas...");
-    if let Some(n) = min_replicas_for(&trace, &SchedulerSpec::qoserve(), &config, 1.0, 13, &seeds)
-    {
+    if let Some(n) = min_replicas_for(&trace, &SchedulerSpec::qoserve(), &config, 1.0, 13, &seeds) {
         println!(
             "capacity planner: QoServe meets all SLOs with {n} replicas \
              ({:.0}% fewer GPUs than the 13-GPU silo)",

@@ -92,7 +92,5 @@ fn main() {
     }
     print!("{table}");
     println!();
-    println!(
-        "paper: EDF 2.75 QPS/100% -> DC 3.3/74% -> DC+ER 3.6/26% -> full 3.65/16%"
-    );
+    println!("paper: EDF 2.75 QPS/100% -> DC 3.3/74% -> DC+ER 3.6/26% -> full 3.65/16%");
 }

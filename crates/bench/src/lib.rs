@@ -54,14 +54,61 @@ pub fn overall_median_latency(outcomes: &[RequestOutcome]) -> Option<f64> {
     qoserve_metrics::percentile(&secs, 0.5)
 }
 
+/// p95 of the tier-judged latency over all finished requests, seconds.
+pub fn overall_p95_latency(outcomes: &[RequestOutcome]) -> Option<f64> {
+    overall_latency_percentile(outcomes, 0.95)
+}
+
 /// p99 of the tier-judged latency over all finished requests, seconds.
 pub fn overall_p99_latency(outcomes: &[RequestOutcome]) -> Option<f64> {
+    overall_latency_percentile(outcomes, 0.99)
+}
+
+/// Arbitrary percentile of the tier-judged latency, seconds.
+pub fn overall_latency_percentile(outcomes: &[RequestOutcome], q: f64) -> Option<f64> {
     let secs: Vec<f64> = outcomes
         .iter()
         .filter_map(|o| o.tier_latency())
         .map(|d| d.as_secs_f64())
         .collect();
-    qoserve_metrics::percentile(&secs, 0.99)
+    qoserve_metrics::percentile(&secs, q)
+}
+
+/// The machine-readable summary row of one sweep point: scheme, offered
+/// load, violation percentage, and overall p50/p95 latency.
+pub fn sweep_row(point: &qoserve::experiments::SweepPoint) -> serde_json::Value {
+    serde_json::json!({
+        "scheme": point.scheme,
+        "qps": point.qps,
+        "violation_pct": point.report.violation_pct(),
+        "p50_secs": overall_median_latency(&point.outcomes),
+        "p95_secs": overall_p95_latency(&point.outcomes),
+    })
+}
+
+/// Writes `rows` to `results/<id>.json` (creating `results/` if needed)
+/// and returns the path. The file carries the experiment id and the rows
+/// verbatim, so downstream tooling can diff runs across commits.
+pub fn write_results_json(
+    id: &str,
+    rows: &[serde_json::Value],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.json"));
+    let doc = serde_json::json!({ "id": id, "rows": rows });
+    let body = serde_json::to_string_pretty(&doc).map_err(std::io::Error::other)?;
+    std::fs::write(&path, body + "\n")?;
+    Ok(path)
+}
+
+/// [`write_results_json`], reported on stdout/stderr instead of returned —
+/// a missing `results/` directory must never fail an experiment run.
+pub fn emit_results(id: &str, rows: &[serde_json::Value]) {
+    match write_results_json(id, rows) {
+        Ok(path) => println!("machine-readable summary: {}", path.display()),
+        Err(err) => eprintln!("warning: could not write results/{id}.json: {err}"),
+    }
 }
 
 #[cfg(test)]
@@ -73,5 +120,20 @@ mod tests {
         assert_eq!(secs(None), "-");
         assert_eq!(secs(Some(1.234)), "1.23");
         assert_eq!(p50_p95(&LatencySummary::default()), "-");
+    }
+
+    #[test]
+    fn sweep_row_shape() {
+        let point = qoserve::experiments::SweepPoint {
+            scheme: "QoServe".to_owned(),
+            qps: 3.5,
+            report: SloReport::compute(&[], 1_000),
+            outcomes: Vec::new(),
+        };
+        let row = sweep_row(&point);
+        assert_eq!(row["scheme"], "QoServe");
+        assert_eq!(row["qps"], 3.5);
+        assert!(row["violation_pct"].is_number());
+        assert!(row["p50_secs"].is_null(), "no outcomes -> null percentile");
     }
 }

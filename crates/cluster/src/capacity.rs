@@ -2,13 +2,19 @@
 //!
 //! * [`max_goodput`] — the paper's per-replica goodput metric (§4.1.2):
 //!   the maximum QPS at which at most 1 % of requests violate their
-//!   deadlines, found by bisection over full simulation runs.
+//!   deadlines, found by ramp-plus-bisection over full simulation runs.
 //! * [`min_replicas_for`] — the capacity planner behind Table 4 and
 //!   Fig. 15b: the smallest replica pool that serves a fixed-QPS trace
 //!   within the violation bar.
+//!
+//! Both searches run their independent probe simulations on the
+//! deterministic parallel harness (`qoserve_sim::parallel`): every probe
+//! reconstructs its randomness from the probe parameters alone, so the
+//! answers are bit-identical to the serial search regardless of
+//! `QOSERVE_THREADS`.
 
 use qoserve_metrics::{max_supported_load, SloReport};
-use qoserve_sim::{SeedStream, SimDuration};
+use qoserve_sim::{par_map, par_max_passing, SeedStream, SimDuration};
 use qoserve_workload::{ArrivalProcess, Dataset, TierMix, Trace, TraceBuilder};
 
 use crate::deployment::{run_shared, ClusterConfig};
@@ -47,12 +53,7 @@ impl Default for GoodputOptions {
 }
 
 /// Builds the probe trace for one goodput probe.
-fn probe_trace(
-    dataset: &Dataset,
-    qps: f64,
-    options: &GoodputOptions,
-    seeds: &SeedStream,
-) -> Trace {
+fn probe_trace(dataset: &Dataset, qps: f64, options: &GoodputOptions, seeds: &SeedStream) -> Trace {
     TraceBuilder::new(dataset.clone())
         .arrivals(ArrivalProcess::poisson(qps))
         .duration(options.window)
@@ -60,9 +61,32 @@ fn probe_trace(
         .build(seeds)
 }
 
+/// One goodput probe: does `scheduler` hold the violation bar at `qps`?
+fn goodput_probe(
+    dataset: &Dataset,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    options: &GoodputOptions,
+    seeds: &SeedStream,
+    qps: f64,
+) -> bool {
+    let trace = probe_trace(dataset, qps, options, &seeds.child("trace"));
+    if trace.is_empty() {
+        return true;
+    }
+    let outcomes = run_shared(&trace, 1, scheduler, config, seeds);
+    SloReport::compute(&outcomes, trace.long_prompt_threshold())
+        .meets_goodput_bar(options.allowed_violation_pct)
+}
+
 /// Maximum goodput (QPS per replica) of `scheduler` on `dataset`:
 /// the largest arrival rate with at most `allowed_violation_pct`
 /// violations. Returns 0 when even `min_qps` fails.
+///
+/// The coarse bracketing grid runs in parallel (every probe derives its
+/// trace and noise purely from its QPS and `seeds`), then the bisection
+/// refines serially — bit-identical to [`max_goodput_serial`] for any
+/// `QOSERVE_THREADS`.
 pub fn max_goodput(
     dataset: &Dataset,
     scheduler: &SchedulerSpec,
@@ -70,21 +94,42 @@ pub fn max_goodput(
     options: &GoodputOptions,
     seeds: &SeedStream,
 ) -> f64 {
-    max_supported_load(options.min_qps, options.max_qps, options.resolution, |qps| {
-        let trace = probe_trace(dataset, qps, options, &seeds.child("trace"));
-        if trace.is_empty() {
-            return true;
-        }
-        let outcomes = run_shared(&trace, 1, scheduler, config, seeds);
-        SloReport::compute(&outcomes, trace.long_prompt_threshold())
-            .meets_goodput_bar(options.allowed_violation_pct)
-    })
+    par_max_passing(
+        options.min_qps,
+        options.max_qps,
+        options.resolution,
+        |qps| goodput_probe(dataset, scheduler, config, options, seeds, qps),
+    )
+    .unwrap_or(0.0)
+}
+
+/// Single-threaded reference implementation of [`max_goodput`], kept for
+/// the determinism tests that pin the parallel search to it.
+pub fn max_goodput_serial(
+    dataset: &Dataset,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    options: &GoodputOptions,
+    seeds: &SeedStream,
+) -> f64 {
+    max_supported_load(
+        options.min_qps,
+        options.max_qps,
+        options.resolution,
+        |qps| goodput_probe(dataset, scheduler, config, options, seeds, qps),
+    )
     .unwrap_or(0.0)
 }
 
 /// Smallest number of replicas that serves `trace` with at most
 /// `allowed_violation_pct` violations; `None` if even `max_replicas` is
-/// insufficient. Monotone bisection over pool size.
+/// insufficient.
+///
+/// All candidate pool sizes `1..=max_replicas` are probed concurrently
+/// and the smallest passing one wins. (The earlier implementation
+/// bisected, which assumed the pass predicate is monotone in pool size;
+/// exhaustive probing returns the true minimum even when a mid-size pool
+/// happens to fail, and its answer is independent of thread count.)
 pub fn min_replicas_for(
     trace: &Trace,
     scheduler: &SchedulerSpec,
@@ -95,23 +140,11 @@ pub fn min_replicas_for(
 ) -> Option<u32> {
     assert!(max_replicas > 0, "max_replicas must be positive");
     let threshold = trace.long_prompt_threshold();
-    let passes = |replicas: u32| {
+    let verdicts = par_map((1..=max_replicas).collect(), |_, replicas| {
         let outcomes = run_shared(trace, replicas, scheduler, config, seeds);
         SloReport::compute(&outcomes, threshold).meets_goodput_bar(allowed_violation_pct)
-    };
-    if !passes(max_replicas) {
-        return None;
-    }
-    let (mut lo, mut hi) = (0u32, max_replicas); // lo fails (0 replicas), hi passes
-    while hi - lo > 1 {
-        let mid = lo + (hi - lo) / 2;
-        if passes(mid) {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-    }
-    Some(hi)
+    });
+    verdicts.iter().position(|&ok| ok).map(|i| i as u32 + 1)
 }
 
 #[cfg(test)]

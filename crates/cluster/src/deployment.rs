@@ -158,8 +158,8 @@ fn run_replica_pools(
                 let replica_id = replica_base + idx as u32;
                 scope.spawn(move |_| {
                     let replica_seeds = seeds.child("replica");
-                    let mut rc = ReplicaConfig::new(config.hardware.clone())
-                        .with_replica_id(replica_id);
+                    let mut rc =
+                        ReplicaConfig::new(config.hardware.clone()).with_replica_id(replica_id);
                     rc.noise_sigma = config.noise_sigma;
                     rc.max_decode_batch = config.max_decode_batch;
                     rc.horizon = config.horizon;
@@ -206,7 +206,13 @@ mod tests {
     #[test]
     fn shared_accounts_every_request_once() {
         let t = trace(1, 6.0, 240);
-        let outcomes = run_shared(&t, 3, &SchedulerSpec::qoserve(), &config(), &SeedStream::new(1));
+        let outcomes = run_shared(
+            &t,
+            3,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &SeedStream::new(1),
+        );
         assert_eq!(outcomes.len(), t.len());
         for (i, o) in outcomes.iter().enumerate() {
             assert_eq!(o.spec.id.0, i as u64, "sorted by id");
@@ -222,7 +228,13 @@ mod tests {
     fn shared_run_is_deterministic() {
         let t = trace(2, 4.0, 120);
         let run = || {
-            run_shared(&t, 2, &SchedulerSpec::qoserve(), &config(), &SeedStream::new(5))
+            run_shared(
+                &t,
+                2,
+                &SchedulerSpec::qoserve(),
+                &config(),
+                &SeedStream::new(5),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -281,7 +293,11 @@ mod tests {
             .tier_mix(TierMix::paper_equal())
             .build(&SeedStream::new(5));
         // Only Q1 is served.
-        let silos = vec![SiloGroup::new(vec![TierId::Q1], 1, SchedulerSpec::qoserve())];
+        let silos = vec![SiloGroup::new(
+            vec![TierId::Q1],
+            1,
+            SchedulerSpec::qoserve(),
+        )];
         let outcomes = run_siloed(&t, &silos, &config(), &SeedStream::new(5));
         assert_eq!(outcomes.len(), t.len());
         for o in &outcomes {
@@ -307,6 +323,12 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn zero_replicas_rejected() {
         let t = trace(7, 1.0, 5);
-        let _ = run_shared(&t, 0, &SchedulerSpec::qoserve(), &config(), &SeedStream::new(7));
+        let _ = run_shared(
+            &t,
+            0,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &SeedStream::new(7),
+        );
     }
 }

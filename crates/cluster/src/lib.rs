@@ -19,7 +19,7 @@ pub mod deployment;
 pub mod router;
 pub mod spec;
 
-pub use capacity::{max_goodput, min_replicas_for, GoodputOptions};
+pub use capacity::{max_goodput, max_goodput_serial, min_replicas_for, GoodputOptions};
 pub use deployment::{run_shared, run_siloed, ClusterConfig, SiloGroup};
 pub use router::Router;
 pub use spec::SchedulerSpec;

@@ -186,7 +186,10 @@ mod tests {
             SchedulerSpec::sarathi_fcfs().build(&hw, &seeds).name(),
             "Sarathi-FCFS"
         );
-        assert_eq!(SchedulerSpec::qoserve().build(&hw, &seeds).name(), "QoServe");
+        assert_eq!(
+            SchedulerSpec::qoserve().build(&hw, &seeds).name(),
+            "QoServe"
+        );
         let medha = SchedulerSpec::Medha {
             config: MedhaConfig::default(),
             predictor: PredictorKind::Analytical,
@@ -214,6 +217,9 @@ mod tests {
             max_backlog_tokens: 10_000,
         };
         assert_eq!(limited.label(), "RateLimited(Sarathi-FCFS)");
-        assert_eq!(limited.build(&hw, &seeds).name(), "RateLimited(Sarathi-FCFS)");
+        assert_eq!(
+            limited.build(&hw, &seeds).name(),
+            "RateLimited(Sarathi-FCFS)"
+        );
     }
 }

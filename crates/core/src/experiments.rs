@@ -16,7 +16,7 @@
 use qoserve_cluster::{run_shared, ClusterConfig, SchedulerSpec};
 use qoserve_metrics::{RequestOutcome, SloReport};
 use qoserve_perf::HardwareConfig;
-use qoserve_sim::{SeedStream, SimDuration};
+use qoserve_sim::{par_map, SeedStream, SimDuration};
 use qoserve_workload::{ArrivalProcess, Dataset, TierMix, Trace, TraceBuilder};
 
 /// Reads the experiment scale factor from `QOSERVE_SCALE` (default 1.0,
@@ -60,7 +60,55 @@ pub struct SweepPoint {
 /// Runs every `(scheme, qps)` combination on a single shared replica over
 /// the same per-QPS trace and returns the reports. Traces are rebuilt per
 /// QPS (same seed) so schemes see identical workloads.
+///
+/// The grid cells are independent seeded simulations, so they run on
+/// [`par_map`] worker threads (`QOSERVE_THREADS` controls how many).
+/// Every cell reconstructs its randomness from `(seed, qps, scheme)`
+/// alone, so the output is **bit-identical** to [`load_sweep_serial`] for
+/// any thread count — a property `tests/` enforces.
 pub fn load_sweep(
+    dataset: &Dataset,
+    hardware: &HardwareConfig,
+    schemes: &[SchedulerSpec],
+    qps_list: &[f64],
+    window: SimDuration,
+    mix: &TierMix,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    // Stage 1: build the per-QPS traces concurrently (each derives purely
+    // from (dataset, qps, seed)).
+    let traces: Vec<(f64, u32, Trace)> = par_map(qps_list.to_vec(), |_, qps| {
+        let trace = TraceBuilder::new(dataset.clone())
+            .arrivals(ArrivalProcess::poisson(qps))
+            .duration(window)
+            .tier_mix(mix.clone())
+            .build(&SeedStream::new(seed));
+        let threshold = trace.long_prompt_threshold();
+        (qps, threshold, trace)
+    });
+
+    // Stage 2: simulate every grid cell concurrently, in the same
+    // qps-major / scheme-minor order the serial loop produced.
+    let grid: Vec<(usize, usize)> = (0..traces.len())
+        .flat_map(|qi| (0..schemes.len()).map(move |si| (qi, si)))
+        .collect();
+    par_map(grid, |_, (qi, si)| {
+        let (qps, threshold, trace) = &traces[qi];
+        let scheme = &schemes[si];
+        let outcomes = run_run(trace, scheme, hardware, seed);
+        let report = SloReport::compute(&outcomes, *threshold);
+        SweepPoint {
+            scheme: scheme.label(),
+            qps: *qps,
+            report,
+            outcomes,
+        }
+    })
+}
+
+/// The original single-threaded sweep loop, kept as the reference
+/// implementation that [`load_sweep`] must match bit-for-bit.
+pub fn load_sweep_serial(
     dataset: &Dataset,
     hardware: &HardwareConfig,
     schemes: &[SchedulerSpec],
@@ -118,10 +166,7 @@ mod tests {
 
     #[test]
     fn scheme_list_matches_paper_plots() {
-        let labels: Vec<String> = shared_cluster_schemes()
-            .iter()
-            .map(|s| s.label())
-            .collect();
+        let labels: Vec<String> = shared_cluster_schemes().iter().map(|s| s.label()).collect();
         assert_eq!(
             labels,
             vec!["Sarathi-FCFS", "Sarathi-SRPF", "Sarathi-EDF", "QoServe"]

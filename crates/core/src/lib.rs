@@ -64,7 +64,9 @@ pub mod prelude {
         Router, SchedulerSpec, SiloGroup,
     };
     pub use qoserve_engine::{ReplicaConfig, ReplicaEngine};
-    pub use qoserve_metrics::{LatencySummary, LogHistogram, RequestOutcome, RollingSeries, SloReport, Table};
+    pub use qoserve_metrics::{
+        LatencySummary, LogHistogram, RequestOutcome, RollingSeries, SloReport, Table,
+    };
     pub use qoserve_perf::{
         BatchProfile, ChunkBudget, ChunkLimits, HardwareConfig, LatencyModel, LatencyPredictor,
         PredictorKind,
@@ -74,7 +76,9 @@ pub mod prelude {
         QoServeScheduler, RateLimitScheduler, SarathiScheduler, Scheduler, SlosServeConfig,
         SlosServeScheduler,
     };
-    pub use qoserve_sim::{SeedStream, SimDuration, SimTime};
+    pub use qoserve_sim::{
+        par_map, par_max_passing, thread_limit, SeedStream, SimDuration, SimTime,
+    };
     pub use qoserve_workload::{
         ArrivalProcess, Dataset, Priority, QosClass, QosTier, RequestId, RequestSpec, Slo, TierId,
         TierMix, Trace, TraceBuilder,

@@ -10,9 +10,7 @@ use qoserve_cluster::{run_shared, ClusterConfig, SchedulerSpec};
 use qoserve_metrics::{RequestOutcome, SloReport};
 use qoserve_perf::HardwareConfig;
 use qoserve_sim::{SeedStream, SimTime};
-use qoserve_workload::{
-    Priority, QosClass, QosTier, RequestId, RequestSpec, Slo, TierId, Trace,
-};
+use qoserve_workload::{Priority, QosClass, QosTier, RequestId, RequestSpec, Slo, TierId, Trace};
 
 /// Builder-style request description.
 ///
@@ -72,7 +70,10 @@ impl Request {
     /// Sets the TTFT target (interactive requests only — converts the
     /// class if needed, keeping the current TBT or the 50 ms default).
     pub fn ttft_secs(mut self, secs: f64) -> Self {
-        let tbt = self.class.tbt().unwrap_or(qoserve_sim::SimDuration::from_millis(50));
+        let tbt = self
+            .class
+            .tbt()
+            .unwrap_or(qoserve_sim::SimDuration::from_millis(50));
         self.class = QosClass::Interactive {
             ttft: qoserve_sim::SimDuration::from_secs_f64(secs),
             tbt,
@@ -82,7 +83,10 @@ impl Request {
 
     /// Sets the TBT target (interactive requests only).
     pub fn tbt_ms(mut self, ms: f64) -> Self {
-        let ttft = self.class.ttft().unwrap_or(qoserve_sim::SimDuration::from_secs(6));
+        let ttft = self
+            .class
+            .ttft()
+            .unwrap_or(qoserve_sim::SimDuration::from_secs(6));
         self.class = QosClass::Interactive {
             ttft,
             tbt: qoserve_sim::SimDuration::from_millis_f64(ms),
@@ -293,8 +297,14 @@ mod tests {
             .app(9)
             .arriving_at_secs(3.0)
             .into_spec(RequestId(1));
-        assert_eq!(spec.class().ttft(), Some(qoserve_sim::SimDuration::from_secs(2)));
-        assert_eq!(spec.class().tbt(), Some(qoserve_sim::SimDuration::from_millis(20)));
+        assert_eq!(
+            spec.class().ttft(),
+            Some(qoserve_sim::SimDuration::from_secs(2))
+        );
+        assert_eq!(
+            spec.class().tbt(),
+            Some(qoserve_sim::SimDuration::from_millis(20))
+        );
         assert_eq!(spec.tier(), TierId(5));
         assert_eq!(spec.priority(), Priority::Low);
         assert_eq!(spec.app_id, 9);
@@ -315,9 +325,14 @@ mod tests {
 
     #[test]
     fn ttft_on_batch_converts_to_interactive() {
-        let spec = Request::batch(100, 10).ttft_secs(1.0).into_spec(RequestId(0));
+        let spec = Request::batch(100, 10)
+            .ttft_secs(1.0)
+            .into_spec(RequestId(0));
         assert!(spec.class().is_interactive());
-        assert_eq!(spec.class().tbt(), Some(qoserve_sim::SimDuration::from_millis(50)));
+        assert_eq!(
+            spec.class().tbt(),
+            Some(qoserve_sim::SimDuration::from_millis(50))
+        );
     }
 
     #[test]

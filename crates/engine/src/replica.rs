@@ -432,7 +432,10 @@ impl ReplicaEngine {
     }
 
     fn complete(&mut self, id: RequestId) {
-        let r = self.running.remove(&id).expect("completing unknown request");
+        let r = self
+            .running
+            .remove(&id)
+            .expect("completing unknown request");
         self.decode_pool.retain(|d| *d != id);
         self.kv.release(id);
         self.scheduler.on_completion(&r.spec, r.generated);

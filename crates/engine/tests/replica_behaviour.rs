@@ -4,9 +4,7 @@
 use qoserve_engine::{to_prefill_only_trace, ReplicaConfig, ReplicaEngine};
 use qoserve_metrics::{RequestOutcome, SloReport};
 use qoserve_perf::{HardwareConfig, LatencyPredictor};
-use qoserve_sched::{
-    OrderPolicy, QoServeConfig, QoServeScheduler, SarathiScheduler, Scheduler,
-};
+use qoserve_sched::{OrderPolicy, QoServeConfig, QoServeScheduler, SarathiScheduler, Scheduler};
 use qoserve_sim::{SeedStream, SimDuration, SimTime};
 use qoserve_workload::{
     ArrivalProcess, Dataset, QosTier, RequestId, RequestSpec, Slo, Trace, TraceBuilder,
@@ -106,7 +104,13 @@ fn token_deadlines_hold_under_light_load() {
     // loosely by the largest possible dynamic-chunk iteration.
     let mut e = engine(qoserve(), 4);
     for i in 0..8 {
-        e.submit(spec(i, 1.0 + i as f64 * 0.2, 2_000, 100, QosTier::paper_q1()));
+        e.submit(spec(
+            i,
+            1.0 + i as f64 * 0.2,
+            2_000,
+            100,
+            QosTier::paper_q1(),
+        ));
     }
     let outcomes = e.run();
     for o in &outcomes {
@@ -197,7 +201,10 @@ fn overload_hurts_fcfs_more_than_qoserve() {
         fcfs.violation_pct(),
         qs.violation_pct()
     );
-    assert!(qs.relegated_fraction > 0.0, "overload should trigger relegation");
+    assert!(
+        qs.relegated_fraction > 0.0,
+        "overload should trigger relegation"
+    );
 }
 
 #[test]

@@ -47,7 +47,8 @@ impl RequestOutcome {
 
     /// Time to first token, when the request produced one.
     pub fn ttft(&self) -> Option<SimDuration> {
-        self.first_token.map(|t| t.duration_since(self.spec.arrival))
+        self.first_token
+            .map(|t| t.duration_since(self.spec.arrival))
     }
 
     /// Time to last token, when the request completed.

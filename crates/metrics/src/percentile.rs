@@ -115,9 +115,7 @@ mod tests {
 
     #[test]
     fn summary_of_durations() {
-        let s = LatencySummary::of_durations(
-            (1..=100).map(SimDuration::from_secs),
-        );
+        let s = LatencySummary::of_durations((1..=100).map(SimDuration::from_secs));
         assert_eq!(s.count, 100);
         assert!((s.p50 - 50.5).abs() < 1e-9);
         assert!((s.mean - 50.5).abs() < 1e-9);

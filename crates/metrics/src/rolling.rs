@@ -28,15 +28,17 @@ impl RollingSeries {
         let window_us = window.as_micros().max(1);
         let mut buckets: std::collections::BTreeMap<u64, Vec<f64>> = Default::default();
         for (t, v) in samples {
-            buckets.entry(t.as_micros() / window_us).or_default().push(*v);
+            buckets
+                .entry(t.as_micros() / window_us)
+                .or_default()
+                .push(*v);
         }
         RollingSeries {
             window_secs: window.as_secs_f64(),
             points: buckets
                 .into_iter()
                 .filter_map(|(idx, vals)| {
-                    percentile(&vals, p)
-                        .map(|val| ((idx * window_us) as f64 / 1e6, val))
+                    percentile(&vals, p).map(|val| ((idx * window_us) as f64 / 1e6, val))
                 })
                 .collect(),
         }
@@ -83,8 +85,7 @@ mod tests {
 
     #[test]
     fn buckets_by_window() {
-        let series =
-            RollingSeries::percentile_over(&samples(), SimDuration::from_secs(60), 0.5);
+        let series = RollingSeries::percentile_over(&samples(), SimDuration::from_secs(60), 0.5);
         assert_eq!(series.points.len(), 2);
         assert_eq!(series.points[0].0, 0.0);
         assert_eq!(series.points[0].1, 5.5); // median of 1..=10
@@ -101,8 +102,7 @@ mod tests {
 
     #[test]
     fn max_and_mean() {
-        let series =
-            RollingSeries::percentile_over(&samples(), SimDuration::from_secs(60), 0.5);
+        let series = RollingSeries::percentile_over(&samples(), SimDuration::from_secs(60), 0.5);
         assert_eq!(series.max_value(), Some(100.0));
         assert_eq!(series.mean_value(), Some(52.75));
         let empty = RollingSeries::percentile_over(&[], SimDuration::from_secs(60), 0.5);
@@ -112,8 +112,7 @@ mod tests {
 
     #[test]
     fn slice_filters_by_time() {
-        let series =
-            RollingSeries::percentile_over(&samples(), SimDuration::from_secs(60), 0.5);
+        let series = RollingSeries::percentile_over(&samples(), SimDuration::from_secs(60), 0.5);
         assert_eq!(series.slice(0.0, 60.0), vec![5.5]);
         assert_eq!(series.slice(60.0, 120.0), vec![100.0]);
         assert!(series.slice(120.0, 240.0).is_empty());

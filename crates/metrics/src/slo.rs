@@ -75,7 +75,10 @@ impl SloReport {
                 relegated += 1;
             }
             if let Some(lat) = o.tier_latency() {
-                tier_lat.entry(o.tier()).or_default().push(lat.as_secs_f64());
+                tier_lat
+                    .entry(o.tier())
+                    .or_default()
+                    .push(lat.as_secs_f64());
             }
         }
 
@@ -182,10 +185,31 @@ mod tests {
 
     fn sample() -> Vec<RequestOutcome> {
         vec![
-            outcome(0, QosTier::paper_q1(), 100, Priority::Important, false, false),
-            outcome(1, QosTier::paper_q1(), 5_000, Priority::Important, true, true),
+            outcome(
+                0,
+                QosTier::paper_q1(),
+                100,
+                Priority::Important,
+                false,
+                false,
+            ),
+            outcome(
+                1,
+                QosTier::paper_q1(),
+                5_000,
+                Priority::Important,
+                true,
+                true,
+            ),
             outcome(2, QosTier::paper_q2(), 100, Priority::Low, true, true),
-            outcome(3, QosTier::paper_q3(), 100, Priority::Important, false, false),
+            outcome(
+                3,
+                QosTier::paper_q3(),
+                100,
+                Priority::Important,
+                false,
+                false,
+            ),
         ]
     }
 

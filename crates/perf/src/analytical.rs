@@ -97,11 +97,7 @@ impl LatencyModel {
 
         // Memory side: stream the weights once, read the KV context consumed
         // by decode attention and by each prefill chunk, write new KV.
-        let prefill_ctx_reads: f64 = batch
-            .prefill
-            .iter()
-            .map(|c| c.context_before as f64)
-            .sum();
+        let prefill_ctx_reads: f64 = batch.prefill.iter().map(|c| c.context_before as f64).sum();
         let kv_read_tokens = batch.decode_context_total as f64 + prefill_ctx_reads;
         let kv_bytes = (kv_read_tokens + total_tokens) * self.kv_bytes_per_token;
         let memory_us = (self.weight_bytes + kv_bytes) / self.effective_bw * 1e6;

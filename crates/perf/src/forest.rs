@@ -184,8 +184,9 @@ impl RandomForest {
         let mut trees = Vec::with_capacity(config.num_trees);
         for _ in 0..config.num_trees {
             // Bootstrap resample.
-            let indices: Vec<usize> =
-                (0..rows.len()).map(|_| rng.gen_range(0..rows.len())).collect();
+            let indices: Vec<usize> = (0..rows.len())
+                .map(|_| rng.gen_range(0..rows.len()))
+                .collect();
             let mut builder = TreeBuilder {
                 rows,
                 labels,
@@ -289,8 +290,7 @@ impl<'a, Row: AsRef<[f64]>> TreeBuilder<'a, Row> {
                 let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
                     .into_iter()
                     .partition(|&i| self.rows[i].as_ref()[feature] <= threshold);
-                if left_idx.len() < self.config.min_leaf || right_idx.len() < self.config.min_leaf
-                {
+                if left_idx.len() < self.config.min_leaf || right_idx.len() < self.config.min_leaf {
                     return self.push(Node::Leaf { value: mean });
                 }
                 // Reserve the split slot before growing children so child
@@ -323,16 +323,14 @@ impl<'a, Row: AsRef<[f64]>> TreeBuilder<'a, Row> {
 
     fn is_pure(&self, indices: &[usize]) -> bool {
         let first = self.labels[indices[0]];
-        indices.iter().all(|&i| (self.labels[i] - first).abs() < 1e-12)
+        indices
+            .iter()
+            .all(|&i| (self.labels[i] - first).abs() < 1e-12)
     }
 
     /// Finds the (feature, threshold) minimizing weighted child SSE over a
     /// random subset of features and sampled thresholds.
-    fn best_split<R: Rng + ?Sized>(
-        &self,
-        indices: &[usize],
-        rng: &mut R,
-    ) -> Option<(usize, f64)> {
+    fn best_split<R: Rng + ?Sized>(&self, indices: &[usize], rng: &mut R) -> Option<(usize, f64)> {
         let mut candidate_features: Vec<usize> = (0..self.num_features).collect();
         candidate_features.shuffle(rng);
         candidate_features.truncate(self.features_per_split);
@@ -341,8 +339,10 @@ impl<'a, Row: AsRef<[f64]>> TreeBuilder<'a, Row> {
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
 
         for &feature in &candidate_features {
-            let mut values: Vec<f64> =
-                indices.iter().map(|&i| self.rows[i].as_ref()[feature]).collect();
+            let mut values: Vec<f64> = indices
+                .iter()
+                .map(|&i| self.rows[i].as_ref()[feature])
+                .collect();
             values.sort_by(|a, b| a.partial_cmp(b).unwrap());
             values.dedup();
             if values.len() < 2 {
@@ -431,7 +431,12 @@ mod tests {
     #[test]
     fn fit_rejects_ragged_rows() {
         let rows = vec![vec![1.0], vec![2.0, 3.0]];
-        let err = RandomForest::fit(&rows, &[1.0, 2.0], RandomForestConfig::default(), &mut rng());
+        let err = RandomForest::fit(
+            &rows,
+            &[1.0, 2.0],
+            RandomForestConfig::default(),
+            &mut rng(),
+        );
         assert!(matches!(err.unwrap_err(), FitError::ShapeMismatch { .. }));
     }
 
@@ -439,8 +444,8 @@ mod tests {
     fn constant_labels_predict_constant() {
         let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
         let labels = vec![7.5; 50];
-        let f = RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng())
-            .unwrap();
+        let f =
+            RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng()).unwrap();
         assert!((f.predict(&[25.0]) - 7.5).abs() < 1e-9);
     }
 
@@ -448,8 +453,8 @@ mod tests {
     fn learns_linear_function() {
         let rows: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64]).collect();
         let labels: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 10.0).collect();
-        let f = RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng())
-            .unwrap();
+        let f =
+            RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng()).unwrap();
         for x in [50.0, 123.0, 250.0, 444.0] {
             let pred = f.predict(&[x]);
             let truth = 2.0 * x + 10.0;
@@ -467,8 +472,8 @@ mod tests {
             .map(|_| vec![r.gen_range(0.0..10.0), r.gen_range(0.0..10.0)])
             .collect();
         let labels: Vec<f64> = rows.iter().map(|x| x[0] * x[1] + 5.0).collect();
-        let f = RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng())
-            .unwrap();
+        let f =
+            RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng()).unwrap();
         let mape = f.mape(&rows, &labels);
         assert!(mape < 0.10, "in-sample MAPE should be small, got {mape}");
     }
@@ -487,12 +492,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_same_rng_seed() {
-        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![i as f64, (i * 7 % 13) as f64])
+            .collect();
         let labels: Vec<f64> = rows.iter().map(|r| r[0] + r[1]).collect();
-        let f1 = RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng())
-            .unwrap();
-        let f2 = RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng())
-            .unwrap();
+        let f1 =
+            RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng()).unwrap();
+        let f2 =
+            RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng()).unwrap();
         assert_eq!(f1, f2);
     }
 
@@ -501,8 +508,8 @@ mod tests {
     fn predict_panics_on_wrong_arity() {
         let rows = vec![vec![1.0, 2.0]; 20];
         let labels = vec![1.0; 20];
-        let f = RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng())
-            .unwrap();
+        let f =
+            RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng()).unwrap();
         let _ = f.predict(&[1.0]);
     }
 
@@ -510,8 +517,8 @@ mod tests {
     fn serde_round_trip() {
         let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
         let labels: Vec<f64> = rows.iter().map(|r| r[0] * 3.0).collect();
-        let f = RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng())
-            .unwrap();
+        let f =
+            RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng()).unwrap();
         let json = serde_json::to_string(&f).unwrap();
         let back: RandomForest = serde_json::from_str(&json).unwrap();
         // serde_json float parsing may be off by 1 ULP without the

@@ -11,6 +11,8 @@
 //! decode pool and the minimum slack across decoding requests, find the
 //! largest prefill chunk whose predicted iteration latency still fits.
 
+use std::cell::RefCell;
+
 use qoserve_sim::{SeedStream, SimDuration};
 use serde::{Deserialize, Serialize};
 
@@ -134,7 +136,106 @@ impl Default for ChunkLimits {
     }
 }
 
+/// Number of direct-mapped memo slots; power of two so the slot index is
+/// a mask. 2.5k max chunk / 32-token steps is 80 distinct chunks per
+/// decode-pool state, so 4096 slots hold dozens of recent pool states.
+const MEMO_SLOTS: usize = 4096;
+
+/// Exact lookup key of one memoized prediction: everything that
+/// determines the predicted latency of a single-chunk probe batch.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct MemoKey {
+    chunk: u32,
+    num_decodes: u32,
+    decode_context_total: u64,
+    prefill_context: u32,
+}
+
+impl MemoKey {
+    /// Direct-mapped slot index (FNV-1a over the key words).
+    fn slot(&self) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in [
+            self.chunk as u64,
+            self.num_decodes as u64,
+            self.decode_context_total,
+            self.prefill_context as u64,
+        ] {
+            h ^= word;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h as usize & (MEMO_SLOTS - 1)
+    }
+}
+
+/// Prediction cache + scratch batch for the chunk-budget search.
+///
+/// Consecutive scheduler iterations probe near-identical `(chunk, decode
+/// pool)` points, and within one binary search the fix-up loop re-probes
+/// points the bisection already visited. Caching the final predicted
+/// micros (margin included, post-rounding) skips the whole forest/model
+/// walk while staying byte-identical; the scratch [`BatchProfile`] avoids
+/// a heap allocation per probe.
+#[derive(Clone)]
+struct MemoState {
+    slots: Vec<Option<(MemoKey, u64)>>,
+    scratch: BatchProfile,
+    hits: u64,
+    misses: u64,
+}
+
+impl MemoState {
+    fn new() -> Self {
+        MemoState {
+            slots: vec![None; MEMO_SLOTS],
+            // One mutable single-chunk profile, reused for every probe.
+            scratch: BatchProfile::builder().prefill_chunk(1, 0).build(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Predicted iteration micros for `key`, cached. The cached value is
+    /// the *final* prediction (margin-inflated, rounded), so a hit returns
+    /// exactly what [`LatencyPredictor::predict`] would.
+    fn predict_micros(&mut self, predictor: &LatencyPredictor, key: MemoKey) -> u64 {
+        let slot = key.slot();
+        if let Some((cached_key, micros)) = self.slots[slot] {
+            if cached_key == key {
+                self.hits += 1;
+                return micros;
+            }
+        }
+        self.misses += 1;
+        self.scratch.prefill[0].chunk_tokens = key.chunk;
+        self.scratch.prefill[0].context_before = key.prefill_context;
+        self.scratch.num_decodes = key.num_decodes;
+        self.scratch.decode_context_total = key.decode_context_total;
+        let micros = predictor.predict(&self.scratch).as_micros();
+        self.slots[slot] = Some((key, micros));
+        micros
+    }
+}
+
+impl std::fmt::Debug for MemoState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let filled = self.slots.iter().filter(|s| s.is_some()).count();
+        f.debug_struct("MemoState")
+            .field("filled", &filled)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
 /// The `GET_PREFILL_BUDGET` search of Algorithm 1.
+///
+/// Predictions are memoized by exact `(chunk, decode pool, prefill
+/// context)` key, so the repeated probes of consecutive scheduler
+/// iterations skip the predictor entirely while returning byte-identical
+/// budgets (a property test pins memoized against the
+/// [`uncached`](Self::uncached) search). The cache lives behind a [`RefCell`]:
+/// schedulers are per-replica, never shared across threads.
 ///
 /// # Example
 ///
@@ -154,12 +255,28 @@ impl Default for ChunkLimits {
 pub struct ChunkBudget {
     predictor: LatencyPredictor,
     limits: ChunkLimits,
+    memo: Option<RefCell<MemoState>>,
 }
 
 impl ChunkBudget {
-    /// Creates the budget search over `predictor` with `limits`.
+    /// Creates the budget search over `predictor` with `limits`,
+    /// memoization enabled.
     pub fn new(predictor: LatencyPredictor, limits: ChunkLimits) -> Self {
-        ChunkBudget { predictor, limits }
+        ChunkBudget {
+            predictor,
+            limits,
+            memo: Some(RefCell::new(MemoState::new())),
+        }
+    }
+
+    /// A budget search with memoization disabled — the reference path the
+    /// determinism tests and benches compare against.
+    pub fn uncached(predictor: LatencyPredictor, limits: ChunkLimits) -> Self {
+        ChunkBudget {
+            predictor,
+            limits,
+            memo: None,
+        }
     }
 
     /// Access to the underlying predictor.
@@ -170,6 +287,17 @@ impl ChunkBudget {
     /// The search bounds.
     pub fn limits(&self) -> ChunkLimits {
         self.limits
+    }
+
+    /// `(hits, misses)` of the prediction cache; `(0, 0)` when uncached.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        match &self.memo {
+            Some(memo) => {
+                let memo = memo.borrow();
+                (memo.hits, memo.misses)
+            }
+            None => (0, 0),
+        }
     }
 
     /// Largest prefill-token budget whose predicted iteration latency fits
@@ -197,14 +325,33 @@ impl ChunkBudget {
             Some(s) => s,
         };
 
-        let fits = |chunk: u32| -> bool {
-            let batch = BatchProfile::builder()
-                .prefill_chunk(chunk, prefill_context)
-                .decodes(num_decodes, decode_context_total)
-                .build();
-            self.predictor.predict(&batch) <= slack
-        };
+        match &self.memo {
+            Some(memo) => {
+                let mut memo = memo.borrow_mut();
+                let slack_us = slack.as_micros();
+                self.search(|chunk| {
+                    let key = MemoKey {
+                        chunk,
+                        num_decodes,
+                        decode_context_total,
+                        prefill_context,
+                    };
+                    memo.predict_micros(&self.predictor, key) <= slack_us
+                })
+            }
+            None => self.search(|chunk| {
+                let batch = BatchProfile::builder()
+                    .prefill_chunk(chunk, prefill_context)
+                    .decodes(num_decodes, decode_context_total)
+                    .build();
+                self.predictor.predict(&batch) <= slack
+            }),
+        }
+    }
 
+    /// The search skeleton shared by the memoized and uncached paths:
+    /// largest step-aligned chunk for which `fits` holds.
+    fn search(&self, mut fits: impl FnMut(u32) -> bool) -> u32 {
         let step = self.limits.step.max(1);
         let max_steps = self.limits.max_chunk / step;
         if max_steps == 0 || !fits(step) {
@@ -269,7 +416,10 @@ mod tests {
     #[test]
     fn unconstrained_slack_yields_max_chunk() {
         let b = analytical_budget();
-        assert_eq!(b.prefill_budget(0, 0, 0, None), ChunkLimits::default().max_chunk);
+        assert_eq!(
+            b.prefill_budget(0, 0, 0, None),
+            ChunkLimits::default().max_chunk
+        );
     }
 
     #[test]
@@ -290,7 +440,10 @@ mod tests {
             assert!(c >= last, "slack {ms}ms: budget {c} < previous {last}");
             last = c;
         }
-        assert!(last > 1_000, "large slack should open large chunks, got {last}");
+        assert!(
+            last > 1_000,
+            "large slack should open large chunks, got {last}"
+        );
     }
 
     #[test]
@@ -354,6 +507,91 @@ mod tests {
         let b = analytical_budget();
         let c = b.prefill_budget(32, 32 * 1_500, 0, Some(SimDuration::from_millis(47)));
         assert_eq!(c % ChunkLimits::default().step, 0);
+    }
+
+    #[test]
+    fn memoized_budget_matches_uncached() {
+        let cached = analytical_budget();
+        let uncached =
+            ChunkBudget::uncached(LatencyPredictor::analytical(&hw()), ChunkLimits::default());
+        for num_decodes in [0u32, 1, 8, 64, 200] {
+            for ctx_per_decode in [0u64, 300, 1_500, 4_000] {
+                for prefill_context in [0u32, 512, 16_384] {
+                    for slack_ms in [0u64, 5, 30, 80, 400] {
+                        let args = (
+                            num_decodes,
+                            num_decodes as u64 * ctx_per_decode,
+                            prefill_context,
+                            Some(SimDuration::from_millis(slack_ms)),
+                        );
+                        // Twice each, so the second call exercises hits.
+                        for _ in 0..2 {
+                            assert_eq!(
+                                cached.prefill_budget(args.0, args.1, args.2, args.3),
+                                uncached.prefill_budget(args.0, args.1, args.2, args.3),
+                                "diverged at {args:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let (hits, misses) = cached.cache_stats();
+        assert!(hits > 0, "repeat probes must hit the cache");
+        assert!(misses > 0);
+        assert_eq!(uncached.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn memoized_forest_budget_matches_uncached() {
+        // The forest is the expensive backend the cache exists for; make
+        // sure cached hits reproduce its exact (rounded, margin-inflated)
+        // comparisons too.
+        let seeds = SeedStream::new(79);
+        let predictor = LatencyPredictor::train_forest(&hw(), &seeds);
+        let cached = ChunkBudget::new(predictor.clone(), ChunkLimits::default());
+        let uncached = ChunkBudget::uncached(predictor, ChunkLimits::default());
+        for num_decodes in [2u32, 40, 120] {
+            for slack_ms in [10u64, 55, 150] {
+                let ctx = num_decodes as u64 * 1_200;
+                for _ in 0..2 {
+                    assert_eq!(
+                        cached.prefill_budget(
+                            num_decodes,
+                            ctx,
+                            1_024,
+                            Some(SimDuration::from_millis(slack_ms))
+                        ),
+                        uncached.prefill_budget(
+                            num_decodes,
+                            ctx,
+                            1_024,
+                            Some(SimDuration::from_millis(slack_ms))
+                        ),
+                    );
+                }
+            }
+        }
+        let (hits, _) = cached.cache_stats();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn unconstrained_slack_skips_the_cache() {
+        let b = analytical_budget();
+        assert_eq!(b.prefill_budget(8, 8 * 500, 0, None), b.limits().max_chunk);
+        assert_eq!(b.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn cloned_budget_keeps_working() {
+        // Clone while the cache is warm; both copies stay consistent.
+        let b = analytical_budget();
+        let slack = Some(SimDuration::from_millis(60));
+        let before = b.prefill_budget(32, 32 * 1_500, 0, slack);
+        let clone = b.clone();
+        assert_eq!(clone.prefill_budget(32, 32 * 1_500, 0, slack), before);
+        assert_eq!(b.prefill_budget(32, 32 * 1_500, 0, slack), before);
     }
 
     #[test]

@@ -122,7 +122,9 @@ impl Profiler {
     fn sample_decode_only<R: Rng>(&self, rng: &mut R) -> BatchProfile {
         let n = rng.gen_range(1..=self.config.max_decodes);
         let mean_ctx = rng.gen_range(16..=self.config.max_decode_context) as u64;
-        BatchProfile::builder().decodes(n, n as u64 * mean_ctx).build()
+        BatchProfile::builder()
+            .decodes(n, n as u64 * mean_ctx)
+            .build()
     }
 
     fn sample_prefill_only<R: Rng>(&self, rng: &mut R) -> BatchProfile {

@@ -122,6 +122,39 @@ proptest! {
         }
     }
 
+    /// The memoized budget search returns exactly what the uncached
+    /// search returns, over random decode pools and slacks — including
+    /// repeat probes that hit the cache.
+    #[test]
+    fn memoized_budget_equals_uncached(
+        probes in prop::collection::vec(
+            (0u32..200, 0u64..4_000, 0u32..30_000, 0u64..400_000),
+            1..24,
+        ),
+    ) {
+        let hw = HardwareConfig::llama3_8b_a100_tp1();
+        let cached = ChunkBudget::new(LatencyPredictor::analytical(&hw), ChunkLimits::default());
+        let uncached =
+            ChunkBudget::uncached(LatencyPredictor::analytical(&hw), ChunkLimits::default());
+        // One long probe sequence against a single cached instance, so
+        // later probes exercise entries cached by earlier ones.
+        for &(decodes, mean_ctx, prefill_ctx, slack_us) in &probes {
+            let ctx_total = decodes as u64 * mean_ctx;
+            let slack = Some(SimDuration::from_micros(slack_us));
+            prop_assert_eq!(
+                cached.prefill_budget(decodes, ctx_total, prefill_ctx, slack),
+                uncached.prefill_budget(decodes, ctx_total, prefill_ctx, slack),
+                "memo diverged at decodes={} mean_ctx={} prefill_ctx={} slack_us={}",
+                decodes, mean_ctx, prefill_ctx, slack_us
+            );
+            // Immediate repeat: a pure cache-hit path must agree too.
+            prop_assert_eq!(
+                cached.prefill_budget(decodes, ctx_total, prefill_ctx, slack),
+                uncached.prefill_budget(decodes, ctx_total, prefill_ctx, slack)
+            );
+        }
+    }
+
     /// Throughput never exceeds the model's asymptotic ceiling and is
     /// positive for non-empty batches.
     #[test]

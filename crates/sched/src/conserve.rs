@@ -192,7 +192,10 @@ mod tests {
     fn interactive_always_preempts_offline() {
         let mut s = ConServeScheduler::new(256);
         // Offline arrived first and even started prefilling.
-        s.on_arrival(PrefillJob::new(spec(0, 0, 1_000, QosTier::paper_q2())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0, 1_000, QosTier::paper_q2())),
+            SimTime::ZERO,
+        );
         let p1 = s.plan_batch(SimTime::from_secs(1), &[], Constraints::unlimited());
         assert_eq!(p1.prefill[0].id, RequestId(0));
         // An interactive request lands: it must take the whole next budget.
@@ -203,14 +206,24 @@ mod tests {
         let p2 = s.plan_batch(SimTime::from_secs(2), &[], Constraints::unlimited());
         assert_eq!(p2.prefill[0].id, RequestId(1));
         assert_eq!(p2.prefill_tokens(), 256);
-        assert_eq!(p2.prefill.len(), 1, "offline gets nothing while online is pending");
+        assert_eq!(
+            p2.prefill.len(),
+            1,
+            "offline gets nothing while online is pending"
+        );
     }
 
     #[test]
     fn offline_harvests_leftover_budget() {
         let mut s = ConServeScheduler::new(256);
-        s.on_arrival(PrefillJob::new(spec(0, 0, 100, QosTier::paper_q1())), SimTime::ZERO);
-        s.on_arrival(PrefillJob::new(spec(1, 0, 1_000, QosTier::paper_q3())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0, 100, QosTier::paper_q1())),
+            SimTime::ZERO,
+        );
+        s.on_arrival(
+            PrefillJob::new(spec(1, 0, 1_000, QosTier::paper_q3())),
+            SimTime::ZERO,
+        );
         let plan = s.plan_batch(SimTime::from_secs(1), &[], Constraints::unlimited());
         assert_eq!(plan.prefill.len(), 2);
         assert_eq!(plan.prefill[0].id, RequestId(0));
@@ -224,17 +237,33 @@ mod tests {
         // The critique: Q2 (600s) and Q3 (1800s) are served FCFS with no
         // deadline awareness — an earlier Q3 beats a later, tighter Q2.
         let mut s = ConServeScheduler::new(64);
-        s.on_arrival(PrefillJob::new(spec(0, 0, 500, QosTier::paper_q3())), SimTime::ZERO);
-        s.on_arrival(PrefillJob::new(spec(1, 1, 500, QosTier::paper_q2())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0, 500, QosTier::paper_q3())),
+            SimTime::ZERO,
+        );
+        s.on_arrival(
+            PrefillJob::new(spec(1, 1, 500, QosTier::paper_q2())),
+            SimTime::ZERO,
+        );
         let plan = s.plan_batch(SimTime::from_secs(2), &[], Constraints::unlimited());
-        assert_eq!(plan.prefill[0].id, RequestId(0), "FCFS across offline tiers");
+        assert_eq!(
+            plan.prefill[0].id,
+            RequestId(0),
+            "FCFS across offline tiers"
+        );
     }
 
     #[test]
     fn queue_accounting() {
         let mut s = ConServeScheduler::new(256);
-        s.on_arrival(PrefillJob::new(spec(0, 0, 300, QosTier::paper_q1())), SimTime::ZERO);
-        s.on_arrival(PrefillJob::new(spec(1, 0, 700, QosTier::paper_q2())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0, 300, QosTier::paper_q1())),
+            SimTime::ZERO,
+        );
+        s.on_arrival(
+            PrefillJob::new(spec(1, 0, 700, QosTier::paper_q2())),
+            SimTime::ZERO,
+        );
         assert_eq!(s.pending_interactive(), 1);
         assert_eq!(s.pending_offline(), 1);
         assert_eq!(s.pending_prefill_tokens(), 1_000);
@@ -245,7 +274,10 @@ mod tests {
     #[test]
     fn respects_gates() {
         let mut s = ConServeScheduler::new(256);
-        s.on_arrival(PrefillJob::new(spec(0, 0, 300, QosTier::paper_q1())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0, 300, QosTier::paper_q1())),
+            SimTime::ZERO,
+        );
         let blocked = s.plan_batch(
             SimTime::ZERO,
             &[],

@@ -87,10 +87,7 @@ impl DecodeJob {
 
 /// Minimum positive slack across the decode pool at `now`; `None` when no
 /// decode constrains the batch (then the chunk budget is unconstrained).
-pub fn min_decode_slack(
-    decodes: &[DecodeJob],
-    now: SimTime,
-) -> Option<qoserve_sim::SimDuration> {
+pub fn min_decode_slack(decodes: &[DecodeJob], now: SimTime) -> Option<qoserve_sim::SimDuration> {
     decodes
         .iter()
         .filter(|d| d.constrains_slack(now))
@@ -171,7 +168,10 @@ mod tests {
         };
         // Tightest non-relegated, non-late decode wins.
         let pool = vec![mk(30, false), mk(12, false), mk(11, true), mk(5, false)];
-        assert_eq!(min_decode_slack(&pool, now), Some(SimDuration::from_secs(2)));
+        assert_eq!(
+            min_decode_slack(&pool, now),
+            Some(SimDuration::from_secs(2))
+        );
         // Empty / all-relegated pools are unconstrained.
         assert_eq!(min_decode_slack(&[], now), None);
         assert_eq!(min_decode_slack(&[mk(50, true)], now), None);

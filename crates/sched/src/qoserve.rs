@@ -223,9 +223,9 @@ impl QoServeScheduler {
     /// the overload signal that triggers preferential relegation of
     /// low-priority jobs.
     fn backlog_overloaded(&self) -> bool {
-        let drain = self.estimator.prefill_time(
-            self.live_backlog_tokens().min(u32::MAX as u64) as u32,
-        );
+        let drain = self
+            .estimator
+            .prefill_time(self.live_backlog_tokens().min(u32::MAX as u64) as u32);
         drain > self.config.shed_backlog
     }
 
@@ -264,10 +264,7 @@ impl QoServeScheduler {
         // jump the queue under hybrid prioritization), so feasible
         // low-priority work in an absorbable surge is left alone.
         if job.priority() == Priority::Low && overloaded {
-            let ahead = self
-                .queue
-                .live_tokens_ahead_of(job)
-                .min(u32::MAX as u64) as u32;
+            let ahead = self.queue.live_tokens_ahead_of(job).min(u32::MAX as u64) as u32;
             let queue_delay = self.estimator.prefill_time(ahead);
             return now + queue_delay + remaining > deadline;
         }
@@ -407,7 +404,8 @@ impl Scheduler for QoServeScheduler {
     }
 
     fn on_completion(&mut self, spec: &RequestSpec, observed_decode_tokens: u32) {
-        self.estimator.record_decode(spec.app_id, observed_decode_tokens);
+        self.estimator
+            .record_decode(spec.app_id, observed_decode_tokens);
     }
 
     fn pending_prefills(&self) -> usize {
@@ -535,7 +533,10 @@ mod tests {
     fn violated_job_is_relegated_and_deprioritized() {
         let mut s = sched(QoServeConfig::default());
         // Job 0's TTFT deadline (arrival 0 + 6s) has long passed at t=100.
-        s.on_arrival(PrefillJob::new(spec(0, 0.0, 500, QosTier::paper_q1())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0.0, 500, QosTier::paper_q1())),
+            SimTime::ZERO,
+        );
         // Job 1 is fresh and feasible.
         s.on_arrival(
             PrefillJob::new(spec(1, 99.0, 500, QosTier::paper_q1())),
@@ -559,7 +560,10 @@ mod tests {
             eager_relegation: false,
             ..Default::default()
         });
-        s.on_arrival(PrefillJob::new(spec(0, 0.0, 500, QosTier::paper_q1())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0.0, 500, QosTier::paper_q1())),
+            SimTime::ZERO,
+        );
         let plan = s.plan_batch(SimTime::from_secs(100), &[], Constraints::unlimited());
         assert_eq!(s.relegation_count(), 0);
         assert!(!plan.prefill[0].relegated);
@@ -658,7 +662,10 @@ mod tests {
     #[test]
     fn budget_zero_when_slack_exhausted() {
         let mut s = sched(QoServeConfig::default());
-        s.on_arrival(PrefillJob::new(spec(0, 0.0, 500, QosTier::paper_q1())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0.0, 500, QosTier::paper_q1())),
+            SimTime::ZERO,
+        );
         let now = SimTime::from_secs(1);
         // Next token due immediately: no room for any prefill.
         let decodes = vec![decode(9, 2_000, now + SimDuration::from_micros(1))];
@@ -670,7 +677,10 @@ mod tests {
     #[test]
     fn kv_headroom_caps_plan() {
         let mut s = sched(QoServeConfig::default());
-        s.on_arrival(PrefillJob::new(spec(0, 0.0, 5_000, QosTier::paper_q1())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0.0, 5_000, QosTier::paper_q1())),
+            SimTime::ZERO,
+        );
         let plan = s.plan_batch(
             SimTime::from_millis(10),
             &[],
@@ -691,7 +701,10 @@ mod tests {
         // the priority order re-evaluated per iteration.
         let mut s = sched(QoServeConfig::default());
         // A large Q3 job starts prefilling alone.
-        s.on_arrival(PrefillJob::new(spec(0, 0.0, 50_000, QosTier::paper_q3())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0.0, 50_000, QosTier::paper_q3())),
+            SimTime::ZERO,
+        );
         let p1 = s.plan_batch(SimTime::from_millis(10), &[], Constraints::unlimited());
         assert_eq!(p1.prefill[0].id, RequestId(0));
         assert!(!p1.prefill[0].completes_prefill);

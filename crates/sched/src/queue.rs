@@ -7,6 +7,15 @@
 //! a job whose key inputs changed (tokens consumed, relegation flipped)
 //! must be popped and pushed back — exactly the access pattern of the
 //! batch-filling loop.
+//!
+//! Re-keying a job that is still queued ([`JobQueue::reinsert`]) leaves
+//! its old heap entry behind. Each queued job therefore remembers the
+//! sequence number of its *current* entry, and `pop`/`peek` skip any
+//! entry whose sequence no longer matches — a stale entry can never
+//! resurface a job at an outdated priority. Skipping is cheap but stale
+//! entries still occupy heap space, so the queue compacts (rebuilds the
+//! heap from live entries) once they outnumber live jobs ~2×; long
+//! overload runs keep `pop`/`peek` at their live-size cost.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -18,12 +27,26 @@ use crate::job::PrefillJob;
 /// Heap key: `(relegated, priority, seq)` ascending.
 type Key = (bool, i64, u64);
 
+/// Stale-entry floor below which compaction is never worth the rebuild.
+const COMPACT_MIN_STALE: usize = 64;
+
+/// A queued job plus the sequence number of its current heap entry (any
+/// heap entry carrying another sequence for this id is stale).
+#[derive(Debug, Clone)]
+struct QueuedJob {
+    job: PrefillJob,
+    seq: u64,
+}
+
 /// A priority queue of [`PrefillJob`]s with explicit keys.
 #[derive(Debug, Clone, Default)]
 pub struct JobQueue {
-    jobs: HashMap<RequestId, PrefillJob>,
+    jobs: HashMap<RequestId, QueuedJob>,
     heap: BinaryHeap<Reverse<(Key, RequestId)>>,
     next_seq: u64,
+    /// Number of dead heap entries (superseded by a reinsert and not yet
+    /// skipped or compacted away).
+    stale: usize,
     /// Remaining prompt tokens across all queued jobs (O(1) load signal).
     total_tokens: u64,
     /// Remaining prompt tokens across non-relegated queued jobs.
@@ -40,6 +63,12 @@ impl JobQueue {
         JobQueue::default()
     }
 
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
     /// Inserts `job` with priority `key` (smaller = scheduled sooner).
     /// The job's `relegated` flag is folded into the ordering: relegated
     /// jobs always sort after non-relegated ones.
@@ -53,12 +82,11 @@ impl JobQueue {
             "job {} already queued",
             job.id()
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = self.alloc_seq();
         self.heap
             .push(Reverse(((job.relegated, key, seq), job.id())));
         self.account_insert(&job);
-        self.jobs.insert(job.id(), job);
+        self.jobs.insert(job.id(), QueuedJob { job, seq });
     }
 
     fn account_insert(&mut self, job: &PrefillJob) {
@@ -96,12 +124,14 @@ impl JobQueue {
 
     /// Removes and returns the most urgent job.
     pub fn pop(&mut self) -> Option<PrefillJob> {
-        while let Some(Reverse((_, id))) = self.heap.pop() {
-            if let Some(job) = self.jobs.remove(&id) {
-                self.account_remove(&job);
-                return Some(job);
+        while let Some(Reverse(((_, _, seq), id))) = self.heap.pop() {
+            if self.jobs.get(&id).is_some_and(|queued| queued.seq == seq) {
+                let queued = self.jobs.remove(&id).expect("checked above");
+                self.account_remove(&queued.job);
+                return Some(queued.job);
             }
-            // Stale heap entry for a job that was re-keyed; skip.
+            // Stale entry (job re-keyed or already gone); skip.
+            self.stale = self.stale.saturating_sub(1);
         }
         None
     }
@@ -109,30 +139,55 @@ impl JobQueue {
     /// The most urgent job without removing it.
     pub fn peek(&mut self) -> Option<&PrefillJob> {
         // Drop stale entries so the visible top is live.
-        while let Some(Reverse((_, id))) = self.heap.peek() {
-            if self.jobs.contains_key(id) {
-                let id = *id;
-                return self.jobs.get(&id);
+        loop {
+            let (seq, id) = match self.heap.peek() {
+                Some(Reverse(((_, _, seq), id))) => (*seq, *id),
+                None => return None,
+            };
+            if self.jobs.get(&id).is_some_and(|queued| queued.seq == seq) {
+                return self.jobs.get(&id).map(|queued| &queued.job);
             }
             self.heap.pop();
+            self.stale = self.stale.saturating_sub(1);
         }
-        None
     }
 
     /// Re-inserts a job that was popped (after progress or relegation)
     /// with a freshly computed key. Unlike [`push`](Self::push) this
-    /// tolerates the id having been seen before.
+    /// tolerates the id still being queued: the superseded heap entry is
+    /// invalidated (never popped at its old key) and reclaimed by the next
+    /// compaction.
     pub fn reinsert(&mut self, job: PrefillJob, key: i64) {
-        // Remove any live entry (defensive; normal flow pops first).
         if let Some(old) = self.jobs.remove(&job.id()) {
-            self.account_remove(&old);
+            self.account_remove(&old.job);
+            // The heap entry carrying `old.seq` is now dead.
+            self.stale += 1;
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = self.alloc_seq();
         self.heap
             .push(Reverse(((job.relegated, key, seq), job.id())));
         self.account_insert(&job);
-        self.jobs.insert(job.id(), job);
+        self.jobs.insert(job.id(), QueuedJob { job, seq });
+        self.maybe_compact();
+    }
+
+    /// Rebuilds the heap without stale entries once they outnumber live
+    /// jobs ~2× (and are past a fixed floor): O(heap) now, against stale
+    /// entries taxing every later `pop`/`peek` sift.
+    fn maybe_compact(&mut self) {
+        if self.stale <= COMPACT_MIN_STALE || self.stale <= 2 * self.jobs.len() {
+            return;
+        }
+        let jobs = &self.jobs;
+        let live: Vec<_> = std::mem::take(&mut self.heap)
+            .into_vec()
+            .into_iter()
+            .filter(|Reverse(((_, _, seq), id))| {
+                jobs.get(id).is_some_and(|queued| queued.seq == *seq)
+            })
+            .collect();
+        self.heap = BinaryHeap::from(live);
+        self.stale = 0;
     }
 
     /// Number of queued jobs.
@@ -178,26 +233,32 @@ impl JobQueue {
 
     /// Iterates over queued jobs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = &PrefillJob> {
-        self.jobs.values()
+        self.jobs.values().map(|queued| &queued.job)
     }
 
     /// Removes and returns every queued job (arbitrary order). Used when
     /// a simulation ends with work still queued.
     pub fn drain(&mut self) -> Vec<PrefillJob> {
         self.heap.clear();
+        self.stale = 0;
         self.total_tokens = 0;
         self.live_tokens = 0;
         self.live_by_tier.clear();
-        self.jobs.drain().map(|(_, j)| j).collect()
+        self.jobs.drain().map(|(_, queued)| queued.job).collect()
     }
 
     /// Rebuilds every heap key via `key_of` — needed when a global input
     /// of the priority function changes (e.g. the load-adaptive α).
     pub fn rekey<F: FnMut(&PrefillJob) -> i64>(&mut self, mut key_of: F) {
         self.heap.clear();
+        self.stale = 0;
         let mut seq = self.next_seq;
-        for (id, job) in &self.jobs {
-            self.heap.push(Reverse(((job.relegated, key_of(job), seq), *id)));
+        for (id, queued) in self.jobs.iter_mut() {
+            queued.seq = seq;
+            self.heap.push(Reverse((
+                (queued.job.relegated, key_of(&queued.job), seq),
+                *id,
+            )));
             seq += 1;
         }
         self.next_seq = seq;
@@ -269,6 +330,51 @@ mod tests {
     }
 
     #[test]
+    fn defensive_reinsert_uses_fresh_key() {
+        let mut q = JobQueue::new();
+        q.push(job(1, false), 10);
+        q.push(job(2, false), 20);
+        // Re-key job 1 to the back *without* popping it first. The old
+        // key-10 heap entry must not resurrect job 1 ahead of job 2.
+        q.reinsert(job(1, false), 30);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pending_tokens(), 200);
+        assert_eq!(q.peek().unwrap().id().0, 2);
+        assert_eq!(q.pop().unwrap().id().0, 2);
+        assert_eq!(q.pop().unwrap().id().0, 1);
+        assert!(q.pop().is_none());
+        assert_eq!(q.pending_tokens(), 0);
+    }
+
+    #[test]
+    fn stale_entries_are_compacted() {
+        let mut q = JobQueue::new();
+        for i in 0..40 {
+            q.push(job(i, false), i as i64);
+        }
+        // Hammer in-place re-keys: each one deadens the previous entry.
+        for round in 0..20i64 {
+            for i in 0..40 {
+                q.reinsert(job(i, false), i as i64 + round);
+            }
+        }
+        assert_eq!(q.len(), 40);
+        // 800 reinserts left 800 dead entries behind; compaction must have
+        // kept the heap near the live size instead.
+        assert!(
+            q.heap.len() <= 40 + COMPACT_MIN_STALE + 2 * 40,
+            "heap grew to {} entries for 40 live jobs",
+            q.heap.len()
+        );
+        assert_eq!(q.pending_tokens(), 40 * 100);
+        // Ordering and accounting survive compaction.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|j| j.id().0)).collect();
+        assert_eq!(order, (0..40).collect::<Vec<_>>());
+        assert_eq!(q.pending_tokens(), 0);
+        assert_eq!(q.stale, 0);
+    }
+
+    #[test]
     fn peek_matches_pop() {
         let mut q = JobQueue::new();
         q.push(job(5, false), 50);
@@ -297,6 +403,19 @@ mod tests {
         q.rekey(|j| -(j.id().0 as i64));
         assert_eq!(q.pop().unwrap().id().0, 2);
         assert_eq!(q.pop().unwrap().id().0, 1);
+    }
+
+    #[test]
+    fn rekey_discards_stale_entries() {
+        let mut q = JobQueue::new();
+        q.push(job(1, false), 1);
+        q.push(job(2, false), 2);
+        q.reinsert(job(1, false), 3); // one stale entry
+        q.rekey(|j| j.id().0 as i64);
+        assert_eq!(q.stale, 0);
+        assert_eq!(q.heap.len(), 2);
+        assert_eq!(q.pop().unwrap().id().0, 1);
+        assert_eq!(q.pop().unwrap().id().0, 2);
     }
 
     #[test]

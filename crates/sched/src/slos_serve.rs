@@ -248,7 +248,8 @@ impl Scheduler for SlosServeScheduler {
     }
 
     fn on_completion(&mut self, spec: &RequestSpec, observed_decode_tokens: u32) {
-        self.estimator.record_decode(spec.app_id, observed_decode_tokens);
+        self.estimator
+            .record_decode(spec.app_id, observed_decode_tokens);
     }
 
     fn pending_prefills(&self) -> usize {
@@ -256,7 +257,10 @@ impl Scheduler for SlosServeScheduler {
     }
 
     fn pending_prefill_tokens(&self) -> u64 {
-        self.jobs.values().map(|j| j.remaining_tokens() as u64).sum()
+        self.jobs
+            .values()
+            .map(|j| j.remaining_tokens() as u64)
+            .sum()
     }
 
     fn drain_pending(&mut self) -> Vec<PrefillJob> {
@@ -293,10 +297,20 @@ mod tests {
     fn serves_attainable_jobs_in_deadline_order() {
         let mut s = sched();
         // Q3 arrived first (deadline 1800s), Q1 second (deadline ~6s).
-        s.on_arrival(PrefillJob::new(spec(0, 0.0, 500, QosTier::paper_q3())), SimTime::ZERO);
-        s.on_arrival(PrefillJob::new(spec(1, 0.1, 500, QosTier::paper_q1())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0.0, 500, QosTier::paper_q3())),
+            SimTime::ZERO,
+        );
+        s.on_arrival(
+            PrefillJob::new(spec(1, 0.1, 500, QosTier::paper_q1())),
+            SimTime::ZERO,
+        );
         let plan = s.plan_batch(SimTime::from_millis(200), &[], Constraints::unlimited());
-        assert_eq!(plan.prefill[0].id, RequestId(1), "Q1 deadline leads the plan");
+        assert_eq!(
+            plan.prefill[0].id,
+            RequestId(1),
+            "Q1 deadline leads the plan"
+        );
     }
 
     #[test]
@@ -304,7 +318,10 @@ mod tests {
         let mut s = sched();
         // A job whose deadline already passed must not displace feasible
         // work in the plan.
-        s.on_arrival(PrefillJob::new(spec(0, 0.0, 500, QosTier::paper_q1())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0.0, 500, QosTier::paper_q1())),
+            SimTime::ZERO,
+        );
         s.on_arrival(
             PrefillJob::new(spec(1, 99.0, 500, QosTier::paper_q1())),
             SimTime::from_secs(99),
@@ -364,7 +381,10 @@ mod tests {
     #[test]
     fn respects_constraints_like_other_schedulers() {
         let mut s = sched();
-        s.on_arrival(PrefillJob::new(spec(0, 0.0, 1_000, QosTier::paper_q1())), SimTime::ZERO);
+        s.on_arrival(
+            PrefillJob::new(spec(0, 0.0, 1_000, QosTier::paper_q1())),
+            SimTime::ZERO,
+        );
         let blocked = s.plan_batch(
             SimTime::ZERO,
             &[],
@@ -391,7 +411,10 @@ mod tests {
     fn drain_returns_all_jobs() {
         let mut s = sched();
         for i in 0..5 {
-            s.on_arrival(PrefillJob::new(spec(i, 0.0, 100, QosTier::paper_q2())), SimTime::ZERO);
+            s.on_arrival(
+                PrefillJob::new(spec(i, 0.0, 100, QosTier::paper_q2())),
+                SimTime::ZERO,
+            );
         }
         assert_eq!(s.pending_prefills(), 5);
         assert_eq!(s.pending_prefill_tokens(), 500);

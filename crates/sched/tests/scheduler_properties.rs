@@ -54,7 +54,11 @@ fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
 
 #[derive(Debug, Clone)]
 struct QueueScenario {
-    jobs: Vec<(u32 /* prompt */, u8 /* tier 0..3 */, u32 /* arrival ms */)>,
+    jobs: Vec<(
+        u32, /* prompt */
+        u8,  /* tier 0..3 */
+        u32, /* arrival ms */
+    )>,
     decodes: Vec<(u32 /* ctx */, u32 /* deadline ms from now */)>,
     now_ms: u32,
     kv_headroom: u64,
@@ -140,7 +144,12 @@ fn run_scenario(sched: &mut dyn Scheduler, s: &QueueScenario) {
         // Invariant 3: no duplicate request in one plan.
         let mut seen = std::collections::HashSet::new();
         for a in &plan.prefill {
-            assert!(seen.insert(a.id), "{}: duplicate assignment {:?}", sched.name(), a.id);
+            assert!(
+                seen.insert(a.id),
+                "{}: duplicate assignment {:?}",
+                sched.name(),
+                a.id
+            );
         }
         // Invariant 2: new-request cap per plan.
         let new_started = plan
@@ -159,7 +168,8 @@ fn run_scenario(sched: &mut dyn Scheduler, s: &QueueScenario) {
             let prompt = s.jobs[a.id.0 as usize].0;
             let done = progress.entry(a.id).or_insert(0);
             assert_eq!(
-                a.context_before, *done,
+                a.context_before,
+                *done,
                 "{}: context_before mismatch for {:?}",
                 sched.name(),
                 a.id

@@ -179,7 +179,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(SimTime::from_secs(1), "early");
         q.push(SimTime::from_secs(10), "late");
-        assert_eq!(q.pop_due(SimTime::from_secs(5)).map(|(_, v)| v), Some("early"));
+        assert_eq!(
+            q.pop_due(SimTime::from_secs(5)).map(|(_, v)| v),
+            Some("early")
+        );
         assert_eq!(q.pop_due(SimTime::from_secs(5)), None);
         assert_eq!(q.len(), 1);
     }

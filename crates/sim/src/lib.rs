@@ -17,6 +17,9 @@
 //! * [`events::EventQueue`] is a stable priority queue: events at the same
 //!   timestamp pop in push order, so simulations never depend on heap
 //!   tie-breaking.
+//! * [`parallel::par_map`] runs independent seeded tasks across cores
+//!   (`QOSERVE_THREADS` overrides the worker count) while keeping output
+//!   order-preserving and bit-identical to serial execution.
 //!
 //! # Example
 //!
@@ -29,11 +32,13 @@
 //! ```
 
 pub mod events;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
+pub use parallel::{par_map, par_map_threads, par_max_passing, thread_limit};
 pub use rng::SeedStream;
 pub use stats::OnlineStats;
 pub use time::{SimDuration, SimTime};

@@ -194,7 +194,9 @@ mod tests {
 
     #[test]
     fn known_variance() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.mean(), 5.0);
         assert!((s.population_variance() - 4.0).abs() < 1e-12);
         assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
@@ -202,7 +204,9 @@ mod tests {
 
     #[test]
     fn mean_plus_two_sigma() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean_plus_two_sigma_or(0.0) - 9.0).abs() < 1e-12);
     }
 

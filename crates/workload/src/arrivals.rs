@@ -207,9 +207,7 @@ mod tests {
         let in_window = |lo: u64, hi: u64| {
             times
                 .iter()
-                .filter(|t| {
-                    t.as_secs_f64() >= lo as f64 && t.as_secs_f64() < hi as f64
-                })
+                .filter(|t| t.as_secs_f64() >= lo as f64 && t.as_secs_f64() < hi as f64)
                 .count() as f64
         };
         let low_rate = (in_window(0, 900) + in_window(1_800, 2_700)) / 1_800.0;

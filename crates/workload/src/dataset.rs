@@ -211,8 +211,18 @@ mod tests {
             .iter()
             .map(Dataset::mean_tokens_per_request)
             .collect();
-        assert!(means[0] > means[1], "ShareGPT {} vs Conv {}", means[0], means[1]);
-        assert!(means[0] > means[2], "ShareGPT {} vs Code {}", means[0], means[2]);
+        assert!(
+            means[0] > means[1],
+            "ShareGPT {} vs Conv {}",
+            means[0],
+            means[1]
+        );
+        assert!(
+            means[0] > means[2],
+            "ShareGPT {} vs Code {}",
+            means[0],
+            means[2]
+        );
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub mod trace;
 
 pub use arrivals::ArrivalProcess;
 pub use dataset::{Dataset, LengthProfile};
-pub use qos::{QosClass, QosTier, Priority, Slo, TierId};
+pub use qos::{Priority, QosClass, QosTier, Slo, TierId};
 pub use request::{RequestId, RequestSpec};
-pub use trace::{Trace, TraceBuilder, TierMix};
+pub use trace::{TierMix, Trace, TraceBuilder};

@@ -342,9 +342,11 @@ mod tests {
             .build(&SeedStream::new(4));
         for tier in [TierId::Q1, TierId::Q2, TierId::Q3] {
             let reqs: Vec<_> = t.tier_requests(tier).collect();
-            let low =
-                reqs.iter().filter(|r| r.priority() == Priority::Low).count() as f64
-                    / reqs.len() as f64;
+            let low = reqs
+                .iter()
+                .filter(|r| r.priority() == Priority::Low)
+                .count() as f64
+                / reqs.len() as f64;
             assert!((low - 0.2).abs() < 0.05, "tier {tier} low fraction {low}");
         }
     }

@@ -50,7 +50,10 @@ fn main() {
         .paper_tier_mix()
         .build(&seeds);
 
-    println!("planning for {target_qps} QPS ({} requests in the probe)...", trace.len());
+    println!(
+        "planning for {target_qps} QPS ({} requests in the probe)...",
+        trace.len()
+    );
     let mut table = Table::new(vec!["design", "replicas needed", "naive estimate"]);
     for (label, spec, goodput) in [
         ("Sarathi-FCFS shared", SchedulerSpec::sarathi_fcfs(), fcfs),

@@ -35,7 +35,11 @@ fn main() {
     let report = server.run();
 
     for outcome in &report.outcomes {
-        let kind = if outcome.spec.id == chat { "chat   " } else { "summary" };
+        let kind = if outcome.spec.id == chat {
+            "chat   "
+        } else {
+            "summary"
+        };
         println!(
             "{kind}  TTFT {:>8}  TTLT {:>8}  worst token lateness {:>10}  violated: {}",
             outcome.ttft().map_or("-".into(), |d| d.to_string()),

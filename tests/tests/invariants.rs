@@ -18,8 +18,16 @@ fn run(trace: &Trace, spec: &SchedulerSpec, seed: u64) -> Vec<RequestOutcome> {
 fn check_outcome_consistency(outcomes: &[RequestOutcome]) {
     for o in outcomes {
         if let (Some(first), Some(done)) = (o.first_token, o.completion) {
-            assert!(first > o.spec.arrival, "{}: first token before arrival", o.spec.id);
-            assert!(done >= first, "{}: completion before first token", o.spec.id);
+            assert!(
+                first > o.spec.arrival,
+                "{}: first token before arrival",
+                o.spec.id
+            );
+            assert!(
+                done >= first,
+                "{}: completion before first token",
+                o.spec.id
+            );
             // TTLT >= TTFT by construction.
             assert!(o.ttlt().unwrap() >= o.ttft().unwrap());
             // A finished request with non-positive worst lateness is not a
@@ -69,15 +77,18 @@ fn siloed_and_shared_account_identically() {
         &trace,
         &[
             SiloGroup::new(vec![TierId::Q1], 1, SchedulerSpec::sarathi_fcfs()),
-            SiloGroup::new(vec![TierId::Q2, TierId::Q3], 2, SchedulerSpec::sarathi_fcfs()),
+            SiloGroup::new(
+                vec![TierId::Q2, TierId::Q3],
+                2,
+                SchedulerSpec::sarathi_fcfs(),
+            ),
         ],
         &config,
         &seeds,
     );
     for outcomes in [&shared, &siloed] {
         assert_eq!(outcomes.len(), trace.len());
-        let ids: std::collections::BTreeSet<u64> =
-            outcomes.iter().map(|o| o.spec.id.0).collect();
+        let ids: std::collections::BTreeSet<u64> = outcomes.iter().map(|o| o.spec.id.0).collect();
         assert_eq!(ids.len(), trace.len(), "unique accounting");
     }
     check_outcome_consistency(&shared);
@@ -94,7 +105,10 @@ fn full_stack_determinism() {
         .build(&SeedStream::new(3));
     let a = run(&trace, &SchedulerSpec::qoserve(), 3);
     let b = run(&trace, &SchedulerSpec::qoserve(), 3);
-    assert_eq!(a, b, "identical seeds must reproduce bit-identical outcomes");
+    assert_eq!(
+        a, b,
+        "identical seeds must reproduce bit-identical outcomes"
+    );
 }
 
 #[test]

@@ -91,7 +91,11 @@ fn shared_qoserve_beats_siloed_on_gpu_count() {
     ] {
         let sub = Trace::from_requests(
             "silo",
-            t.requests().iter().filter(|r| r.tier() == tier).copied().collect(),
+            t.requests()
+                .iter()
+                .filter(|r| r.tier() == tier)
+                .copied()
+                .collect(),
         );
         let n = min_replicas_for(&sub, spec, &config, 1.0, 12, &seeds)
             .expect("12 replicas must cover a third of the load");
@@ -187,9 +191,8 @@ fn goodput_ordering_holds() {
         ..Default::default()
     };
     let seeds = SeedStream::new(6);
-    let g = |spec: &SchedulerSpec| {
-        max_goodput(&Dataset::azure_code(), spec, &config, &options, &seeds)
-    };
+    let g =
+        |spec: &SchedulerSpec| max_goodput(&Dataset::azure_code(), spec, &config, &options, &seeds);
     let fcfs = g(&SchedulerSpec::sarathi_fcfs());
     let edf = g(&SchedulerSpec::sarathi_edf());
     let qs = g(&SchedulerSpec::qoserve());

@@ -1,0 +1,110 @@
+//! Determinism of the parallel experiment harness.
+//!
+//! The contract of `qoserve_sim::parallel` is that thread count affects
+//! wall-clock only, never results: every parallelized search/sweep must
+//! produce **bit-identical** output to its serial reference
+//! implementation. These tests pin that contract at the integration
+//! level, on real simulations.
+
+use qoserve::experiments::{load_sweep, load_sweep_serial};
+use qoserve::prelude::*;
+use qoserve_cluster::max_goodput_serial;
+use qoserve_sim::par_map_threads;
+
+fn small_options() -> GoodputOptions {
+    GoodputOptions {
+        window: SimDuration::from_secs(90),
+        resolution: 0.5,
+        max_qps: 40.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn parallel_load_sweep_is_bit_identical_to_serial() {
+    let dataset = Dataset::azure_conv();
+    let hw = HardwareConfig::llama3_8b_a100_tp1();
+    let schemes = [SchedulerSpec::sarathi_fcfs(), SchedulerSpec::qoserve()];
+    let qps_list = [1.5, 3.0];
+    let window = SimDuration::from_secs(60);
+    let mix = TierMix::paper_equal();
+
+    let parallel = load_sweep(&dataset, &hw, &schemes, &qps_list, window, &mix, 42);
+    let serial = load_sweep_serial(&dataset, &hw, &schemes, &qps_list, window, &mix, 42);
+
+    assert_eq!(parallel.len(), serial.len());
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(p.scheme, s.scheme);
+        // Bit-level equality, not approximate.
+        assert_eq!(p.qps.to_bits(), s.qps.to_bits(), "{}", p.scheme);
+        assert_eq!(p.report, s.report, "{} @ {} qps", p.scheme, p.qps);
+        assert_eq!(p.outcomes, s.outcomes, "{} @ {} qps", p.scheme, p.qps);
+    }
+}
+
+#[test]
+fn parallel_goodput_search_is_bit_identical_to_serial() {
+    let dataset = Dataset::azure_conv();
+    let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+    let options = small_options();
+    for (spec, seed) in [
+        (SchedulerSpec::qoserve(), 11u64),
+        (SchedulerSpec::sarathi_fcfs(), 12),
+    ] {
+        let parallel = max_goodput(&dataset, &spec, &config, &options, &SeedStream::new(seed));
+        let serial = max_goodput_serial(&dataset, &spec, &config, &options, &SeedStream::new(seed));
+        assert_eq!(
+            parallel.to_bits(),
+            serial.to_bits(),
+            "{}: parallel {parallel} vs serial {serial}",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn min_replicas_matches_exhaustive_serial_scan() {
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(6.0))
+        .duration(SimDuration::from_secs(120))
+        .tier_mix(TierMix::paper_equal())
+        .build(&SeedStream::new(9));
+    let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+    let spec = SchedulerSpec::qoserve();
+    let seeds = SeedStream::new(9);
+    let max_replicas = 6;
+
+    let got = min_replicas_for(&trace, &spec, &config, 1.0, max_replicas, &seeds);
+
+    // Serial reference: smallest replica count that meets the bar.
+    let threshold = trace.long_prompt_threshold();
+    let want = (1..=max_replicas).find(|&replicas| {
+        let outcomes = run_shared(&trace, replicas, &spec, &config, &seeds);
+        SloReport::compute(&outcomes, threshold).meets_goodput_bar(1.0)
+    });
+    assert_eq!(got, want);
+}
+
+#[test]
+fn thread_count_does_not_change_simulation_results() {
+    let trace = TraceBuilder::new(Dataset::azure_code())
+        .arrivals(ArrivalProcess::poisson(2.0))
+        .duration(SimDuration::from_secs(45))
+        .tier_mix(TierMix::paper_equal())
+        .build(&SeedStream::new(5));
+    let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+    let schemes = vec![
+        SchedulerSpec::sarathi_fcfs(),
+        SchedulerSpec::sarathi_edf(),
+        SchedulerSpec::qoserve(),
+    ];
+
+    let run_all = |threads: usize| {
+        par_map_threads(threads, schemes.clone(), |_, spec| {
+            run_shared(&trace, 1, &spec, &config, &SeedStream::new(5))
+        })
+    };
+    let one = run_all(1);
+    let four = run_all(4);
+    assert_eq!(one, four);
+}
