@@ -7,7 +7,7 @@
 //! forward by the observed latency. Requests flow prefill queue → decode
 //! pool → completion; the KV cache bounds admission.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use qoserve_metrics::RequestOutcome;
 use qoserve_perf::{BatchProfile, HardwareConfig, LatencyModel, PrefillChunkProfile};
@@ -220,7 +220,12 @@ pub struct ReplicaEngine {
     /// Specs of every request that has arrived (engine-side copy; the
     /// scheduler owns the live prefill job until completion).
     known_specs: HashMap<RequestId, RequestSpec>,
-    running: HashMap<RequestId, Running>,
+    /// In-flight requests. Ordered map, not `HashMap`:
+    /// `finalize_unfinished` drains it into the outcome list, and that
+    /// walk order must be a function of request ids alone for replays to
+    /// be bit-identical (`known_specs` above is point-lookup only, so it
+    /// may stay hashed).
+    running: BTreeMap<RequestId, Running>,
     decode_pool: Vec<RequestId>,
     kv: KvCache,
     now: SimTime,
@@ -244,7 +249,7 @@ impl ReplicaEngine {
             scheduler,
             arrivals: EventQueue::new(),
             known_specs: HashMap::new(),
-            running: HashMap::new(),
+            running: BTreeMap::new(),
             decode_pool: Vec::new(),
             kv,
             now: SimTime::ZERO,
@@ -388,7 +393,14 @@ impl ReplicaEngine {
         // 6. Decode side: each pooled request emits one token.
         let mut finished: Vec<RequestId> = Vec::new();
         for d in &decodes {
-            let r = self.running.get_mut(&d.id).expect("decode is running");
+            let Some(r) = self.running.get_mut(&d.id) else {
+                // Scheduler/engine contract breach: loud in debug builds
+                // (where the test suite runs), a defensive skip in release.
+                if cfg!(debug_assertions) {
+                    unreachable!("decode {} is not running", d.id);
+                }
+                continue;
+            };
             r.emit_token(self.now);
             self.kv.write_decode(d.id);
             if r.is_done() {
@@ -406,15 +418,21 @@ impl ReplicaEngine {
                 // Fresh admission: reserve the decode growth up front so
                 // the pooled decode can never be evicted (§3.4: decodes
                 // are not preempted).
-                let spec = *self
-                    .known_specs
-                    .get(&a.id)
-                    .expect("scheduler planned an unknown request");
+                let Some(&spec) = self.known_specs.get(&a.id) else {
+                    if cfg!(debug_assertions) {
+                        unreachable!("scheduler planned unknown request {}", a.id);
+                    }
+                    continue;
+                };
                 self.kv
                     .admit(a.id, spec.decode_tokens.saturating_sub(1) as u64);
                 self.running.insert(a.id, Running::new(spec));
             }
-            let entry = self.running.get_mut(&a.id).expect("just inserted");
+            // Present unless the unknown-request guard above skipped the
+            // admission for this assignment.
+            let Some(entry) = self.running.get_mut(&a.id) else {
+                continue;
+            };
             entry.prefill_done += a.tokens;
             entry.relegated |= a.relegated;
             self.kv.write_prefill(a.id, a.tokens as u64);
@@ -432,10 +450,12 @@ impl ReplicaEngine {
     }
 
     fn complete(&mut self, id: RequestId) {
-        let r = self
-            .running
-            .remove(&id)
-            .expect("completing unknown request");
+        let Some(r) = self.running.remove(&id) else {
+            if cfg!(debug_assertions) {
+                unreachable!("completing unknown request {id}");
+            }
+            return;
+        };
         self.decode_pool.retain(|d| *d != id);
         self.kv.release(id);
         self.scheduler.on_completion(&r.spec, r.generated);
@@ -446,7 +466,7 @@ impl ReplicaEngine {
     fn finalize_unfinished(&mut self) {
         let replica = self.config.replica_id;
         let mut accounted: std::collections::HashSet<RequestId> = HashSet::new();
-        for (id, r) in self.running.drain() {
+        for (id, r) in std::mem::take(&mut self.running) {
             accounted.insert(id);
             self.outcomes
                 .push(RequestOutcome::unfinished(r.spec, r.relegated, replica));

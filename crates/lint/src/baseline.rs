@@ -1,0 +1,172 @@
+//! The ratcheting panic-hygiene baseline (`lint-baseline.toml`).
+//!
+//! Existing `unwrap()`/`expect()`/`panic!` debt in library code is frozen
+//! per file: a file may never *gain* panic sites, and when it sheds some,
+//! `--fix-baseline` rewrites the file so the new, lower count becomes the
+//! ceiling. The format is a deliberately tiny TOML subset — one section,
+//! quoted-path keys, integer values — parsed by hand so the linter stays
+//! dependency-free:
+//!
+//! ```toml
+//! [panic-hygiene]
+//! "crates/sched/src/queue.rs" = 14
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Per-file allowed panic-site counts, keyed by workspace-relative path
+/// (always with `/` separators, so baselines are portable across hosts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// file path -> allowed count.
+    pub allowed: BTreeMap<String, u32>,
+}
+
+/// A parse failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line of the problem.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint-baseline.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// Allowed count for `path` (0 when the file is not listed).
+    pub fn allowed_for(&self, path: &str) -> u32 {
+        self.allowed.get(path).copied().unwrap_or(0)
+    }
+
+    /// Parses the baseline file contents.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut allowed = BTreeMap::new();
+        let mut in_section = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                in_section = section.trim() == "panic-hygiene";
+                if !in_section {
+                    return Err(BaselineError {
+                        line: lineno,
+                        message: format!("unknown section `[{}]`", section.trim()),
+                    });
+                }
+                continue;
+            }
+            if !in_section {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: "entry before `[panic-hygiene]` section".to_string(),
+                });
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("expected `\"path\" = count`, found `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let Some(path) = key
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .filter(|p| !p.is_empty())
+            else {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("path must be double-quoted, found `{key}`"),
+                });
+            };
+            let count: u32 = value.trim().parse().map_err(|_| BaselineError {
+                line: lineno,
+                message: format!(
+                    "count must be a non-negative integer, found `{}`",
+                    value.trim()
+                ),
+            })?;
+            allowed.insert(path.to_string(), count);
+        }
+        Ok(Baseline { allowed })
+    }
+
+    /// Renders the baseline back to its canonical on-disk form (sorted,
+    /// zero-count entries dropped).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# Ratcheting panic-hygiene baseline, maintained by `qoserve-lint`.\n\
+             # Counts may only go DOWN: fix panic sites, then run\n\
+             # `cargo run -p qoserve-lint -- --fix-baseline` to lower the ceiling.\n\
+             \n[panic-hygiene]\n",
+        );
+        for (path, count) in &self.allowed {
+            if *count > 0 {
+                out.push_str(&format!("\"{path}\" = {count}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_queries() {
+        let b = Baseline::parse(
+            "# comment\n\n[panic-hygiene]\n\"crates/a/src/x.rs\" = 14\n\"crates/b/src/y.rs\" = 3\n",
+        )
+        .unwrap();
+        assert_eq!(b.allowed_for("crates/a/src/x.rs"), 14);
+        assert_eq!(b.allowed_for("crates/b/src/y.rs"), 3);
+        assert_eq!(b.allowed_for("crates/never/seen.rs"), 0);
+    }
+
+    #[test]
+    fn empty_file_is_empty_baseline() {
+        let b = Baseline::parse("").unwrap();
+        assert!(b.allowed.is_empty());
+        assert_eq!(b.allowed_for("anything"), 0);
+    }
+
+    #[test]
+    fn render_roundtrips_sorted_without_zeros() {
+        let mut b = Baseline::default();
+        b.allowed.insert("z.rs".into(), 2);
+        b.allowed.insert("a.rs".into(), 7);
+        b.allowed.insert("gone.rs".into(), 0);
+        let text = b.render();
+        let reparsed = Baseline::parse(&text).unwrap();
+        assert_eq!(reparsed.allowed_for("a.rs"), 7);
+        assert_eq!(reparsed.allowed_for("z.rs"), 2);
+        assert!(!text.contains("gone.rs"));
+        let a = text.find("a.rs").unwrap();
+        let z = text.find("z.rs").unwrap();
+        assert!(a < z, "entries must be sorted");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Baseline::parse("[panic-hygiene]\nnot an entry\n").is_err());
+        assert!(Baseline::parse("[panic-hygiene]\nbare/path.rs = 1\n").is_err());
+        assert!(Baseline::parse("[panic-hygiene]\n\"x.rs\" = -2\n").is_err());
+        assert!(Baseline::parse("[panic-hygiene]\n\"x.rs\" = lots\n").is_err());
+        assert!(
+            Baseline::parse("\"x.rs\" = 1\n").is_err(),
+            "entry before section"
+        );
+        let err = Baseline::parse("[other-section]\n").unwrap_err();
+        assert!(err.message.contains("unknown section"));
+        assert_eq!(err.line, 1);
+    }
+}

@@ -1,0 +1,437 @@
+//! A minimal Rust lexer — just enough to walk token streams safely.
+//!
+//! The rules in [`crate::rules`] are lexical pattern matchers, so the one
+//! thing this lexer must get exactly right is *what is not code*: line
+//! comments, nested block comments, string literals (including raw strings
+//! with arbitrary `#` fences and byte/C-string prefixes), and char
+//! literals (including `'"'` and escapes) must never leak their contents
+//! into the token stream — otherwise a `"partial_cmp"` inside a string, or
+//! an `unwrap()` inside a doc example, would produce false diagnostics.
+//!
+//! Line comments are *kept* (as [`TokKind::LineComment`]) because the
+//! waiver syntax lives in them; everything else that is not code is
+//! dropped. Numeric literals are consumed and dropped too — no rule ever
+//! matches on a number.
+
+/// Kinds of tokens the rule engine sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`jobs`, `for`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `(`, `!`, …).
+    Punct,
+    /// A `//` line comment, text includes the leading `//`.
+    LineComment,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Source text (for `Punct` a single character).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    src: std::marker::PhantomData<&'a str>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            src: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals
+/// simply consume to end of input (the compiler will reject such files
+/// anyway; the linter must not panic on them).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut toks = Vec::new();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => match cur.peek_at(1) {
+                Some('/') => {
+                    let mut text = String::new();
+                    while let Some(ch) = cur.peek() {
+                        if ch == '\n' {
+                            break;
+                        }
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::LineComment,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                Some('*') => {
+                    cur.bump();
+                    cur.bump();
+                    let mut depth = 1u32;
+                    while depth > 0 {
+                        match (cur.peek(), cur.peek_at(1)) {
+                            (Some('/'), Some('*')) => {
+                                cur.bump();
+                                cur.bump();
+                                depth += 1;
+                            }
+                            (Some('*'), Some('/')) => {
+                                cur.bump();
+                                cur.bump();
+                                depth -= 1;
+                            }
+                            (Some(_), _) => {
+                                cur.bump();
+                            }
+                            (None, _) => break,
+                        }
+                    }
+                }
+                _ => {
+                    cur.bump();
+                    toks.push(punct(c, line, col));
+                }
+            },
+            '"' => consume_string(&mut cur),
+            '\'' => consume_char_or_lifetime(&mut cur),
+            _ if c.is_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(ch) = cur.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // Raw/byte/C string prefixes: the prefix ident fuses with
+                // the following literal and must not become a token.
+                let raw_prefix = matches!(text.as_str(), "r" | "br" | "cr")
+                    && matches!(cur.peek(), Some('"') | Some('#'));
+                let cooked_prefix = matches!(text.as_str(), "b" | "c") && cur.peek() == Some('"');
+                if raw_prefix && consume_raw_string(&mut cur) {
+                    continue;
+                }
+                if cooked_prefix {
+                    consume_string(&mut cur);
+                    continue;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ if c.is_ascii_digit() => consume_number(&mut cur),
+            _ => {
+                cur.bump();
+                toks.push(punct(c, line, col));
+            }
+        }
+    }
+    toks
+}
+
+fn punct(c: char, line: u32, col: u32) -> Tok {
+    Tok {
+        kind: TokKind::Punct,
+        text: c.to_string(),
+        line,
+        col,
+    }
+}
+
+/// Consumes a cooked string literal starting at the opening `"`.
+fn consume_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\\' => {
+                cur.bump(); // whatever is escaped, including \" and \\
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string starting at the `#`s or `"` that follow an `r` /
+/// `br` / `cr` prefix (already consumed). Returns false if this turned out
+/// not to be a raw string (e.g. `r#foo` raw identifier) — in that case
+/// nothing was consumed beyond what a retry can tolerate.
+fn consume_raw_string(cur: &mut Cursor<'_>) -> bool {
+    let mut hashes = 0usize;
+    while cur.peek_at(hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek_at(hashes) != Some('"') {
+        // `r#ident` (raw identifier): leave the `#` for the main loop; the
+        // identifier after it lexes normally, which is fine for our rules.
+        return false;
+    }
+    for _ in 0..=hashes {
+        cur.bump(); // hashes + opening quote
+    }
+    loop {
+        match cur.bump() {
+            None => return true, // unterminated: consumed to EOF
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return true;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes either a char literal (`'x'`, `'\''`, `'"'`, `'\u{1F600}'`)
+/// or a lifetime (`'a`, `'_`, `'static`) starting at the `'`.
+fn consume_char_or_lifetime(cur: &mut Cursor<'_>) {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal.
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                if esc == 'u' {
+                    // '\u{...}': consume through the closing brace.
+                    while let Some(ch) = cur.bump() {
+                        if ch == '}' {
+                            break;
+                        }
+                    }
+                } else if esc == 'x' {
+                    cur.bump();
+                    cur.bump();
+                }
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+        }
+        Some(c) if (c.is_alphanumeric() || c == '_') && cur.peek_at(1) != Some('\'') => {
+            // Lifetime: consume the label.
+            while let Some(ch) = cur.peek() {
+                if ch.is_alphanumeric() || ch == '_' {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        Some(_) => {
+            // Plain char literal, e.g. '"' or 'λ'.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+        }
+        None => {}
+    }
+}
+
+/// Consumes a numeric literal (integer, float, hex/oct/bin, underscores,
+/// exponents, suffixes). Numbers never participate in rules.
+fn consume_number(cur: &mut Cursor<'_>) {
+    // Leading digits / radix prefix / underscores / type suffix chars all
+    // fall under "alphanumeric or underscore".
+    while let Some(ch) = cur.peek() {
+        if ch.is_alphanumeric() || ch == '_' {
+            cur.bump();
+        } else if ch == '.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+            cur.bump(); // decimal point followed by digits: still the number
+        } else if (ch == '+' || ch == '-')
+            && cur
+                .chars
+                .get(cur.pos.wrapping_sub(1))
+                .is_some_and(|p| *p == 'e' || *p == 'E')
+        {
+            cur.bump(); // exponent sign, e.g. 1e-9
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_with_positions() {
+        let toks = lex("let x = foo.bar();");
+        let names: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["let", "x", "=", "foo", ".", "bar", "(", ")", ";"]
+        );
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[3].col, 9);
+    }
+
+    #[test]
+    fn line_comment_is_kept_and_contents_hidden() {
+        let toks = lex("a // unwrap() here\nb");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert_eq!(toks[1].text, "// unwrap() here");
+        assert!(toks[2].is_ident("b"));
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        assert_eq!(
+            idents("a /* x /* nested unwrap() */ y */ b"),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn string_contents_are_hidden() {
+        assert_eq!(idents(r#"a "partial_cmp().unwrap()" b"#), vec!["a", "b"]);
+        // Escaped quote does not end the string.
+        assert_eq!(idents(r#"a "x \" unwrap()" b"#), vec!["a", "b"]);
+        // A // inside a string is not a comment.
+        assert_eq!(idents(r#"a "http://x" b"#), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        assert_eq!(idents(r###"a r"unwrap()" b"###), vec!["a", "b"]);
+        assert_eq!(idents("a r#\"has \" quote unwrap()\"# b"), vec!["a", "b"]);
+        assert_eq!(
+            idents("a r##\"fence \"# inside unwrap()\"## b"),
+            vec!["a", "b"]
+        );
+        // Byte and C-string variants.
+        assert_eq!(idents("a b\"unwrap()\" c"), vec!["a", "c"]);
+        assert_eq!(idents("a br#\"unwrap()\"# c"), vec!["a", "c"]);
+        assert_eq!(idents("a c\"unwrap()\" d"), vec!["a", "d"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        // `r#match` must lex as an identifier-ish sequence, not swallow
+        // the rest of the file hunting for a closing quote.
+        let ids = idents("let r#match = foo; bar");
+        assert!(ids.contains(&"bar".to_string()));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        // '"' must not open a string.
+        assert_eq!(idents("a '\"' b \"unwrap()\" c"), vec!["a", "b", "c"]);
+        // Escaped quote char.
+        assert_eq!(idents(r"a '\'' b"), vec!["a", "b"]);
+        // Unicode escape char.
+        assert_eq!(idents(r"a '\u{1F600}' b"), vec!["a", "b"]);
+        // Lifetimes lex without consuming the next token.
+        assert_eq!(
+            idents("fn f<'a>(x: &'a str) {}"),
+            vec!["fn", "f", "x", "str"]
+        );
+        assert_eq!(idents("&'static str"), vec!["str"]);
+        assert_eq!(idents("&'_ str"), vec!["str"]);
+    }
+
+    #[test]
+    fn numbers_are_dropped_but_ranges_survive() {
+        let toks = lex("for i in 0..10 { x }");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["for", "i", "in", ".", ".", "{", "x", "}"]);
+        assert_eq!(
+            idents("let y = 1.0e-9f64 + 0x_ff; z"),
+            vec!["let", "y", "z"]
+        );
+        // `1.max(2)`: the dot belongs to the method call, not the number.
+        let texts: Vec<String> = lex("1.max(2)").into_iter().map(|t| t.text).collect();
+        assert_eq!(texts, vec![".", "max", "(", ")"]);
+    }
+
+    #[test]
+    fn doc_comments_are_line_comments() {
+        let toks = lex("/// example: h.quantile(0.5).unwrap()\nfn f() {}");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[1].is_ident("fn"));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        lex("let s = \"never closed");
+        lex("let s = r#\"never closed");
+        lex("/* never closed");
+        lex("let c = '");
+    }
+}

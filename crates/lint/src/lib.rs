@@ -1,0 +1,170 @@
+//! `qoserve-lint` — workspace-specific static analysis.
+//!
+//! The QoServe reproduction's headline results are discrete-event
+//! simulations whose validity rests on strict determinism (the test suite
+//! pins `parallel == serial` bit-for-bit). This crate makes that contract
+//! *machine-enforced* rather than conventional: a zero-dependency linter
+//! that walks every `.rs` file in the workspace and rejects
+//!
+//! * wall-clock / entropy sources in simulation crates
+//!   (`nondeterministic-time`),
+//! * iteration over `HashMap`/`HashSet` in simulation crates
+//!   (`hash-iteration` — construction and point lookup stay legal;
+//!   `BTreeMap` is the sanctioned ordered alternative),
+//! * NaN-unsafe float comparisons anywhere (`float-ordering` — the job
+//!   heaps order by floating-point priority, Eq. 4/5),
+//! * panic sites in library code above a ratcheting per-file baseline
+//!   (`panic-hygiene`, `lint-baseline.toml`).
+//!
+//! Violations can be waived inline with a mandatory reason:
+//! `// qoserve-lint: allow(<rule>) -- <reason>`. See [`rules`] for the
+//! scoping table and DESIGN.md for the workflow.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod waiver;
+pub mod walk;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use baseline::Baseline;
+use rules::{analyze, scope_for, Diagnostic, RULE_PANIC};
+
+/// Name of the baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";
+
+/// One applied waiver, for the run summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverNote {
+    /// File the waiver sits in.
+    pub path: String,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// Rules it covers.
+    pub rules: Vec<String>,
+    /// The stated reason.
+    pub reason: String,
+    /// Whether it actually suppressed anything this run.
+    pub used: bool,
+}
+
+/// Outcome of linting a tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All violations (every rule, baseline overflows included), sorted by
+    /// `(path, line, col)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every waiver encountered.
+    pub waivers: Vec<WaiverNote>,
+    /// `(path, current, allowed)` for files whose panic count sits *below*
+    /// their baseline ceiling — ratchet candidates.
+    pub ratchet: Vec<(String, u32, u32)>,
+    /// Current per-file panic counts (what `--fix-baseline` writes).
+    pub panic_counts: Baseline,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lints every `.rs` file under `root` against `baseline`.
+pub fn lint_tree(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for rel in walk::rust_files(root)? {
+        let scope = scope_for(&rel);
+        if !scope.any() {
+            continue;
+        }
+        report.files_scanned += 1;
+        let src = fs::read_to_string(root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)))?;
+        let analysis = analyze(&rel, &src, scope);
+        report.diagnostics.extend(analysis.diagnostics);
+
+        let count = analysis.panic_sites.len() as u32;
+        let allowed = baseline.allowed_for(&rel);
+        if count > 0 {
+            report.panic_counts.allowed.insert(rel.clone(), count);
+        }
+        if count > allowed {
+            // Anchor the diagnostic at the first panic site so the report
+            // is clickable even though the violation is file-level.
+            let (line, col, ref what) = analysis.panic_sites[0];
+            report.diagnostics.push(Diagnostic {
+                path: rel.clone(),
+                line,
+                col,
+                rule: RULE_PANIC,
+                message: format!(
+                    "{count} panic site(s) in non-test code (first: `{what}`), baseline allows \
+                     {allowed}; handle the error or waive with a reason, never raise the baseline"
+                ),
+            });
+        } else if count < allowed {
+            report.ratchet.push((rel.clone(), count, allowed));
+        }
+
+        for w in &analysis.waivers {
+            report.waivers.push(WaiverNote {
+                path: rel.clone(),
+                line: w.line,
+                rules: w.rules.clone(),
+                reason: w.reason.clone(),
+                used: w.used.get(),
+            });
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(report)
+}
+
+/// Loads the baseline from `root`, tolerating a missing file (empty
+/// baseline) but not a malformed one.
+pub fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    let path: PathBuf = root.join(BASELINE_FILE);
+    match fs::read_to_string(&path) {
+        Ok(text) => Baseline::parse(&text).map_err(|e| e.to_string()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Renders the human-readable run summary.
+pub fn summary(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "qoserve-lint: {} file(s) scanned, {} violation(s)\n",
+        report.files_scanned,
+        report.diagnostics.len()
+    ));
+    if !report.waivers.is_empty() {
+        out.push_str(&format!("  {} waiver(s):\n", report.waivers.len()));
+        for w in &report.waivers {
+            out.push_str(&format!(
+                "    {}:{} allow({}) -- {}{}\n",
+                w.path,
+                w.line,
+                w.rules.join(", "),
+                w.reason,
+                if w.used { "" } else { "  [unused]" }
+            ));
+        }
+    }
+    if !report.ratchet.is_empty() {
+        out.push_str("  ratchet opportunities (run with --fix-baseline to lock in):\n");
+        for (path, now, allowed) in &report.ratchet {
+            out.push_str(&format!(
+                "    {path}: {now} panic site(s), baseline allows {allowed}\n"
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,117 @@
+//! CLI entry point: `cargo run -p qoserve-lint [-- --root PATH] [--fix-baseline]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qoserve_lint::{lint_tree, load_baseline, summary, BASELINE_FILE};
+
+struct Args {
+    root: PathBuf,
+    fix_baseline: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        fix_baseline: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root requires a path".to_string())?,
+                );
+            }
+            "--fix-baseline" => args.fix_baseline = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: qoserve-lint [--root PATH] [--fix-baseline] [--quiet]\n\
+                            \n\
+                            Lints every .rs file of the workspace for determinism, float-\n\
+                            ordering, and panic-hygiene violations. See DESIGN.md\n\
+                            (\"Static analysis & the determinism contract\") for the rules.\n\
+                            \n\
+                            --root PATH       workspace root to lint (default: .)\n\
+                            --fix-baseline    rewrite lint-baseline.toml with current panic\n\
+                            \u{20}                 counts (ratchet down; other rules must be clean)\n\
+                            --quiet           suppress the summary, print diagnostics only"
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline = match load_baseline(&args.root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("qoserve-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_tree(&args.root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("qoserve-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if !args.quiet {
+        print!("{}", summary(&report));
+    }
+
+    if args.fix_baseline {
+        // Refuse to lock in a baseline while other rules are violated —
+        // the ratchet must never paper over live diagnostics.
+        let non_panic = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule != qoserve_lint::rules::RULE_PANIC)
+            .count();
+        if non_panic > 0 {
+            eprintln!(
+                "qoserve-lint: refusing --fix-baseline with {non_panic} non-panic violation(s) \
+                 outstanding"
+            );
+            return ExitCode::from(1);
+        }
+        let path = args.root.join(BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, report.panic_counts.render()) {
+            eprintln!("qoserve-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "qoserve-lint: wrote {} ({} file(s) with panic debt)",
+            path.display(),
+            report.panic_counts.allowed.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

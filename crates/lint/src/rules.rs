@@ -1,0 +1,782 @@
+//! The repo-specific rules and their per-crate scoping.
+//!
+//! All rules are *lexical*: they match patterns over the token stream of
+//! [`crate::lexer`], with a light name-tracking heuristic for hash
+//! containers. That keeps the linter dependency-free and fast, at the
+//! cost of type blindness — a local `Vec` that shadows the name of a
+//! `HashMap` field would be flagged too. In practice the heuristic is
+//! precise on this codebase, and the waiver syntax exists for the rare
+//! false positive.
+//!
+//! | rule                   | scope (non-test `src/` code)           |
+//! |------------------------|----------------------------------------|
+//! | `nondeterministic-time`| sim, sched, engine, workload, cluster, core |
+//! | `hash-iteration`       | sim, sched, engine, workload, cluster, core |
+//! | `float-ordering`       | every crate except the sanctioned helper `crates/sim/src/float.rs` |
+//! | `panic-hygiene`        | every crate, excluding `src/bin/` drivers; ratcheted by `lint-baseline.toml` |
+//!
+//! Test code never participates: files under a `tests/`, `benches/`,
+//! `examples/`, or `fixtures/` path component are skipped entirely, and
+//! `#[cfg(test)]` / `#[test]` regions inside library files are excised.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::waiver::{collect_waivers, Waiver};
+
+/// Rule name: wall-clock / entropy sources in simulation crates.
+pub const RULE_TIME: &str = "nondeterministic-time";
+/// Rule name: iteration over `HashMap` / `HashSet`.
+pub const RULE_HASH: &str = "hash-iteration";
+/// Rule name: NaN-unsafe float comparisons.
+pub const RULE_FLOAT: &str = "float-ordering";
+/// Rule name: panics in library code, above the ratcheted baseline.
+pub const RULE_PANIC: &str = "panic-hygiene";
+/// Rule name: malformed waiver comment.
+pub const RULE_WAIVER: &str = "bad-waiver";
+
+/// Crates whose `src/` is bound by the determinism contract (the
+/// simulation core; everything whose state feeds replayed results).
+const DETERMINISM_CRATES: &[&str] = &["sim", "sched", "engine", "workload", "cluster", "core"];
+
+/// The one file allowed to spell out raw float comparisons: the shared
+/// `total_cmp` helper everything else is routed through.
+const FLOAT_HELPER: &str = "crates/sim/src/float.rs";
+
+/// `HashMap`/`HashSet` methods that observe iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule name (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} {} {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileScope {
+    /// `nondeterministic-time` + `hash-iteration`.
+    pub determinism: bool,
+    /// `float-ordering`.
+    pub float: bool,
+    /// `panic-hygiene`.
+    pub panic: bool,
+}
+
+impl FileScope {
+    /// Nothing applies (test code, fixtures, non-crate files).
+    pub const NONE: FileScope = FileScope {
+        determinism: false,
+        float: false,
+        panic: false,
+    };
+
+    /// True when at least one rule family applies.
+    pub fn any(&self) -> bool {
+        self.determinism || self.float || self.panic
+    }
+}
+
+/// Computes the rule scope of a workspace-relative path (must use `/`
+/// separators; [`crate::walk`] normalizes).
+pub fn scope_for(rel_path: &str) -> FileScope {
+    let components: Vec<&str> = rel_path.split('/').collect();
+    // Test, bench, example, and fixture code is exempt from everything.
+    if components
+        .iter()
+        .any(|c| matches!(*c, "tests" | "benches" | "examples" | "fixtures"))
+    {
+        return FileScope::NONE;
+    }
+    // Only crate library/binary sources are in scope.
+    let ["crates", crate_name, "src", rest @ ..] = components.as_slice() else {
+        return FileScope::NONE;
+    };
+    if rest.is_empty() {
+        return FileScope::NONE;
+    }
+    FileScope {
+        determinism: DETERMINISM_CRATES.contains(crate_name),
+        float: rel_path != FLOAT_HELPER,
+        panic: rest.first() != Some(&"bin"),
+    }
+}
+
+/// Result of analysing one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Violations of the non-ratcheted rules (time, hash, float) plus any
+    /// malformed waivers. Waived hits are already removed.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Unwaived panic sites in non-test code: `(line, col, what)`. The
+    /// caller compares `panic_sites.len()` against the baseline.
+    pub panic_sites: Vec<(u32, u32, String)>,
+    /// All well-formed waivers found in the file (used or not).
+    pub waivers: Vec<Waiver>,
+}
+
+/// Analyses one file under `scope`.
+pub fn analyze(rel_path: &str, src: &str, scope: FileScope) -> FileAnalysis {
+    let toks = lex(src);
+    let (waivers, bad_waivers) = collect_waivers(&toks);
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| t.kind != TokKind::LineComment)
+        .collect();
+    let test_lines = test_regions(&code);
+    let in_test = |line: u32| {
+        test_lines
+            .iter()
+            .any(|(lo, hi)| (*lo..=*hi).contains(&line))
+    };
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    if scope.determinism {
+        check_time(rel_path, &code, &mut raw);
+        check_hash_iteration(rel_path, &code, &mut raw);
+    }
+    if scope.float {
+        check_float_ordering(rel_path, &code, &mut raw);
+    }
+
+    let mut analysis = FileAnalysis {
+        waivers,
+        ..Default::default()
+    };
+
+    for d in raw {
+        if in_test(d.line) {
+            continue;
+        }
+        if let Some(w) = analysis.waivers.iter().find(|w| w.covers(d.rule, d.line)) {
+            w.used.set(true);
+            continue;
+        }
+        analysis.diagnostics.push(d);
+    }
+
+    if scope.panic {
+        for (line, col, what) in panic_sites(&code) {
+            if in_test(line) {
+                continue;
+            }
+            if let Some(w) = analysis.waivers.iter().find(|w| w.covers(RULE_PANIC, line)) {
+                w.used.set(true);
+                continue;
+            }
+            analysis.panic_sites.push((line, col, what));
+        }
+    }
+
+    for b in bad_waivers {
+        analysis.diagnostics.push(Diagnostic {
+            path: rel_path.to_string(),
+            line: b.line,
+            col: b.col,
+            rule: RULE_WAIVER,
+            message: b.message,
+        });
+    }
+
+    analysis
+        .diagnostics
+        .sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
+    analysis
+}
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
+fn test_regions(code: &[&Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(code[i].is_punct('#') && i + 1 < code.len() && code[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let attr_start = i;
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        let mut attr_text: Vec<&str> = Vec::new();
+        while j < code.len() && depth > 0 {
+            if code[j].is_punct('[') {
+                depth += 1;
+            } else if code[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            attr_text.push(code[j].text.as_str());
+            j += 1;
+        }
+        let is_test_attr =
+            attr_text == ["test"] || attr_text.windows(4).any(|w| w == ["cfg", "(", "test", ")"]);
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item body braces.
+        let mut k = j + 1;
+        while k + 1 < code.len() && code[k].is_punct('#') && code[k + 1].is_punct('[') {
+            let mut d = 1i32;
+            k += 2;
+            while k < code.len() && d > 0 {
+                if code[k].is_punct('[') {
+                    d += 1;
+                } else if code[k].is_punct(']') {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        // Scan to the opening brace; `;` first means `mod tests;` (the
+        // referenced file is exempt by path anyway).
+        let mut body_open = None;
+        while k < code.len() {
+            if code[k].is_punct('{') {
+                body_open = Some(k);
+                break;
+            }
+            if code[k].is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        let Some(open) = body_open else {
+            i = j + 1;
+            continue;
+        };
+        let mut d = 1i32;
+        let mut end = open;
+        let mut m = open + 1;
+        while m < code.len() {
+            if code[m].is_punct('{') {
+                d += 1;
+            } else if code[m].is_punct('}') {
+                d -= 1;
+                if d == 0 {
+                    end = m;
+                    break;
+                }
+            }
+            m += 1;
+        }
+        let end_line = if d == 0 {
+            code[end].line
+        } else {
+            u32::MAX // unterminated: treat the rest of the file as test
+        };
+        regions.push((code[attr_start].line, end_line));
+        i = m + 1;
+    }
+    regions
+}
+
+fn diag(path: &str, t: &Tok, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message,
+    }
+}
+
+/// `Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`.
+fn check_time(path: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Instant"
+                if i + 3 < code.len()
+                    && code[i + 1].is_punct(':')
+                    && code[i + 2].is_punct(':')
+                    && code[i + 3].is_ident("now") =>
+            {
+                out.push(diag(
+                    path,
+                    t,
+                    RULE_TIME,
+                    "`Instant::now` breaks replay determinism; use `SimTime` from the event loop"
+                        .to_string(),
+                ));
+            }
+            "SystemTime" => out.push(diag(
+                path,
+                t,
+                RULE_TIME,
+                "`SystemTime` breaks replay determinism; thread simulated time through instead"
+                    .to_string(),
+            )),
+            "thread_rng" => out.push(diag(
+                path,
+                t,
+                RULE_TIME,
+                "`thread_rng` is nondeterministic; derive a stream from `SeedStream`".to_string(),
+            )),
+            "from_entropy" => out.push(diag(
+                path,
+                t,
+                RULE_TIME,
+                "`from_entropy` seeds from the OS; derive a stream from `SeedStream`".to_string(),
+            )),
+            _ => {}
+        }
+    }
+}
+
+/// Names bound to `HashMap` / `HashSet` in this file (fields, lets,
+/// params). Purely lexical; see module docs for the shadowing caveat.
+fn hash_names(code: &[&Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // `name = HashMap::new()` / `= HashSet::with_capacity(..)`.
+        if i >= 2 && code[i - 1].is_punct('=') && code[i - 2].kind == TokKind::Ident {
+            names.insert(code[i - 2].text.clone());
+            continue;
+        }
+        // `name: [&][mut] [path::]HashMap<..>` — walk back over the path.
+        let mut j = i;
+        while j >= 3
+            && code[j - 1].is_punct(':')
+            && code[j - 2].is_punct(':')
+            && code[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        while j >= 1 && (code[j - 1].is_punct('&') || code[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        if j >= 2
+            && code[j - 1].is_punct(':')
+            && !code[j - 2].is_punct(':')
+            && code[j - 2].kind == TokKind::Ident
+        {
+            names.insert(code[j - 2].text.clone());
+        }
+    }
+    names
+}
+
+/// Iteration over tracked hash containers: `x.iter()`, `x.values()`,
+/// `for k in &x`, `x.drain()`, …
+fn check_hash_iteration(path: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    let names = hash_names(code);
+    if names.is_empty() {
+        return;
+    }
+    // Method-call form.
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind == TokKind::Ident
+            && names.contains(&t.text)
+            && i + 3 < code.len()
+            && code[i + 1].is_punct('.')
+            && code[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&code[i + 2].text.as_str())
+            && code[i + 3].is_punct('(')
+        {
+            out.push(diag(
+                path,
+                t,
+                RULE_HASH,
+                format!(
+                    "iteration over hash container `{}` (`.{}()`) is order-nondeterministic; \
+                     use `BTreeMap`/`BTreeSet` or a `Vec`",
+                    t.text,
+                    code[i + 2].text
+                ),
+            ));
+        }
+    }
+    // Bare `for .. in [&[mut]] x` form.
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // Find `in` at bracket depth 0; bail at `{` (e.g. `impl T for U {`).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut in_at = None;
+        while j < code.len() {
+            let t = code[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("in") {
+                in_at = Some(j);
+                break;
+            } else if depth == 0 && (t.is_punct('{') || t.is_punct(';')) {
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_at) = in_at else {
+            i = j.max(i + 1);
+            continue;
+        };
+        // Expression tokens up to the loop body `{`.
+        let mut k = in_at + 1;
+        let mut depth = 0i32;
+        while k < code.len() {
+            let t = code[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('{') {
+                break;
+            } else if t.kind == TokKind::Ident
+                && names.contains(&t.text)
+                && !(k + 1 < code.len() && code[k + 1].is_punct('.'))
+            {
+                out.push(diag(
+                    path,
+                    t,
+                    RULE_HASH,
+                    format!(
+                        "`for .. in` over hash container `{}` is order-nondeterministic; \
+                         use `BTreeMap`/`BTreeSet` or a `Vec`",
+                        t.text
+                    ),
+                ));
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+}
+
+/// Index of the `)` matching `code[open]` (which must be `(`).
+fn matching_paren(code: &[&Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (idx, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(idx);
+            }
+        }
+    }
+    None
+}
+
+/// `partial_cmp(..).unwrap()/expect(..)` and comparator closures built on
+/// `partial_cmp` passed to the sort/min/max family.
+fn check_float_ordering(path: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    let mut covered: Vec<(usize, usize)> = Vec::new();
+    const SORT_FAMILY: &[&str] = &["sort_by", "sort_unstable_by", "max_by", "min_by"];
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind == TokKind::Ident
+            && SORT_FAMILY.contains(&t.text.as_str())
+            && i + 1 < code.len()
+            && code[i + 1].is_punct('(')
+        {
+            if let Some(close) = matching_paren(code, i + 1) {
+                if code[i + 2..close].iter().any(|a| a.is_ident("partial_cmp")) {
+                    out.push(diag(
+                        path,
+                        t,
+                        RULE_FLOAT,
+                        format!(
+                            "`{}` comparator built on `partial_cmp` is not a total order under \
+                             NaN; use `f64::total_cmp` (see `qoserve_sim::float`)",
+                            t.text
+                        ),
+                    ));
+                    covered.push((i + 2, close));
+                }
+            }
+        }
+    }
+    for i in 0..code.len() {
+        if covered.iter().any(|(lo, hi)| (*lo..*hi).contains(&i)) {
+            continue;
+        }
+        let t = code[i];
+        if !t.is_ident("partial_cmp") || i + 1 >= code.len() || !code[i + 1].is_punct('(') {
+            continue;
+        }
+        let Some(close) = matching_paren(code, i + 1) else {
+            continue;
+        };
+        if close + 2 < code.len()
+            && code[close + 1].is_punct('.')
+            && (code[close + 2].is_ident("unwrap") || code[close + 2].is_ident("expect"))
+        {
+            out.push(diag(
+                path,
+                t,
+                RULE_FLOAT,
+                "`partial_cmp(..).unwrap()` panics on NaN; use `f64::total_cmp` \
+                 (see `qoserve_sim::float`)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Unfiltered panic sites: `.unwrap(`, `.expect(`, `panic!`, `todo!`.
+fn panic_sites(code: &[&Tok]) -> Vec<(u32, u32, String)> {
+    let mut sites = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if i >= 1
+                    && code[i - 1].is_punct('.')
+                    && i + 1 < code.len()
+                    && code[i + 1].is_punct('(') =>
+            {
+                sites.push((t.line, t.col, format!(".{}()", t.text)));
+            }
+            "panic" | "todo" if i + 1 < code.len() && code[i + 1].is_punct('!') => {
+                sites.push((t.line, t.col, format!("{}!", t.text)));
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: FileScope = FileScope {
+        determinism: true,
+        float: true,
+        panic: true,
+    };
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        analyze("crates/sim/src/x.rs", src, ALL)
+            .diagnostics
+            .iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn scoping_table() {
+        let s = scope_for("crates/sched/src/queue.rs");
+        assert!(s.determinism && s.float && s.panic);
+        let s = scope_for("crates/metrics/src/histogram.rs");
+        assert!(!s.determinism && s.float && s.panic);
+        let s = scope_for("crates/sim/src/float.rs");
+        assert!(s.determinism && !s.float && s.panic, "sanctioned helper");
+        let s = scope_for("crates/bench/src/bin/fig9.rs");
+        assert!(!s.determinism && s.float && !s.panic, "drivers may panic");
+        assert!(!scope_for("crates/sched/tests/props.rs").any());
+        assert!(!scope_for("tests/tests/invariants.rs").any());
+        assert!(!scope_for("examples/quickstart.rs").any());
+        assert!(!scope_for("crates/lint/tests/fixtures/ws/crates/sim/src/bad.rs").any());
+    }
+
+    #[test]
+    fn time_rule_fires() {
+        assert_eq!(rules_of("let t = Instant::now();"), vec![RULE_TIME]);
+        assert_eq!(rules_of("let t = SystemTime::now();"), vec![RULE_TIME]);
+        assert_eq!(rules_of("let mut r = rand::thread_rng();"), vec![RULE_TIME]);
+        assert_eq!(
+            rules_of("let r = ChaCha8Rng::from_entropy();"),
+            vec![RULE_TIME]
+        );
+        // `Instant` in other positions (e.g. a type name) is fine.
+        assert!(rules_of("fn f(t: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_method_forms() {
+        let src = "struct S { m: HashMap<u32, u32> }\nimpl S { fn f(&self) { \
+                   for v in self.m.values() { } } }";
+        let a = analyze("crates/sched/src/x.rs", src, ALL);
+        assert_eq!(a.diagnostics.len(), 1);
+        assert_eq!(a.diagnostics[0].rule, RULE_HASH);
+        assert!(a.diagnostics[0].message.contains(".values()"));
+
+        for m in ["iter", "keys", "drain", "into_values", "iter_mut"] {
+            let src = format!("let mut m = HashMap::new();\nlet x: Vec<_> = m.{m}().collect();");
+            assert_eq!(rules_of(&src), vec![RULE_HASH], "method {m}");
+        }
+    }
+
+    #[test]
+    fn hash_iteration_bare_for_forms() {
+        let src = "let m: HashMap<u32, u32> = HashMap::new();\nfor (k, v) in &m { }";
+        assert_eq!(rules_of(src), vec![RULE_HASH]);
+        let src = "struct S { seen: HashSet<u64> }\nfn f(s: S) { for x in s.seen { } }";
+        // `s.seen` — the tracked ident is followed by nothing iterable-
+        // looking but is the for target; caught via the bare-ident path.
+        assert_eq!(rules_of(src), vec![RULE_HASH]);
+    }
+
+    #[test]
+    fn hash_construction_and_lookup_are_legal() {
+        let src = "let mut m: HashMap<u32, u32> = HashMap::new();\n\
+                   m.insert(1, 2);\nlet v = m.get(&1);\nlet n = m.len();\n\
+                   m.entry(3).or_default();\nm.remove(&1);";
+        assert!(rules_of(src).is_empty());
+        // BTreeMap iteration is the sanctioned alternative.
+        assert!(rules_of("let m = BTreeMap::new(); for x in m.values() { }").is_empty());
+        // `impl Trait for Type` must not confuse the for-loop scan.
+        assert!(rules_of("impl Iterator for Thing { }").is_empty());
+    }
+
+    #[test]
+    fn float_rule_fires() {
+        assert_eq!(
+            rules_of("let o = a.partial_cmp(&b).unwrap();"),
+            vec![RULE_FLOAT]
+        );
+        assert_eq!(
+            rules_of("let o = a.partial_cmp(&b).expect(\"cmp\");"),
+            vec![RULE_FLOAT]
+        );
+        // sort_by with a partial_cmp comparator: one diagnostic, at the
+        // sort, even when the inner call also unwraps.
+        assert_eq!(
+            rules_of("v.sort_by(|a, b| a.partial_cmp(b).unwrap());"),
+            vec![RULE_FLOAT]
+        );
+        assert_eq!(
+            rules_of("v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));"),
+            vec![RULE_FLOAT]
+        );
+        // total_cmp is always fine; bare partial_cmp without unwrap too.
+        assert!(rules_of("v.sort_by(|a, b| a.total_cmp(b));").is_empty());
+        assert!(rules_of("if a.partial_cmp(&b) == Some(Ordering::Less) { }").is_empty());
+    }
+
+    #[test]
+    fn panic_sites_and_exclusions() {
+        let a = analyze(
+            "crates/sim/src/x.rs",
+            "fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"boom\"); todo!(); }",
+            ALL,
+        );
+        assert_eq!(a.panic_sites.len(), 4);
+        // Named lookalikes don't count.
+        let a = analyze(
+            "crates/sim/src/x.rs",
+            "fn f() { x.unwrap_or(0); x.unwrap_or_else(f); assert!(x); debug_assert_eq!(a, b); }",
+            ALL,
+        );
+        assert!(a.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_excised() {
+        let src = "fn lib() { }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); \
+                   let m = HashMap::new(); for v in m.values() { } }\n}\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert!(a.panic_sites.is_empty());
+        // A top-level #[test] fn (no cfg module) is excised too.
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn lib(y: Option<u32>) -> u32 { y.unwrap() }";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert_eq!(a.panic_sites.len(), 1);
+        assert_eq!(a.panic_sites[0].0, 3, "only the library-code unwrap counts");
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "// Instant::now() in a comment\n\
+                   /* thread_rng() in a block /* nested unwrap() */ */\n\
+                   let s = \"Instant::now() partial_cmp unwrap()\";\n\
+                   let r = r#\"for x in m.values()\"#;\n\
+                   let c = '\"';\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.diagnostics.is_empty());
+        assert!(a.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn waivers_suppress_and_mark_used() {
+        let src = "// qoserve-lint: allow(nondeterministic-time) -- wall-clock overhead probe\n\
+                   let t = Instant::now();\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.diagnostics.is_empty());
+        assert_eq!(a.waivers.len(), 1);
+        assert!(a.waivers[0].used.get());
+        // Trailing same-line waiver works too.
+        let src = "let v = x.unwrap(); // qoserve-lint: allow(panic-hygiene) -- infallible here\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.panic_sites.is_empty());
+        // A waiver for the wrong rule does not suppress.
+        let src = "// qoserve-lint: allow(panic-hygiene) -- wrong rule\nlet t = Instant::now();\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert_eq!(a.diagnostics.len(), 1);
+        assert!(!a.waivers[0].used.get());
+    }
+
+    #[test]
+    fn bad_waiver_is_reported() {
+        let src = "// qoserve-lint: allow(panic-hygiene)\nlet v = x.unwrap();\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.diagnostics.iter().any(|d| d.rule == RULE_WAIVER));
+        // And the malformed waiver does NOT suppress the site.
+        assert_eq!(a.panic_sites.len(), 1);
+    }
+
+    #[test]
+    fn diagnostics_carry_exact_positions() {
+        let a = analyze("crates/sim/src/x.rs", "\n  let t = Instant::now();", ALL);
+        assert_eq!(a.diagnostics[0].line, 2);
+        assert_eq!(a.diagnostics[0].col, 11);
+        assert_eq!(
+            a.diagnostics[0].to_string(),
+            format!(
+                "crates/sim/src/x.rs:2:11 nondeterministic-time {}",
+                a.diagnostics[0].message
+            )
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Inline waiver syntax.
+//!
+//! A violation can be waived in place with a line comment:
+//!
+//! ```text
+//! // qoserve-lint: allow(panic-hygiene) -- documented panicking wrapper
+//! ```
+//!
+//! The reason after `--` is mandatory — a waiver without one is itself a
+//! violation (`bad-waiver`), so every exception in the tree carries its
+//! justification. A waiver applies to violations on its own line (trailing
+//! comment) or on the next line (comment above the statement). Several
+//! rules may be waived at once: `allow(panic-hygiene, hash-iteration)`.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rules waived (kebab-case rule names, or `all`).
+    pub rules: Vec<String>,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+    /// Set once a violation was actually suppressed by this waiver.
+    pub used: std::cell::Cell<bool>,
+}
+
+impl Waiver {
+    /// True when this waiver covers `rule` on `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        (line == self.line || line == self.line + 1)
+            && self.rules.iter().any(|r| r == rule || r == "all")
+    }
+}
+
+/// A syntactically invalid waiver (most commonly: missing reason).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadWaiver {
+    /// What is wrong with it.
+    pub message: String,
+    /// Line of the offending comment.
+    pub line: u32,
+    /// Column of the offending comment.
+    pub col: u32,
+}
+
+/// Extracts waivers (and malformed waivers) from a token stream.
+pub fn collect_waivers(toks: &[Tok]) -> (Vec<Waiver>, Vec<BadWaiver>) {
+    let mut waivers = Vec::new();
+    let mut bad = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("qoserve-lint:") else {
+            continue;
+        };
+        match parse_waiver_body(rest.trim()) {
+            Ok((rules, reason)) => waivers.push(Waiver {
+                rules,
+                reason,
+                line: t.line,
+                col: t.col,
+                used: std::cell::Cell::new(false),
+            }),
+            Err(message) => bad.push(BadWaiver {
+                message,
+                line: t.line,
+                col: t.col,
+            }),
+        }
+    }
+    (waivers, bad)
+}
+
+fn parse_waiver_body(body: &str) -> Result<(Vec<String>, String), String> {
+    let Some(rest) = body.strip_prefix("allow") else {
+        return Err(format!("expected `allow(<rule>)`, found `{body}`"));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(` list".to_string());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list in `allow()`".to_string());
+    }
+    let tail = rest[close + 1..].trim();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err(
+            "missing mandatory reason: write `allow(<rule>) -- <why this is safe>`".to_string(),
+        );
+    };
+    let reason = reason.trim().to_string();
+    if reason.is_empty() {
+        return Err(
+            "missing mandatory reason: write `allow(<rule>) -- <why this is safe>`".to_string(),
+        );
+    }
+    Ok((rules, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Waiver>, Vec<BadWaiver>) {
+        collect_waivers(&lex(src))
+    }
+
+    #[test]
+    fn well_formed_waiver() {
+        let (ws, bad) = parse("// qoserve-lint: allow(panic-hygiene) -- test harness boundary\n");
+        assert!(bad.is_empty());
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rules, vec!["panic-hygiene"]);
+        assert_eq!(ws[0].reason, "test harness boundary");
+        assert_eq!(ws[0].line, 1);
+    }
+
+    #[test]
+    fn multi_rule_waiver() {
+        let (ws, bad) = parse("// qoserve-lint: allow(panic-hygiene, hash-iteration) -- both ok\n");
+        assert!(bad.is_empty());
+        assert_eq!(ws[0].rules, vec!["panic-hygiene", "hash-iteration"]);
+    }
+
+    #[test]
+    fn missing_reason_is_bad() {
+        let (ws, bad) = parse("// qoserve-lint: allow(panic-hygiene)\n");
+        assert!(ws.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("mandatory reason"));
+        // `--` with nothing after it is equally bad.
+        let (_, bad) = parse("// qoserve-lint: allow(panic-hygiene) -- \n");
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn malformed_allow_is_bad() {
+        let (_, bad) = parse("// qoserve-lint: allow panic -- x\n");
+        assert_eq!(bad.len(), 1);
+        let (_, bad) = parse("// qoserve-lint: allow() -- x\n");
+        assert_eq!(bad.len(), 1);
+        let (_, bad) = parse("// qoserve-lint: deny(foo) -- x\n");
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn coverage_spans_own_and_next_line() {
+        let (ws, _) = parse("\n\n// qoserve-lint: allow(float-ordering) -- r\n");
+        let w = &ws[0];
+        assert!(w.covers("float-ordering", 3));
+        assert!(w.covers("float-ordering", 4));
+        assert!(!w.covers("float-ordering", 5));
+        assert!(!w.covers("panic-hygiene", 3));
+    }
+
+    #[test]
+    fn allow_all_covers_everything() {
+        let (ws, _) = parse("// qoserve-lint: allow(all) -- generated code\n");
+        assert!(ws[0].covers("panic-hygiene", 1));
+        assert!(ws[0].covers("hash-iteration", 2));
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let (ws, bad) = parse("// just a note about qoserve\n// lint me not\n");
+        assert!(ws.is_empty());
+        assert!(bad.is_empty());
+    }
+}

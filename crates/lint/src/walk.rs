@@ -1,0 +1,67 @@
+//! Deterministic workspace traversal.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "results", "node_modules"];
+
+/// Collects every `.rs` file under `root`, returning workspace-relative
+/// paths with `/` separators, sorted — so diagnostics and baselines are
+/// byte-stable across platforms and runs.
+pub fn rust_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    collect(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(relative(root, &path));
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_crate_sorted() {
+        let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_files(manifest).unwrap();
+        assert!(files.iter().any(|f| f == "src/walk.rs"));
+        assert!(files.iter().any(|f| f == "src/lexer.rs"));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+
+    #[test]
+    fn relative_uses_forward_slashes() {
+        let root = Path::new("/a/b");
+        assert_eq!(relative(root, Path::new("/a/b/c/d.rs")), "c/d.rs");
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: clean file — hash construction and point lookup are legal,
+//! and the waiver below suppresses nothing (summary tags it `[unused]`).
+use std::collections::HashMap;
+
+// qoserve-lint: allow(nondeterministic-time) -- fixture: deliberately unused
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}
+
+pub fn build() -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwraps_in_tests_are_fine() {
+        let m = build();
+        assert_eq!(lookup(&m, 1).unwrap(), 2);
+        for (k, v) in m.iter() {
+            assert_eq!(*v, k + 1);
+        }
+    }
+}

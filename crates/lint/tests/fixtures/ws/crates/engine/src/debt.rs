@@ -1,0 +1,13 @@
+//! Fixture: three panic sites against a baseline ceiling of two.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn last(v: &[u32]) -> u32 {
+    *v.last().expect("non-empty")
+}
+
+pub fn boom() -> u32 {
+    panic!("fixture")
+}

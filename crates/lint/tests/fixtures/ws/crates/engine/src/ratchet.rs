@@ -1,0 +1,6 @@
+//! Fixture: one panic site while the baseline still allows five — a
+//! ratchet candidate, not a violation.
+
+pub fn only(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

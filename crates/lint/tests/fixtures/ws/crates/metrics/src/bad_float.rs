@@ -1,0 +1,11 @@
+//! Fixture: NaN-unsafe float comparisons (metrics is outside the
+//! determinism scope, so only `float-ordering` applies here).
+
+pub fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+pub fn wider(x: f64, y: f64) -> std::cmp::Ordering {
+    x.partial_cmp(&y).unwrap()
+}

@@ -1,0 +1,26 @@
+//! Fixture: hash-container iteration in a determinism crate.
+use std::collections::HashMap;
+
+pub struct Table {
+    slots: HashMap<u64, u64>,
+}
+
+impl Table {
+    pub fn sum(&self) -> u64 {
+        self.slots.values().sum()
+    }
+
+    pub fn drain_all(&mut self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self.slots.drain().collect();
+        out.sort();
+        out
+    }
+}
+
+pub fn keys_of(m: &HashMap<String, u32>) -> Vec<String> {
+    let mut ks = Vec::new();
+    for k in m.keys() {
+        ks.push(k.clone());
+    }
+    ks
+}

@@ -1,0 +1,8 @@
+//! Fixture: waiver missing its mandatory reason — reported as
+//! `bad-waiver` AND the underlying violation still fires.
+use std::collections::HashMap;
+
+pub fn live_count(m: &HashMap<u32, u32>) -> usize {
+    // qoserve-lint: allow(hash-iteration)
+    m.values().count()
+}

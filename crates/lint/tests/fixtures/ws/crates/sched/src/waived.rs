@@ -1,0 +1,7 @@
+//! Fixture: a correctly waived violation (reason present, marked used).
+use std::collections::HashMap;
+
+pub fn live_count(m: &HashMap<u32, u32>) -> usize {
+    // qoserve-lint: allow(hash-iteration) -- count only; order never observed
+    m.values().count()
+}

@@ -1,0 +1,11 @@
+//! Fixture: wall-clock and entropy sources in a determinism crate.
+
+pub fn elapsed_us() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros()
+}
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -7,6 +7,36 @@
 //! locating the boundary of a monotone pass/fail predicate over QPS, which
 //! this module does by coarse ramp-up plus bisection.
 
+/// Rejected search parameters for [`try_max_supported_load`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchRangeError {
+    /// `lo > hi` (or a bound was NaN): the interval is empty.
+    InvertedRange {
+        /// Requested lower bound.
+        lo: f64,
+        /// Requested upper bound.
+        hi: f64,
+    },
+    /// The bisection target width was zero, negative, or NaN — the search
+    /// would never terminate.
+    NonPositiveResolution(f64),
+}
+
+impl std::fmt::Display for SearchRangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchRangeError::InvertedRange { lo, hi } => {
+                write!(f, "lo must be <= hi (lo {lo}, hi {hi})")
+            }
+            SearchRangeError::NonPositiveResolution(r) => {
+                write!(f, "resolution must be positive (got {r})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchRangeError {}
+
 /// Finds (approximately) the largest `x` in `[lo, hi]` for which
 /// `passes(x)` holds, assuming `passes` is monotone (true below the
 /// boundary, false above).
@@ -17,7 +47,8 @@
 ///
 /// # Panics
 ///
-/// Panics if `lo > hi`, or `resolution` is not positive.
+/// Panics if `lo > hi`, or `resolution` is not positive; use
+/// [`try_max_supported_load`] to handle bad ranges instead.
 ///
 /// # Example
 ///
@@ -31,13 +62,33 @@ pub fn max_supported_load<F: FnMut(f64) -> bool>(
     lo: f64,
     hi: f64,
     resolution: f64,
-    mut passes: F,
+    passes: F,
 ) -> Option<f64> {
-    assert!(lo <= hi, "lo must be <= hi");
-    assert!(resolution > 0.0, "resolution must be positive");
+    match try_max_supported_load(lo, hi, resolution, passes) {
+        Ok(result) => result,
+        // qoserve-lint: allow(panic-hygiene) -- documented `# Panics` wrapper for statically valid ranges; fallible path is try_max_supported_load
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`max_supported_load`] with the parameter validation surfaced as a
+/// `Result`: `Err` for an unusable range, `Ok(None)` when even `lo`
+/// fails, `Ok(Some(x))` for the located boundary.
+pub fn try_max_supported_load<F: FnMut(f64) -> bool>(
+    lo: f64,
+    hi: f64,
+    resolution: f64,
+    mut passes: F,
+) -> Result<Option<f64>, SearchRangeError> {
+    if lo.is_nan() || hi.is_nan() || lo > hi {
+        return Err(SearchRangeError::InvertedRange { lo, hi });
+    }
+    if resolution.is_nan() || resolution <= 0.0 {
+        return Err(SearchRangeError::NonPositiveResolution(resolution));
+    }
 
     if !passes(lo) {
-        return None;
+        return Ok(None);
     }
 
     // Geometric ramp from lo to find a failing upper bracket.
@@ -57,7 +108,7 @@ pub fn max_supported_load<F: FnMut(f64) -> bool>(
         Some(b) => b,
         None => {
             if passes(hi) {
-                return Some(hi);
+                return Ok(Some(hi));
             }
             hi
         }
@@ -72,7 +123,7 @@ pub fn max_supported_load<F: FnMut(f64) -> bool>(
             bad = mid;
         }
     }
-    Some(good)
+    Ok(Some(good))
 }
 
 #[cfg(test)]
@@ -129,5 +180,35 @@ mod tests {
     #[should_panic(expected = "resolution must be positive")]
     fn rejects_zero_resolution() {
         let _ = max_supported_load(1.0, 2.0, 0.0, |_| true);
+    }
+
+    #[test]
+    fn try_variant_reports_range_errors_without_probing() {
+        let mut probes = 0;
+        let err = try_max_supported_load(5.0, 1.0, 0.1, |_| {
+            probes += 1;
+            true
+        })
+        .unwrap_err();
+        assert_eq!(err, SearchRangeError::InvertedRange { lo: 5.0, hi: 1.0 });
+        assert_eq!(probes, 0, "invalid ranges must not run simulations");
+
+        assert_eq!(
+            try_max_supported_load(1.0, 2.0, -0.5, |_| true),
+            Err(SearchRangeError::NonPositiveResolution(-0.5))
+        );
+        assert!(try_max_supported_load(f64::NAN, 2.0, 0.1, |_| true).is_err());
+        assert!(try_max_supported_load(1.0, 2.0, f64::NAN, |_| true).is_err());
+
+        // The Ok paths mirror the panicking wrapper exactly.
+        assert_eq!(try_max_supported_load(2.0, 10.0, 0.1, |_| false), Ok(None));
+        let got = try_max_supported_load(0.5, 20.0, 0.05, |x| x <= 7.3)
+            .unwrap()
+            .unwrap();
+        assert!((got - 7.3).abs() <= 0.05, "got {got}");
+        assert_eq!(
+            try_max_supported_load(1.0, 10.0, 0.1, |_| true),
+            Ok(Some(10.0))
+        );
     }
 }

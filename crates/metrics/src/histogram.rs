@@ -10,6 +10,66 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Rejected [`LogHistogram::try_with_resolution`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResolutionError {
+    /// The floor was zero or negative (buckets are log-spaced, so the
+    /// smallest representable value must be positive).
+    NonPositiveFloor(f64),
+    /// The growth factor was ≤ 1 (buckets would not grow).
+    GrowthTooSmall(f64),
+}
+
+impl std::fmt::Display for ResolutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolutionError::NonPositiveFloor(v) => {
+                write!(f, "floor must be positive (got {v})")
+            }
+            ResolutionError::GrowthTooSmall(v) => {
+                write!(f, "growth must exceed 1 (got {v})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolutionError {}
+
+/// Rejected [`LogHistogram::try_merge`]: the operands bucket values
+/// differently, so their counts are not combinable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MergeError {
+    /// The histograms disagree on the bucket floor.
+    Floor {
+        /// Receiver's floor.
+        left: f64,
+        /// Argument's floor.
+        right: f64,
+    },
+    /// The histograms disagree on the growth factor.
+    Growth {
+        /// Receiver's growth.
+        left: f64,
+        /// Argument's growth.
+        right: f64,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Floor { left, right } => {
+                write!(f, "floor mismatch: {left} vs {right}")
+            }
+            MergeError::Growth { left, right } => {
+                write!(f, "growth mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// A streaming histogram with logarithmically spaced buckets.
 ///
 /// Values are expected in `(0, +inf)`; non-positive values clamp into the
@@ -60,11 +120,28 @@ impl LogHistogram {
     ///
     /// # Panics
     ///
-    /// Panics if `floor <= 0` or `growth <= 1`.
+    /// Panics if `floor <= 0` or `growth <= 1`; use
+    /// [`try_with_resolution`](Self::try_with_resolution) to handle the
+    /// error instead.
     pub fn with_resolution(floor: f64, growth: f64) -> Self {
-        assert!(floor > 0.0, "floor must be positive");
-        assert!(growth > 1.0, "growth must exceed 1");
-        LogHistogram {
+        match Self::try_with_resolution(floor, growth) {
+            Ok(h) => h,
+            // qoserve-lint: allow(panic-hygiene) -- documented `# Panics` wrapper for statically valid configs; fallible path is try_with_resolution
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Custom floor and growth factor, rejecting unusable parameters
+    /// instead of panicking.
+    pub fn try_with_resolution(floor: f64, growth: f64) -> Result<Self, ResolutionError> {
+        // NaN parameters fall into the error arms too.
+        if floor.is_nan() || floor <= 0.0 {
+            return Err(ResolutionError::NonPositiveFloor(floor));
+        }
+        if growth.is_nan() || growth <= 1.0 {
+            return Err(ResolutionError::GrowthTooSmall(growth));
+        }
+        Ok(LogHistogram {
             floor,
             growth,
             ln_growth: growth.ln(),
@@ -73,7 +150,7 @@ impl LogHistogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
-        }
+        })
     }
 
     fn bucket_of(&self, value: f64) -> usize {
@@ -171,10 +248,30 @@ impl LogHistogram {
     ///
     /// # Panics
     ///
-    /// Panics if the resolutions differ.
+    /// Panics if the resolutions differ; use
+    /// [`try_merge`](Self::try_merge) to handle the mismatch instead.
     pub fn merge(&mut self, other: &LogHistogram) {
-        assert_eq!(self.floor, other.floor, "floor mismatch");
-        assert_eq!(self.growth, other.growth, "growth mismatch");
+        if let Err(e) = self.try_merge(other) {
+            // qoserve-lint: allow(panic-hygiene) -- documented `# Panics` wrapper for same-resolution merges; fallible path is try_merge
+            panic!("{e}");
+        }
+    }
+
+    /// Merges another histogram, failing — with `self` unchanged — when
+    /// the resolutions differ (their buckets would not line up).
+    pub fn try_merge(&mut self, other: &LogHistogram) -> Result<(), MergeError> {
+        if self.floor != other.floor {
+            return Err(MergeError::Floor {
+                left: self.floor,
+                right: other.floor,
+            });
+        }
+        if self.growth != other.growth {
+            return Err(MergeError::Growth {
+                left: self.growth,
+                right: other.growth,
+            });
+        }
         if other.counts.len() > self.counts.len() {
             self.counts.resize(other.counts.len(), 0);
         }
@@ -185,6 +282,7 @@ impl LogHistogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        Ok(())
     }
 }
 
@@ -270,6 +368,54 @@ mod tests {
         let mut a = LogHistogram::with_resolution(1e-3, 1.05);
         let b = LogHistogram::with_resolution(1e-6, 1.05);
         a.merge(&b);
+    }
+
+    #[test]
+    fn try_with_resolution_reports_the_bad_parameter() {
+        assert_eq!(
+            LogHistogram::try_with_resolution(0.0, 1.05),
+            Err(ResolutionError::NonPositiveFloor(0.0))
+        );
+        assert_eq!(
+            LogHistogram::try_with_resolution(-2.0, 1.05),
+            Err(ResolutionError::NonPositiveFloor(-2.0))
+        );
+        assert_eq!(
+            LogHistogram::try_with_resolution(1e-6, 1.0),
+            Err(ResolutionError::GrowthTooSmall(1.0))
+        );
+        assert!(LogHistogram::try_with_resolution(f64::NAN, 1.05).is_err());
+        assert!(LogHistogram::try_with_resolution(1e-6, f64::NAN).is_err());
+        assert!(LogHistogram::try_with_resolution(1e-6, 1.05).is_ok());
+        let msg = LogHistogram::try_with_resolution(1e-6, 0.5)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("growth must exceed 1"), "{msg}");
+    }
+
+    #[test]
+    fn try_merge_fails_cleanly_and_leaves_self_unchanged() {
+        let mut a = LogHistogram::with_resolution(1e-3, 1.05);
+        a.record(5.0);
+        let snapshot = a.clone();
+        let b = LogHistogram::with_resolution(1e-6, 1.05);
+        let err = a.try_merge(&b).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::Floor {
+                left: 1e-3,
+                right: 1e-6
+            }
+        );
+        assert_eq!(a, snapshot, "failed merge must not mutate the receiver");
+
+        let c = LogHistogram::with_resolution(1e-3, 1.10);
+        assert!(matches!(a.try_merge(&c), Err(MergeError::Growth { .. })));
+
+        let mut d = LogHistogram::with_resolution(1e-3, 1.05);
+        d.record(7.0);
+        assert!(a.try_merge(&d).is_ok());
+        assert_eq!(a.count(), 2);
     }
 
     proptest! {

@@ -24,8 +24,8 @@ pub mod report;
 pub mod rolling;
 pub mod slo;
 
-pub use goodput::max_supported_load;
-pub use histogram::LogHistogram;
+pub use goodput::{max_supported_load, try_max_supported_load, SearchRangeError};
+pub use histogram::{LogHistogram, MergeError, ResolutionError};
 pub use outcome::RequestOutcome;
 pub use percentile::{percentile, LatencySummary};
 pub use report::Table;

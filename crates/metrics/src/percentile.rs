@@ -20,8 +20,10 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let p = p.clamp(0.0, 1.0);
+    // total_cmp, not partial_cmp: a NaN-swallowing comparator is not a
+    // strict weak order and can silently corrupt the sort.
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    qoserve_sim::float::sort_f64(&mut sorted);
     let rank = p * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

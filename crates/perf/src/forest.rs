@@ -343,7 +343,7 @@ impl<'a, Row: AsRef<[f64]>> TreeBuilder<'a, Row> {
                 .iter()
                 .map(|&i| self.rows[i].as_ref()[feature])
                 .collect();
-            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            qoserve_sim::float::sort_f64(&mut values);
             values.dedup();
             if values.len() < 2 {
                 continue;

@@ -68,6 +68,7 @@ impl LatencyPredictor {
         let (rows, labels) = Profiler::to_training_set(&samples);
         let mut rng = seeds.derive("forest-fit");
         let forest = RandomForest::fit(&rows, &labels, RandomForestConfig::default(), &mut rng)
+            // qoserve-lint: allow(panic-hygiene) -- offline training step; the profiler grid is statically non-empty and a silent fallback would hide a broken profile
             .expect("profiler always yields a non-empty training set");
         LatencyPredictor {
             backend: Backend::Forest(forest),

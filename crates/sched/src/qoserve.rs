@@ -22,6 +22,7 @@
 //! arrival, while decodes are never revisited at all.
 
 use qoserve_perf::{ChunkBudget, ChunkLimits, LatencyPredictor};
+use qoserve_sim::float::priority_micros;
 use qoserve_sim::{SimDuration, SimTime};
 use qoserve_workload::{Priority, RequestSpec};
 
@@ -205,13 +206,7 @@ impl QoServeScheduler {
 
     /// Eq. 4 / Eq. 5: the hybrid priority key in µs (smaller = sooner).
     fn priority_key(&self, job: &PrefillJob) -> i64 {
-        let base = job.urgency_deadline().as_micros() as f64;
-        let work_tokens = if job.spec.class().is_interactive() {
-            job.remaining_tokens() as f64
-        } else {
-            job.remaining_tokens() as f64 + self.estimator.estimated_decode_tokens(job.spec.app_id)
-        };
-        (base + self.alpha_us * work_tokens) as i64
+        hybrid_key(&self.estimator, self.alpha_us, job)
     }
 
     /// Live (non-relegated) backlog, in pending prompt tokens (O(1)).
@@ -307,19 +302,25 @@ impl QoServeScheduler {
                 // keys with a local closure over the needed fields.
                 let estimator = self.estimator.clone();
                 let alpha_us = self.alpha_us;
-                self.queue.rekey(|job| {
-                    let base = job.urgency_deadline().as_micros() as f64;
-                    let work = if job.spec.class().is_interactive() {
-                        job.remaining_tokens() as f64
-                    } else {
-                        job.remaining_tokens() as f64
-                            + estimator.estimated_decode_tokens(job.spec.app_id)
-                    };
-                    (base + alpha_us * work) as i64
-                });
+                self.queue
+                    .rekey(|job| hybrid_key(&estimator, alpha_us, job));
             }
         }
     }
+}
+
+/// The shared Eq. 4 / Eq. 5 key computation: deadline plus α-weighted
+/// remaining work, in µs. Routed through [`priority_micros`] so a NaN
+/// estimate (e.g. a poisoned decode history) sorts *last* instead of
+/// being cast to 0 and seizing the queue front.
+fn hybrid_key(estimator: &ProcessingEstimator, alpha_us: f64, job: &PrefillJob) -> i64 {
+    let base = job.urgency_deadline().as_micros() as f64;
+    let work_tokens = if job.spec.class().is_interactive() {
+        job.remaining_tokens() as f64
+    } else {
+        job.remaining_tokens() as f64 + estimator.estimated_decode_tokens(job.spec.app_id)
+    };
+    priority_micros(base + alpha_us * work_tokens)
 }
 
 impl Scheduler for QoServeScheduler {

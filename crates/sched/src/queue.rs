@@ -18,7 +18,7 @@
 //! overload runs keep `pop`/`peek` at their live-size cost.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use qoserve_workload::{RequestId, TierId};
 
@@ -39,9 +39,14 @@ struct QueuedJob {
 }
 
 /// A priority queue of [`PrefillJob`]s with explicit keys.
+///
+/// Side tables are `BTreeMap`, not `HashMap`: `drain`, `iter`, and
+/// `rekey` walk them, and replay determinism requires that walk order be
+/// a function of the keys alone (the `hash-iteration` lint enforces
+/// this).
 #[derive(Debug, Clone, Default)]
 pub struct JobQueue {
-    jobs: HashMap<RequestId, QueuedJob>,
+    jobs: BTreeMap<RequestId, QueuedJob>,
     heap: BinaryHeap<Reverse<(Key, RequestId)>>,
     next_seq: u64,
     /// Number of dead heap entries (superseded by a reinsert and not yet
@@ -54,7 +59,7 @@ pub struct JobQueue {
     /// Per-tier live-token accounting: `(urgency SLO offset in µs,
     /// live tokens)` — lets the scheduler estimate the queue ahead of a
     /// job under deadline-dominated orderings.
-    live_by_tier: HashMap<TierId, (i64, u64)>,
+    live_by_tier: BTreeMap<TierId, (i64, u64)>,
 }
 
 impl JobQueue {
@@ -125,13 +130,20 @@ impl JobQueue {
     /// Removes and returns the most urgent job.
     pub fn pop(&mut self) -> Option<PrefillJob> {
         while let Some(Reverse(((_, _, seq), id))) = self.heap.pop() {
-            if self.jobs.get(&id).is_some_and(|queued| queued.seq == seq) {
-                let queued = self.jobs.remove(&id).expect("checked above");
-                self.account_remove(&queued.job);
-                return Some(queued.job);
+            match self.jobs.remove(&id) {
+                Some(queued) if queued.seq == seq => {
+                    self.account_remove(&queued.job);
+                    return Some(queued.job);
+                }
+                // Stale entry for a still-queued job (re-keyed since):
+                // put the job back untouched and skip the entry.
+                Some(queued) => {
+                    self.jobs.insert(id, queued);
+                    self.stale = self.stale.saturating_sub(1);
+                }
+                // Stale entry for a job that is already gone; skip.
+                None => self.stale = self.stale.saturating_sub(1),
             }
-            // Stale entry (job re-keyed or already gone); skip.
-            self.stale = self.stale.saturating_sub(1);
         }
         None
     }
@@ -231,20 +243,23 @@ impl JobQueue {
             .sum()
     }
 
-    /// Iterates over queued jobs in arbitrary order.
+    /// Iterates over queued jobs in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = &PrefillJob> {
         self.jobs.values().map(|queued| &queued.job)
     }
 
-    /// Removes and returns every queued job (arbitrary order). Used when
-    /// a simulation ends with work still queued.
+    /// Removes and returns every queued job in ascending id order. Used
+    /// when a simulation ends with work still queued.
     pub fn drain(&mut self) -> Vec<PrefillJob> {
         self.heap.clear();
         self.stale = 0;
         self.total_tokens = 0;
         self.live_tokens = 0;
         self.live_by_tier.clear();
-        self.jobs.drain().map(|(_, queued)| queued.job).collect()
+        std::mem::take(&mut self.jobs)
+            .into_values()
+            .map(|queued| queued.job)
+            .collect()
     }
 
     /// Rebuilds every heap key via `key_of` — needed when a global input
@@ -416,6 +431,29 @@ mod tests {
         assert_eq!(q.heap.len(), 2);
         assert_eq!(q.pop().unwrap().id().0, 1);
         assert_eq!(q.pop().unwrap().id().0, 2);
+    }
+
+    #[test]
+    fn nan_priority_cannot_corrupt_heap_order() {
+        use qoserve_sim::float::priority_micros;
+        // Before `priority_micros`, a NaN priority was cast with `as i64`
+        // and landed at 0 — ahead of every normal deadline key. Now it
+        // pins to i64::MAX: well-formed jobs keep their relative order
+        // and the poisoned job drains last instead of starving them.
+        let mut q = JobQueue::new();
+        q.push(job(1, false), priority_micros(f64::NAN));
+        q.push(job(2, false), priority_micros(20.0));
+        q.push(job(3, false), priority_micros(10.0));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|j| j.id().0)).collect();
+        assert_eq!(order, vec![3, 2, 1], "NaN job must sort last, not first");
+
+        // Reinserting with a NaN key keeps the invariant under re-keying.
+        let mut q = JobQueue::new();
+        q.push(job(1, false), priority_micros(5.0));
+        q.push(job(2, false), priority_micros(6.0));
+        q.reinsert(job(1, false), priority_micros(f64::NAN));
+        assert_eq!(q.pop().unwrap().id().0, 2);
+        assert_eq!(q.pop().unwrap().id().0, 1);
     }
 
     #[test]

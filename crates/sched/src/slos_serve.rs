@@ -28,7 +28,7 @@ use crate::job::{DecodeJob, PrefillJob};
 use crate::{BatchPlan, Constraints, PrefillAssignment, Scheduler};
 
 use qoserve_perf::LatencyPredictor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of [`SlosServeScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,8 +61,10 @@ impl Default for SlosServeConfig {
 pub struct SlosServeScheduler {
     config: SlosServeConfig,
     estimator: ProcessingEstimator,
-    /// All queued jobs, keyed by id.
-    jobs: HashMap<RequestId, PrefillJob>,
+    /// All queued jobs, keyed by id. Ordered map: `replan`, the pending-
+    /// token sum, and `drain_pending` all walk it, and walk order must be
+    /// deterministic for replays.
+    jobs: BTreeMap<RequestId, PrefillJob>,
     /// Current plan: ids in service order (planned attainable first, then
     /// best-effort), rebuilt every `replan_every` iterations.
     plan_order: Vec<RequestId>,
@@ -78,7 +80,7 @@ impl SlosServeScheduler {
         SlosServeScheduler {
             config,
             estimator: ProcessingEstimator::from_predictor(&predictor),
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             plan_order: Vec::new(),
             iterations_since_plan: u32::MAX, // force a plan on first batch
             last_dp_cells: 0,
@@ -265,7 +267,7 @@ impl Scheduler for SlosServeScheduler {
 
     fn drain_pending(&mut self) -> Vec<PrefillJob> {
         self.plan_order.clear();
-        self.jobs.drain().map(|(_, j)| j).collect()
+        std::mem::take(&mut self.jobs).into_values().collect()
     }
 }
 

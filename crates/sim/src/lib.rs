@@ -32,12 +32,14 @@
 //! ```
 
 pub mod events;
+pub mod float;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
+pub use float::{cmp_f64, priority_micros, sort_f64};
 pub use parallel::{par_map, par_map_threads, par_max_passing, thread_limit};
 pub use rng::SeedStream;
 pub use stats::OnlineStats;
