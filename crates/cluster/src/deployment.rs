@@ -174,9 +174,11 @@ fn run_replica_pools(
             .collect();
         handles
             .into_iter()
+            // qoserve-lint: allow(panic-hygiene) -- re-raises a worker panic; swallowing it would fabricate results
             .map(|h| h.join().expect("replica thread panicked"))
             .collect()
     })
+    // qoserve-lint: allow(panic-hygiene) -- crossbeam scope only errs if a child panicked; propagate it
     .expect("replica scope panicked");
 
     let mut outcomes: Vec<RequestOutcome> = results.into_iter().flatten().collect();

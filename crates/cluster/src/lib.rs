@@ -11,15 +11,21 @@
 //!   paper's experiments, plus a least-work router).
 //! * [`deployment`] — shared vs siloed deployments and their execution;
 //!   replicas run in parallel threads, each bit-reproducible.
+//! * [`recovery`] — fault-injected deployments: lockstep replica
+//!   stepping, crash-orphan re-dispatch with bounded retries and
+//!   deterministic backoff, re-prefill accounting, and tier-aware
+//!   shedding when surviving capacity is insufficient.
 //! * [`capacity`] — goodput search ("max QPS with ≤ 1 % violations") and
 //!   the minimum-replica capacity planner behind Table 4 and Fig. 15b.
 
 pub mod capacity;
 pub mod deployment;
+pub mod recovery;
 pub mod router;
 pub mod spec;
 
 pub use capacity::{max_goodput, max_goodput_serial, min_replicas_for, GoodputOptions};
 pub use deployment::{run_shared, run_siloed, ClusterConfig, SiloGroup};
-pub use router::Router;
+pub use recovery::{run_shared_faulty, FaultPlan, FaultRunResult, FaultRunStats};
+pub use router::{Router, RouterError};
 pub use spec::SchedulerSpec;

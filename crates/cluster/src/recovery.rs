@@ -1,0 +1,489 @@
+//! Failure recovery: dynamic re-dispatch across a fault-injected cluster.
+//!
+//! The plain deployments in [`deployment`](crate::deployment) fix each
+//! request's replica once, at submission — fine while every replica
+//! lives. Under injected faults ([`FaultSchedule`]) a crash strands
+//! everything in flight or queued on the dead replica, so this module
+//! replaces the static one-shot assignment with a recovery loop:
+//!
+//! 1. Replicas advance in lockstep (always stepping the engine with the
+//!    lowest simulated time), so a crash is observed before any survivor
+//!    moves past it.
+//! 2. A crash surfaces the dead replica's orphans
+//!    ([`OrphanedJob`](qoserve_engine::OrphanedJob)); each is re-dispatched
+//!    to a surviving replica after a deterministic linear backoff, paying
+//!    its prompt tokens again (re-prefill — the KV died with the replica).
+//! 3. Retries are bounded ([`FaultPlan::max_retries`]); requests that keep
+//!    landing on crashing replicas end as
+//!    [`Disposition::RetryExhausted`].
+//! 4. When too few replicas survive, low-priority requests are shed
+//!    ([`Disposition::Shed`]) instead of dragging every tier down —
+//!    the fault-path analogue of the paper's graceful-degradation
+//!    argument (§3.3).
+//! 5. Crashed replicas with a configured downtime restart empty and
+//!    rejoin the rotation.
+//!
+//! Everything is deterministic: the fault timeline is derived from the
+//! seed alone, replica selection is a round-robin cursor over the
+//! schedule's up-set, and backoff is a fixed linear function of the
+//! attempt number. The same seed and configuration replays bit-identically
+//! regardless of `QOSERVE_THREADS`, and an all-zero fault configuration is
+//! bit-identical to [`run_shared`](crate::deployment::run_shared).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use qoserve_engine::{ReplicaConfig, ReplicaEngine};
+use qoserve_metrics::{Disposition, RequestOutcome};
+use qoserve_sim::faults::{CrashEvent, FaultConfig, FaultSchedule};
+use qoserve_sim::{SeedStream, SimDuration, SimTime};
+use qoserve_workload::{Priority, RequestId, Trace};
+
+use crate::deployment::ClusterConfig;
+use crate::router::RouterError;
+use crate::spec::SchedulerSpec;
+
+/// Fault-injection and recovery policy for one cluster run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Fault intensity configuration; the timeline is derived from it and
+    /// the run's seed.
+    pub faults: FaultConfig,
+    /// Re-dispatch attempts per request before giving up
+    /// ([`Disposition::RetryExhausted`]).
+    pub max_retries: u32,
+    /// Linear backoff unit: attempt `n` is re-dispatched
+    /// `n * retry_backoff` after the crash.
+    pub retry_backoff: SimDuration,
+    /// When fewer than this fraction of replicas are up at re-dispatch
+    /// time, [`Priority::Low`] orphans are shed instead of retried.
+    pub shed_below_up_fraction: f64,
+}
+
+impl FaultPlan {
+    /// No faults; the recovery path is exercised but never fires.
+    pub fn none() -> Self {
+        FaultPlan {
+            faults: FaultConfig::none(),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan around the given fault configuration with default recovery
+    /// parameters.
+    pub fn with_faults(faults: FaultConfig) -> Self {
+        FaultPlan {
+            faults,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The plan with fault rates scaled by `intensity` (recovery
+    /// parameters unchanged) — the knob the fault sweep turns.
+    pub fn scaled(&self, intensity: f64) -> Self {
+        FaultPlan {
+            faults: self.faults.scaled(intensity),
+            ..self.clone()
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    /// Defaults: no faults, 3 retries, 500 ms backoff unit, shed
+    /// low-priority work below 1/3 surviving capacity.
+    fn default() -> Self {
+        FaultPlan {
+            faults: FaultConfig::none(),
+            max_retries: 3,
+            retry_backoff: SimDuration::from_millis(500),
+            shed_below_up_fraction: 0.34,
+        }
+    }
+}
+
+/// Aggregate fault/recovery counters of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct FaultRunStats {
+    /// Crash events that fired.
+    pub crashes: u64,
+    /// Crashed replicas that restarted (a crash without restart is a
+    /// permanent loss).
+    pub restarts: u64,
+    /// Successful re-dispatches of orphaned requests.
+    pub redispatches: u64,
+    /// Orphans shed by the tier-aware low-capacity policy (plus orphans
+    /// with no surviving replica at all).
+    pub shed: u64,
+    /// Orphans dropped after exhausting the retry budget.
+    pub retry_exhausted: u64,
+    /// Prompt tokens prefilled again because their KV died with a crash.
+    pub reprefill_tokens: u64,
+    /// Engine iterations executed inside straggler/drift windows.
+    pub degraded_iterations: u64,
+}
+
+/// Outcomes plus recovery counters of one fault-injected run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultRunResult {
+    /// One outcome per submitted request, ordered by request id, with
+    /// retry/re-prefill accounting stamped on.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Aggregate counters.
+    pub stats: FaultRunStats,
+}
+
+/// One replica slot of the recovery loop. The engine is replaced by a
+/// fresh generation after a restart; `crashes` is this replica's full
+/// crash timeline with `next_crash` indexing the upcoming one.
+struct Slot {
+    engine: ReplicaEngine,
+    crashes: Vec<CrashEvent>,
+    next_crash: usize,
+    /// Drained (or restarting-and-empty): skipped until new work arrives.
+    parked: bool,
+    /// Permanently crashed; never receives work again.
+    dead: bool,
+}
+
+/// Runs `trace` on a shared deployment of `replicas` identical replicas
+/// under the fault plan. With an all-zero fault configuration the result's
+/// outcomes are bit-identical to
+/// [`run_shared`](crate::deployment::run_shared).
+///
+/// Returns one outcome per request (ordered by id): completions, plus
+/// explicit [`Disposition::Shed`] / [`Disposition::RetryExhausted`]
+/// records for requests lost to the fault policy — no request ever
+/// disappears.
+pub fn run_shared_faulty(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    seeds: &SeedStream,
+) -> Result<FaultRunResult, RouterError> {
+    let targets = config
+        .router
+        .try_assign(trace.requests(), replicas as usize)?;
+
+    // The fault timeline must cover the whole run; with no explicit
+    // horizon, pad past the last arrival so late-run crashes exist.
+    let schedule_horizon = config
+        .horizon
+        .unwrap_or_else(|| trace.horizon() + SimDuration::from_secs(3_600));
+    let schedule = FaultSchedule::generate(
+        &plan.faults,
+        replicas,
+        schedule_horizon,
+        &seeds.child("faults"),
+    );
+
+    // Generation-0 engines, seeded exactly as `run_replica_pools` does so
+    // the zero-fault case is bit-identical to `run_shared`.
+    let make_engine = |replica_id: u32, from: SimTime| {
+        let replica_seeds = seeds.child("replica");
+        let mut rc = ReplicaConfig::new(config.hardware.clone())
+            .with_replica_id(replica_id)
+            .with_faults(schedule.profile_for(replica_id, from));
+        rc.noise_sigma = config.noise_sigma;
+        rc.max_decode_batch = config.max_decode_batch;
+        rc.horizon = config.horizon;
+        let sched = scheduler.build(&config.hardware, &replica_seeds);
+        ReplicaEngine::new(rc, sched, &replica_seeds)
+    };
+
+    let mut slots: Vec<Slot> = (0..replicas)
+        .map(|r| Slot {
+            engine: make_engine(r, SimTime::ZERO),
+            crashes: schedule.crashes_for(r),
+            next_crash: 0,
+            parked: false,
+            dead: false,
+        })
+        .collect();
+    for (spec, target) in trace.requests().iter().zip(targets) {
+        slots[target].engine.submit(*spec);
+    }
+
+    let mut stats = FaultRunStats::default();
+    let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(trace.len());
+    let mut retries: BTreeMap<RequestId, u32> = BTreeMap::new();
+    let mut reprefill: BTreeMap<RequestId, u64> = BTreeMap::new();
+    let mut relegated_ids: BTreeSet<RequestId> = BTreeSet::new();
+    let mut rotation: u64 = 0;
+
+    loop {
+        // Lockstep: always advance the live engine furthest behind, so a
+        // crash is observed before any survivor's clock passes it. Ties
+        // break to the lowest replica index — deterministic.
+        let mut pick: Option<usize> = None;
+        for (i, s) in slots.iter().enumerate() {
+            if s.dead || s.parked {
+                continue;
+            }
+            match pick {
+                Some(p) if slots[p].engine.now() <= s.engine.now() => {}
+                _ => pick = Some(i),
+            }
+        }
+        let Some(idx) = pick else {
+            break; // every slot is drained or dead
+        };
+
+        if slots[idx].engine.step() {
+            continue;
+        }
+
+        if !slots[idx].engine.crashed() {
+            slots[idx].parked = true; // drained (or horizon); may be revived
+            continue;
+        }
+
+        // --- Crash handling -------------------------------------------
+        stats.crashes += 1;
+        let crash = slots[idx].crashes.get(slots[idx].next_crash).copied();
+        slots[idx].next_crash += 1;
+        // The schedule's crash instant, not the engine clock (which may
+        // have idled past it), anchors backoff and restart timing.
+        let crash_at = crash.map(|c| c.at).unwrap_or(slots[idx].engine.now());
+        let replica_id = idx as u32;
+
+        let mut orphans = slots[idx].engine.take_orphans();
+        stats.degraded_iterations += slots[idx].engine.degraded_iterations();
+        outcomes.extend(slots[idx].engine.take_outcomes());
+        orphans.sort_by_key(|j| j.spec.id);
+
+        match crash.and_then(|c| c.restart_at) {
+            Some(restart_at) => {
+                stats.restarts += 1;
+                slots[idx].engine = make_engine(replica_id, restart_at);
+                slots[idx].parked = true; // empty until re-dispatch
+            }
+            None => slots[idx].dead = true,
+        }
+
+        for orphan in orphans {
+            let id = orphan.spec.id;
+            let attempt = {
+                let a = retries.entry(id).or_insert(0);
+                *a += 1;
+                *a
+            };
+            if orphan.prefill_done > 0 {
+                *reprefill.entry(id).or_insert(0) += orphan.prefill_done as u64;
+            }
+            if orphan.relegated {
+                relegated_ids.insert(id);
+            }
+            let was_relegated = relegated_ids.contains(&id);
+
+            if attempt > plan.max_retries {
+                stats.retry_exhausted += 1;
+                outcomes.push(RequestOutcome::unserved(
+                    orphan.spec,
+                    was_relegated,
+                    replica_id,
+                    Disposition::RetryExhausted,
+                ));
+                continue;
+            }
+
+            let redispatch_at =
+                (crash_at + plan.retry_backoff * attempt as u64).max(orphan.spec.arrival);
+            let up = schedule.up_replicas_at(redispatch_at);
+            let up_fraction = up.len() as f64 / replicas as f64;
+            let shed = up.is_empty()
+                || (up_fraction < plan.shed_below_up_fraction
+                    && orphan.spec.priority() == Priority::Low);
+            if shed {
+                stats.shed += 1;
+                outcomes.push(RequestOutcome::unserved(
+                    orphan.spec,
+                    was_relegated,
+                    replica_id,
+                    Disposition::Shed,
+                ));
+                continue;
+            }
+
+            stats.redispatches += 1;
+            let target = up[(rotation % up.len() as u64) as usize] as usize;
+            rotation += 1;
+            slots[target].engine.submit_at(orphan.spec, redispatch_at);
+            slots[target].parked = false;
+        }
+    }
+
+    // Finalize every surviving engine (dead slots were emptied at crash
+    // time; their `finish` contributes nothing).
+    for slot in &mut slots {
+        stats.degraded_iterations += slot.engine.degraded_iterations();
+        outcomes.extend(slot.engine.finish());
+    }
+
+    // Stamp retry / re-prefill / relegation history onto final outcomes.
+    for o in &mut outcomes {
+        if let Some(&r) = retries.get(&o.spec.id) {
+            o.retries = r;
+        }
+        if let Some(&tokens) = reprefill.get(&o.spec.id) {
+            o.reprefill_tokens = tokens;
+            stats.reprefill_tokens += tokens;
+        }
+        if relegated_ids.contains(&o.spec.id) {
+            o.relegated = true;
+        }
+    }
+    outcomes.sort_by_key(|o| o.spec.id);
+    debug_assert_eq!(outcomes.len(), trace.len(), "no request may be lost");
+
+    Ok(FaultRunResult { outcomes, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::run_shared;
+    use qoserve_perf::HardwareConfig;
+    use qoserve_workload::{ArrivalProcess, Dataset, TraceBuilder};
+
+    fn config() -> ClusterConfig {
+        ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1())
+    }
+
+    fn trace(seed: u64, qps: f64, n: usize) -> Trace {
+        TraceBuilder::new(Dataset::azure_conv())
+            .arrivals(ArrivalProcess::poisson(qps))
+            .num_requests(n)
+            .paper_tier_mix()
+            .build(&SeedStream::new(seed))
+    }
+
+    #[test]
+    fn zero_faults_match_run_shared_bit_for_bit() {
+        let t = trace(11, 5.0, 150);
+        let plain = run_shared(
+            &t,
+            3,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &SeedStream::new(11),
+        );
+        let faulty = run_shared_faulty(
+            &t,
+            3,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &FaultPlan::none(),
+            &SeedStream::new(11),
+        )
+        .unwrap();
+        assert_eq!(faulty.outcomes, plain);
+        assert_eq!(faulty.stats, FaultRunStats::default());
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic_and_conserves_requests() {
+        let t = trace(12, 6.0, 200);
+        let plan = FaultPlan::with_faults(FaultConfig::moderate().scaled(2.0));
+        let run = || {
+            run_shared_faulty(
+                &t,
+                4,
+                &SchedulerSpec::qoserve(),
+                &config(),
+                &plan,
+                &SeedStream::new(12),
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must replay bit-identically");
+        assert_eq!(a.outcomes.len(), t.len());
+        for (i, o) in a.outcomes.iter().enumerate() {
+            assert_eq!(o.spec.id.0, i as u64, "one outcome per request, by id");
+        }
+    }
+
+    #[test]
+    fn crashes_produce_retries_and_reprefill() {
+        let t = trace(13, 8.0, 250);
+        // Crash hard and often, with restarts, so recovery must fire.
+        let mut faults = FaultConfig::moderate();
+        faults.crash_rate_per_hour = 600.0;
+        let plan = FaultPlan::with_faults(faults);
+        let r = run_shared_faulty(
+            &t,
+            3,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &plan,
+            &SeedStream::new(13),
+        )
+        .unwrap();
+        assert!(r.stats.crashes > 0, "600 crashes/hour must fire");
+        assert!(r.stats.redispatches > 0, "orphans must be re-dispatched");
+        assert!(
+            r.outcomes.iter().any(|o| o.retries > 0),
+            "some outcome must record a retry"
+        );
+        let completed_after_retry = r
+            .outcomes
+            .iter()
+            .filter(|o| o.retries > 0 && o.finished())
+            .count();
+        assert!(
+            completed_after_retry > 0,
+            "recovery must actually save requests"
+        );
+    }
+
+    #[test]
+    fn zero_replicas_is_a_typed_error() {
+        let t = trace(14, 1.0, 5);
+        let err = run_shared_faulty(
+            &t,
+            0,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &FaultPlan::none(),
+            &SeedStream::new(14),
+        );
+        assert_eq!(err.unwrap_err(), RouterError::NoReplicas);
+    }
+
+    #[test]
+    fn permanent_crashes_without_restart_shed_or_exhaust() {
+        let t = trace(15, 6.0, 150);
+        let mut faults = FaultConfig::moderate();
+        faults.crash_rate_per_hour = 900.0;
+        faults.restart_downtime = None; // every crash is permanent
+        let plan = FaultPlan::with_faults(faults);
+        let r = run_shared_faulty(
+            &t,
+            2,
+            &SchedulerSpec::sarathi_fcfs(),
+            &config(),
+            &plan,
+            &SeedStream::new(15),
+        )
+        .unwrap();
+        assert!(r.stats.crashes > 0);
+        assert_eq!(r.stats.restarts, 0);
+        assert_eq!(r.outcomes.len(), t.len());
+        let lost = r
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.disposition,
+                    Disposition::Shed | Disposition::RetryExhausted
+                )
+            })
+            .count();
+        assert!(
+            lost > 0,
+            "with every replica permanently dead, some work must be shed"
+        );
+    }
+}

@@ -6,9 +6,29 @@
 //! it balances on cumulative assigned prompt+decode tokens — a static
 //! approximation of join-shortest-queue documented in DESIGN.md.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use qoserve_workload::RequestSpec;
+
+/// Routing failure: the deployment has no replica to route to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterError {
+    /// Zero replicas were offered (misconfiguration, or every replica of
+    /// a fault-injected cluster is down).
+    NoReplicas,
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::NoReplicas => write!(f, "at least one replica is required"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
 
 /// Routing policy across the replicas of one deployment group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -22,28 +42,50 @@ pub enum Router {
 
 impl Router {
     /// Assigns each request of `requests` (in order) to one of
-    /// `replicas` targets; returns the per-request replica index.
-    pub fn assign(&self, requests: &[RequestSpec], replicas: usize) -> Vec<usize> {
-        assert!(replicas > 0, "at least one replica is required");
-        match self {
+    /// `replicas` targets; returns the per-request replica index, or
+    /// [`RouterError::NoReplicas`] when there is nothing to route to.
+    pub fn try_assign(
+        &self,
+        requests: &[RequestSpec],
+        replicas: usize,
+    ) -> Result<Vec<usize>, RouterError> {
+        if replicas == 0 {
+            return Err(RouterError::NoReplicas);
+        }
+        Ok(match self {
             Router::RoundRobin => (0..requests.len()).map(|i| i % replicas).collect(),
             Router::LeastWork => {
                 let mut load = vec![0u64; replicas];
                 requests
                     .iter()
                     .map(|r| {
-                        let target = load
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, l)| **l)
-                            .map(|(i, _)| i)
-                            .expect("replicas > 0");
+                        // Manual argmin: first replica with the least load
+                        // (ties break to the lowest index, deterministic).
+                        let mut target = 0usize;
+                        for (i, l) in load.iter().enumerate().skip(1) {
+                            if *l < load[target] {
+                                target = i;
+                            }
+                        }
                         load[target] += r.total_tokens() as u64;
                         target
                     })
                     .collect()
             }
-        }
+        })
+    }
+
+    /// Assigns each request of `requests` (in order) to one of
+    /// `replicas` targets; returns the per-request replica index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replicas == 0`; use [`try_assign`](Self::try_assign)
+    /// to handle that case as a value.
+    pub fn assign(&self, requests: &[RequestSpec], replicas: usize) -> Vec<usize> {
+        self.try_assign(requests, replicas)
+            // qoserve-lint: allow(panic-hygiene) -- documented `# Panics` wrapper over try_assign
+            .expect("at least one replica is required")
     }
 }
 
@@ -94,5 +136,26 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn zero_replicas_rejected() {
         let _ = Router::RoundRobin.assign(&[], 0);
+    }
+
+    #[test]
+    fn try_assign_surfaces_zero_replicas_as_error() {
+        let reqs = vec![spec(0, 10)];
+        for r in [Router::RoundRobin, Router::LeastWork] {
+            assert_eq!(r.try_assign(&reqs, 0), Err(RouterError::NoReplicas));
+            assert!(r.try_assign(&reqs, 1).is_ok());
+        }
+        assert_eq!(
+            RouterError::NoReplicas.to_string(),
+            "at least one replica is required"
+        );
+    }
+
+    #[test]
+    fn try_assign_matches_assign() {
+        let reqs: Vec<RequestSpec> = (0..9).map(|i| spec(i, 100 * (i as u32 + 1))).collect();
+        for r in [Router::RoundRobin, Router::LeastWork] {
+            assert_eq!(r.try_assign(&reqs, 3).unwrap(), r.assign(&reqs, 3));
+        }
     }
 }

@@ -172,6 +172,9 @@ impl Scheduler for BoxedScheduler {
     fn drain_pending(&mut self) -> Vec<qoserve_sched::PrefillJob> {
         self.0.drain_pending()
     }
+    fn drain_rejected(&mut self) -> Vec<qoserve_sched::PrefillJob> {
+        self.0.drain_rejected()
+    }
 }
 
 #[cfg(test)]

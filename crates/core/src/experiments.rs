@@ -13,8 +13,10 @@
 //! `QOSERVE_SCALE=1` is the fast default, `QOSERVE_SCALE=16` approaches
 //! paper-scale windows.
 
-use qoserve_cluster::{run_shared, ClusterConfig, SchedulerSpec};
-use qoserve_metrics::{RequestOutcome, SloReport};
+use qoserve_cluster::{
+    run_shared, run_shared_faulty, ClusterConfig, FaultPlan, FaultRunStats, SchedulerSpec,
+};
+use qoserve_metrics::{RecoveryReport, RequestOutcome, SloReport};
 use qoserve_perf::HardwareConfig;
 use qoserve_sim::{par_map, SeedStream, SimDuration};
 use qoserve_workload::{ArrivalProcess, Dataset, TierMix, Trace, TraceBuilder};
@@ -139,6 +141,134 @@ pub fn load_sweep_serial(
     points
 }
 
+/// Fixed workload/cluster setup of a fault sweep: the sweep varies fault
+/// intensity and scheme, everything else stays pinned here.
+#[derive(Debug, Clone)]
+pub struct FaultSweepSetup {
+    /// Request length distributions.
+    pub dataset: Dataset,
+    /// Hardware of every replica.
+    pub hardware: HardwareConfig,
+    /// Replica count of the shared deployment.
+    pub replicas: u32,
+    /// Offered load in QPS.
+    pub qps: f64,
+    /// Trace duration.
+    pub window: SimDuration,
+    /// Tier mix.
+    pub mix: TierMix,
+    /// Fraction of requests marked [`Priority::Low`] — the traffic the
+    /// recovery loop's tier-aware shedding is allowed to drop.
+    ///
+    /// [`Priority::Low`]: qoserve_workload::Priority::Low
+    pub low_priority_fraction: f64,
+    /// Base fault plan; each sweep point scales its rates by the point's
+    /// intensity ([`FaultPlan::scaled`]).
+    pub plan: FaultPlan,
+    /// Root seed for trace, faults, and execution noise.
+    pub seed: u64,
+}
+
+/// One point of a fault sweep.
+#[derive(Debug, Clone)]
+pub struct FaultSweepPoint {
+    /// Scheme label.
+    pub scheme: String,
+    /// Fault-rate multiplier applied to the base plan.
+    pub intensity: f64,
+    /// Violation/latency report of the run.
+    pub report: SloReport,
+    /// Per-tier recovery accounting.
+    pub recovery: RecoveryReport,
+    /// Aggregate crash/retry/shed counters.
+    pub stats: FaultRunStats,
+    /// Raw outcomes (for custom breakdowns).
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+/// Runs every `(intensity, scheme)` combination of a fault sweep on the
+/// same trace and returns the reports, intensity-major / scheme-minor.
+///
+/// Like [`load_sweep`], the grid cells are independent seeded simulations
+/// running on [`par_map`] worker threads, each reconstructing its
+/// randomness from `(setup.seed, intensity, scheme)` alone — the output
+/// is **bit-identical** to [`fault_sweep_serial`] for any thread count.
+pub fn fault_sweep(
+    setup: &FaultSweepSetup,
+    schemes: &[SchedulerSpec],
+    intensities: &[f64],
+) -> Vec<FaultSweepPoint> {
+    let (trace, threshold) = fault_sweep_trace(setup);
+    let grid: Vec<(usize, usize)> = (0..intensities.len())
+        .flat_map(|ii| (0..schemes.len()).map(move |si| (ii, si)))
+        .collect();
+    par_map(grid, |_, (ii, si)| {
+        fault_sweep_cell(setup, &trace, threshold, intensities[ii], &schemes[si])
+    })
+}
+
+/// The single-threaded fault sweep, kept as the reference implementation
+/// that [`fault_sweep`] must match bit-for-bit.
+pub fn fault_sweep_serial(
+    setup: &FaultSweepSetup,
+    schemes: &[SchedulerSpec],
+    intensities: &[f64],
+) -> Vec<FaultSweepPoint> {
+    let (trace, threshold) = fault_sweep_trace(setup);
+    let mut points = Vec::new();
+    for &intensity in intensities {
+        for scheme in schemes {
+            points.push(fault_sweep_cell(
+                setup, &trace, threshold, intensity, scheme,
+            ));
+        }
+    }
+    points
+}
+
+fn fault_sweep_trace(setup: &FaultSweepSetup) -> (Trace, u32) {
+    let trace = TraceBuilder::new(setup.dataset.clone())
+        .arrivals(ArrivalProcess::poisson(setup.qps))
+        .duration(setup.window)
+        .tier_mix(setup.mix.clone())
+        .low_priority_fraction(setup.low_priority_fraction)
+        .build(&SeedStream::new(setup.seed));
+    let threshold = trace.long_prompt_threshold();
+    (trace, threshold)
+}
+
+fn fault_sweep_cell(
+    setup: &FaultSweepSetup,
+    trace: &Trace,
+    threshold: u32,
+    intensity: f64,
+    scheme: &SchedulerSpec,
+) -> FaultSweepPoint {
+    let config = ClusterConfig::new(setup.hardware.clone());
+    let plan = setup.plan.scaled(intensity);
+    // The only error is a zero-replica deployment; report it as an empty
+    // run rather than poisoning the whole sweep.
+    let result = run_shared_faulty(
+        trace,
+        setup.replicas,
+        scheme,
+        &config,
+        &plan,
+        &SeedStream::new(setup.seed),
+    )
+    .unwrap_or_default();
+    let report = SloReport::compute(&result.outcomes, threshold);
+    let recovery = RecoveryReport::compute(&result.outcomes);
+    FaultSweepPoint {
+        scheme: scheme.label(),
+        intensity,
+        report,
+        recovery,
+        stats: result.stats,
+        outcomes: result.outcomes,
+    }
+}
+
 /// Runs one trace on one shared replica of `hardware` under `scheme`.
 pub fn run_run(
     trace: &Trace,
@@ -171,6 +301,36 @@ mod tests {
             labels,
             vec!["Sarathi-FCFS", "Sarathi-SRPF", "Sarathi-EDF", "QoServe"]
         );
+    }
+
+    #[test]
+    fn fault_sweep_grid_and_zero_intensity_baseline() {
+        let setup = FaultSweepSetup {
+            dataset: Dataset::azure_conv(),
+            hardware: HardwareConfig::llama3_8b_a100_tp1(),
+            replicas: 2,
+            qps: 3.0,
+            window: SimDuration::from_secs(40),
+            mix: TierMix::paper_equal(),
+            low_priority_fraction: 0.2,
+            plan: FaultPlan::with_faults(qoserve_sim::FaultConfig::moderate()),
+            seed: 9,
+        };
+        let schemes = [SchedulerSpec::sarathi_fcfs(), SchedulerSpec::qoserve()];
+        let points = fault_sweep(&setup, &schemes, &[0.0, 4.0]);
+        assert_eq!(points.len(), 4);
+        // Intensity-major, scheme-minor order.
+        assert_eq!(points[0].intensity, 0.0);
+        assert_eq!(points[0].scheme, "Sarathi-FCFS");
+        assert_eq!(points[3].intensity, 4.0);
+        assert_eq!(points[3].scheme, "QoServe");
+        // Zero intensity means the fault machinery never fires.
+        assert_eq!(points[0].stats, FaultRunStats::default());
+        assert_eq!(points[1].stats, FaultRunStats::default());
+        // Every cell accounts the full trace.
+        let n = points[0].outcomes.len();
+        assert!(n > 0);
+        assert!(points.iter().all(|p| p.outcomes.len() == n));
     }
 
     #[test]

@@ -60,12 +60,14 @@ pub mod prelude {
     pub use crate::server::{QoServe, QoServeBuilder, Request, RunReport};
 
     pub use qoserve_cluster::{
-        max_goodput, min_replicas_for, run_shared, run_siloed, ClusterConfig, GoodputOptions,
-        Router, SchedulerSpec, SiloGroup,
+        max_goodput, min_replicas_for, run_shared, run_shared_faulty, run_siloed, ClusterConfig,
+        FaultPlan, FaultRunResult, FaultRunStats, GoodputOptions, Router, RouterError,
+        SchedulerSpec, SiloGroup,
     };
-    pub use qoserve_engine::{ReplicaConfig, ReplicaEngine};
+    pub use qoserve_engine::{ReplicaConfig, ReplicaEngine, ReplicaState};
     pub use qoserve_metrics::{
-        LatencySummary, LogHistogram, RequestOutcome, RollingSeries, SloReport, Table,
+        Disposition, LatencySummary, LogHistogram, RecoveryReport, RequestOutcome, RollingSeries,
+        SloReport, Table,
     };
     pub use qoserve_perf::{
         BatchProfile, ChunkBudget, ChunkLimits, HardwareConfig, LatencyModel, LatencyPredictor,
@@ -77,7 +79,8 @@ pub mod prelude {
         SlosServeScheduler,
     };
     pub use qoserve_sim::{
-        par_map, par_max_passing, thread_limit, SeedStream, SimDuration, SimTime,
+        par_map, par_max_passing, thread_limit, FaultConfig, FaultSchedule, SeedStream,
+        SimDuration, SimTime,
     };
     pub use qoserve_workload::{
         ArrivalProcess, Dataset, Priority, QosClass, QosTier, RequestId, RequestSpec, Slo, TierId,

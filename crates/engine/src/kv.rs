@@ -91,6 +91,14 @@ impl KvCache {
         }
     }
 
+    /// Releases every allocation at once, keeping the capacity. Models a
+    /// replica crash: the cache contents die with the process.
+    pub fn clear(&mut self) {
+        self.per_request.clear();
+        self.used = 0;
+        self.reserved = 0;
+    }
+
     /// Number of requests currently holding KV.
     pub fn resident_requests(&self) -> usize {
         self.per_request.len()
@@ -158,6 +166,19 @@ mod tests {
         kv.release(RequestId(2));
         assert_eq!(kv.headroom(), 5_000);
         assert_eq!(kv.resident_requests(), 0);
+    }
+
+    #[test]
+    fn clear_releases_everything_but_keeps_capacity() {
+        let mut kv = KvCache::new(5_000);
+        kv.admit(RequestId(1), 200);
+        kv.write_prefill(RequestId(1), 1_000);
+        kv.write_prefill(RequestId(2), 500);
+        kv.clear();
+        assert_eq!(kv.used(), 0);
+        assert_eq!(kv.reserved(), 0);
+        assert_eq!(kv.resident_requests(), 0);
+        assert_eq!(kv.headroom(), 5_000);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   reservation (decodes are never preempted, §3.4, so their future
 //!   growth is reserved at admission).
 //! * [`noise`] — multiplicative log-normal execution-time noise.
-//! * [`replica`] — the engine itself.
+//! * [`replica`] — the engine itself, including the availability state
+//!   machine ([`ReplicaState`]) and crash-orphan surfacing
+//!   ([`OrphanedJob`]) used by the fault-injection experiments.
 //! * [`disagg`] — helpers for PD-disaggregated prefill-node serving
 //!   (§4.1.3).
 
@@ -25,4 +27,6 @@ pub mod replica;
 pub use disagg::{disagg_chunk_limits, to_prefill_only_trace, DISAGG_CHUNK};
 pub use kv::KvCache;
 pub use noise::ExecutionNoise;
-pub use replica::{sustainable_decode_batch, BatchRecord, ReplicaConfig, ReplicaEngine};
+pub use replica::{
+    sustainable_decode_batch, BatchRecord, OrphanedJob, ReplicaConfig, ReplicaEngine, ReplicaState,
+};

@@ -95,4 +95,71 @@ mod tests {
         let n = ExecutionNoise::new(&SeedStream::new(5), 0, -1.0);
         assert_eq!(n.sigma(), 0.0);
     }
+
+    #[test]
+    fn zero_sigma_never_draws_from_the_rng() {
+        // sigma = 0 must be an exact identity AND leave the stream
+        // untouched, so enabling/disabling noise cannot shift other draws.
+        let seeds = SeedStream::new(6);
+        let mut silent = ExecutionNoise::new(&seeds, 0, 0.0);
+        let mut live = ExecutionNoise::new(&seeds, 0, 0.05);
+        let d = SimDuration::from_millis(33);
+        for _ in 0..64 {
+            assert_eq!(silent.apply(d), d);
+        }
+        // The live source still sees the pristine stream from the start.
+        let mut fresh = ExecutionNoise::new(&seeds, 0, 0.05);
+        assert_eq!(live.apply(d), fresh.apply(d));
+    }
+
+    #[test]
+    fn identical_seed_and_replica_yield_identical_sequences() {
+        // Full-sequence determinism across independently derived streams:
+        // same root seed and replica index → every draw matches, for
+        // several replica indices.
+        for replica in [0u32, 1, 17, 4_096] {
+            let mut a = ExecutionNoise::new(&SeedStream::new(9), replica, 0.03);
+            let mut b = ExecutionNoise::new(&SeedStream::new(9), replica, 0.03);
+            for i in 0..128 {
+                let d = SimDuration::from_micros(1_000 + i);
+                assert_eq!(a.apply(d), b.apply(d), "replica {replica}, draw {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_sigma_respects_clamp_bounds() {
+        // With an absurd sigma almost every draw saturates; the factor
+        // must never leave [0.5, 2.0].
+        let mut n = ExecutionNoise::new(&SeedStream::new(10), 3, 1_000.0);
+        let clean = SimDuration::from_millis(100);
+        let (lo, hi) = (clean.mul_f64(0.5), clean.mul_f64(2.0));
+        let mut saturated_low = 0u32;
+        let mut saturated_high = 0u32;
+        for _ in 0..2_000 {
+            let noisy = n.apply(clean);
+            assert!(noisy >= lo, "below the 0.5x clamp: {noisy:?}");
+            assert!(noisy <= hi, "above the 2.0x clamp: {noisy:?}");
+            if noisy == lo {
+                saturated_low += 1;
+            }
+            if noisy == hi {
+                saturated_high += 1;
+            }
+        }
+        assert!(
+            saturated_low > 500 && saturated_high > 500,
+            "sigma=1000 should pin almost every draw to a clamp bound \
+             ({saturated_low} low, {saturated_high} high)"
+        );
+    }
+
+    #[test]
+    fn different_root_seeds_decorrelate() {
+        let d = SimDuration::from_millis(10);
+        let mut a = ExecutionNoise::new(&SeedStream::new(11), 0, 0.05);
+        let mut b = ExecutionNoise::new(&SeedStream::new(12), 0, 0.05);
+        let same = (0..32).filter(|_| a.apply(d) == b.apply(d)).count();
+        assert!(same < 4);
+    }
 }

@@ -12,12 +12,44 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use qoserve_metrics::RequestOutcome;
 use qoserve_perf::{BatchProfile, HardwareConfig, LatencyModel, PrefillChunkProfile};
 use qoserve_sched::{Constraints, DecodeJob, PrefillJob, Scheduler};
+use qoserve_sim::faults::ReplicaFaultProfile;
 use qoserve_sim::time::SignedDuration;
 use qoserve_sim::{EventQueue, SeedStream, SimDuration, SimTime};
 use qoserve_workload::{RequestId, RequestSpec, Trace};
 
 use crate::kv::KvCache;
 use crate::noise::ExecutionNoise;
+
+/// Availability of a replica, as the paper's recovery story needs it:
+/// `Up → Degraded → Down → Restarting` (the engine itself reports the
+/// first three; `Restarting` is the cluster layer's view of a crashed
+/// replica waiting out its downtime before a fresh generation starts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplicaState {
+    /// Serving normally.
+    Up,
+    /// Serving inside a straggler/drift window (latency inflated).
+    Degraded,
+    /// Crashed: in-flight and queued work must be re-dispatched.
+    Down,
+    /// Waiting out the post-crash downtime before restarting empty.
+    Restarting,
+}
+
+/// A request stranded by a replica crash, surfaced to the cluster layer
+/// for re-dispatch. Its KV state died with the replica: a re-dispatched
+/// request starts prefill from zero (`prefill_done` here records the lost
+/// progress, i.e. the re-prefill cost).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrphanedJob {
+    /// The stranded request.
+    pub spec: RequestSpec,
+    /// Prompt tokens whose KV state was lost with the crash.
+    pub prefill_done: u32,
+    /// Whether eager relegation had demoted the request on the dead
+    /// replica.
+    pub relegated: bool,
+}
 
 /// Configuration of one replica.
 #[derive(Debug, Clone)]
@@ -37,6 +69,11 @@ pub struct ReplicaConfig {
     /// Record per-batch diagnostics (chunk budgets, latencies) — Fig. 9
     /// and Fig. 15a read these.
     pub record_batches: bool,
+    /// Injected-fault timeline for this replica generation: at most one
+    /// upcoming crash plus any latency-inflation windows. Healthy by
+    /// default, in which case behaviour is bit-identical to the
+    /// pre-fault-model engine.
+    pub faults: ReplicaFaultProfile,
 }
 
 impl ReplicaConfig {
@@ -52,12 +89,19 @@ impl ReplicaConfig {
             replica_id: 0,
             horizon: None,
             record_batches: false,
+            faults: ReplicaFaultProfile::healthy(),
         }
     }
 
     /// Sets the replica id.
     pub fn with_replica_id(mut self, id: u32) -> Self {
         self.replica_id = id;
+        self
+    }
+
+    /// Sets the injected-fault timeline for this replica generation.
+    pub fn with_faults(mut self, faults: ReplicaFaultProfile) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -182,6 +226,9 @@ impl Running {
             worst_token_lateness: SignedDuration::from_micros(self.worst_lateness_us),
             relegated: self.relegated,
             replica,
+            disposition: qoserve_metrics::Disposition::Completed,
+            retries: 0,
+            reprefill_tokens: 0,
         }
     }
 }
@@ -234,6 +281,11 @@ pub struct ReplicaEngine {
     batch_log: Vec<BatchRecord>,
     /// Consecutive iterations that made no progress (deadlock guard).
     stall_streak: u32,
+    /// Set once the configured crash time is reached; the engine refuses
+    /// further work and the cluster layer collects orphans.
+    crashed: bool,
+    /// Iterations executed inside a straggler/drift slowdown window.
+    degraded_iterations: u64,
 }
 
 impl ReplicaEngine {
@@ -257,12 +309,24 @@ impl ReplicaEngine {
             iterations: 0,
             batch_log: Vec::new(),
             stall_streak: 0,
+            crashed: false,
+            degraded_iterations: 0,
         }
     }
 
     /// Queues a request for arrival at `spec.arrival`.
     pub fn submit(&mut self, spec: RequestSpec) {
         self.arrivals.push(spec.arrival, spec);
+    }
+
+    /// Queues a request for delivery at `at`, independent of
+    /// `spec.arrival`. Used for post-crash re-dispatch: the request
+    /// reaches the replacement replica only at the re-dispatch time, but
+    /// its SLO clock (deadlines derived from `spec.arrival`) keeps
+    /// running from the original arrival — a recovered request that blew
+    /// its deadline while stranded still counts as violated.
+    pub fn submit_at(&mut self, spec: RequestSpec, at: SimTime) {
+        self.arrivals.push(at.max(spec.arrival), spec);
     }
 
     /// Current simulated time.
@@ -298,6 +362,15 @@ impl ReplicaEngine {
     /// by request id.
     pub fn run(&mut self) -> Vec<RequestOutcome> {
         while self.step() {}
+        self.finish()
+    }
+
+    /// Finalizes a halted engine: accounts everything still in
+    /// flight/queued/unarrived (rejections with their own label, the rest
+    /// as unfinished) and returns every outcome, ordered by request id.
+    /// Used directly by the fault-aware cluster driver, which steps
+    /// engines manually instead of calling [`run`](Self::run).
+    pub fn finish(&mut self) -> Vec<RequestOutcome> {
         self.finalize_unfinished();
         let mut outcomes = std::mem::take(&mut self.outcomes);
         outcomes.sort_by_key(|o| o.spec.id);
@@ -309,6 +382,17 @@ impl ReplicaEngine {
     pub fn step(&mut self) -> bool {
         if let Some(h) = self.config.horizon {
             if self.now >= h {
+                return false;
+            }
+        }
+        // Crash check: once simulated time reaches the injected crash, the
+        // replica does no further work. The cluster layer distinguishes
+        // this halt from a drained engine via [`crashed`](Self::crashed)
+        // and collects the stranded jobs with
+        // [`take_orphans`](Self::take_orphans).
+        if let Some(crash) = self.config.faults.crash_at {
+            if self.crashed || self.now >= crash {
+                self.crashed = true;
                 return false;
             }
         }
@@ -377,7 +461,16 @@ impl ReplicaEngine {
         profile.num_decodes = decodes.len() as u32;
         profile.decode_context_total = decodes.iter().map(|d| d.context_len as u64).sum();
 
-        let exec = self.noise.apply(self.model.iteration_time(&profile));
+        let mut exec = self.noise.apply(self.model.iteration_time(&profile));
+        // Straggler/drift windows inflate the iteration latency by the
+        // product of the factors of every window containing the iteration
+        // start. With no active window the multiplier is exactly 1.0 and
+        // `exec` is untouched, keeping fault-free runs bit-identical.
+        let slowdown = self.config.faults.slowdown_at(self.now);
+        if slowdown > 1.0 {
+            exec = exec.mul_f64(slowdown);
+            self.degraded_iterations += 1;
+        }
         self.now += exec;
         self.iterations += 1;
         if self.config.record_batches {
@@ -462,7 +555,9 @@ impl ReplicaEngine {
         self.outcomes.push(r.into_outcome(self.config.replica_id));
     }
 
-    /// Marks everything still in flight/queued/unarrived as unfinished.
+    /// Marks everything still in flight/queued/unarrived as unfinished,
+    /// with admission-rejected jobs (rate limiting) carrying their own
+    /// distinct label.
     fn finalize_unfinished(&mut self) {
         let replica = self.config.replica_id;
         let mut accounted: std::collections::HashSet<RequestId> = HashSet::new();
@@ -472,6 +567,14 @@ impl ReplicaEngine {
                 .push(RequestOutcome::unfinished(r.spec, r.relegated, replica));
         }
         self.decode_pool.clear();
+        // Rejections first, so they get the `Rejected` disposition rather
+        // than riding along with `drain_pending` as plain unfinished.
+        for job in self.scheduler.drain_rejected() {
+            if accounted.insert(job.spec.id) {
+                self.outcomes
+                    .push(RequestOutcome::rejected(job.spec, replica));
+            }
+        }
         for job in self.scheduler.drain_pending() {
             // Skip jobs that are also in `running` (partially prefilled) —
             // those were already accounted above.
@@ -485,5 +588,252 @@ impl ReplicaEngine {
                 .push(RequestOutcome::unfinished(spec, false, replica));
         }
         self.known_specs.clear();
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Current availability: `Down` after the crash fires, `Degraded`
+    /// inside an active slowdown window, `Up` otherwise. (`Restarting` is
+    /// reported by the cluster layer, which owns the downtime clock.)
+    pub fn state(&self) -> ReplicaState {
+        if self.crashed {
+            ReplicaState::Down
+        } else if self.config.faults.slowdown_at(self.now) > 1.0 {
+            ReplicaState::Degraded
+        } else {
+            ReplicaState::Up
+        }
+    }
+
+    /// Whether any work remains (queued arrivals, in-flight requests, or
+    /// pending prefills). Used by the lockstep cluster driver to tell an
+    /// idle-but-alive replica from a drained one.
+    pub fn has_work(&self) -> bool {
+        !self.arrivals.is_empty()
+            || !self.running.is_empty()
+            || self.scheduler.pending_prefills() > 0
+    }
+
+    /// Iterations executed inside a slowdown window so far.
+    pub fn degraded_iterations(&self) -> u64 {
+        self.degraded_iterations
+    }
+
+    /// Takes the outcomes recorded so far (completions plus any rejected
+    /// outcomes surfaced by [`take_orphans`](Self::take_orphans)),
+    /// unsorted. The fault-aware driver calls this after a crash; callers
+    /// of [`run`](Self::run)/[`finish`](Self::finish) never need it.
+    pub fn take_outcomes(&mut self) -> Vec<RequestOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Empties a crashed replica: every in-flight and queued request is
+    /// returned as an [`OrphanedJob`] for the cluster layer to
+    /// re-dispatch, while admission-rejected jobs are recorded as
+    /// `Rejected` outcomes (a 429 happened before the crash; the client
+    /// already saw it). Call this *before*
+    /// [`take_outcomes`](Self::take_outcomes) so those rejections are
+    /// included.
+    ///
+    /// Orphans are produced in request-id order (in-flight first, then
+    /// queued, then unarrived) so recovery replays are bit-identical.
+    pub fn take_orphans(&mut self) -> Vec<OrphanedJob> {
+        let replica = self.config.replica_id;
+        let mut accounted: HashSet<RequestId> = HashSet::new();
+        let mut orphans: Vec<OrphanedJob> = Vec::new();
+        for (id, r) in std::mem::take(&mut self.running) {
+            accounted.insert(id);
+            orphans.push(OrphanedJob {
+                spec: r.spec,
+                prefill_done: r.prefill_done,
+                relegated: r.relegated,
+            });
+        }
+        self.decode_pool.clear();
+        self.kv.clear();
+        for job in self.scheduler.drain_rejected() {
+            if accounted.insert(job.spec.id) {
+                self.outcomes
+                    .push(RequestOutcome::rejected(job.spec, replica));
+            }
+        }
+        for job in self.scheduler.drain_pending() {
+            if accounted.insert(job.spec.id) {
+                orphans.push(OrphanedJob {
+                    spec: job.spec,
+                    prefill_done: job.prefill_done,
+                    relegated: job.relegated,
+                });
+            }
+        }
+        while let Some((_, spec)) = self.arrivals.pop() {
+            if accounted.insert(spec.id) {
+                orphans.push(OrphanedJob {
+                    spec,
+                    prefill_done: 0,
+                    relegated: false,
+                });
+            }
+        }
+        self.known_specs.clear();
+        orphans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_metrics::Disposition;
+    use qoserve_sched::{OrderPolicy, RateLimitScheduler, SarathiScheduler};
+    use qoserve_sim::faults::SlowWindow;
+    use qoserve_workload::{QosTier, Slo};
+
+    fn spec(id: u64, arrival_ms: u64, prompt: u32, decode: u32) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(id),
+            arrival: SimTime::from_millis(arrival_ms),
+            prompt_tokens: prompt,
+            decode_tokens: decode,
+            slo: Slo::of_tier(QosTier::paper_q1()),
+            app_id: 0,
+        }
+    }
+
+    fn engine_with(config: ReplicaConfig) -> ReplicaEngine {
+        let sched = SarathiScheduler::new(OrderPolicy::Fcfs, 256);
+        ReplicaEngine::new(config, Box::new(sched), &SeedStream::new(7))
+    }
+
+    fn base_config() -> ReplicaConfig {
+        let mut c = ReplicaConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+        c.noise_sigma = 0.0;
+        c
+    }
+
+    #[test]
+    fn healthy_profile_is_bit_identical_to_default() {
+        let mut plain = engine_with(base_config());
+        let mut explicit = engine_with(base_config().with_faults(ReplicaFaultProfile::healthy()));
+        for e in [&mut plain, &mut explicit] {
+            for i in 0..8 {
+                e.submit(spec(i, i * 50, 800, 40));
+            }
+        }
+        assert_eq!(plain.run(), explicit.run());
+    }
+
+    #[test]
+    fn crash_halts_engine_and_orphans_conserve_requests() {
+        let crash = SimTime::from_secs(1);
+        let mut e = engine_with(base_config().with_faults(ReplicaFaultProfile {
+            crash_at: Some(crash),
+            windows: Vec::new(),
+        }));
+        let ids: Vec<u64> = (0..20).collect();
+        for &i in &ids {
+            // Arrivals straddle the crash: some complete, some strand
+            // in-flight/queued, some never arrive.
+            e.submit(spec(i, i * 150, 2_000, 100));
+        }
+        while e.step() {}
+        assert!(e.crashed());
+        assert_eq!(e.state(), ReplicaState::Down);
+
+        let orphans = e.take_orphans();
+        let outcomes = e.take_outcomes();
+        assert!(!orphans.is_empty(), "a 1 s crash must strand work");
+        let mut seen: Vec<u64> = outcomes
+            .iter()
+            .map(|o| o.spec.id.0)
+            .chain(orphans.iter().map(|j| j.spec.id.0))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, ids, "every request is either accounted or orphaned");
+        for o in &outcomes {
+            assert_eq!(o.disposition, Disposition::Completed);
+            assert!(o.completion.is_some());
+        }
+    }
+
+    #[test]
+    fn crash_before_any_work_orphans_everything() {
+        let mut e = engine_with(base_config().with_faults(ReplicaFaultProfile {
+            crash_at: Some(SimTime::ZERO),
+            windows: Vec::new(),
+        }));
+        for i in 0..5 {
+            e.submit(spec(i, 10 + i, 500, 20));
+        }
+        assert!(!e.step());
+        assert!(e.crashed());
+        let orphans = e.take_orphans();
+        assert_eq!(orphans.len(), 5);
+        assert!(orphans.iter().all(|j| j.prefill_done == 0 && !j.relegated));
+        assert!(e.take_outcomes().is_empty());
+        assert!(!e.has_work());
+    }
+
+    #[test]
+    fn slowdown_window_inflates_latency_and_reports_degraded() {
+        let window = SlowWindow {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(100_000),
+            factor: 2.0,
+            drift: false,
+        };
+        let mut healthy = engine_with(base_config());
+        let mut slow = engine_with(base_config().with_faults(ReplicaFaultProfile {
+            crash_at: None,
+            windows: vec![window],
+        }));
+        assert_eq!(slow.state(), ReplicaState::Degraded);
+        for e in [&mut healthy, &mut slow] {
+            for i in 0..6 {
+                e.submit(spec(i, 0, 1_500, 60));
+            }
+        }
+        let fast = healthy.run();
+        let degraded = slow.run();
+        assert_eq!(slow.degraded_iterations(), slow.iterations());
+        let end = |outs: &[RequestOutcome]| {
+            outs.iter()
+                .filter_map(|o| o.completion)
+                .max()
+                .expect("completions")
+        };
+        assert!(
+            end(&degraded) > end(&fast),
+            "a 2x straggler window must slow the run down"
+        );
+    }
+
+    #[test]
+    fn rejections_surface_with_their_own_disposition() {
+        let inner = SarathiScheduler::new(OrderPolicy::Fcfs, 256);
+        let sched = RateLimitScheduler::new(inner, 1_000);
+        let mut config = base_config();
+        config.horizon = Some(SimTime::from_millis(200));
+        let mut e = ReplicaEngine::new(config, Box::new(sched), &SeedStream::new(7));
+        // The first arrival fills the backlog past the cap; the rest bounce.
+        for i in 0..4 {
+            e.submit(spec(i, 0, 3_000, 50));
+        }
+        let outcomes = e.run();
+        assert_eq!(outcomes.len(), 4);
+        let rejected = outcomes
+            .iter()
+            .filter(|o| o.disposition == Disposition::Rejected)
+            .count();
+        assert!(rejected >= 1, "backlog cap must produce Rejected outcomes");
+        for o in outcomes
+            .iter()
+            .filter(|o| o.disposition == Disposition::Rejected)
+        {
+            assert!(o.first_token.is_none());
+            assert!(o.completion.is_none());
+        }
     }
 }

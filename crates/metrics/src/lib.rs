@@ -12,6 +12,8 @@
 //! * [`histogram`] — streaming log-bucketed histogram for online
 //!   monitoring at constant memory.
 //! * [`slo`] — [`SloReport`]: violation accounting over outcome sets.
+//! * [`recovery`] — [`RecoveryReport`]: per-tier availability/retry/
+//!   re-prefill accounting for fault-injected runs.
 //! * [`rolling`] — time-windowed percentile series.
 //! * [`goodput`] — monotone boundary search used for capacity numbers.
 //! * [`report`] — plain-text table rendering for the experiment binaries.
@@ -20,14 +22,16 @@ pub mod goodput;
 pub mod histogram;
 pub mod outcome;
 pub mod percentile;
+pub mod recovery;
 pub mod report;
 pub mod rolling;
 pub mod slo;
 
 pub use goodput::{max_supported_load, try_max_supported_load, SearchRangeError};
 pub use histogram::{LogHistogram, MergeError, ResolutionError};
-pub use outcome::RequestOutcome;
+pub use outcome::{Disposition, RequestOutcome};
 pub use percentile::{percentile, LatencySummary};
+pub use recovery::{RecoveryCounts, RecoveryReport};
 pub use report::Table;
 pub use rolling::RollingSeries;
 pub use slo::SloReport;

@@ -5,6 +5,28 @@ use qoserve_sim::{SimDuration, SimTime};
 use qoserve_workload::{Priority, RequestSpec, TierId};
 use serde::{Deserialize, Serialize};
 
+/// How a request's lifecycle ended — beyond the latency numbers, *why*
+/// there is no (timely) result. Rejected, shed, and retry-exhausted
+/// requests were never served to completion and always count as violated,
+/// but reports distinguish them: a 429 is not a deadline miss.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Disposition {
+    /// The request ran to completion (possibly violating its SLO).
+    #[default]
+    Completed,
+    /// Still in flight or queued when the simulation ended.
+    Unfinished,
+    /// Bounced at admission by a rate limiter (a 429 to the client).
+    Rejected,
+    /// Dropped by tier-aware shedding when surviving capacity after
+    /// failures was insufficient.
+    Shed,
+    /// Lost to repeated replica crashes; the retry budget ran out.
+    RetryExhausted,
+}
+
 /// Everything measured about one request during a simulation run.
 ///
 /// Produced by the engine when a request completes (or when the simulation
@@ -28,12 +50,28 @@ pub struct RequestOutcome {
     pub relegated: bool,
     /// Replica that served the request.
     pub replica: u32,
+    /// How the request's lifecycle ended.
+    #[serde(default)]
+    pub disposition: Disposition,
+    /// Times the request was re-dispatched after a replica crash.
+    #[serde(default)]
+    pub retries: u32,
+    /// Prompt tokens whose KV state was lost to crashes and had to be
+    /// prefilled again (the re-prefill cost of recovery).
+    #[serde(default)]
+    pub reprefill_tokens: u64,
 }
 
 impl RequestOutcome {
-    /// An outcome for a request that never finished before the simulation
-    /// horizon (counts as a violation everywhere).
-    pub fn unfinished(spec: RequestSpec, relegated: bool, replica: u32) -> Self {
+    /// An outcome for a request that was never served to completion, with
+    /// an explicit [`Disposition`] saying why (counts as a violation
+    /// everywhere).
+    pub fn unserved(
+        spec: RequestSpec,
+        relegated: bool,
+        replica: u32,
+        disposition: Disposition,
+    ) -> Self {
         RequestOutcome {
             spec,
             first_token: None,
@@ -42,7 +80,21 @@ impl RequestOutcome {
             worst_token_lateness: SignedDuration::from_micros(i64::MAX),
             relegated,
             replica,
+            disposition,
+            retries: 0,
+            reprefill_tokens: 0,
         }
+    }
+
+    /// An outcome for a request that never finished before the simulation
+    /// horizon (counts as a violation everywhere).
+    pub fn unfinished(spec: RequestSpec, relegated: bool, replica: u32) -> Self {
+        RequestOutcome::unserved(spec, relegated, replica, Disposition::Unfinished)
+    }
+
+    /// An outcome for a request bounced at admission by a rate limiter.
+    pub fn rejected(spec: RequestSpec, replica: u32) -> Self {
+        RequestOutcome::unserved(spec, false, replica, Disposition::Rejected)
     }
 
     /// Time to first token, when the request produced one.
@@ -138,6 +190,9 @@ mod tests {
             worst_token_lateness: SignedDuration::from_micros(-1_000_000),
             relegated: false,
             replica: 0,
+            disposition: Disposition::Completed,
+            retries: 0,
+            reprefill_tokens: 0,
         }
     }
 
@@ -202,5 +257,43 @@ mod tests {
         let o = on_time_outcome(QosTier::paper_q2());
         let json = serde_json::to_string(&o).unwrap();
         assert_eq!(serde_json::from_str::<RequestOutcome>(&json).unwrap(), o);
+    }
+
+    #[test]
+    fn dispositions_of_constructors() {
+        let s = spec(QosTier::paper_q1(), 0);
+        assert_eq!(
+            on_time_outcome(QosTier::paper_q1()).disposition,
+            Disposition::Completed
+        );
+        assert_eq!(
+            RequestOutcome::unfinished(s, false, 0).disposition,
+            Disposition::Unfinished
+        );
+        let rejected = RequestOutcome::rejected(s, 2);
+        assert_eq!(rejected.disposition, Disposition::Rejected);
+        assert_eq!(rejected.replica, 2);
+        assert!(rejected.violated(), "a 429 still violates the SLO");
+        let shed = RequestOutcome::unserved(s, true, 1, Disposition::Shed);
+        assert_eq!(shed.disposition, Disposition::Shed);
+        assert!(shed.relegated);
+        assert!(
+            RequestOutcome::unserved(s, false, 0, Disposition::RetryExhausted).violated(),
+            "exhausted retries violate the SLO"
+        );
+    }
+
+    #[test]
+    fn disposition_defaults_keep_old_records_readable() {
+        // Records serialized before the disposition/retry fields existed
+        // must still deserialize (fields default).
+        let o = on_time_outcome(QosTier::paper_q1());
+        let mut v = serde_json::to_value(o).unwrap();
+        let map = v.as_object_mut().unwrap();
+        map.remove("disposition");
+        map.remove("retries");
+        map.remove("reprefill_tokens");
+        let back: RequestOutcome = serde_json::from_value(v).unwrap();
+        assert_eq!(back, o);
     }
 }

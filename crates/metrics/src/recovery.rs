@@ -1,0 +1,190 @@
+//! Availability, retry, and re-prefill accounting under fault injection.
+//!
+//! When the cluster layer injects faults (crashes, restarts, stragglers),
+//! per-request latency percentiles no longer tell the whole story: what
+//! matters is *where the lost work went* — completed after re-dispatch,
+//! shed by tier-aware load shedding, or dropped when the retry budget ran
+//! out — and what the recovery cost in re-prefilled prompt tokens. The
+//! [`RecoveryReport`] aggregates exactly that, split by QoS tier, so
+//! graceful-degradation claims can be checked per tier (does Q1 survive
+//! while free-tier traffic is shed, or does everyone degrade together?).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use qoserve_workload::TierId;
+
+use crate::outcome::{Disposition, RequestOutcome};
+
+/// Recovery counters over one slice of traffic (one tier, or overall).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryCounts {
+    /// Requests in the slice.
+    pub total: usize,
+    /// Requests that ran to completion.
+    pub completed: usize,
+    /// Completed requests that were relegated along the way.
+    pub relegated_completed: usize,
+    /// Requests still in flight/queued at the simulation end.
+    pub unfinished: usize,
+    /// Requests bounced at admission by rate limiting.
+    pub rejected: usize,
+    /// Requests dropped by tier-aware shedding.
+    pub shed: usize,
+    /// Requests lost to repeated crashes (retry budget exhausted).
+    pub retry_exhausted: usize,
+    /// Requests that needed at least one crash re-dispatch.
+    pub retried: usize,
+    /// Total re-dispatches across the slice.
+    pub retries: u64,
+    /// Prompt tokens prefilled again after their KV state died with a
+    /// replica.
+    pub reprefill_tokens: u64,
+}
+
+impl RecoveryCounts {
+    fn record(&mut self, o: &RequestOutcome) {
+        self.total += 1;
+        match o.disposition {
+            Disposition::Completed => {
+                self.completed += 1;
+                if o.relegated {
+                    self.relegated_completed += 1;
+                }
+            }
+            Disposition::Unfinished => self.unfinished += 1,
+            Disposition::Rejected => self.rejected += 1,
+            Disposition::Shed => self.shed += 1,
+            Disposition::RetryExhausted => self.retry_exhausted += 1,
+        }
+        if o.retries > 0 {
+            self.retried += 1;
+        }
+        self.retries += o.retries as u64;
+        self.reprefill_tokens += o.reprefill_tokens;
+    }
+
+    /// Fraction of the slice that completed, in `[0, 1]`.
+    pub fn completion_fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.total as f64
+        }
+    }
+}
+
+/// Per-tier (and overall) recovery accounting for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Counters per QoS tier.
+    pub by_tier: BTreeMap<TierId, RecoveryCounts>,
+    /// Counters over all traffic.
+    pub overall: RecoveryCounts,
+}
+
+impl RecoveryReport {
+    /// Aggregates `outcomes` into per-tier recovery counters.
+    pub fn compute(outcomes: &[RequestOutcome]) -> Self {
+        let mut report = RecoveryReport::default();
+        for o in outcomes {
+            report.overall.record(o);
+            report.by_tier.entry(o.tier()).or_default().record(o);
+        }
+        report
+    }
+
+    /// Counters for one tier (zeroed when the tier saw no traffic).
+    pub fn tier(&self, tier: TierId) -> RecoveryCounts {
+        self.by_tier.get(&tier).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_sim::time::SignedDuration;
+    use qoserve_sim::{SimDuration, SimTime};
+    use qoserve_workload::{QosTier, RequestId, RequestSpec, Slo};
+
+    fn spec(id: u64, tier: QosTier) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(id),
+            arrival: SimTime::ZERO,
+            prompt_tokens: 500,
+            decode_tokens: 10,
+            slo: Slo::of_tier(tier),
+            app_id: 0,
+        }
+    }
+
+    fn completed(id: u64, tier: QosTier, relegated: bool, retries: u32) -> RequestOutcome {
+        RequestOutcome {
+            spec: spec(id, tier),
+            first_token: Some(SimTime::from_secs(1)),
+            completion: Some(SimTime::from_secs(2)),
+            max_tbt: SimDuration::from_millis(30),
+            worst_token_lateness: SignedDuration::from_micros(-1),
+            relegated,
+            replica: 0,
+            disposition: Disposition::Completed,
+            retries,
+            reprefill_tokens: retries as u64 * 100,
+        }
+    }
+
+    #[test]
+    fn tallies_dispositions_by_tier() {
+        let q1 = QosTier::paper_q1();
+        let q3 = QosTier::paper_q3();
+        let outcomes = vec![
+            completed(0, q1, false, 0),
+            completed(1, q1, true, 2),
+            RequestOutcome::unserved(spec(2, q1), false, 0, Disposition::RetryExhausted),
+            RequestOutcome::unserved(spec(3, q3), false, 0, Disposition::Shed),
+            RequestOutcome::rejected(spec(4, q3), 0),
+            RequestOutcome::unfinished(spec(5, q3), false, 0),
+        ];
+        let r = RecoveryReport::compute(&outcomes);
+        assert_eq!(r.overall.total, 6);
+        assert_eq!(r.overall.completed, 2);
+        assert_eq!(r.overall.relegated_completed, 1);
+        assert_eq!(r.overall.retry_exhausted, 1);
+        assert_eq!(r.overall.shed, 1);
+        assert_eq!(r.overall.rejected, 1);
+        assert_eq!(r.overall.unfinished, 1);
+        assert_eq!(r.overall.retried, 1);
+        assert_eq!(r.overall.retries, 2);
+        assert_eq!(r.overall.reprefill_tokens, 200);
+
+        let t1 = r.tier(q1.id);
+        assert_eq!((t1.total, t1.completed, t1.retry_exhausted), (3, 2, 1));
+        let t3 = r.tier(q3.id);
+        assert_eq!(
+            (t3.total, t3.shed, t3.rejected, t3.unfinished),
+            (3, 1, 1, 1)
+        );
+        assert_eq!(r.tier(TierId(9)).total, 0);
+    }
+
+    #[test]
+    fn completion_fraction() {
+        let q1 = QosTier::paper_q1();
+        let outcomes = vec![
+            completed(0, q1, false, 0),
+            RequestOutcome::unserved(spec(1, q1), false, 0, Disposition::Shed),
+        ];
+        let r = RecoveryReport::compute(&outcomes);
+        assert_eq!(r.overall.completion_fraction(), 0.5);
+        assert_eq!(RecoveryCounts::default().completion_fraction(), 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q1 = QosTier::paper_q1();
+        let r = RecoveryReport::compute(&[completed(0, q1, false, 1)]);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<RecoveryReport>(&json).unwrap(), r);
+    }
+}

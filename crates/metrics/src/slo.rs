@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use qoserve_workload::{Priority, TierId};
 
-use crate::outcome::RequestOutcome;
+use crate::outcome::{Disposition, RequestOutcome};
 use crate::percentile::LatencySummary;
 
 /// Violation and latency breakdowns over a set of request outcomes.
@@ -21,6 +21,17 @@ pub struct SloReport {
     pub total: usize,
     /// Requests that violated their SLO.
     pub violations: usize,
+    /// Requests bounced at admission (rate limiting). Counted inside
+    /// `violations` too, but reported separately: a 429 is not a deadline
+    /// miss, and goodput denominators need the distinction.
+    #[serde(default)]
+    pub rejected: usize,
+    /// Requests dropped by tier-aware shedding after capacity loss.
+    #[serde(default)]
+    pub shed: usize,
+    /// Requests lost to repeated crashes (retry budget exhausted).
+    #[serde(default)]
+    pub retry_exhausted: usize,
     /// Per-tier (total, violated) counts.
     pub by_tier: BTreeMap<TierId, (usize, usize)>,
     /// (total, violated) among short requests (prompt < threshold).
@@ -49,9 +60,18 @@ impl SloReport {
         let mut important = (0, 0);
         let mut violations = 0;
         let mut relegated = 0;
+        let mut rejected = 0;
+        let mut shed = 0;
+        let mut retry_exhausted = 0;
 
         for o in outcomes {
             let v = o.violated();
+            match o.disposition {
+                Disposition::Rejected => rejected += 1,
+                Disposition::Shed => shed += 1,
+                Disposition::RetryExhausted => retry_exhausted += 1,
+                Disposition::Completed | Disposition::Unfinished => {}
+            }
             let entry = by_tier.entry(o.tier()).or_default();
             entry.0 += 1;
             let length_bucket = if o.is_long(long_threshold) {
@@ -85,6 +105,9 @@ impl SloReport {
         SloReport {
             total: outcomes.len(),
             violations,
+            rejected,
+            shed,
+            retry_exhausted,
             by_tier,
             short,
             long,
@@ -105,6 +128,28 @@ impl SloReport {
     /// Overall violation percentage in `[0, 100]`.
     pub fn violation_pct(&self) -> f64 {
         pct(self.violations, self.total)
+    }
+
+    /// Requests the system actually admitted (total minus rejections) —
+    /// the denominator of [`served_violation_pct`](Self::served_violation_pct).
+    pub fn served_total(&self) -> usize {
+        self.total.saturating_sub(self.rejected)
+    }
+
+    /// Percentage of *admitted* requests that violated their SLO. Rate
+    /// limiters bounce requests precisely to keep this number low; keeping
+    /// rejections out of the denominator makes that trade-off visible
+    /// instead of folding a 429 into the same bucket as a deadline miss.
+    pub fn served_violation_pct(&self) -> f64 {
+        pct(
+            self.violations.saturating_sub(self.rejected),
+            self.served_total(),
+        )
+    }
+
+    /// Percentage of all requests bounced at admission.
+    pub fn rejected_pct(&self) -> f64 {
+        pct(self.rejected, self.total)
     }
 
     /// Violation percentage within one tier.
@@ -180,6 +225,9 @@ mod tests {
             worst_token_lateness: SignedDuration::from_micros(if violated { 1 } else { -1 }),
             relegated,
             replica: 0,
+            disposition: Disposition::Completed,
+            retries: 0,
+            reprefill_tokens: 0,
         }
     }
 
@@ -281,5 +329,37 @@ mod tests {
         let r = SloReport::compute(&sample(), 4_000);
         let json = serde_json::to_string(&r).unwrap();
         assert_eq!(serde_json::from_str::<SloReport>(&json).unwrap(), r);
+    }
+
+    #[test]
+    fn rejections_are_counted_separately() {
+        let mut outcomes = sample(); // 4 requests, 2 violations
+        let spec = outcomes[0].spec;
+        outcomes.push(RequestOutcome::rejected(spec, 0));
+        outcomes.push(RequestOutcome::unserved(
+            spec,
+            false,
+            0,
+            crate::outcome::Disposition::Shed,
+        ));
+        let r = SloReport::compute(&outcomes, 4_000);
+        assert_eq!(r.total, 6);
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.shed, 1);
+        assert_eq!(r.retry_exhausted, 0);
+        // Rejected and shed requests still violate overall...
+        assert_eq!(r.violations, 4);
+        // ...but the served-only denominator excludes the 429.
+        assert_eq!(r.served_total(), 5);
+        assert!((r.served_violation_pct() - 60.0).abs() < 1e-9);
+        assert!((r.rejected_pct() - 100.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_faults_means_zero_new_counters() {
+        let r = SloReport::compute(&sample(), 4_000);
+        assert_eq!((r.rejected, r.shed, r.retry_exhausted), (0, 0, 0));
+        assert_eq!(r.served_total(), r.total);
+        assert_eq!(r.served_violation_pct(), r.violation_pct());
     }
 }

@@ -89,9 +89,15 @@ impl<S: Scheduler> Scheduler for RateLimitScheduler<S> {
     }
 
     fn drain_pending(&mut self) -> Vec<PrefillJob> {
+        // Unclaimed rejections ride along so a caller that never asks for
+        // them separately still accounts every request (conservation).
         let mut jobs = self.inner.drain_pending();
         jobs.append(&mut self.rejected);
         jobs
+    }
+
+    fn drain_rejected(&mut self) -> Vec<PrefillJob> {
+        std::mem::take(&mut self.rejected)
     }
 }
 
@@ -147,6 +153,28 @@ mod tests {
         let drained = s.drain_pending();
         assert_eq!(drained.len(), 2);
         assert_eq!(s.rejected_count(), 0);
+    }
+
+    #[test]
+    fn drain_rejected_separates_bounced_jobs() {
+        let mut s = limited(100);
+        s.on_arrival(PrefillJob::new(spec(0, 200)), SimTime::ZERO);
+        s.on_arrival(PrefillJob::new(spec(1, 50)), SimTime::ZERO);
+        let rejected = s.drain_rejected();
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].spec.id, spec(1, 50).id);
+        // Once claimed, rejections no longer ride along with the queue.
+        let drained = s.drain_pending();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(s.rejected_count(), 0);
+    }
+
+    #[test]
+    fn default_drain_rejected_is_empty() {
+        let mut inner = SarathiScheduler::new(OrderPolicy::Fcfs, 256);
+        inner.on_arrival(PrefillJob::new(spec(0, 100)), SimTime::ZERO);
+        assert!(inner.drain_rejected().is_empty());
+        assert_eq!(inner.drain_pending().len(), 1);
     }
 
     #[test]

@@ -154,7 +154,22 @@ pub trait Scheduler: Send {
 
     /// Removes and returns every queued job (used when a simulation ends
     /// with work still pending, to account the jobs as unfinished).
+    ///
+    /// Note for admission-controlled schedulers: jobs bounced at admission
+    /// that have not been claimed via
+    /// [`drain_rejected`](Scheduler::drain_rejected) must still be
+    /// included here, so that no accounting path can lose a request.
     fn drain_pending(&mut self) -> Vec<PrefillJob>;
+
+    /// Removes and returns every job the scheduler *rejected at admission*
+    /// (rate limiting), as opposed to jobs merely still queued. The engine
+    /// calls this before [`drain_pending`](Scheduler::drain_pending) so
+    /// rejections surface with a distinct outcome label instead of being
+    /// folded into deadline-missed unfinished jobs. Default: no scheduler
+    /// rejects, so this returns nothing.
+    fn drain_rejected(&mut self) -> Vec<PrefillJob> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,9 @@
 //! * [`events::EventQueue`] is a stable priority queue: events at the same
 //!   timestamp pop in push order, so simulations never depend on heap
 //!   tie-breaking.
+//! * [`faults::FaultSchedule`] materialises a seed-derived fault timeline
+//!   (crashes, restarts, straggler and predictor-drift windows) a priori,
+//!   so fault injection is data, not nondeterministic side effects.
 //! * [`parallel::par_map`] runs independent seeded tasks across cores
 //!   (`QOSERVE_THREADS` overrides the worker count) while keeping output
 //!   order-preserving and bit-identical to serial execution.
@@ -32,6 +35,7 @@
 //! ```
 
 pub mod events;
+pub mod faults;
 pub mod float;
 pub mod parallel;
 pub mod rng;
@@ -39,6 +43,9 @@ pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
+pub use faults::{
+    CrashEvent, FaultConfig, FaultEvent, FaultKind, FaultSchedule, ReplicaFaultProfile, SlowWindow,
+};
 pub use float::{cmp_f64, priority_micros, sort_f64};
 pub use parallel::{par_map, par_map_threads, par_max_passing, thread_limit};
 pub use rng::SeedStream;

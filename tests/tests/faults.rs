@@ -1,0 +1,214 @@
+//! Fault-injection and recovery invariants, end to end.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Zero-fault transparency**: an all-zero fault configuration is
+//!    bit-identical to the plain no-fault cluster path — the fault
+//!    machinery must be invisible when disabled.
+//! 2. **Determinism**: the same seed and configuration replays
+//!    bit-identically — including the serialized `fault_sweep` rows —
+//!    for any thread count.
+//! 3. **Conservation**: no fault schedule may lose a request; every
+//!    arrival ends in exactly one outcome.
+
+use proptest::prelude::*;
+
+use qoserve::experiments::{fault_sweep, fault_sweep_serial, FaultSweepSetup};
+use qoserve::prelude::*;
+use qoserve_metrics::RecoveryReport;
+use qoserve_sim::par_map_threads;
+
+fn small_setup(seed: u64) -> FaultSweepSetup {
+    FaultSweepSetup {
+        dataset: Dataset::azure_conv(),
+        hardware: HardwareConfig::llama3_8b_a100_tp1(),
+        replicas: 3,
+        qps: 5.0,
+        window: SimDuration::from_secs(45),
+        mix: TierMix::paper_equal(),
+        low_priority_fraction: 0.25,
+        plan: FaultPlan::with_faults(FaultConfig::moderate()),
+        seed,
+    }
+}
+
+/// The machine-readable row of one sweep point, mirroring what the
+/// `fault_sweep` binary writes to `results/fault_sweep.json`.
+fn sweep_rows(points: &[qoserve::experiments::FaultSweepPoint]) -> String {
+    let rows: Vec<serde_json::Value> = points
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "scheme": p.scheme,
+                "intensity": p.intensity,
+                "violation_pct": p.report.violation_pct(),
+                "stats": p.stats,
+                "completion_fraction": p.recovery.overall.completion_fraction(),
+            })
+        })
+        .collect();
+    serde_json::to_string_pretty(&serde_json::json!({ "rows": rows })).unwrap()
+}
+
+#[test]
+fn zero_fault_cluster_is_bit_identical_to_run_shared() {
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(6.0))
+        .duration(SimDuration::from_secs(60))
+        .tier_mix(TierMix::paper_equal())
+        .build(&SeedStream::new(21));
+    let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+    for (spec, replicas) in [
+        (SchedulerSpec::qoserve(), 3u32),
+        (SchedulerSpec::sarathi_fcfs(), 2),
+        (
+            SchedulerSpec::RateLimited {
+                inner: Box::new(SchedulerSpec::sarathi_fcfs()),
+                max_backlog_tokens: 20_000,
+            },
+            2,
+        ),
+    ] {
+        let plain = run_shared(&trace, replicas, &spec, &config, &SeedStream::new(21));
+        let faulty = run_shared_faulty(
+            &trace,
+            replicas,
+            &spec,
+            &config,
+            &FaultPlan::none(),
+            &SeedStream::new(21),
+        )
+        .expect("replicas > 0");
+        assert_eq!(
+            faulty.outcomes,
+            plain,
+            "{}: disabled faults must be invisible",
+            spec.label()
+        );
+        assert_eq!(faulty.stats, FaultRunStats::default(), "{}", spec.label());
+    }
+}
+
+#[test]
+fn fault_sweep_is_bit_identical_to_serial_reference() {
+    let setup = small_setup(33);
+    let schemes = [SchedulerSpec::qoserve(), SchedulerSpec::sarathi_fcfs()];
+    let intensities = [0.0, 1.0, 2.0];
+    let parallel = fault_sweep(&setup, &schemes, &intensities);
+    let serial = fault_sweep_serial(&setup, &schemes, &intensities);
+    assert_eq!(parallel.len(), serial.len());
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(p.scheme, s.scheme);
+        assert_eq!(p.intensity.to_bits(), s.intensity.to_bits());
+        assert_eq!(p.report, s.report, "{} @ {}", p.scheme, p.intensity);
+        assert_eq!(p.stats, s.stats, "{} @ {}", p.scheme, p.intensity);
+        assert_eq!(p.outcomes, s.outcomes, "{} @ {}", p.scheme, p.intensity);
+    }
+    // The serialized artifact is byte-identical too — what
+    // results/fault_sweep.json pins across runs and thread counts.
+    assert_eq!(sweep_rows(&parallel), sweep_rows(&serial));
+}
+
+#[test]
+fn fault_runs_are_thread_invariant() {
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(7.0))
+        .duration(SimDuration::from_secs(45))
+        .tier_mix(TierMix::paper_equal())
+        .low_priority_fraction(0.3)
+        .build(&SeedStream::new(34));
+    let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+    let plan = FaultPlan::with_faults(FaultConfig::moderate().scaled(2.0));
+    let schemes = vec![SchedulerSpec::qoserve(), SchedulerSpec::sarathi_fcfs()];
+
+    let run_all = |threads: usize| {
+        par_map_threads(threads, schemes.clone(), |_, spec| {
+            run_shared_faulty(&trace, 3, &spec, &config, &plan, &SeedStream::new(34))
+                .expect("replicas > 0")
+        })
+    };
+    let one = run_all(1);
+    let four = run_all(4);
+    assert_eq!(one, four, "thread count must never change fault runs");
+}
+
+#[test]
+fn recovery_report_tallies_fault_run() {
+    let setup = small_setup(35);
+    let schemes = [SchedulerSpec::qoserve()];
+    let points = fault_sweep(&setup, &schemes, &[3.0]);
+    let p = &points[0];
+    let recomputed = RecoveryReport::compute(&p.outcomes);
+    assert_eq!(p.recovery, recomputed);
+    assert_eq!(recomputed.overall.total, p.outcomes.len());
+    let finished = p.outcomes.iter().filter(|o| o.finished()).count();
+    assert_eq!(
+        recomputed.overall.completed + recomputed.overall.relegated_completed,
+        finished
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under any fault schedule, no request is lost: every arrival ends in
+    /// exactly one outcome, retries respect the budget, and the same seed
+    /// replays bit-identically.
+    #[test]
+    fn no_request_lost_under_any_fault_schedule(
+        seed in 0u64..1_000,
+        n in 5usize..40,
+        qps in 1.0f64..10.0,
+        replicas in 1u32..4,
+        crash_rate in 0.0f64..400.0,
+        restart in proptest::bool::ANY,
+        straggler_rate in 0.0f64..60.0,
+    ) {
+        let trace = TraceBuilder::new(Dataset::azure_conv())
+            .arrivals(ArrivalProcess::poisson(qps))
+            .num_requests(n)
+            .tier_mix(TierMix::paper_equal())
+            .low_priority_fraction(0.3)
+            .build(&SeedStream::new(seed));
+        let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+        let mut faults = FaultConfig::moderate();
+        faults.crash_rate_per_hour = crash_rate;
+        if !restart {
+            faults.restart_downtime = None;
+        }
+        faults.straggler_rate_per_hour = straggler_rate;
+        let plan = FaultPlan::with_faults(faults);
+
+        let run = || {
+            run_shared_faulty(
+                &trace,
+                replicas,
+                &SchedulerSpec::qoserve(),
+                &config,
+                &plan,
+                &SeedStream::new(seed),
+            )
+            .expect("replicas > 0")
+        };
+        let result = run();
+
+        // Exactly one outcome per arrival, ordered by id.
+        prop_assert_eq!(result.outcomes.len(), trace.len());
+        for (i, o) in result.outcomes.iter().enumerate() {
+            prop_assert_eq!(o.spec.id.0, i as u64);
+            // Finished <=> Completed disposition.
+            prop_assert_eq!(o.finished(), o.disposition == Disposition::Completed);
+            // The retry budget bounds total attempts (the final attempt
+            // may be the one that exhausts the budget).
+            prop_assert!(o.retries <= plan.max_retries + 1);
+            // Re-prefill is only paid by requests that were re-dispatched
+            // or dropped after crashes.
+            if o.reprefill_tokens > 0 {
+                prop_assert!(o.retries > 0);
+            }
+        }
+
+        // Replay with the same seed is bit-identical.
+        prop_assert_eq!(result, run());
+    }
+}
