@@ -1,0 +1,106 @@
+//! Resilience sweep: static-margin vs adaptive pipelines under faults.
+//!
+//! Reuses the fault sweep's injected timeline (crashes, stragglers,
+//! predictor drift at increasing intensity) but compares *pipelines*
+//! instead of schedulers: today's static-margin QoServe against the full
+//! adaptive resilience layer — online misprediction tracking widening the
+//! chunking margin, SLO-aware admission rejecting provably-late work at
+//! the door, and per-replica circuit breakers steering re-dispatch away
+//! from straggling-but-alive replicas. At zero intensity the two
+//! pipelines are bit-identical (the adaptive loop observes only calm
+//! iterations); under faults the adaptive pipeline should hold more
+//! per-tier deadlines.
+
+use qoserve::experiments::{resilience_pipelines, resilience_sweep, FaultSweepSetup};
+use qoserve::prelude::*;
+use qoserve_bench::{banner, emit_results, tier_violation_cells};
+
+fn main() {
+    banner(
+        "resilience_sweep",
+        "Static vs adaptive resilience under fault intensity",
+    );
+
+    let setup = FaultSweepSetup {
+        dataset: Dataset::azure_conv(),
+        hardware: HardwareConfig::llama3_8b_a100_tp1(),
+        replicas: 4,
+        qps: 10.0,
+        window: qoserve::experiments::scaled_window(600),
+        mix: TierMix::paper_equal(),
+        low_priority_fraction: 0.2,
+        plan: FaultPlan::with_faults(FaultConfig::moderate()),
+        seed: 41,
+    };
+    let pipelines = resilience_pipelines();
+    let intensities = [0.0, 0.5, 1.0, 1.5, 2.0];
+
+    println!(
+        "workload: {} replicas at {} QPS, moderate fault profile scaled by intensity\n\
+         pipelines: static (QoServe as-is) vs adaptive (online margin + \
+         deadline gate + breakers)\n",
+        setup.replicas, setup.qps
+    );
+
+    let points = resilience_sweep(&setup, &pipelines, &intensities);
+
+    let mut table = Table::new(vec![
+        "pipeline",
+        "intensity",
+        "violations",
+        "Q1 viol.",
+        "Q2 viol.",
+        "Q3 viol.",
+        "rejected",
+        "crashes",
+        "breaker opens",
+        "diverted",
+    ]);
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    for p in &points {
+        let mut cells = vec![
+            p.scheme.clone(),
+            format!("{:.1}", p.intensity),
+            format!("{:.1}%", p.report.violation_pct()),
+        ];
+        cells.extend(tier_violation_cells(&p.report));
+        cells.extend([
+            format!("{:.1}%", p.report.rejected_pct()),
+            p.stats.crashes.to_string(),
+            p.stats.breaker_opens.to_string(),
+            p.stats.breaker_diverted.to_string(),
+        ]);
+        table.row(cells);
+        rows.push(serde_json::json!({
+            "pipeline": p.scheme,
+            "intensity": p.intensity,
+            "violation_pct": p.report.violation_pct(),
+            "served_violation_pct": p.report.served_violation_pct(),
+            "rejected_pct": p.report.rejected_pct(),
+            "tier_violation_pct": {
+                "q1": p.report.tier_violation_pct(TierId::Q1),
+                "q2": p.report.tier_violation_pct(TierId::Q2),
+                "q3": p.report.tier_violation_pct(TierId::Q3),
+            },
+            "completion_fraction": p.recovery.overall.completion_fraction(),
+            "crashes": p.stats.crashes,
+            "restarts": p.stats.restarts,
+            "redispatches": p.stats.redispatches,
+            "shed": p.stats.shed,
+            "retry_exhausted": p.stats.retry_exhausted,
+            "reprefill_tokens": p.stats.reprefill_tokens,
+            "degraded_iterations": p.stats.degraded_iterations,
+            "breaker_opens": p.stats.breaker_opens,
+            "breaker_diverted": p.stats.breaker_diverted,
+        }));
+        eprintln!("  done: {} @ intensity {:.1}", p.scheme, p.intensity);
+    }
+    print!("{table}");
+    println!(
+        "\nexpectation: identical columns at intensity 0 (the adaptive loop \
+         is exactly the static pipeline when calm); as intensity grows, the \
+         adaptive pipeline trades a few up-front rejections and diverted \
+         re-dispatches for fewer per-tier deadline violations."
+    );
+    emit_results("resilience_sweep", &rows);
+}

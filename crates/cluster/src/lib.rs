@@ -15,15 +15,21 @@
 //!   stepping, crash-orphan re-dispatch with bounded retries and
 //!   deterministic backoff, re-prefill accounting, and tier-aware
 //!   shedding when surviving capacity is insufficient.
+//! * [`breaker`] — per-replica circuit breakers
+//!   (Closed → Open → HalfProbe) thresholding the engines' rolling
+//!   health snapshots, so straggling-but-alive replicas stop receiving
+//!   re-dispatched work until they recover.
 //! * [`capacity`] — goodput search ("max QPS with ≤ 1 % violations") and
 //!   the minimum-replica capacity planner behind Table 4 and Fig. 15b.
 
+pub mod breaker;
 pub mod capacity;
 pub mod deployment;
 pub mod recovery;
 pub mod router;
 pub mod spec;
 
+pub use breaker::{pick_target, BreakerConfig, BreakerState, CircuitBreaker, PickedTarget};
 pub use capacity::{max_goodput, max_goodput_serial, min_replicas_for, GoodputOptions};
 pub use deployment::{run_shared, run_siloed, ClusterConfig, SiloGroup};
 pub use recovery::{run_shared_faulty, FaultPlan, FaultRunResult, FaultRunStats};

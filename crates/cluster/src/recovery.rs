@@ -38,6 +38,7 @@ use qoserve_sim::faults::{CrashEvent, FaultConfig, FaultSchedule};
 use qoserve_sim::{SeedStream, SimDuration, SimTime};
 use qoserve_workload::{Priority, RequestId, Trace};
 
+use crate::breaker::{pick_round_robin, pick_target, BreakerConfig, CircuitBreaker};
 use crate::deployment::ClusterConfig;
 use crate::router::RouterError;
 use crate::spec::SchedulerSpec;
@@ -57,6 +58,11 @@ pub struct FaultPlan {
     /// When fewer than this fraction of replicas are up at re-dispatch
     /// time, [`Priority::Low`] orphans are shed instead of retried.
     pub shed_below_up_fraction: f64,
+    /// When set, each replica gets a circuit breaker thresholding its
+    /// rolling health snapshot, and orphan re-dispatch prefers replicas
+    /// whose breaker allows work (falling back to the full up-set — a
+    /// breaker may delay work, never strand it).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl FaultPlan {
@@ -85,17 +91,24 @@ impl FaultPlan {
             ..self.clone()
         }
     }
+
+    /// The plan with per-replica circuit breakers enabled.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
 }
 
 impl Default for FaultPlan {
     /// Defaults: no faults, 3 retries, 500 ms backoff unit, shed
-    /// low-priority work below 1/3 surviving capacity.
+    /// low-priority work below 1/3 surviving capacity, no breakers.
     fn default() -> Self {
         FaultPlan {
             faults: FaultConfig::none(),
             max_retries: 3,
             retry_backoff: SimDuration::from_millis(500),
             shed_below_up_fraction: 0.34,
+            breaker: None,
         }
     }
 }
@@ -119,6 +132,12 @@ pub struct FaultRunStats {
     pub reprefill_tokens: u64,
     /// Engine iterations executed inside straggler/drift windows.
     pub degraded_iterations: u64,
+    /// Circuit-breaker trips across all replicas (0 without breakers).
+    #[serde(default)]
+    pub breaker_opens: u64,
+    /// Re-dispatches steered away from an up-but-unhealthy replica.
+    #[serde(default)]
+    pub breaker_diverted: u64,
 }
 
 /// Outcomes plus recovery counters of one fault-injected run.
@@ -210,6 +229,12 @@ pub fn run_shared_faulty(
     let mut reprefill: BTreeMap<RequestId, u64> = BTreeMap::new();
     let mut relegated_ids: BTreeSet<RequestId> = BTreeSet::new();
     let mut rotation: u64 = 0;
+    // One breaker per replica when the plan enables them; empty otherwise
+    // (dispatch then degenerates to plain round-robin).
+    let mut breakers: Vec<CircuitBreaker> = plan
+        .breaker
+        .map(|cfg| (0..replicas).map(|_| CircuitBreaker::new(cfg)).collect())
+        .unwrap_or_default();
 
     loop {
         // Lockstep: always advance the live engine furthest behind, so a
@@ -230,6 +255,11 @@ pub fn run_shared_faulty(
         };
 
         if slots[idx].engine.step() {
+            if let Some(b) = breakers.get_mut(idx) {
+                // Health reads are pure: observing never perturbs the
+                // engine's own timeline.
+                b.observe(&slots[idx].engine.health(), slots[idx].engine.now());
+            }
             continue;
         }
 
@@ -257,6 +287,9 @@ pub fn run_shared_faulty(
                 stats.restarts += 1;
                 slots[idx].engine = make_engine(replica_id, restart_at);
                 slots[idx].parked = true; // empty until re-dispatch
+                if let Some(b) = breakers.get_mut(idx) {
+                    b.reset(); // fresh generation, fresh health history
+                }
             }
             None => slots[idx].dead = true,
         }
@@ -291,10 +324,19 @@ pub fn run_shared_faulty(
                 (crash_at + plan.retry_backoff * attempt as u64).max(orphan.spec.arrival);
             let up = schedule.up_replicas_at(redispatch_at);
             let up_fraction = up.len() as f64 / replicas as f64;
-            let shed = up.is_empty()
-                || (up_fraction < plan.shed_below_up_fraction
-                    && orphan.spec.priority() == Priority::Low);
-            if shed {
+            let low_capacity = up_fraction < plan.shed_below_up_fraction
+                && orphan.spec.priority() == Priority::Low;
+            // Breaker-aware selection prefers healthy targets but falls
+            // back to the full up-set — it may delay work, never strand
+            // it. `None` if and only if no replica is up at all.
+            let picked = if low_capacity {
+                None
+            } else if breakers.is_empty() {
+                pick_round_robin(&up, rotation)
+            } else {
+                pick_target(&up, &breakers, rotation, redispatch_at)
+            };
+            let Some(picked) = picked else {
                 stats.shed += 1;
                 outcomes.push(RequestOutcome::unserved(
                     orphan.spec,
@@ -303,10 +345,13 @@ pub fn run_shared_faulty(
                     Disposition::Shed,
                 ));
                 continue;
-            }
+            };
 
             stats.redispatches += 1;
-            let target = up[(rotation % up.len() as u64) as usize] as usize;
+            if picked.diverted {
+                stats.breaker_diverted += 1;
+            }
+            let target = picked.replica as usize;
             rotation += 1;
             slots[target].engine.submit_at(orphan.spec, redispatch_at);
             slots[target].parked = false;
@@ -336,6 +381,7 @@ pub fn run_shared_faulty(
     outcomes.sort_by_key(|o| o.spec.id);
     debug_assert_eq!(outcomes.len(), trace.len(), "no request may be lost");
 
+    stats.breaker_opens = breakers.iter().map(|b| b.open_count()).sum();
     Ok(FaultRunResult { outcomes, stats })
 }
 
@@ -435,6 +481,93 @@ mod tests {
         assert!(
             completed_after_retry > 0,
             "recovery must actually save requests"
+        );
+    }
+
+    #[test]
+    fn breakers_leave_zero_fault_runs_bit_identical() {
+        let t = trace(16, 5.0, 120);
+        let base = run_shared_faulty(
+            &t,
+            3,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &FaultPlan::none(),
+            &SeedStream::new(16),
+        )
+        .unwrap();
+        let with_breaker = run_shared_faulty(
+            &t,
+            3,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &FaultPlan::none().with_breaker(BreakerConfig::default()),
+            &SeedStream::new(16),
+        )
+        .unwrap();
+        // Health observation is a pure read: enabling breakers on a
+        // fault-free cluster changes nothing.
+        assert_eq!(with_breaker.outcomes, base.outcomes);
+        assert_eq!(with_breaker.stats.breaker_opens, 0);
+        assert_eq!(with_breaker.stats.breaker_diverted, 0);
+    }
+
+    #[test]
+    fn sustained_stragglers_trip_the_breakers() {
+        let t = trace(17, 8.0, 150);
+        // Straggler windows at ~100/s tiling the whole run at 4x latency:
+        // every replica is degraded essentially always, so every breaker
+        // must trip once it has a full judgement window.
+        let mut faults = FaultConfig::none();
+        faults.straggler_rate_per_hour = 360_000.0;
+        faults.straggler_duration = SimDuration::from_secs(60);
+        faults.straggler_factor = 4.0;
+        let plan = FaultPlan::with_faults(faults).with_breaker(BreakerConfig::default());
+        let run = || {
+            run_shared_faulty(
+                &t,
+                2,
+                &SchedulerSpec::qoserve(),
+                &config(),
+                &plan,
+                &SeedStream::new(17),
+            )
+            .unwrap()
+        };
+        let a = run();
+        assert_eq!(a, run(), "breaker decisions must replay bit-identically");
+        assert_eq!(a.outcomes.len(), t.len());
+        assert!(a.stats.degraded_iterations > 0);
+        assert!(
+            a.stats.breaker_opens > 0,
+            "an always-straggling replica must trip its breaker"
+        );
+    }
+
+    #[test]
+    fn breaker_dispatch_is_deterministic_under_mixed_faults() {
+        let t = trace(18, 8.0, 250);
+        let mut faults = FaultConfig::moderate();
+        faults.crash_rate_per_hour = 600.0;
+        let plan = FaultPlan::with_faults(faults).with_breaker(BreakerConfig::default());
+        let run = || {
+            run_shared_faulty(
+                &t,
+                3,
+                &SchedulerSpec::qoserve(),
+                &config(),
+                &plan,
+                &SeedStream::new(18),
+            )
+            .unwrap()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed must replay bit-identically");
+        assert_eq!(a.outcomes.len(), t.len());
+        assert!(a.stats.crashes > 0);
+        assert!(
+            a.stats.redispatches > 0,
+            "orphans must still flow with breakers enabled"
         );
     }
 

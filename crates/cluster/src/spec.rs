@@ -6,8 +6,9 @@
 
 use qoserve_perf::{HardwareConfig, LatencyPredictor, PredictorKind};
 use qoserve_sched::{
-    ConServeScheduler, MedhaConfig, MedhaScheduler, OrderPolicy, QoServeConfig, QoServeScheduler,
-    RateLimitScheduler, SarathiScheduler, Scheduler, SlosServeConfig, SlosServeScheduler,
+    ConServeScheduler, DeadlineAwareAdmission, MedhaConfig, MedhaScheduler, OrderPolicy,
+    QoServeConfig, QoServeScheduler, RateLimitScheduler, SarathiScheduler, Scheduler,
+    SlosServeConfig, SlosServeScheduler,
 };
 use qoserve_sim::SeedStream;
 
@@ -53,6 +54,15 @@ pub enum SchedulerSpec {
         /// Backlog cap in pending prompt tokens.
         max_backlog_tokens: u64,
     },
+    /// The resilience layer's SLO-aware gate: an inner scheduler behind
+    /// an admission wrapper that rejects only provably-late requests,
+    /// tightening online with observed misprediction.
+    DeadlineAware {
+        /// The admission-controlled scheduler.
+        inner: Box<SchedulerSpec>,
+        /// The predictor the completion estimate derives from.
+        predictor: PredictorKind,
+    },
 }
 
 impl SchedulerSpec {
@@ -97,6 +107,23 @@ impl SchedulerSpec {
         }
     }
 
+    /// QoServe with the online adaptive margin enabled — the resilience
+    /// layer's per-replica scheduler.
+    pub fn qoserve_adaptive() -> Self {
+        SchedulerSpec::QoServe {
+            config: QoServeConfig::adaptive(),
+            predictor: PredictorKind::Analytical,
+        }
+    }
+
+    /// `inner` behind the SLO-aware deadline admission gate.
+    pub fn deadline_aware(inner: SchedulerSpec) -> Self {
+        SchedulerSpec::DeadlineAware {
+            inner: Box::new(inner),
+            predictor: PredictorKind::Analytical,
+        }
+    }
+
     /// Builds a fresh scheduler instance for one replica.
     pub fn build(&self, hw: &HardwareConfig, seeds: &SeedStream) -> Box<dyn Scheduler> {
         match self {
@@ -123,6 +150,12 @@ impl SchedulerSpec {
                 BoxedScheduler(inner.build(hw, seeds)),
                 *max_backlog_tokens,
             )),
+            SchedulerSpec::DeadlineAware { inner, predictor } => {
+                Box::new(DeadlineAwareAdmission::new(
+                    BoxedScheduler(inner.build(hw, seeds)),
+                    LatencyPredictor::of_kind(*predictor, hw, seeds),
+                ))
+            }
         }
     }
 
@@ -136,6 +169,9 @@ impl SchedulerSpec {
             SchedulerSpec::SlosServe { .. } => "SLOs-Serve".to_owned(),
             SchedulerSpec::RateLimited { inner, .. } => {
                 format!("RateLimited({})", inner.label())
+            }
+            SchedulerSpec::DeadlineAware { inner, .. } => {
+                format!("DeadlineAware({})", inner.label())
             }
         }
     }
@@ -162,6 +198,14 @@ impl Scheduler for BoxedScheduler {
     }
     fn on_completion(&mut self, spec: &qoserve_workload::RequestSpec, observed: u32) {
         self.0.on_completion(spec, observed)
+    }
+    fn on_iteration(
+        &mut self,
+        batch: &qoserve_perf::BatchProfile,
+        observed: qoserve_sim::SimDuration,
+        now: qoserve_sim::SimTime,
+    ) {
+        self.0.on_iteration(batch, observed, now)
     }
     fn pending_prefills(&self) -> usize {
         self.0.pending_prefills()
@@ -205,6 +249,19 @@ mod tests {
         assert_eq!(SchedulerSpec::sarathi_edf().label(), "Sarathi-EDF");
         assert_eq!(SchedulerSpec::sarathi_srpf().label(), "Sarathi-SRPF");
         assert_eq!(SchedulerSpec::qoserve().label(), "QoServe");
+    }
+
+    #[test]
+    fn builds_adaptive_and_deadline_aware() {
+        let hw = HardwareConfig::llama3_8b_a100_tp1();
+        let seeds = SeedStream::new(3);
+        assert_eq!(
+            SchedulerSpec::qoserve_adaptive().build(&hw, &seeds).name(),
+            "QoServe"
+        );
+        let gated = SchedulerSpec::deadline_aware(SchedulerSpec::qoserve_adaptive());
+        assert_eq!(gated.label(), "DeadlineAware(QoServe)");
+        assert_eq!(gated.build(&hw, &seeds).name(), "DeadlineAware(QoServe)");
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! paper-scale windows.
 
 use qoserve_cluster::{
-    run_shared, run_shared_faulty, ClusterConfig, FaultPlan, FaultRunStats, SchedulerSpec,
+    run_shared, run_shared_faulty, BreakerConfig, ClusterConfig, FaultPlan, FaultRunStats,
+    SchedulerSpec,
 };
 use qoserve_metrics::{RecoveryReport, RequestOutcome, SloReport};
 use qoserve_perf::HardwareConfig;
@@ -269,6 +270,112 @@ fn fault_sweep_cell(
     }
 }
 
+/// One end-to-end serving pipeline of the resilience sweep: a scheduler
+/// spec (which may carry adaptive margins and an admission gate) plus
+/// whether the recovery loop runs per-replica circuit breakers.
+#[derive(Debug, Clone)]
+pub struct ResiliencePipeline {
+    /// Label the sweep point is reported under (e.g. `"static"`).
+    pub label: String,
+    /// The per-replica scheduler.
+    pub scheme: SchedulerSpec,
+    /// Circuit-breaker configuration for health-aware re-dispatch, if
+    /// enabled.
+    pub breaker: Option<BreakerConfig>,
+}
+
+/// The two pipelines the `resilience_sweep` binary compares: today's
+/// static-margin QoServe, and the full adaptive resilience layer
+/// (online margin + SLO-aware admission + circuit breakers).
+pub fn resilience_pipelines() -> Vec<ResiliencePipeline> {
+    vec![
+        ResiliencePipeline {
+            label: "static".to_owned(),
+            scheme: SchedulerSpec::qoserve(),
+            breaker: None,
+        },
+        ResiliencePipeline {
+            label: "adaptive".to_owned(),
+            scheme: SchedulerSpec::deadline_aware(SchedulerSpec::qoserve_adaptive()),
+            breaker: Some(BreakerConfig::default()),
+        },
+    ]
+}
+
+/// Runs every `(intensity, pipeline)` combination on the same trace,
+/// intensity-major / pipeline-minor. Reuses the fault-sweep point shape
+/// ([`FaultSweepPoint`]) with the pipeline label as the scheme.
+///
+/// Grid cells are independent seeded simulations on [`par_map`] threads,
+/// each reconstructing its randomness from `(setup.seed, intensity,
+/// pipeline)` alone — the output is **bit-identical** to
+/// [`resilience_sweep_serial`] for any thread count.
+pub fn resilience_sweep(
+    setup: &FaultSweepSetup,
+    pipelines: &[ResiliencePipeline],
+    intensities: &[f64],
+) -> Vec<FaultSweepPoint> {
+    let (trace, threshold) = fault_sweep_trace(setup);
+    let grid: Vec<(usize, usize)> = (0..intensities.len())
+        .flat_map(|ii| (0..pipelines.len()).map(move |pi| (ii, pi)))
+        .collect();
+    par_map(grid, |_, (ii, pi)| {
+        resilience_cell(setup, &trace, threshold, intensities[ii], &pipelines[pi])
+    })
+}
+
+/// The single-threaded resilience sweep, kept as the reference
+/// implementation that [`resilience_sweep`] must match bit-for-bit.
+pub fn resilience_sweep_serial(
+    setup: &FaultSweepSetup,
+    pipelines: &[ResiliencePipeline],
+    intensities: &[f64],
+) -> Vec<FaultSweepPoint> {
+    let (trace, threshold) = fault_sweep_trace(setup);
+    let mut points = Vec::new();
+    for &intensity in intensities {
+        for pipeline in pipelines {
+            points.push(resilience_cell(
+                setup, &trace, threshold, intensity, pipeline,
+            ));
+        }
+    }
+    points
+}
+
+fn resilience_cell(
+    setup: &FaultSweepSetup,
+    trace: &Trace,
+    threshold: u32,
+    intensity: f64,
+    pipeline: &ResiliencePipeline,
+) -> FaultSweepPoint {
+    let config = ClusterConfig::new(setup.hardware.clone());
+    let mut plan = setup.plan.scaled(intensity);
+    if let Some(breaker) = pipeline.breaker {
+        plan = plan.with_breaker(breaker);
+    }
+    let result = run_shared_faulty(
+        trace,
+        setup.replicas,
+        &pipeline.scheme,
+        &config,
+        &plan,
+        &SeedStream::new(setup.seed),
+    )
+    .unwrap_or_default();
+    let report = SloReport::compute(&result.outcomes, threshold);
+    let recovery = RecoveryReport::compute(&result.outcomes);
+    FaultSweepPoint {
+        scheme: pipeline.label.clone(),
+        intensity,
+        report,
+        recovery,
+        stats: result.stats,
+        outcomes: result.outcomes,
+    }
+}
+
 /// Runs one trace on one shared replica of `hardware` under `scheme`.
 pub fn run_run(
     trace: &Trace,
@@ -331,6 +438,31 @@ mod tests {
         let n = points[0].outcomes.len();
         assert!(n > 0);
         assert!(points.iter().all(|p| p.outcomes.len() == n));
+    }
+
+    #[test]
+    fn resilience_sweep_grid_and_zero_intensity_parity() {
+        let setup = FaultSweepSetup {
+            dataset: Dataset::azure_conv(),
+            hardware: HardwareConfig::llama3_8b_a100_tp1(),
+            replicas: 2,
+            qps: 3.0,
+            window: SimDuration::from_secs(40),
+            mix: TierMix::paper_equal(),
+            low_priority_fraction: 0.2,
+            plan: FaultPlan::with_faults(qoserve_sim::FaultConfig::moderate()),
+            seed: 9,
+        };
+        let pipelines = resilience_pipelines();
+        let points = resilience_sweep(&setup, &pipelines, &[0.0]);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].scheme, "static");
+        assert_eq!(points[1].scheme, "adaptive");
+        // At zero intensity the fault machinery never fires and the
+        // adaptive layer observes only calm iterations: both pipelines
+        // must serve the trace identically, bit for bit.
+        assert_eq!(points[0].outcomes, points[1].outcomes);
+        assert_eq!(points[1].stats, FaultRunStats::default());
     }
 
     #[test]

@@ -60,23 +60,25 @@ pub mod prelude {
     pub use crate::server::{QoServe, QoServeBuilder, Request, RunReport};
 
     pub use qoserve_cluster::{
-        max_goodput, min_replicas_for, run_shared, run_shared_faulty, run_siloed, ClusterConfig,
-        FaultPlan, FaultRunResult, FaultRunStats, GoodputOptions, Router, RouterError,
-        SchedulerSpec, SiloGroup,
+        max_goodput, min_replicas_for, pick_target, run_shared, run_shared_faulty, run_siloed,
+        BreakerConfig, BreakerState, CircuitBreaker, ClusterConfig, FaultPlan, FaultRunResult,
+        FaultRunStats, GoodputOptions, PickedTarget, Router, RouterError, SchedulerSpec, SiloGroup,
     };
-    pub use qoserve_engine::{ReplicaConfig, ReplicaEngine, ReplicaState};
+    pub use qoserve_engine::{
+        HealthSnapshot, ReplicaConfig, ReplicaEngine, ReplicaState, HEALTH_WINDOW,
+    };
     pub use qoserve_metrics::{
         Disposition, LatencySummary, LogHistogram, RecoveryReport, RequestOutcome, RollingSeries,
         SloReport, Table,
     };
     pub use qoserve_perf::{
-        BatchProfile, ChunkBudget, ChunkLimits, HardwareConfig, LatencyModel, LatencyPredictor,
-        PredictorKind,
+        AdaptiveMargin, AdaptiveMarginConfig, BatchProfile, ChunkBudget, ChunkLimits, ErrorTracker,
+        HardwareConfig, LatencyModel, LatencyPredictor, PredictorKind,
     };
     pub use qoserve_sched::{
-        AlphaPolicy, ConServeScheduler, MedhaConfig, MedhaScheduler, OrderPolicy, QoServeConfig,
-        QoServeScheduler, RateLimitScheduler, SarathiScheduler, Scheduler, SlosServeConfig,
-        SlosServeScheduler,
+        AlphaPolicy, ConServeScheduler, DeadlineAwareAdmission, MedhaConfig, MedhaScheduler,
+        OrderPolicy, ProcessingEstimator, QoServeConfig, QoServeScheduler, RateLimitScheduler,
+        SarathiScheduler, Scheduler, SlosServeConfig, SlosServeScheduler,
     };
     pub use qoserve_sim::{
         par_map, par_max_passing, thread_limit, FaultConfig, FaultSchedule, SeedStream,

@@ -1,0 +1,228 @@
+//! Rolling replica health: the engine-side observation feed for the
+//! cluster layer's circuit breakers.
+//!
+//! Every executed iteration contributes one [`HealthSample`] — whether a
+//! slowdown window inflated it, the observed/clean latency ratio, and the
+//! tokens it advanced — into a fixed-size ring. [`HealthSnapshot`]
+//! summarises the ring on demand: degraded-iteration fraction, mean
+//! latency ratio, and queue-drain velocity, folded into a single
+//! [`score`](HealthSnapshot::score) the breaker thresholds against.
+//!
+//! Reads are pure (no engine state is touched), so health-driven dispatch
+//! decisions never perturb a replica's own timeline — fault-free runs
+//! stay bit-identical whether or not anyone looks at the snapshots.
+
+use crate::replica::ReplicaState;
+
+/// Iterations summarised by a snapshot. Large enough to smooth batch-mix
+/// noise, small enough that a straggler window dominates the ring within
+/// a second or two of onset.
+pub const HEALTH_WINDOW: usize = 32;
+
+/// One iteration's contribution to the health ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSample {
+    /// Whether a straggler/drift window inflated this iteration.
+    pub degraded: bool,
+    /// Observed execution latency over the clean model latency (noise and
+    /// slowdown included; 1.0 = exactly as modelled).
+    pub ratio: f64,
+    /// Tokens the iteration advanced (prefill tokens + one per decode).
+    pub tokens: u64,
+    /// Observed execution latency in microseconds.
+    pub exec_us: u64,
+}
+
+/// Fixed-size ring of recent [`HealthSample`]s.
+#[derive(Debug, Clone, Default)]
+pub struct HealthRing {
+    samples: Vec<HealthSample>,
+    cursor: usize,
+}
+
+impl HealthRing {
+    /// An empty ring.
+    pub fn new() -> Self {
+        HealthRing {
+            samples: Vec::with_capacity(HEALTH_WINDOW),
+            cursor: 0,
+        }
+    }
+
+    /// Records one iteration, evicting the oldest past [`HEALTH_WINDOW`].
+    pub fn record(&mut self, sample: HealthSample) {
+        if self.samples.len() < HEALTH_WINDOW {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.cursor] = sample;
+        }
+        self.cursor = (self.cursor + 1) % HEALTH_WINDOW;
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True before the first iteration.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Summarises the ring (window-dependent fields only; the caller
+    /// fills in identity and queue state).
+    fn summarize(&self) -> (f64, f64, f64) {
+        if self.samples.is_empty() {
+            return (0.0, 1.0, 0.0);
+        }
+        let n = self.samples.len() as f64;
+        let degraded = self.samples.iter().filter(|s| s.degraded).count() as f64 / n;
+        let mean_ratio = self.samples.iter().map(|s| s.ratio).sum::<f64>() / n;
+        let tokens: u64 = self.samples.iter().map(|s| s.tokens).sum();
+        let exec_us: u64 = self.samples.iter().map(|s| s.exec_us).sum();
+        let velocity = if exec_us == 0 {
+            0.0
+        } else {
+            tokens as f64 * 1e6 / exec_us as f64
+        };
+        (degraded, mean_ratio, velocity)
+    }
+}
+
+/// Point-in-time health of one replica, as reported to the cluster layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSnapshot {
+    /// Reporting replica.
+    pub replica_id: u32,
+    /// Availability state at snapshot time.
+    pub state: ReplicaState,
+    /// Iterations executed by this replica generation so far.
+    pub iterations: u64,
+    /// Iterations summarised below (0 before the first iteration).
+    pub window: usize,
+    /// Fraction of windowed iterations inside a slowdown window.
+    pub degraded_fraction: f64,
+    /// Mean observed/clean latency ratio over the window (1.0 = nominal).
+    pub mean_latency_ratio: f64,
+    /// Tokens advanced per second of execution over the window.
+    pub drain_velocity_tokens_per_sec: f64,
+    /// Prompt tokens waiting in the scheduler queue.
+    pub queue_tokens: u64,
+    /// Requests waiting in the scheduler queue.
+    pub pending_prefills: usize,
+}
+
+impl HealthSnapshot {
+    /// Builds a snapshot from a ring plus the caller's identity and queue
+    /// state.
+    pub fn from_ring(
+        ring: &HealthRing,
+        replica_id: u32,
+        state: ReplicaState,
+        iterations: u64,
+        queue_tokens: u64,
+        pending_prefills: usize,
+    ) -> Self {
+        let (degraded_fraction, mean_latency_ratio, drain_velocity_tokens_per_sec) =
+            ring.summarize();
+        HealthSnapshot {
+            replica_id,
+            state,
+            iterations,
+            window: ring.len(),
+            degraded_fraction,
+            mean_latency_ratio,
+            drain_velocity_tokens_per_sec,
+            queue_tokens,
+            pending_prefills,
+        }
+    }
+
+    /// Scalar health in `(0, 1]`: 1.0 is a nominal replica; sustained
+    /// slowdown pushes the score toward 0. The latency-ratio term is the
+    /// reciprocal of the mean ratio (a 2x straggler halves the score);
+    /// the degraded-fraction term halves the score when every windowed
+    /// iteration was inside a fault window.
+    pub fn score(&self) -> f64 {
+        let ratio_term = if self.mean_latency_ratio > 1.0 {
+            1.0 / self.mean_latency_ratio
+        } else {
+            1.0
+        };
+        let degraded_term = 1.0 - 0.5 * self.degraded_fraction.clamp(0.0, 1.0);
+        ratio_term * degraded_term
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(degraded: bool, ratio: f64, tokens: u64, exec_us: u64) -> HealthSample {
+        HealthSample {
+            degraded,
+            ratio,
+            tokens,
+            exec_us,
+        }
+    }
+
+    #[test]
+    fn empty_ring_reports_nominal() {
+        let ring = HealthRing::new();
+        let snap = HealthSnapshot::from_ring(&ring, 3, ReplicaState::Up, 0, 0, 0);
+        assert_eq!(snap.window, 0);
+        assert_eq!(snap.mean_latency_ratio, 1.0);
+        assert_eq!(snap.degraded_fraction, 0.0);
+        assert_eq!(snap.score(), 1.0);
+        assert_eq!(snap.replica_id, 3);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_past_window() {
+        let mut ring = HealthRing::new();
+        // Fill with degraded samples, then push a full window of clean
+        // ones: the degraded history must age out completely.
+        for _ in 0..HEALTH_WINDOW {
+            ring.record(sample(true, 2.0, 100, 1_000));
+        }
+        for _ in 0..HEALTH_WINDOW {
+            ring.record(sample(false, 1.0, 100, 1_000));
+        }
+        assert_eq!(ring.len(), HEALTH_WINDOW);
+        let snap = HealthSnapshot::from_ring(&ring, 0, ReplicaState::Up, 64, 0, 0);
+        assert_eq!(snap.degraded_fraction, 0.0);
+        assert_eq!(snap.mean_latency_ratio, 1.0);
+        assert_eq!(snap.score(), 1.0);
+    }
+
+    #[test]
+    fn straggler_window_degrades_the_score() {
+        let mut ring = HealthRing::new();
+        for _ in 0..HEALTH_WINDOW {
+            ring.record(sample(true, 2.0, 100, 2_000));
+        }
+        let snap = HealthSnapshot::from_ring(&ring, 0, ReplicaState::Degraded, 32, 0, 0);
+        assert_eq!(snap.degraded_fraction, 1.0);
+        assert_eq!(snap.mean_latency_ratio, 2.0);
+        // ratio term 0.5 x degraded term 0.5 = 0.25.
+        assert!((snap.score() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_than_modelled_does_not_inflate_score() {
+        let mut ring = HealthRing::new();
+        ring.record(sample(false, 0.9, 100, 900));
+        let snap = HealthSnapshot::from_ring(&ring, 0, ReplicaState::Up, 1, 0, 0);
+        assert_eq!(snap.score(), 1.0, "score is capped at nominal");
+    }
+
+    #[test]
+    fn drain_velocity_reflects_tokens_per_second() {
+        let mut ring = HealthRing::new();
+        // 500 tokens in 50 ms -> 10k tokens/s.
+        ring.record(sample(false, 1.0, 500, 50_000));
+        let snap = HealthSnapshot::from_ring(&ring, 0, ReplicaState::Up, 1, 0, 0);
+        assert!((snap.drain_velocity_tokens_per_sec - 10_000.0).abs() < 1e-9);
+    }
+}

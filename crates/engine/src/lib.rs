@@ -12,6 +12,8 @@
 //! * [`kv`] — token-granular KV-cache accounting with decode-growth
 //!   reservation (decodes are never preempted, §3.4, so their future
 //!   growth is reserved at admission).
+//! * [`health`] — the rolling per-iteration health ring and
+//!   [`HealthSnapshot`] API feeding the cluster layer's circuit breakers.
 //! * [`noise`] — multiplicative log-normal execution-time noise.
 //! * [`replica`] — the engine itself, including the availability state
 //!   machine ([`ReplicaState`]) and crash-orphan surfacing
@@ -20,11 +22,13 @@
 //!   (§4.1.3).
 
 pub mod disagg;
+pub mod health;
 pub mod kv;
 pub mod noise;
 pub mod replica;
 
 pub use disagg::{disagg_chunk_limits, to_prefill_only_trace, DISAGG_CHUNK};
+pub use health::{HealthRing, HealthSample, HealthSnapshot, HEALTH_WINDOW};
 pub use kv::KvCache;
 pub use noise::ExecutionNoise;
 pub use replica::{

@@ -17,6 +17,7 @@ use qoserve_sim::time::SignedDuration;
 use qoserve_sim::{EventQueue, SeedStream, SimDuration, SimTime};
 use qoserve_workload::{RequestId, RequestSpec, Trace};
 
+use crate::health::{HealthRing, HealthSample, HealthSnapshot};
 use crate::kv::KvCache;
 use crate::noise::ExecutionNoise;
 
@@ -286,6 +287,8 @@ pub struct ReplicaEngine {
     crashed: bool,
     /// Iterations executed inside a straggler/drift slowdown window.
     degraded_iterations: u64,
+    /// Rolling per-iteration health samples backing [`health`](Self::health).
+    health: HealthRing,
 }
 
 impl ReplicaEngine {
@@ -311,6 +314,7 @@ impl ReplicaEngine {
             stall_streak: 0,
             crashed: false,
             degraded_iterations: 0,
+            health: HealthRing::new(),
         }
     }
 
@@ -461,18 +465,30 @@ impl ReplicaEngine {
         profile.num_decodes = decodes.len() as u32;
         profile.decode_context_total = decodes.iter().map(|d| d.context_len as u64).sum();
 
-        let mut exec = self.noise.apply(self.model.iteration_time(&profile));
+        let clean = self.model.iteration_time(&profile);
+        let mut exec = self.noise.apply(clean);
         // Straggler/drift windows inflate the iteration latency by the
         // product of the factors of every window containing the iteration
         // start. With no active window the multiplier is exactly 1.0 and
         // `exec` is untouched, keeping fault-free runs bit-identical.
         let slowdown = self.config.faults.slowdown_at(self.now);
-        if slowdown > 1.0 {
+        let degraded = slowdown > 1.0;
+        if degraded {
             exec = exec.mul_f64(slowdown);
             self.degraded_iterations += 1;
         }
         self.now += exec;
         self.iterations += 1;
+        self.health.record(HealthSample {
+            degraded,
+            ratio: exec.as_micros() as f64 / clean.as_micros().max(1) as f64,
+            tokens: plan.prefill_tokens() as u64 + decodes.len() as u64,
+            exec_us: exec.as_micros(),
+        });
+        // Close the observe→adapt loop: the scheduler sees the batch it
+        // planned together with the *observed* execution latency (a no-op
+        // for static schedulers).
+        self.scheduler.on_iteration(&profile, exec, self.now);
         if self.config.record_batches {
             self.batch_log.push(BatchRecord {
                 start: self.now - exec,
@@ -620,6 +636,22 @@ impl ReplicaEngine {
     /// Iterations executed inside a slowdown window so far.
     pub fn degraded_iterations(&self) -> u64 {
         self.degraded_iterations
+    }
+
+    /// Point-in-time health of this replica: rolling degraded-iteration
+    /// fraction, observed/clean latency ratio, queue-drain velocity, and
+    /// queue depth. A pure read — taking snapshots never perturbs the
+    /// replica's own timeline, so health-driven dispatch leaves fault-free
+    /// runs bit-identical.
+    pub fn health(&self) -> HealthSnapshot {
+        HealthSnapshot::from_ring(
+            &self.health,
+            self.config.replica_id,
+            self.state(),
+            self.iterations,
+            self.scheduler.pending_prefill_tokens(),
+            self.scheduler.pending_prefills(),
+        )
     }
 
     /// Takes the outcomes recorded so far (completions plus any rejected
@@ -808,6 +840,55 @@ mod tests {
             end(&degraded) > end(&fast),
             "a 2x straggler window must slow the run down"
         );
+    }
+
+    #[test]
+    fn health_snapshot_tracks_slowdown_window() {
+        let window = SlowWindow {
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(100_000),
+            factor: 1.8,
+            drift: false,
+        };
+        let mut healthy = engine_with(base_config());
+        let mut slow = engine_with(base_config().with_faults(ReplicaFaultProfile {
+            crash_at: None,
+            windows: vec![window],
+        }));
+        for e in [&mut healthy, &mut slow] {
+            for i in 0..6 {
+                e.submit(spec(i, 0, 1_500, 60));
+            }
+            let _ = e.run();
+        }
+        let good = healthy.health();
+        let bad = slow.health();
+        assert_eq!(good.degraded_fraction, 0.0);
+        assert!((good.mean_latency_ratio - 1.0).abs() < 1e-9, "no noise");
+        assert_eq!(good.score(), 1.0);
+        assert_eq!(bad.degraded_fraction, 1.0);
+        assert!(
+            (bad.mean_latency_ratio - 1.8).abs() < 1e-3,
+            "ratio must reflect the 1.8x window (up to µs rounding), got {}",
+            bad.mean_latency_ratio
+        );
+        assert!(bad.score() < 0.5, "degraded replica must score low");
+        assert!(
+            bad.drain_velocity_tokens_per_sec < good.drain_velocity_tokens_per_sec,
+            "a straggler drains slower"
+        );
+        assert_eq!(bad.window as u64, bad.iterations.min(32));
+    }
+
+    #[test]
+    fn health_snapshot_before_any_iteration_is_nominal() {
+        let e = engine_with(base_config().with_replica_id(9));
+        let snap = e.health();
+        assert_eq!(snap.replica_id, 9);
+        assert_eq!(snap.window, 0);
+        assert_eq!(snap.score(), 1.0);
+        assert_eq!(snap.queue_tokens, 0);
+        assert_eq!(snap.pending_prefills, 0);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`forest`] — a from-scratch CART + bagging random-forest regressor.
 //! * [`predictor`] — [`LatencyPredictor`] (forest or analytical) and
 //!   [`ChunkBudget`], the `GET_PREFILL_BUDGET` search of Algorithm 1.
+//! * [`resilience`] — [`ErrorTracker`] (windowed observed/predicted
+//!   latency-ratio quantiles) and [`AdaptiveMargin`], the online
+//!   controller that retunes the predictor's safety margin under drift.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ pub mod forest;
 pub mod hardware;
 pub mod predictor;
 pub mod profiler;
+pub mod resilience;
 
 pub use analytical::LatencyModel;
 pub use batch::{BatchProfile, BatchProfileBuilder, PrefillChunkProfile};
@@ -49,3 +53,4 @@ pub use forest::{RandomForest, RandomForestConfig};
 pub use hardware::{AttentionKind, GpuSpec, HardwareConfig, ModelSpec, Parallelism};
 pub use predictor::{ChunkBudget, ChunkLimits, LatencyPredictor, PredictorKind};
 pub use profiler::{ProfileSample, Profiler, ProfilerConfig};
+pub use resilience::{AdaptiveMargin, AdaptiveMarginConfig, ErrorTracker};

@@ -43,7 +43,15 @@ pub struct LatencyPredictor {
 #[derive(Debug, Clone)]
 enum Backend {
     Analytical(LatencyModel),
-    Forest(RandomForest),
+    Forest {
+        forest: RandomForest,
+        /// Analytical companion for the same hardware: the hard-fallback
+        /// target when the adaptive layer declares the forest untrustworthy.
+        analytical: LatencyModel,
+        /// When set, predictions come from `analytical` instead of the
+        /// forest (sticky for the rest of the run).
+        degraded: bool,
+    },
 }
 
 impl LatencyPredictor {
@@ -71,7 +79,11 @@ impl LatencyPredictor {
             // qoserve-lint: allow(panic-hygiene) -- offline training step; the profiler grid is statically non-empty and a silent fallback would hide a broken profile
             .expect("profiler always yields a non-empty training set");
         LatencyPredictor {
-            backend: Backend::Forest(forest),
+            backend: Backend::Forest {
+                forest,
+                analytical: LatencyModel::new(hw),
+                degraded: false,
+            },
             margin: Self::DEFAULT_MARGIN,
         }
     }
@@ -86,8 +98,18 @@ impl LatencyPredictor {
 
     /// Replaces the safety margin (clamped to be non-negative).
     pub fn with_margin(mut self, margin: f64) -> Self {
-        self.margin = margin.max(0.0);
+        self.set_margin(margin);
         self
+    }
+
+    /// Updates the safety margin in place (clamped to be non-negative) —
+    /// the adaptive-margin controller's entry point.
+    pub fn set_margin(&mut self, margin: f64) {
+        self.margin = if margin.is_finite() {
+            margin.max(0.0)
+        } else {
+            0.0
+        };
     }
 
     /// The active safety margin.
@@ -95,11 +117,30 @@ impl LatencyPredictor {
         self.margin
     }
 
+    /// Hard fallback: route predictions through the analytical companion
+    /// instead of the forest. Returns `true` when this call actually
+    /// changed the backend (forest, not yet degraded); analytical
+    /// predictors have nothing to fall back to and return `false`.
+    pub fn engage_fallback(&mut self) -> bool {
+        match &mut self.backend {
+            Backend::Forest { degraded, .. } if !*degraded => {
+                *degraded = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the forest → analytical fallback is active.
+    pub fn fallback_engaged(&self) -> bool {
+        matches!(self.backend, Backend::Forest { degraded: true, .. })
+    }
+
     /// Which backend this predictor uses.
     pub fn kind(&self) -> PredictorKind {
         match self.backend {
             Backend::Analytical(_) => PredictorKind::Analytical,
-            Backend::Forest(_) => PredictorKind::Forest,
+            Backend::Forest { .. } => PredictorKind::Forest,
         }
     }
 
@@ -112,7 +153,12 @@ impl LatencyPredictor {
     pub fn predict_raw_us(&self, batch: &BatchProfile) -> f64 {
         match &self.backend {
             Backend::Analytical(m) => m.iteration_time_us(batch),
-            Backend::Forest(f) => f.predict(&batch.features()).max(0.0),
+            Backend::Forest {
+                analytical,
+                degraded: true,
+                ..
+            } => analytical.iteration_time_us(batch),
+            Backend::Forest { forest, .. } => forest.predict(&batch.features()).max(0.0),
         }
     }
 }
@@ -143,13 +189,21 @@ impl Default for ChunkLimits {
 const MEMO_SLOTS: usize = 4096;
 
 /// Exact lookup key of one memoized prediction: everything that
-/// determines the predicted latency of a single-chunk probe batch.
+/// determines the predicted latency of a single-chunk probe batch —
+/// including the predictor's margin bits and fallback state, so the
+/// adaptive-margin controller can retune the predictor without
+/// invalidating the cache (stale entries simply stop matching).
 #[derive(Clone, Copy, PartialEq, Eq)]
 struct MemoKey {
     chunk: u32,
     num_decodes: u32,
     decode_context_total: u64,
     prefill_context: u32,
+    /// `LatencyPredictor::margin()` as raw bits; the adaptive controller
+    /// quantizes margins onto a coarse grid, so few distinct values occur.
+    margin_bits: u64,
+    /// Whether the forest → analytical fallback was active.
+    degraded: bool,
 }
 
 impl MemoKey {
@@ -161,6 +215,8 @@ impl MemoKey {
             self.num_decodes as u64,
             self.decode_context_total,
             self.prefill_context as u64,
+            self.margin_bits,
+            self.degraded as u64,
         ] {
             h ^= word;
             h = h.wrapping_mul(0x0100_0000_01b3);
@@ -285,6 +341,20 @@ impl ChunkBudget {
         &self.predictor
     }
 
+    /// Retunes the predictor's safety margin in place. The prediction
+    /// cache stays valid because the margin is part of the memo key —
+    /// entries recorded under other margins simply stop matching.
+    pub fn set_margin(&mut self, margin: f64) {
+        self.predictor.set_margin(margin);
+    }
+
+    /// Engages the predictor's forest → analytical fallback; see
+    /// [`LatencyPredictor::engage_fallback`]. Cache entries recorded
+    /// pre-fallback stop matching (the flag is part of the memo key).
+    pub fn engage_fallback(&mut self) -> bool {
+        self.predictor.engage_fallback()
+    }
+
     /// The search bounds.
     pub fn limits(&self) -> ChunkLimits {
         self.limits
@@ -330,12 +400,16 @@ impl ChunkBudget {
             Some(memo) => {
                 let mut memo = memo.borrow_mut();
                 let slack_us = slack.as_micros();
+                let margin_bits = self.predictor.margin().to_bits();
+                let degraded = self.predictor.fallback_engaged();
                 self.search(|chunk| {
                     let key = MemoKey {
                         chunk,
                         num_decodes,
                         decode_context_total,
                         prefill_context,
+                        margin_bits,
+                        degraded,
                     };
                     memo.predict_micros(&self.predictor, key) <= slack_us
                 })
@@ -643,6 +717,92 @@ mod tests {
         assert_eq!(
             LatencyPredictor::of_kind(PredictorKind::Analytical, &hw(), &seeds).kind(),
             PredictorKind::Analytical
+        );
+    }
+
+    #[test]
+    fn fallback_routes_forest_to_analytical() {
+        let seeds = SeedStream::new(80);
+        let mut forest = LatencyPredictor::train_forest(&hw(), &seeds);
+        let analytical = LatencyPredictor::analytical(&hw());
+        let batch = BatchProfile::builder()
+            .prefill_chunk(768, 1_024)
+            .decodes(24, 24 * 900)
+            .build();
+        assert!(!forest.fallback_engaged());
+        assert!(forest.engage_fallback());
+        assert!(forest.fallback_engaged());
+        // Degraded forest must quote exactly the analytical companion.
+        assert_eq!(
+            forest.predict_raw_us(&batch),
+            analytical.predict_raw_us(&batch)
+        );
+        // Still reports its true kind; the fallback is an internal detour.
+        assert_eq!(forest.kind(), PredictorKind::Forest);
+        // Second engagement is a no-op.
+        assert!(!forest.engage_fallback());
+    }
+
+    #[test]
+    fn analytical_has_no_fallback() {
+        let mut p = LatencyPredictor::analytical(&hw());
+        assert!(!p.engage_fallback());
+        assert!(!p.fallback_engaged());
+    }
+
+    #[test]
+    fn set_margin_updates_in_place() {
+        let mut p = LatencyPredictor::analytical(&hw());
+        p.set_margin(0.25);
+        assert_eq!(p.margin(), 0.25);
+        p.set_margin(-1.0);
+        assert_eq!(p.margin(), 0.0);
+        p.set_margin(f64::NAN);
+        assert_eq!(p.margin(), 0.0);
+    }
+
+    #[test]
+    fn memo_survives_margin_retuning() {
+        // Warm the cache under one margin, retune, and check the cached
+        // path still matches a fresh uncached search at every margin —
+        // the margin is part of the memo key, so stale entries cannot leak.
+        let mut cached = analytical_budget();
+        let slack = Some(SimDuration::from_millis(45));
+        for margin in [0.08, 0.25, 0.08, 0.5, 0.0] {
+            cached.set_margin(margin);
+            let uncached = ChunkBudget::uncached(
+                LatencyPredictor::analytical(&hw()).with_margin(margin),
+                ChunkLimits::default(),
+            );
+            for num_decodes in [4u32, 48, 130] {
+                let ctx = num_decodes as u64 * 1_400;
+                assert_eq!(
+                    cached.prefill_budget(num_decodes, ctx, 512, slack),
+                    uncached.prefill_budget(num_decodes, ctx, 512, slack),
+                    "diverged at margin {margin} decodes {num_decodes}"
+                );
+            }
+        }
+        let (hits, _) = cached.cache_stats();
+        assert!(hits > 0, "revisiting a previous margin must hit the cache");
+    }
+
+    #[test]
+    fn memo_survives_fallback_engagement() {
+        let seeds = SeedStream::new(81);
+        let predictor = LatencyPredictor::train_forest(&hw(), &seeds);
+        let mut cached = ChunkBudget::new(predictor.clone(), ChunkLimits::default());
+        let slack = Some(SimDuration::from_millis(60));
+        // Warm with forest predictions.
+        cached.prefill_budget(32, 32 * 1_200, 0, slack);
+        assert!(cached.engage_fallback());
+        let mut reference = predictor;
+        reference.engage_fallback();
+        let uncached = ChunkBudget::uncached(reference, ChunkLimits::default());
+        assert_eq!(
+            cached.prefill_budget(32, 32 * 1_200, 0, slack),
+            uncached.prefill_budget(32, 32 * 1_200, 0, slack),
+            "post-fallback budgets must ignore pre-fallback cache entries"
         );
     }
 }

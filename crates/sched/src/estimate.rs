@@ -14,6 +14,10 @@ use std::collections::HashMap;
 use qoserve_perf::{BatchProfile, LatencyPredictor};
 use qoserve_sim::{OnlineStats, SimDuration};
 
+/// Clamp on recalibration factors: observed/predicted drift outside this
+/// range is treated as its nearest bound rather than trusted verbatim.
+const RECALIBRATION_CLAMP: (f64, f64) = (0.5, 4.0);
+
 /// Estimates remaining processing time for queued requests.
 #[derive(Debug, Clone)]
 pub struct ProcessingEstimator {
@@ -23,6 +27,12 @@ pub struct ProcessingEstimator {
     /// Estimated wall-clock per decode token, µs (one iteration of a
     /// typical mixed batch produces one token per decoding request).
     decode_us_per_token: f64,
+    /// Startup prefill rate the recalibration scaling is anchored to.
+    base_prefill_us_per_token: f64,
+    /// Startup decode rate the recalibration scaling is anchored to.
+    base_decode_us_per_token: f64,
+    /// Times [`recalibrate`](Self::recalibrate) actually changed the rates.
+    recalibrations: u64,
     /// Fallback decode-length estimate before any history exists.
     default_decode_tokens: f64,
     /// Per-application decode-length history.
@@ -37,22 +47,23 @@ impl ProcessingEstimator {
     /// * Decode rate: the iteration time of a representative mixed batch
     ///   (256-token chunk + 64 decodes at 1 k context), since each
     ///   iteration advances every decode by one token.
+    ///
+    /// Rates come from the *margined* [`LatencyPredictor::predict`], not
+    /// the raw model output: the paper's conservative under-prediction
+    /// bias must flow into priorities and violation estimates too, or the
+    /// scheduler plans chunks pessimistically while judging deadlines
+    /// optimistically.
     pub fn from_predictor(predictor: &LatencyPredictor) -> Self {
         let big_chunk = BatchProfile::builder().prefill_chunk(2_048, 0).build();
-        let prefill_us_per_token = predictor.predict_raw_us(&big_chunk) / 2_048.0;
+        let prefill_us_per_token = predictor.predict(&big_chunk).as_micros() as f64 / 2_048.0;
 
         let typical = BatchProfile::builder()
             .prefill_chunk(256, 0)
             .decodes(64, 64 * 1_024)
             .build();
-        let decode_us_per_token = predictor.predict_raw_us(&typical);
+        let decode_us_per_token = predictor.predict(&typical).as_micros() as f64;
 
-        ProcessingEstimator {
-            prefill_us_per_token,
-            decode_us_per_token,
-            default_decode_tokens: 200.0,
-            history: HashMap::new(),
-        }
+        Self::with_rates(prefill_us_per_token, decode_us_per_token)
     }
 
     /// Builds an estimator with explicit rates (tests).
@@ -60,9 +71,43 @@ impl ProcessingEstimator {
         ProcessingEstimator {
             prefill_us_per_token,
             decode_us_per_token,
+            base_prefill_us_per_token: prefill_us_per_token,
+            base_decode_us_per_token: decode_us_per_token,
+            recalibrations: 0,
             default_decode_tokens: 200.0,
             history: HashMap::new(),
         }
+    }
+
+    /// Rescales both per-token rates to `base × factor`, where `factor`
+    /// is an observed/predicted latency ratio from the adaptive error
+    /// tracker (clamped to a sane band). Scaling is *anchored at the
+    /// startup rates*: repeated recalibration with the same factor is
+    /// idempotent and cannot compound drift.
+    pub fn recalibrate(&mut self, factor: f64) {
+        if !factor.is_finite() {
+            return;
+        }
+        let f = factor.clamp(RECALIBRATION_CLAMP.0, RECALIBRATION_CLAMP.1);
+        let prefill = self.base_prefill_us_per_token * f;
+        let decode = self.base_decode_us_per_token * f;
+        if prefill != self.prefill_us_per_token || decode != self.decode_us_per_token {
+            self.prefill_us_per_token = prefill;
+            self.decode_us_per_token = decode;
+            self.recalibrations += 1;
+        }
+    }
+
+    /// Restores the startup rates. A no-op when never recalibrated, so
+    /// calm runs stay bit-identical to a never-recalibrated estimator.
+    pub fn restore_base_rates(&mut self) {
+        self.prefill_us_per_token = self.base_prefill_us_per_token;
+        self.decode_us_per_token = self.base_decode_us_per_token;
+    }
+
+    /// Times recalibration actually changed the rates (diagnostics).
+    pub fn recalibration_count(&self) -> u64 {
+        self.recalibrations
     }
 
     /// Records the observed decode length of a completed request.
@@ -179,5 +224,68 @@ mod tests {
     fn negative_decode_estimate_clamps() {
         let e = ProcessingEstimator::with_rates(1.0, 1.0);
         assert_eq!(e.decode_time(-5.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn rates_derive_from_margined_predictions() {
+        // Satellite fix pin: `from_predictor` must include the safety
+        // margin. Doubling the margin must inflate both rates — under the
+        // old `predict_raw_us` derivation they were margin-invariant.
+        let hw = HardwareConfig::llama3_8b_a100_tp1();
+        let lean = ProcessingEstimator::from_predictor(
+            &LatencyPredictor::analytical(&hw).with_margin(0.0),
+        );
+        let padded = ProcessingEstimator::from_predictor(
+            &LatencyPredictor::analytical(&hw).with_margin(0.2),
+        );
+        let prefill_ratio = padded.prefill_rate_us() / lean.prefill_rate_us();
+        let decode_ratio = padded.decode_rate_us() / lean.decode_rate_us();
+        assert!(
+            (prefill_ratio - 1.2).abs() < 0.01,
+            "prefill rate must carry the margin: ratio {prefill_ratio}"
+        );
+        assert!(
+            (decode_ratio - 1.2).abs() < 0.01,
+            "decode rate must carry the margin: ratio {decode_ratio}"
+        );
+    }
+
+    #[test]
+    fn recalibration_is_anchored_and_idempotent() {
+        let mut e = ProcessingEstimator::with_rates(100.0, 10_000.0);
+        e.recalibrate(1.5);
+        assert_eq!(e.prefill_rate_us(), 150.0);
+        assert_eq!(e.decode_rate_us(), 15_000.0);
+        assert_eq!(e.recalibration_count(), 1);
+        // Same factor again: anchored scaling, no compounding, no count.
+        e.recalibrate(1.5);
+        assert_eq!(e.prefill_rate_us(), 150.0);
+        assert_eq!(e.recalibration_count(), 1);
+        // New factor scales from the base, not the current rates.
+        e.recalibrate(2.0);
+        assert_eq!(e.prefill_rate_us(), 200.0);
+        assert_eq!(e.recalibration_count(), 2);
+        e.restore_base_rates();
+        assert_eq!(e.prefill_rate_us(), 100.0);
+        assert_eq!(e.decode_rate_us(), 10_000.0);
+    }
+
+    #[test]
+    fn recalibration_clamps_and_rejects_poison() {
+        let mut e = ProcessingEstimator::with_rates(100.0, 10_000.0);
+        e.recalibrate(100.0);
+        assert_eq!(e.prefill_rate_us(), 400.0, "clamped to 4x");
+        e.recalibrate(0.01);
+        assert_eq!(e.prefill_rate_us(), 50.0, "clamped to 0.5x");
+        e.recalibrate(f64::NAN);
+        assert_eq!(e.prefill_rate_us(), 50.0, "NaN ignored");
+    }
+
+    #[test]
+    fn restore_without_recalibration_is_a_noop() {
+        let mut e = ProcessingEstimator::with_rates(100.0, 10_000.0);
+        e.restore_base_rates();
+        assert_eq!(e.prefill_rate_us(), 100.0);
+        assert_eq!(e.recalibration_count(), 0);
     }
 }

@@ -18,6 +18,10 @@
 //!   dynamic-programming planning whose cost grows with queue depth.
 //! * [`RateLimitScheduler`] — §2.2's production overload baseline:
 //!   importance-blind rejection past a backlog cap.
+//! * [`DeadlineAwareAdmission`] — the resilience layer's SLO-aware gate:
+//!   rejects only requests that provably miss their deadline even if
+//!   scheduled immediately, with the estimate tightened online by the
+//!   adaptive misprediction tracker.
 //! * [`ConServeScheduler`] — §5's binary online/offline collocation:
 //!   interactive strictly first, offline harvests leftovers.
 //!
@@ -30,6 +34,7 @@
 
 pub mod admission;
 pub mod conserve;
+pub mod deadline;
 pub mod estimate;
 pub mod job;
 pub mod medha;
@@ -41,6 +46,7 @@ pub mod slos_serve;
 
 pub use admission::RateLimitScheduler;
 pub use conserve::ConServeScheduler;
+pub use deadline::DeadlineAwareAdmission;
 pub use estimate::ProcessingEstimator;
 pub use job::{DecodeJob, PrefillJob};
 pub use medha::{MedhaConfig, MedhaScheduler};
@@ -50,7 +56,8 @@ pub use queue::JobQueue;
 pub use sarathi::SarathiScheduler;
 pub use slos_serve::{SlosServeConfig, SlosServeScheduler};
 
-use qoserve_sim::SimTime;
+use qoserve_perf::BatchProfile;
+use qoserve_sim::{SimDuration, SimTime};
 use qoserve_workload::{RequestId, RequestSpec};
 
 /// Per-iteration resource limits the engine imposes on a plan.
@@ -145,6 +152,13 @@ pub trait Scheduler: Send {
 
     /// Observes a completed request (default: ignored).
     fn on_completion(&mut self, _spec: &RequestSpec, _observed_decode_tokens: u32) {}
+
+    /// Observes one executed iteration: the batch that ran and its
+    /// *observed* execution time (default: ignored). Adaptive schedulers
+    /// compare this against their own prediction of `batch` to track
+    /// misprediction online; wrappers must forward it to their inner
+    /// scheduler.
+    fn on_iteration(&mut self, _batch: &BatchProfile, _observed: SimDuration, _now: SimTime) {}
 
     /// Number of requests still waiting in the prefill queue.
     fn pending_prefills(&self) -> usize;

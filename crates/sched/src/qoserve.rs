@@ -21,7 +21,9 @@
 //! prefilled job simply loses the next batch to any higher-priority
 //! arrival, while decodes are never revisited at all.
 
-use qoserve_perf::{ChunkBudget, ChunkLimits, LatencyPredictor};
+use qoserve_perf::{
+    AdaptiveMargin, AdaptiveMarginConfig, BatchProfile, ChunkBudget, ChunkLimits, LatencyPredictor,
+};
 use qoserve_sim::float::priority_micros;
 use qoserve_sim::{SimDuration, SimTime};
 use qoserve_workload::{Priority, RequestSpec};
@@ -94,6 +96,14 @@ pub struct QoServeConfig {
     /// the strictest TTFT SLO — if the backlog already exceeds it, new
     /// interactive arrivals are doomed without shedding.
     pub shed_backlog: SimDuration,
+    /// When set, the scheduler runs the online adaptive-margin controller
+    /// against per-iteration `(predicted, observed)` pairs delivered via
+    /// [`Scheduler::on_iteration`]: the chunk budget's safety margin
+    /// widens under misprediction, decays back when calm, and the forest
+    /// predictor falls back to its analytical companion under sustained
+    /// gross error. `None` (the default) is today's static behaviour —
+    /// existing experiments are bit-identical.
+    pub adaptive: Option<AdaptiveMarginConfig>,
 }
 
 impl Default for QoServeConfig {
@@ -105,6 +115,7 @@ impl Default for QoServeConfig {
             fixed_chunk: 256,
             chunk_limits: ChunkLimits::default(),
             shed_backlog: SimDuration::from_secs(6),
+            adaptive: None,
         }
     }
 }
@@ -131,6 +142,16 @@ impl QoServeConfig {
     /// Table 5's full system: DC + ER + hybrid prioritization.
     pub fn ablation_full() -> Self {
         QoServeConfig::default()
+    }
+
+    /// The full system plus the online adaptive margin (the resilience
+    /// layer's default pipeline). The controller's base margin is
+    /// re-anchored to the predictor's margin at construction.
+    pub fn adaptive() -> Self {
+        QoServeConfig {
+            adaptive: Some(AdaptiveMarginConfig::default()),
+            ..Default::default()
+        }
     }
 }
 
@@ -161,6 +182,8 @@ pub struct QoServeScheduler {
     relegations: u64,
     /// Chunk budget chosen by the last `plan_batch` call (Fig. 9 traces).
     last_chunk_budget: u32,
+    /// Online adaptive-margin controller (None = static margin).
+    adaptive: Option<AdaptiveMargin>,
 }
 
 impl QoServeScheduler {
@@ -173,6 +196,12 @@ impl QoServeScheduler {
             AlphaPolicy::LoadAdaptive { low_ms, .. } => low_ms * 1e3,
         };
         let limits = config.chunk_limits;
+        let adaptive = config.adaptive.map(|mut cfg| {
+            // Anchor the controller at the predictor's static margin so
+            // the calm state is bit-identical to the static pipeline.
+            cfg.base = predictor.margin();
+            AdaptiveMargin::new(cfg)
+        });
         QoServeScheduler {
             config,
             queue: JobQueue::new(),
@@ -181,6 +210,7 @@ impl QoServeScheduler {
             alpha_us,
             relegations: 0,
             last_chunk_budget: 0,
+            adaptive,
         }
     }
 
@@ -202,6 +232,11 @@ impl QoServeScheduler {
     /// Access to the processing estimator (tests).
     pub fn estimator(&self) -> &ProcessingEstimator {
         &self.estimator
+    }
+
+    /// The adaptive-margin controller, when enabled (tests/diagnostics).
+    pub fn adaptive_margin(&self) -> Option<&AdaptiveMargin> {
+        self.adaptive.as_ref()
     }
 
     /// Eq. 4 / Eq. 5: the hybrid priority key in µs (smaller = sooner).
@@ -407,6 +442,25 @@ impl Scheduler for QoServeScheduler {
     fn on_completion(&mut self, spec: &RequestSpec, observed_decode_tokens: u32) {
         self.estimator
             .record_decode(spec.app_id, observed_decode_tokens);
+    }
+
+    fn on_iteration(&mut self, batch: &BatchProfile, observed: SimDuration, _now: SimTime) {
+        let Some(am) = self.adaptive.as_mut() else {
+            return;
+        };
+        // Ratio against the margin-free prediction: the tracker measures
+        // *model* error, which the margin then covers.
+        let predicted = self.budget.predictor().predict_raw_us(batch);
+        if am.record(predicted, observed.as_micros() as f64) {
+            self.budget.set_margin(am.current());
+            if am.fallback_engaged() {
+                self.budget.engage_fallback();
+            }
+            match am.recalibration_factor() {
+                Some(f) => self.estimator.recalibrate(f),
+                None => self.estimator.restore_base_rates(),
+            }
+        }
     }
 
     fn pending_prefills(&self) -> usize {
@@ -722,6 +776,82 @@ mod tests {
         // (budget 2560 > 2000), picking up exactly where it stopped.
         let resumed = p2.prefill.iter().find(|a| a.id == RequestId(0)).unwrap();
         assert_eq!(resumed.context_before, p1.prefill[0].tokens);
+    }
+
+    #[test]
+    fn adaptive_margin_stays_static_when_calm() {
+        // Feeding observations that exactly match the raw prediction must
+        // keep the adaptive pipeline's budgets identical to the static one.
+        let mut adaptive = sched(QoServeConfig::adaptive());
+        let mut fixed = sched(QoServeConfig::default());
+        let base = adaptive.adaptive_margin().unwrap().config().base;
+        let batch = BatchProfile::builder()
+            .prefill_chunk(256, 0)
+            .decodes(32, 32 * 1_000)
+            .build();
+        let exact = SimDuration::from_micros(
+            adaptive.budget.predictor().predict_raw_us(&batch).round() as u64,
+        );
+        let now = SimTime::from_secs(5);
+        for _ in 0..200 {
+            adaptive.on_iteration(&batch, exact, now);
+            fixed.on_iteration(&batch, exact, now);
+        }
+        assert_eq!(adaptive.adaptive_margin().unwrap().current(), base);
+        let decodes: Vec<DecodeJob> = (0..32)
+            .map(|i| decode(i, 1_000, now + SimDuration::from_millis(60)))
+            .collect();
+        assert_eq!(
+            adaptive.compute_budget(now, &decodes),
+            fixed.compute_budget(now, &decodes),
+            "calm adaptive budgets must match static budgets"
+        );
+        assert_eq!(adaptive.estimator().recalibration_count(), 0);
+    }
+
+    #[test]
+    fn adaptive_margin_widens_and_shrinks_budget_under_drift() {
+        let mut s = sched(QoServeConfig::adaptive());
+        let now = SimTime::from_secs(5);
+        let decodes: Vec<DecodeJob> = (0..32)
+            .map(|i| decode(i, 1_000, now + SimDuration::from_millis(60)))
+            .collect();
+        let calm_budget = s.compute_budget(now, &decodes);
+
+        // A 1.4x slowdown window: observed latency far above prediction.
+        let batch = BatchProfile::builder()
+            .prefill_chunk(256, 0)
+            .decodes(32, 32 * 1_000)
+            .build();
+        let predicted = s.budget.predictor().predict_raw_us(&batch);
+        let observed = SimDuration::from_micros((predicted * 1.4).round() as u64);
+        for _ in 0..64 {
+            s.on_iteration(&batch, observed, now);
+        }
+        let am = s.adaptive_margin().unwrap();
+        assert!(
+            am.current() > am.config().base,
+            "sustained drift must widen the margin, got {}",
+            am.current()
+        );
+        assert!(
+            s.estimator().recalibration_count() > 0,
+            "drift must recalibrate the estimator rates"
+        );
+        let drift_budget = s.compute_budget(now, &decodes);
+        assert!(
+            drift_budget < calm_budget,
+            "widened margin must shrink the chunk budget: {drift_budget} vs {calm_budget}"
+        );
+    }
+
+    #[test]
+    fn static_config_ignores_iterations() {
+        let mut s = sched(QoServeConfig::default());
+        let batch = BatchProfile::builder().prefill_chunk(256, 0).build();
+        s.on_iteration(&batch, SimDuration::from_secs(10), SimTime::from_secs(1));
+        assert!(s.adaptive_margin().is_none());
+        assert_eq!(s.estimator().recalibration_count(), 0);
     }
 
     #[test]
