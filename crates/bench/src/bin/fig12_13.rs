@@ -10,7 +10,7 @@
 
 use qoserve::experiments::{run_run, scale_factor};
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results};
 use qoserve_metrics::{RollingSeries, SloReport};
 
 fn main() {
@@ -67,6 +67,7 @@ fn main() {
         "relegated",
         "max latency (s)",
     ]);
+    let mut rows = Vec::new();
     let mut all_outcomes = Vec::new();
     for scheme in &schemes {
         let outcomes = run_run(&trace, scheme, &hw, 12);
@@ -86,6 +87,17 @@ fn main() {
             format!("{:.1}%", report.relegated_fraction * 100.0),
             format!("{max_latency:.0}"),
         ]);
+        rows.push(serde_json::json!({
+            "figure": "fig12",
+            "scheme": scheme.label(),
+            "violation_pct": report.violation_pct(),
+            "important_violation_pct": report.important_violation_pct(),
+            "q1_violation_pct": report.tier_violation_pct(TierId::Q1),
+            "q2_violation_pct": report.tier_violation_pct(TierId::Q2),
+            "q3_violation_pct": report.tier_violation_pct(TierId::Q3),
+            "relegated_pct": report.relegated_fraction * 100.0,
+            "max_latency_secs": max_latency,
+        }));
         all_outcomes.push((scheme.label(), outcomes));
         eprintln!("  done: {}", scheme.label());
     }
@@ -122,9 +134,18 @@ fn main() {
                 format!("{:.1}", series.max_value().unwrap_or(f64::NAN)),
                 format!("{tail_mean:.1}"),
             ]);
+            rows.push(serde_json::json!({
+                "figure": "fig13",
+                "tier": tier.to_string(),
+                "scheme": label,
+                "mean_p99_secs": series.mean_value(),
+                "max_p99_secs": series.max_value(),
+                "final_quarter_mean_p99_secs": if tail_mean.is_nan() { None } else { Some(tail_mean) },
+            }));
         }
         print!("{table}");
     }
+    emit_results("fig12_13", &rows);
     println!(
         "\npaper: baselines cannot recover after the bursts (latency keeps climbing); \
          QoServe's rolling p99 stays near the SLO through every burst"

@@ -7,7 +7,7 @@
 
 use qoserve::experiments::{load_sweep, scaled_window};
 use qoserve::prelude::*;
-use qoserve_bench::{banner, overall_median_latency};
+use qoserve_bench::{banner, emit_results, overall_median_latency};
 
 fn main() {
     banner(
@@ -44,6 +44,7 @@ fn main() {
         "violations",
         "long violations",
     ]);
+    let mut rows = Vec::new();
     for (i, p) in points.iter().enumerate() {
         let alpha = alphas[i % alphas.len()];
         table.row(vec![
@@ -53,8 +54,16 @@ fn main() {
             format!("{:.1}%", p.report.violation_pct()),
             format!("{:.1}%", p.report.long_violation_pct()),
         ]);
+        rows.push(serde_json::json!({
+            "qps": p.qps,
+            "alpha_ms_per_token": alpha,
+            "median_latency_secs": overall_median_latency(&p.outcomes),
+            "violation_pct": p.report.violation_pct(),
+            "long_violation_pct": p.report.long_violation_pct(),
+        }));
     }
     print!("{table}");
+    emit_results("fig14", &rows);
 
     println!();
     let high_load: Vec<&_> = points.iter().filter(|p| p.qps == 6.0).collect();

@@ -9,7 +9,7 @@
 //! 0.26 QPS, a 23 % gain.
 
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results};
 use qoserve_metrics::{max_supported_load, SloReport};
 
 fn synthetic_trace(qps: f64, window: SimDuration, seeds: &SeedStream) -> Trace {
@@ -127,6 +127,27 @@ fn main() {
     };
     let gm = goodput(&medha());
     let gq = goodput(&dc_only());
+    emit_results(
+        "fig15a",
+        &[
+            serde_json::json!({
+                "scheme": "Medha",
+                "batches": medha_chunks.len(),
+                "chunk_min": m_min,
+                "chunk_p50": m_med,
+                "chunk_max": m_max,
+                "goodput_qps": gm,
+            }),
+            serde_json::json!({
+                "scheme": "QoServe (DC only)",
+                "batches": qoserve_chunks.len(),
+                "chunk_min": q_min,
+                "chunk_p50": q_med,
+                "chunk_max": q_max,
+                "goodput_qps": gq,
+            }),
+        ],
+    );
     println!(
         "\ngoodput: Medha {gm:.2} QPS vs QoServe-DC {gq:.2} QPS -> {:.0}% gain",
         (gq / gm.max(1e-9) - 1.0) * 100.0

@@ -10,7 +10,7 @@
 
 use qoserve::experiments::{load_sweep, scaled_window};
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results};
 use qoserve_metrics::percentile;
 
 fn main() {
@@ -50,6 +50,7 @@ fn main() {
         "violations",
         "long violations",
     ]);
+    let mut rows = Vec::new();
     for p in &points {
         let q1_ttft: Vec<f64> = p
             .outcomes
@@ -66,8 +67,17 @@ fn main() {
             format!("{:.1}%", p.report.violation_pct()),
             format!("{:.1}%", p.report.long_violation_pct()),
         ]);
+        rows.push(serde_json::json!({
+            "scheme": p.scheme,
+            "qps": p.qps,
+            "q1_p50_ttft_secs": percentile(&q1_ttft, 0.5),
+            "q1_p99_ttft_secs": percentile(&q1_ttft, 0.99),
+            "violation_pct": p.report.violation_pct(),
+            "long_violation_pct": p.report.long_violation_pct(),
+        }));
     }
     print!("{table}");
+    emit_results("fig2", &rows);
 
     // Headline checks mirroring the figure's captions.
     println!();

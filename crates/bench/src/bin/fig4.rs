@@ -6,7 +6,7 @@
 //! against the 50 ms TBT SLO and reports ~2x throughput at 2500 vs 256.
 
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results};
 
 fn main() {
     banner(
@@ -32,6 +32,7 @@ fn main() {
     let mut at_slo: Option<u32> = None;
     let mut tput_256 = 0.0;
     let mut tput_2500 = 0.0;
+    let mut rows = Vec::new();
     for chunk in (64..=2_560).step_by(64).chain([3_072, 4_096]) {
         let b = batch(chunk);
         let tput = model.throughput_tokens_per_sec(&b);
@@ -52,8 +53,14 @@ fn main() {
                 format!("{lat_ms:.1}"),
             ]);
         }
+        rows.push(serde_json::json!({
+            "chunk": chunk,
+            "throughput_tok_s": tput,
+            "latency_ms": lat_ms,
+        }));
     }
     print!("{table}");
+    emit_results("fig4", &rows);
 
     println!();
     println!(

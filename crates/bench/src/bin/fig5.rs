@@ -7,7 +7,7 @@
 
 use qoserve::experiments::{load_sweep, scaled_window};
 use qoserve::prelude::*;
-use qoserve_bench::{banner, overall_median_latency};
+use qoserve_bench::{banner, emit_results, overall_median_latency};
 
 fn main() {
     banner(
@@ -40,6 +40,7 @@ fn main() {
         "relegated",
         "violations",
     ]);
+    let mut rows = Vec::new();
     for (i, p) in points.iter().enumerate() {
         // load_sweep interleaves schemes per QPS; relabel the ER-disabled
         // QoServe variant for readability.
@@ -55,8 +56,16 @@ fn main() {
             format!("{:.1}%", p.report.relegated_fraction * 100.0),
             format!("{:.1}%", p.report.violation_pct()),
         ]);
+        rows.push(serde_json::json!({
+            "qps": p.qps,
+            "scheme": label,
+            "median_latency_secs": overall_median_latency(&p.outcomes),
+            "relegated_pct": p.report.relegated_fraction * 100.0,
+            "violation_pct": p.report.violation_pct(),
+        }));
     }
     print!("{table}");
+    emit_results("fig5", &rows);
 
     println!();
     let last_qps = *qps_list.last().expect("non-empty");

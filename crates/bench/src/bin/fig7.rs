@@ -7,7 +7,7 @@
 
 use qoserve::experiments::scaled_window;
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results};
 
 fn main() {
     banner(
@@ -36,6 +36,7 @@ fn main() {
         "QoServe/EDF",
     ]);
 
+    let mut rows = Vec::new();
     for hw in HardwareConfig::paper_configs() {
         let config = ClusterConfig::new(hw.clone());
         for dataset in Dataset::paper_datasets() {
@@ -53,10 +54,18 @@ fn main() {
                 format!("{:.2}x", goodputs[2] / goodputs[0].max(1e-9)),
                 format!("{:.2}x", goodputs[2] / goodputs[1].max(1e-9)),
             ]);
+            rows.push(serde_json::json!({
+                "model": hw.label(),
+                "dataset": dataset.name,
+                "sarathi_fcfs_qps": goodputs[0],
+                "sarathi_edf_qps": goodputs[1],
+                "qoserve_qps": goodputs[2],
+            }));
             eprintln!("  done: {} x {}", hw.label(), dataset.name);
         }
     }
     print!("{table}");
+    emit_results("fig7", &rows);
     println!();
     println!("paper: QoServe achieves 1.5-2.4x over Sarathi-FCFS and 20-40% over Sarathi-EDF");
 }

@@ -7,7 +7,7 @@
 
 use qoserve::experiments::scaled_window;
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results};
 use qoserve_engine::{disagg_chunk_limits, to_prefill_only_trace, DISAGG_CHUNK};
 use qoserve_metrics::{max_supported_load, SloReport};
 
@@ -42,6 +42,7 @@ fn main() {
     let dataset = Dataset::azure_conv();
     let mut table = Table::new(vec!["model", "Disagg-FCFS", "Disagg-EDF", "Disagg-QoServe"]);
 
+    let mut rows = Vec::new();
     for hw in HardwareConfig::paper_configs() {
         let config = ClusterConfig::new(hw.clone());
         let seeds = SeedStream::new(8);
@@ -72,9 +73,16 @@ fn main() {
             format!("{:.1}", goodputs[1]),
             format!("{:.1}", goodputs[2]),
         ]);
+        rows.push(serde_json::json!({
+            "model": hw.label(),
+            "disagg_fcfs_qps": goodputs[0],
+            "disagg_edf_qps": goodputs[1],
+            "disagg_qoserve_qps": goodputs[2],
+        }));
         eprintln!("  done: {}", hw.label());
     }
     print!("{table}");
+    emit_results("fig8", &rows);
     println!();
     println!(
         "paper: QoServe has the best prefill goodput on every model, with smaller \

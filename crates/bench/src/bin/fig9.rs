@@ -7,7 +7,7 @@
 //! back — execution time tracks the chosen chunk.
 
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results};
 
 fn main() {
     banner("fig9", "Dynamic chunking trace (Az-Conv, Llama3-8B)");
@@ -39,16 +39,27 @@ fn main() {
         "exec (ms)",
         "decodes",
     ]);
-    for (i, b) in window.iter().enumerate().step_by(10) {
-        table.row(vec![
-            (start + i).to_string(),
-            b.token_budget.to_string(),
-            b.prefill_tokens.to_string(),
-            format!("{:.1}", b.exec.as_millis_f64()),
-            b.num_decodes.to_string(),
-        ]);
+    let mut rows = Vec::new();
+    for (i, b) in window.iter().enumerate() {
+        if i % 10 == 0 {
+            table.row(vec![
+                (start + i).to_string(),
+                b.token_budget.to_string(),
+                b.prefill_tokens.to_string(),
+                format!("{:.1}", b.exec.as_millis_f64()),
+                b.num_decodes.to_string(),
+            ]);
+        }
+        rows.push(serde_json::json!({
+            "batch": start + i,
+            "chunk_budget": b.token_budget,
+            "prefill_tokens": b.prefill_tokens,
+            "exec_ms": b.exec.as_millis_f64(),
+            "decodes": b.num_decodes,
+        }));
     }
     print!("{table}");
+    emit_results("fig9", &rows);
 
     let budgets: Vec<f64> = window.iter().map(|b| b.token_budget as f64).collect();
     let execs: Vec<f64> = window.iter().map(|b| b.exec.as_millis_f64()).collect();

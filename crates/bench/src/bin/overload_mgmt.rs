@@ -10,7 +10,7 @@
 //! traffic.
 
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results};
 
 fn main() {
     banner(
@@ -55,20 +55,30 @@ fn main() {
         "long viol.",
         "unserved",
     ]);
+    let mut rows = Vec::new();
     for spec in &schemes {
         let outcomes = run_shared(&trace, 1, spec, &config, &SeedStream::new(22));
         let report = SloReport::compute(&outcomes, threshold);
         let unserved = outcomes.iter().filter(|o| !o.finished()).count();
+        let unserved_pct = 100.0 * unserved as f64 / outcomes.len() as f64;
         table.row(vec![
             spec.label(),
             format!("{:.1}%", report.violation_pct()),
             format!("{:.1}%", report.important_violation_pct()),
             format!("{:.1}%", report.long_violation_pct()),
-            format!("{:.1}%", 100.0 * unserved as f64 / outcomes.len() as f64),
+            format!("{unserved_pct:.1}%"),
         ]);
+        rows.push(serde_json::json!({
+            "scheme": spec.label(),
+            "violation_pct": report.violation_pct(),
+            "important_violation_pct": report.important_violation_pct(),
+            "long_violation_pct": report.long_violation_pct(),
+            "unserved_pct": unserved_pct,
+        }));
         eprintln!("  done: {}", spec.label());
     }
     print!("{table}");
+    emit_results("overload_mgmt", &rows);
     println!(
         "\npaper (§2.2): rate limiting rejects without regard to importance; SRPF \
          sacrifices long requests; relegation degrades selectively — free tier \

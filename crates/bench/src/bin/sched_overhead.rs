@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results};
 use qoserve_sched::{Constraints, DecodeJob, PrefillJob};
 
 fn queued<S: Scheduler>(sched: &mut S, n: u64) {
@@ -72,6 +72,7 @@ fn main() {
         "SLOs-Serve plan (us)",
         "ratio",
     ]);
+    let mut rows = Vec::new();
     for n in [100u64, 1_000, 5_000, 20_000] {
         let reps = if n >= 5_000 { 3 } else { 10 };
         let qs = plan_cost(
@@ -95,9 +96,15 @@ fn main() {
             format!("{slos:.0}"),
             format!("{:.0}x", slos / qs.max(1e-9)),
         ]);
+        rows.push(serde_json::json!({
+            "queue_depth": n,
+            "qoserve_plan_us": qs,
+            "slos_serve_plan_us": slos,
+        }));
         eprintln!("  done: depth {n}");
     }
     print!("{table}");
+    emit_results("sched_overhead", &rows);
     println!(
         "\npaper: SLOs-Serve's O(N*N_new*M) DP scales poorly with queue depth; \
          QoServe needs O(log N_new) per scheduled prefill"

@@ -8,7 +8,7 @@
 
 use qoserve::experiments::{run_run, scaled_window};
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results};
 use qoserve_metrics::SloReport;
 
 fn main() {
@@ -69,10 +69,17 @@ fn main() {
     ]);
     let mut prev_load: Option<f64> = None;
     let mut prev_viol: Option<f64> = None;
+    let mut rows = Vec::new();
     for (label, spec) in &configs {
         let load = max_goodput(&dataset, spec, &cluster, &options, &SeedStream::new(5));
         let outcomes = run_run(&overload, spec, &hw, 55);
         let viol = SloReport::compute(&outcomes, threshold).violation_pct();
+        rows.push(serde_json::json!({
+            "config": label,
+            "optimal_load_qps": load,
+            "overload_qps": overload_qps,
+            "overload_violation_pct": viol,
+        }));
         table.row(vec![
             label.clone(),
             format!("{load:.2}"),
@@ -91,6 +98,7 @@ fn main() {
         eprintln!("  done: {label}");
     }
     print!("{table}");
+    emit_results("table5", &rows);
     println!();
     println!("paper: EDF 2.75 QPS/100% -> DC 3.3/74% -> DC+ER 3.6/26% -> full 3.65/16%");
 }

@@ -7,7 +7,7 @@
 
 use qoserve::experiments::{run_run, scaled_window};
 use qoserve::prelude::*;
-use qoserve_bench::banner;
+use qoserve_bench::{banner, emit_results};
 use qoserve_metrics::SloReport;
 
 fn main() {
@@ -33,6 +33,7 @@ fn main() {
         "% violations",
         "relegated",
     ]);
+    let mut rows = Vec::new();
     for (name, mix) in &compositions {
         let trace = TraceBuilder::new(Dataset::azure_code())
             .arrivals(ArrivalProcess::poisson(4.5))
@@ -52,10 +53,20 @@ fn main() {
                 format!("{:.1}%", report.violation_pct()),
                 format!("{:.1}%", report.relegated_fraction * 100.0),
             ]);
+            rows.push(serde_json::json!({
+                "composition": name,
+                "scheme": scheme.label(),
+                "q1_p50_secs": report.tier_summary(TierId::Q1).p50,
+                "q2_p50_secs": report.tier_summary(TierId::Q2).p50,
+                "q3_p50_secs": report.tier_summary(TierId::Q3).p50,
+                "violation_pct": report.violation_pct(),
+                "relegated_pct": report.relegated_fraction * 100.0,
+            }));
             eprintln!("  done: {name} / {}", scheme.label());
         }
     }
     print!("{table}");
+    emit_results("table6", &rows);
     println!();
     println!(
         "paper: baselines violate 82-100% on both skews; QoServe 5% (70-15-15) and \

@@ -1,0 +1,108 @@
+//! Captures a deterministic decision trace of a truncated fig9-style
+//! workload and exports it as JSONL plus Chrome-trace JSON (Perfetto).
+//!
+//! This is both the Perfetto on-ramp documented in EXPERIMENTS.md and
+//! CI's trace-determinism probe: the exported JSONL is a pure function
+//! of `(seed, config)`, so running under `QOSERVE_THREADS=1` (serial
+//! lockstep via the recovery runner with a zero-fault plan) and
+//! `QOSERVE_THREADS=4` (one crossbeam thread per replica) must produce
+//! byte-identical files. Canonical `(time_us, replica, seq)` ordering in
+//! the sink is what erases the thread interleaving.
+//!
+//! Usage: `trace_capture [JSONL_PATH]` (default
+//! `results/trace_capture.jsonl`; the Chrome export lands next to it
+//! with a `.chrome.json` suffix).
+
+use std::fs;
+use std::path::PathBuf;
+
+use qoserve::prelude::*;
+use qoserve_trace::{to_chrome_trace, to_jsonl, Tracer};
+
+/// Ring capacity per replica; generous for the truncated window, so CI
+/// normally sees `dropped: 0` in the header.
+const RING_CAPACITY: usize = 1 << 16;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/trace_capture.jsonl"));
+
+    let hw = HardwareConfig::llama3_8b_a100_tp1();
+    let seeds = SeedStream::new(9);
+    // Truncated fig9 shape: interactive-heavy Azure-Conv near capacity,
+    // but a short window and a small replica pool keep the trace light.
+    let mix = TierMix::new(vec![(QosTier::paper_q1(), 2.0), (QosTier::paper_q2(), 1.0)]);
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(7.0))
+        .duration(qoserve::experiments::scaled_window(60))
+        .tier_mix(mix)
+        .build(&seeds);
+
+    let replicas = 3;
+    let scheduler = SchedulerSpec::qoserve();
+    let config = ClusterConfig::new(hw);
+    let tracer = Tracer::ring(RING_CAPACITY);
+
+    // `QOSERVE_THREADS` steers `par_map`, not the per-replica thread
+    // pool — so the determinism probe switches execution *mode* on it:
+    // serial lockstep at 1 thread, one thread per replica otherwise.
+    // Both paths must export the same bytes.
+    let threads = thread_limit();
+    let (mode, outcomes) = if threads <= 1 {
+        let result = run_shared_faulty_traced(
+            &trace,
+            replicas,
+            &scheduler,
+            &config,
+            &FaultPlan::none(),
+            &seeds,
+            &tracer,
+        );
+        let Ok(result) = result else {
+            eprintln!("error: lockstep run failed to route requests");
+            std::process::exit(1);
+        };
+        ("serial-lockstep", result.outcomes)
+    } else {
+        let outcomes = run_shared_traced(&trace, replicas, &scheduler, &config, &seeds, &tracer);
+        ("parallel-replicas", outcomes)
+    };
+
+    let records = tracer.snapshot();
+    let jsonl = to_jsonl(&records, tracer.dropped());
+    let chrome = to_chrome_trace(&records);
+    let chrome_path = out.with_extension("chrome.json");
+
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = fs::write(&out, &jsonl) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    if let Err(e) = fs::write(&chrome_path, &chrome) {
+        eprintln!("error: cannot write {}: {e}", chrome_path.display());
+        std::process::exit(1);
+    }
+
+    let report = SloReport::compute(&outcomes, trace.long_prompt_threshold());
+    println!(
+        "captured {} events ({} evicted) from {} requests [{mode}, {threads} thread(s)]",
+        records.len(),
+        tracer.dropped(),
+        outcomes.len()
+    );
+    println!("overall violation rate: {:.2}%", report.violation_pct());
+    println!("jsonl:  {}", out.display());
+    println!(
+        "chrome: {} (open in https://ui.perfetto.dev)",
+        chrome_path.display()
+    );
+}

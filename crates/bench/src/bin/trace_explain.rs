@@ -1,0 +1,131 @@
+//! SLO forensics: replays a decision trace and explains, per violated
+//! request, where the lateness came from — queueing delay, chunk-induced
+//! decode stretching, or an injected fault.
+//!
+//! Usage:
+//!
+//! * `trace_explain <TRACE.jsonl>` — explain a trace captured earlier
+//!   (e.g. by `trace_capture`).
+//! * `trace_explain` — run a faulted fault_sweep-style sample in process
+//!   (Az-Conv, 4 replicas, moderate faults at intensity 1.0, seed 31)
+//!   and explain its violations.
+//!
+//! Every line of the output derives from deterministic simulated-time
+//! stamps, so the same `(seed, config)` always prints the same report.
+
+use std::fs;
+
+use qoserve::prelude::*;
+use qoserve_bench::emit_results;
+use qoserve_bench::forensics::TraceForensics;
+use qoserve_trace::{from_jsonl, ParsedTrace, Tracer};
+
+fn main() {
+    let parsed = match std::env::args().nth(1) {
+        Some(path) => load_trace(&path),
+        None => run_sample(),
+    };
+
+    let forensics = TraceForensics::build(&parsed.records);
+    let total = forensics.requests().count();
+    let violated: Vec<_> = forensics.violations().collect();
+
+    println!("================================================================");
+    println!(
+        "trace_explain: {} events ({} evicted), {} requests, {} violated",
+        parsed.records.len(),
+        parsed.dropped,
+        total,
+        violated.len()
+    );
+    if parsed.dropped > 0 {
+        println!(
+            "note: {} events were evicted from the ring; early-run timelines may be partial",
+            parsed.dropped
+        );
+    }
+    println!("================================================================");
+
+    if violated.is_empty() {
+        println!("no SLO violations in this trace — nothing to explain");
+        return;
+    }
+
+    let mut table = Table::new(vec!["cause", "violations"]);
+    let mut rows = Vec::new();
+    for (label, count) in forensics.cause_summary() {
+        table.row(vec![label.to_owned(), count.to_string()]);
+        rows.push(serde_json::json!({"cause": label, "violations": count}));
+    }
+    print!("{table}");
+    emit_results("trace_explain", &rows);
+    println!();
+
+    for f in &violated {
+        print!("{}", forensics.timeline(f));
+        println!();
+    }
+}
+
+/// Loads and parses a JSONL trace, exiting with a message on failure.
+fn load_trace(path: &str) -> ParsedTrace {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match from_jsonl(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {path} is not a qoserve trace: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One traced cell of the fault_sweep experiment: QoServe under moderate
+/// faults at intensity 1.0 (see `src/bin/fault_sweep.rs`), with a short
+/// window so the report stays readable.
+fn run_sample() -> ParsedTrace {
+    let setup_seed = 31;
+    let seeds = SeedStream::new(setup_seed);
+    let trace = TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(10.0))
+        .duration(qoserve::experiments::scaled_window(120))
+        .tier_mix(TierMix::paper_equal())
+        .low_priority_fraction(0.2)
+        .build(&seeds);
+    let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+    let plan = FaultPlan::with_faults(FaultConfig::moderate());
+
+    let tracer = Tracer::unbounded();
+    let result = run_shared_faulty_traced(
+        &trace,
+        4,
+        &SchedulerSpec::qoserve(),
+        &config,
+        &plan,
+        &seeds,
+        &tracer,
+    );
+    let Ok(result) = result else {
+        eprintln!("error: sample run failed to route requests");
+        std::process::exit(1);
+    };
+
+    let report = SloReport::compute(&result.outcomes, trace.long_prompt_threshold());
+    println!(
+        "sample run: {} requests, {:.1}% violations, {} crashes, {} re-dispatches",
+        result.outcomes.len(),
+        report.violation_pct(),
+        result.stats.crashes,
+        result.stats.redispatches
+    );
+
+    ParsedTrace {
+        records: tracer.snapshot(),
+        dropped: tracer.dropped(),
+    }
+}

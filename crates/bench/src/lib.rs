@@ -8,15 +8,16 @@
 
 use qoserve::prelude::*;
 
+pub mod forensics;
+
 /// Prints the standard experiment header.
 pub fn banner(id: &str, title: &str) {
-    println!("================================================================");
-    println!("{id}: {title}");
+    let bar = "================================================================";
+    // qoserve-lint: allow(unstructured-output) -- the banner is the experiment bins' console UI
     println!(
-        "scale factor {} (set QOSERVE_SCALE to change)",
+        "{bar}\n{id}: {title}\nscale factor {} (set QOSERVE_SCALE to change)\n{bar}",
         qoserve::experiments::scale_factor()
     );
-    println!("================================================================");
 }
 
 /// Formats an optional latency in seconds.
@@ -106,7 +107,9 @@ pub fn write_results_json(
 /// a missing `results/` directory must never fail an experiment run.
 pub fn emit_results(id: &str, rows: &[serde_json::Value]) {
     match write_results_json(id, rows) {
+        // qoserve-lint: allow(unstructured-output) -- console report on behalf of the bins
         Ok(path) => println!("machine-readable summary: {}", path.display()),
+        // qoserve-lint: allow(unstructured-output) -- best-effort warning on behalf of the bins
         Err(err) => eprintln!("warning: could not write results/{id}.json: {err}"),
     }
 }

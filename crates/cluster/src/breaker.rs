@@ -23,6 +23,7 @@
 
 use qoserve_engine::HealthSnapshot;
 use qoserve_sim::{SimDuration, SimTime};
+use qoserve_trace::{BreakerPhase, TraceEvent, Tracer};
 
 /// Breaker thresholds and cadence.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +71,18 @@ pub struct CircuitBreaker {
     state: BreakerState,
     opened_at: SimTime,
     opens: u64,
+    /// Decision tracer, pre-bound to this breaker's replica id by the
+    /// recovery orchestrator (disabled by default).
+    tracer: Tracer,
+}
+
+/// The trace-crate mirror of a [`BreakerState`].
+fn phase_of(state: BreakerState) -> BreakerPhase {
+    match state {
+        BreakerState::Closed => BreakerPhase::Closed,
+        BreakerState::Open => BreakerPhase::Open,
+        BreakerState::HalfProbe => BreakerPhase::HalfProbe,
+    }
 }
 
 impl CircuitBreaker {
@@ -80,7 +93,30 @@ impl CircuitBreaker {
             state: BreakerState::Closed,
             opened_at: SimTime::ZERO,
             opens: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a decision tracer. Pass a handle already bound to this
+    /// breaker's replica id (`Tracer::for_replica`) so transitions land on
+    /// the right stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Moves to `to` at `now`, emitting the transition when traced.
+    fn transition(&mut self, to: BreakerState, now: SimTime) {
+        if self.tracer.enabled() && self.state != to {
+            self.tracer.emit_at(
+                now,
+                None,
+                TraceEvent::BreakerTransition {
+                    from: phase_of(self.state),
+                    to: phase_of(to),
+                },
+            );
+        }
+        self.state = to;
     }
 
     /// Current position.
@@ -98,7 +134,7 @@ impl CircuitBreaker {
         // An open breaker matures into a probe on its own clock, even if
         // the snapshot arrives late.
         if self.state == BreakerState::Open && now >= self.opened_at + self.config.cooldown {
-            self.state = BreakerState::HalfProbe;
+            self.transition(BreakerState::HalfProbe, now);
         }
         if snapshot.window < self.config.min_window {
             return; // not enough evidence to judge either way
@@ -108,12 +144,12 @@ impl CircuitBreaker {
             BreakerState::Closed | BreakerState::HalfProbe
                 if score < self.config.open_below_score =>
             {
-                self.state = BreakerState::Open;
+                self.transition(BreakerState::Open, now);
                 self.opened_at = now;
                 self.opens += 1;
             }
             BreakerState::HalfProbe if score >= self.config.close_above_score => {
-                self.state = BreakerState::Closed;
+                self.transition(BreakerState::Closed, now);
             }
             _ => {}
         }

@@ -16,6 +16,7 @@ use qoserve_engine::{ReplicaConfig, ReplicaEngine};
 use qoserve_metrics::RequestOutcome;
 use qoserve_perf::HardwareConfig;
 use qoserve_sim::{SeedStream, SimTime};
+use qoserve_trace::Tracer;
 use qoserve_workload::{RequestSpec, TierId, Trace};
 
 use crate::router::Router;
@@ -90,13 +91,38 @@ pub fn run_shared(
     config: &ClusterConfig,
     seeds: &SeedStream,
 ) -> Vec<RequestOutcome> {
+    run_shared_traced(
+        trace,
+        replicas,
+        scheduler,
+        config,
+        seeds,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_shared`] with a decision [`Tracer`] installed on every replica.
+/// A disabled tracer (the plain entry point delegates here with one) is
+/// behaviourally free: every emission site is a no-op and the run is
+/// bit-identical to the untraced path. Captured events carry per-replica
+/// program-order sequence numbers, so the exported trace is a function of
+/// `(trace, scheduler, config, seeds)` alone — independent of how the
+/// replica threads were actually scheduled.
+pub fn run_shared_traced(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    seeds: &SeedStream,
+    tracer: &Tracer,
+) -> Vec<RequestOutcome> {
     assert!(replicas > 0, "at least one replica is required");
     let targets = config.router.assign(trace.requests(), replicas as usize);
     let mut per_replica: Vec<Vec<RequestSpec>> = vec![Vec::new(); replicas as usize];
     for (spec, target) in trace.requests().iter().zip(targets) {
         per_replica[target].push(*spec);
     }
-    run_replica_pools(per_replica, scheduler, config, seeds, 0)
+    run_replica_pools(per_replica, scheduler, config, seeds, 0, tracer)
 }
 
 /// Runs `trace` on a siloed deployment. Requests whose tier belongs to no
@@ -129,6 +155,7 @@ pub fn run_siloed(
             config,
             seeds,
             replica_base,
+            &Tracer::disabled(),
         ));
         replica_base += silo.replicas;
     }
@@ -149,6 +176,7 @@ fn run_replica_pools(
     config: &ClusterConfig,
     seeds: &SeedStream,
     replica_base: u32,
+    tracer: &Tracer,
 ) -> Vec<RequestOutcome> {
     let results: Vec<Vec<RequestOutcome>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = per_replica
@@ -156,6 +184,7 @@ fn run_replica_pools(
             .enumerate()
             .map(|(idx, specs)| {
                 let replica_id = replica_base + idx as u32;
+                let tracer = tracer.clone();
                 scope.spawn(move |_| {
                     let replica_seeds = seeds.child("replica");
                     let mut rc =
@@ -165,6 +194,9 @@ fn run_replica_pools(
                     rc.horizon = config.horizon;
                     let sched = scheduler.build(&config.hardware, &replica_seeds);
                     let mut engine = ReplicaEngine::new(rc, sched, &replica_seeds);
+                    if tracer.enabled() {
+                        engine.set_tracer(tracer);
+                    }
                     for spec in specs {
                         engine.submit(spec);
                     }

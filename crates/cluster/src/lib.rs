@@ -31,7 +31,9 @@ pub mod spec;
 
 pub use breaker::{pick_target, BreakerConfig, BreakerState, CircuitBreaker, PickedTarget};
 pub use capacity::{max_goodput, max_goodput_serial, min_replicas_for, GoodputOptions};
-pub use deployment::{run_shared, run_siloed, ClusterConfig, SiloGroup};
-pub use recovery::{run_shared_faulty, FaultPlan, FaultRunResult, FaultRunStats};
+pub use deployment::{run_shared, run_shared_traced, run_siloed, ClusterConfig, SiloGroup};
+pub use recovery::{
+    run_shared_faulty, run_shared_faulty_traced, FaultPlan, FaultRunResult, FaultRunStats,
+};
 pub use router::{Router, RouterError};
 pub use spec::SchedulerSpec;

@@ -36,6 +36,7 @@ use qoserve_engine::{ReplicaConfig, ReplicaEngine};
 use qoserve_metrics::{Disposition, RequestOutcome};
 use qoserve_sim::faults::{CrashEvent, FaultConfig, FaultSchedule};
 use qoserve_sim::{SeedStream, SimDuration, SimTime};
+use qoserve_trace::{FaultKind, TraceEvent, Tracer};
 use qoserve_workload::{Priority, RequestId, Trace};
 
 use crate::breaker::{pick_round_robin, pick_target, BreakerConfig, CircuitBreaker};
@@ -180,6 +181,35 @@ pub fn run_shared_faulty(
     plan: &FaultPlan,
     seeds: &SeedStream,
 ) -> Result<FaultRunResult, RouterError> {
+    run_shared_faulty_traced(
+        trace,
+        replicas,
+        scheduler,
+        config,
+        plan,
+        seeds,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_shared_faulty`] with a decision [`Tracer`] installed on every
+/// replica engine, scheduler, and circuit breaker, plus orchestrator-level
+/// events (crash [`TraceEvent::FaultInjected`]s at the schedule's crash
+/// instants and [`TraceEvent::OrphanRedispatched`]s at re-dispatch times).
+/// The plain entry point delegates here with a disabled tracer, which is
+/// behaviourally free. The whole driver is single-threaded lockstep, so —
+/// combined with per-replica sequence stamps — the captured trace is a
+/// pure function of `(trace, scheduler, config, plan, seeds)`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_shared_faulty_traced(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    seeds: &SeedStream,
+    tracer: &Tracer,
+) -> Result<FaultRunResult, RouterError> {
     let targets = config
         .router
         .try_assign(trace.requests(), replicas as usize)?;
@@ -207,7 +237,11 @@ pub fn run_shared_faulty(
         rc.max_decode_batch = config.max_decode_batch;
         rc.horizon = config.horizon;
         let sched = scheduler.build(&config.hardware, &replica_seeds);
-        ReplicaEngine::new(rc, sched, &replica_seeds)
+        let mut engine = ReplicaEngine::new(rc, sched, &replica_seeds);
+        if tracer.enabled() {
+            engine.set_tracer(tracer.clone());
+        }
+        engine
     };
 
     let mut slots: Vec<Slot> = (0..replicas)
@@ -233,7 +267,17 @@ pub fn run_shared_faulty(
     // (dispatch then degenerates to plain round-robin).
     let mut breakers: Vec<CircuitBreaker> = plan
         .breaker
-        .map(|cfg| (0..replicas).map(|_| CircuitBreaker::new(cfg)).collect())
+        .map(|cfg| {
+            (0..replicas)
+                .map(|r| {
+                    let mut b = CircuitBreaker::new(cfg);
+                    if tracer.enabled() {
+                        b.set_tracer(tracer.for_replica(r));
+                    }
+                    b
+                })
+                .collect()
+        })
         .unwrap_or_default();
 
     loop {
@@ -276,6 +320,16 @@ pub fn run_shared_faulty(
         // have idled past it), anchors backoff and restart timing.
         let crash_at = crash.map(|c| c.at).unwrap_or(slots[idx].engine.now());
         let replica_id = idx as u32;
+        if tracer.enabled() {
+            tracer.for_replica(replica_id).emit_at(
+                crash_at,
+                None,
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::Crash,
+                    slowdown: 1.0,
+                },
+            );
+        }
 
         let mut orphans = slots[idx].engine.take_orphans();
         stats.degraded_iterations += slots[idx].engine.degraded_iterations();
@@ -353,6 +407,17 @@ pub fn run_shared_faulty(
             }
             let target = picked.replica as usize;
             rotation += 1;
+            if tracer.enabled() {
+                tracer.for_replica(picked.replica).emit_at(
+                    redispatch_at,
+                    Some(id.0),
+                    TraceEvent::OrphanRedispatched {
+                        from_replica: replica_id,
+                        to_replica: picked.replica,
+                        attempt,
+                    },
+                );
+            }
             slots[target].engine.submit_at(orphan.spec, redispatch_at);
             slots[target].parked = false;
         }

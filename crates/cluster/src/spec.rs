@@ -207,6 +207,9 @@ impl Scheduler for BoxedScheduler {
     ) {
         self.0.on_iteration(batch, observed, now)
     }
+    fn set_tracer(&mut self, tracer: qoserve_trace::Tracer) {
+        self.0.set_tracer(tracer)
+    }
     fn pending_prefills(&self) -> usize {
         self.0.pending_prefills()
     }

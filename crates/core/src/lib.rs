@@ -60,9 +60,10 @@ pub mod prelude {
     pub use crate::server::{QoServe, QoServeBuilder, Request, RunReport};
 
     pub use qoserve_cluster::{
-        max_goodput, min_replicas_for, pick_target, run_shared, run_shared_faulty, run_siloed,
-        BreakerConfig, BreakerState, CircuitBreaker, ClusterConfig, FaultPlan, FaultRunResult,
-        FaultRunStats, GoodputOptions, PickedTarget, Router, RouterError, SchedulerSpec, SiloGroup,
+        max_goodput, min_replicas_for, pick_target, run_shared, run_shared_faulty,
+        run_shared_faulty_traced, run_shared_traced, run_siloed, BreakerConfig, BreakerState,
+        CircuitBreaker, ClusterConfig, FaultPlan, FaultRunResult, FaultRunStats, GoodputOptions,
+        PickedTarget, Router, RouterError, SchedulerSpec, SiloGroup,
     };
     pub use qoserve_engine::{
         HealthSnapshot, ReplicaConfig, ReplicaEngine, ReplicaState, HEALTH_WINDOW,

@@ -15,6 +15,7 @@ use qoserve_sched::{Constraints, DecodeJob, PrefillJob, Scheduler};
 use qoserve_sim::faults::ReplicaFaultProfile;
 use qoserve_sim::time::SignedDuration;
 use qoserve_sim::{EventQueue, SeedStream, SimDuration, SimTime};
+use qoserve_trace::{FaultKind, TraceEvent, Tracer};
 use qoserve_workload::{RequestId, RequestSpec, Trace};
 
 use crate::health::{HealthRing, HealthSample, HealthSnapshot};
@@ -289,6 +290,10 @@ pub struct ReplicaEngine {
     degraded_iterations: u64,
     /// Rolling per-iteration health samples backing [`health`](Self::health).
     health: HealthRing,
+    /// Decision tracer, pre-bound to this replica's id. Disabled by
+    /// default: every emission site is a no-op and behaviour is
+    /// bit-identical to the untraced engine.
+    tracer: Tracer,
 }
 
 impl ReplicaEngine {
@@ -315,7 +320,18 @@ impl ReplicaEngine {
             crashed: false,
             degraded_iterations: 0,
             health: HealthRing::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a decision tracer. The engine binds the handle to its own
+    /// replica id and forwards a clone to the scheduler, so every event —
+    /// engine lifecycle or scheduler decision — lands on this replica's
+    /// deterministic stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        let tracer = tracer.for_replica(self.config.replica_id);
+        self.scheduler.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Queues a request for arrival at `spec.arrival`.
@@ -407,8 +423,20 @@ impl ReplicaEngine {
         }
 
         // 1. Deliver due arrivals.
+        self.tracer.set_now(self.now);
         while let Some((_, spec)) = self.arrivals.pop_due(self.now) {
             self.known_specs.insert(spec.id, spec);
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    Some(spec.id.0),
+                    TraceEvent::RequestArrived {
+                        prompt_tokens: spec.prompt_tokens,
+                        decode_tokens: spec.decode_tokens,
+                        tier: spec.tier().0,
+                        deadline_us: spec.first_token_deadline().as_micros(),
+                    },
+                );
+            }
             self.scheduler.on_arrival(PrefillJob::new(spec), self.now);
         }
 
@@ -476,8 +504,29 @@ impl ReplicaEngine {
         if degraded {
             exec = exec.mul_f64(slowdown);
             self.degraded_iterations += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    None,
+                    TraceEvent::FaultInjected {
+                        kind: FaultKind::Slowdown,
+                        slowdown,
+                    },
+                );
+            }
+        }
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                None,
+                TraceEvent::IterationExecuted {
+                    batch_tokens: plan.prefill_tokens() + decodes.len() as u32,
+                    prefill_tokens: plan.prefill_tokens(),
+                    num_decodes: decodes.len() as u32,
+                    observed_us: exec.as_micros(),
+                },
+            );
         }
         self.now += exec;
+        self.tracer.set_now(self.now);
         self.iterations += 1;
         self.health.record(HealthSample {
             degraded,
@@ -547,6 +596,9 @@ impl ReplicaEngine {
             self.kv.write_prefill(a.id, a.tokens as u64);
             if a.completes_prefill {
                 entry.emit_token(self.now);
+                if self.tracer.enabled() {
+                    self.tracer.emit(Some(a.id.0), TraceEvent::FirstToken);
+                }
                 if entry.is_done() {
                     self.complete(a.id);
                 } else {
@@ -568,6 +620,17 @@ impl ReplicaEngine {
         self.decode_pool.retain(|d| *d != id);
         self.kv.release(id);
         self.scheduler.on_completion(&r.spec, r.generated);
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                Some(id.0),
+                TraceEvent::RequestCompleted {
+                    violated: r.worst_lateness_us > 0,
+                    worst_lateness_us: r.worst_lateness_us,
+                    max_tbt_us: r.max_tbt.as_micros(),
+                    relegated: r.relegated,
+                },
+            );
+        }
         self.outcomes.push(r.into_outcome(self.config.replica_id));
     }
 

@@ -1,25 +1,32 @@
-//! The ratcheting panic-hygiene baseline (`lint-baseline.toml`).
+//! The ratcheting baselines (`lint-baseline.toml`).
 //!
-//! Existing `unwrap()`/`expect()`/`panic!` debt in library code is frozen
-//! per file: a file may never *gain* panic sites, and when it sheds some,
-//! `--fix-baseline` rewrites the file so the new, lower count becomes the
-//! ceiling. The format is a deliberately tiny TOML subset — one section,
-//! quoted-path keys, integer values — parsed by hand so the linter stays
-//! dependency-free:
+//! Existing rule debt in library code is frozen per file for the two
+//! ratcheted rules — `panic-hygiene` (`unwrap()`/`expect()`/`panic!`)
+//! and `unstructured-output` (`println!`-family macros): a file may
+//! never *gain* sites, and when it sheds some, `--fix-baseline` rewrites
+//! the file so the new, lower count becomes the ceiling. The format is a
+//! deliberately tiny TOML subset — known sections, quoted-path keys,
+//! integer values — parsed by hand so the linter stays dependency-free:
 //!
 //! ```toml
 //! [panic-hygiene]
 //! "crates/sched/src/queue.rs" = 14
+//!
+//! [unstructured-output]
+//! "crates/bench/src/lib.rs" = 6
 //! ```
 
 use std::collections::BTreeMap;
 
-/// Per-file allowed panic-site counts, keyed by workspace-relative path
-/// (always with `/` separators, so baselines are portable across hosts).
+/// Per-file allowed site counts for the ratcheted rules, keyed by
+/// workspace-relative path (always with `/` separators, so baselines are
+/// portable across hosts).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
-    /// file path -> allowed count.
+    /// `panic-hygiene`: file path -> allowed panic-site count.
     pub allowed: BTreeMap<String, u32>,
+    /// `unstructured-output`: file path -> allowed output-site count.
+    pub output_allowed: BTreeMap<String, u32>,
 }
 
 /// A parse failure with its line number.
@@ -37,38 +44,54 @@ impl std::fmt::Display for BaselineError {
     }
 }
 
+/// Which section of the baseline a line belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Panic,
+    Output,
+}
+
 impl Baseline {
-    /// Allowed count for `path` (0 when the file is not listed).
+    /// Allowed panic-site count for `path` (0 when not listed).
     pub fn allowed_for(&self, path: &str) -> u32 {
         self.allowed.get(path).copied().unwrap_or(0)
     }
 
+    /// Allowed output-site count for `path` (0 when not listed).
+    pub fn output_allowed_for(&self, path: &str) -> u32 {
+        self.output_allowed.get(path).copied().unwrap_or(0)
+    }
+
     /// Parses the baseline file contents.
     pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
-        let mut allowed = BTreeMap::new();
-        let mut in_section = false;
+        let mut baseline = Baseline::default();
+        let mut section: Option<Section> = None;
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx as u32 + 1;
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-                in_section = section.trim() == "panic-hygiene";
-                if !in_section {
-                    return Err(BaselineError {
-                        line: lineno,
-                        message: format!("unknown section `[{}]`", section.trim()),
-                    });
-                }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = match name.trim() {
+                    "panic-hygiene" => Some(Section::Panic),
+                    "unstructured-output" => Some(Section::Output),
+                    other => {
+                        return Err(BaselineError {
+                            line: lineno,
+                            message: format!("unknown section `[{other}]`"),
+                        })
+                    }
+                };
                 continue;
             }
-            if !in_section {
+            let Some(section) = section else {
                 return Err(BaselineError {
                     line: lineno,
-                    message: "entry before `[panic-hygiene]` section".to_string(),
+                    message: "entry before a `[panic-hygiene]` or `[unstructured-output]` section"
+                        .to_string(),
                 });
-            }
+            };
             let Some((key, value)) = line.split_once('=') else {
                 return Err(BaselineError {
                     line: lineno,
@@ -93,24 +116,37 @@ impl Baseline {
                     value.trim()
                 ),
             })?;
-            allowed.insert(path.to_string(), count);
+            let map = match section {
+                Section::Panic => &mut baseline.allowed,
+                Section::Output => &mut baseline.output_allowed,
+            };
+            map.insert(path.to_string(), count);
         }
-        Ok(Baseline { allowed })
+        Ok(baseline)
     }
 
     /// Renders the baseline back to its canonical on-disk form (sorted,
-    /// zero-count entries dropped).
+    /// zero-count entries dropped, empty sections omitted — except
+    /// `[panic-hygiene]`, which is always present as the file anchor).
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "# Ratcheting panic-hygiene baseline, maintained by `qoserve-lint`.\n\
-             # Counts may only go DOWN: fix panic sites, then run\n\
+            "# Ratcheting lint baselines, maintained by `qoserve-lint`.\n\
+             # Counts may only go DOWN: fix the sites, then run\n\
              # `cargo run -p qoserve-lint -- --fix-baseline` to lower the ceiling.\n\
              \n[panic-hygiene]\n",
         );
         for (path, count) in &self.allowed {
             if *count > 0 {
                 out.push_str(&format!("\"{path}\" = {count}\n"));
+            }
+        }
+        if self.output_allowed.values().any(|c| *c > 0) {
+            out.push_str("\n[unstructured-output]\n");
+            for (path, count) in &self.output_allowed {
+                if *count > 0 {
+                    out.push_str(&format!("\"{path}\" = {count}\n"));
+                }
             }
         }
         out
@@ -130,12 +166,27 @@ mod tests {
         assert_eq!(b.allowed_for("crates/a/src/x.rs"), 14);
         assert_eq!(b.allowed_for("crates/b/src/y.rs"), 3);
         assert_eq!(b.allowed_for("crates/never/seen.rs"), 0);
+        assert_eq!(b.output_allowed_for("crates/a/src/x.rs"), 0);
+    }
+
+    #[test]
+    fn parses_both_sections_independently() {
+        let b = Baseline::parse(
+            "[panic-hygiene]\n\"crates/a/src/x.rs\" = 2\n\n\
+             [unstructured-output]\n\"crates/bench/src/lib.rs\" = 6\n\"crates/a/src/x.rs\" = 1\n",
+        )
+        .unwrap();
+        assert_eq!(b.allowed_for("crates/a/src/x.rs"), 2);
+        assert_eq!(b.output_allowed_for("crates/a/src/x.rs"), 1);
+        assert_eq!(b.output_allowed_for("crates/bench/src/lib.rs"), 6);
+        assert_eq!(b.allowed_for("crates/bench/src/lib.rs"), 0);
     }
 
     #[test]
     fn empty_file_is_empty_baseline() {
         let b = Baseline::parse("").unwrap();
         assert!(b.allowed.is_empty());
+        assert!(b.output_allowed.is_empty());
         assert_eq!(b.allowed_for("anything"), 0);
     }
 
@@ -145,14 +196,27 @@ mod tests {
         b.allowed.insert("z.rs".into(), 2);
         b.allowed.insert("a.rs".into(), 7);
         b.allowed.insert("gone.rs".into(), 0);
+        b.output_allowed.insert("out.rs".into(), 4);
         let text = b.render();
         let reparsed = Baseline::parse(&text).unwrap();
         assert_eq!(reparsed.allowed_for("a.rs"), 7);
         assert_eq!(reparsed.allowed_for("z.rs"), 2);
+        assert_eq!(reparsed.output_allowed_for("out.rs"), 4);
         assert!(!text.contains("gone.rs"));
         let a = text.find("a.rs").unwrap();
         let z = text.find("z.rs").unwrap();
         assert!(a < z, "entries must be sorted");
+        let section = text.find("[unstructured-output]").unwrap();
+        assert!(z < section, "output section comes after panic entries");
+    }
+
+    #[test]
+    fn empty_output_section_is_omitted_from_render() {
+        let mut b = Baseline::default();
+        b.allowed.insert("a.rs".into(), 1);
+        let text = b.render();
+        assert!(!text.contains("[unstructured-output]"));
+        assert_eq!(Baseline::parse(&text).unwrap(), b);
     }
 
     #[test]
@@ -161,6 +225,7 @@ mod tests {
         assert!(Baseline::parse("[panic-hygiene]\nbare/path.rs = 1\n").is_err());
         assert!(Baseline::parse("[panic-hygiene]\n\"x.rs\" = -2\n").is_err());
         assert!(Baseline::parse("[panic-hygiene]\n\"x.rs\" = lots\n").is_err());
+        assert!(Baseline::parse("[unstructured-output]\n\"x.rs\" = ??\n").is_err());
         assert!(
             Baseline::parse("\"x.rs\" = 1\n").is_err(),
             "entry before section"

@@ -14,7 +14,11 @@
 //! * NaN-unsafe float comparisons anywhere (`float-ordering` — the job
 //!   heaps order by floating-point priority, Eq. 4/5),
 //! * panic sites in library code above a ratcheting per-file baseline
-//!   (`panic-hygiene`, `lint-baseline.toml`).
+//!   (`panic-hygiene`, `lint-baseline.toml`),
+//! * `println!`-family output in library code above its own ratcheting
+//!   baseline (`unstructured-output` — library code returns data or
+//!   emits trace events; only `src/bin/` drivers and `src/main.rs`
+//!   print).
 //!
 //! Violations can be waived inline with a mandatory reason:
 //! `// qoserve-lint: allow(<rule>) -- <reason>`. See [`rules`] for the
@@ -30,7 +34,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use baseline::Baseline;
-use rules::{analyze, scope_for, Diagnostic, RULE_PANIC};
+use rules::{analyze, scope_for, Diagnostic, RULE_OUTPUT, RULE_PANIC};
 
 /// Name of the baseline file at the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.toml";
@@ -58,11 +62,12 @@ pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Every waiver encountered.
     pub waivers: Vec<WaiverNote>,
-    /// `(path, current, allowed)` for files whose panic count sits *below*
-    /// their baseline ceiling — ratchet candidates.
-    pub ratchet: Vec<(String, u32, u32)>,
-    /// Current per-file panic counts (what `--fix-baseline` writes).
-    pub panic_counts: Baseline,
+    /// `(rule, path, current, allowed)` for files whose ratcheted-rule
+    /// count sits *below* their baseline ceiling — ratchet candidates.
+    pub ratchet: Vec<(&'static str, String, u32, u32)>,
+    /// Current per-file counts for both ratcheted rules (what
+    /// `--fix-baseline` writes).
+    pub counts: Baseline,
     /// Files scanned.
     pub files_scanned: usize,
 }
@@ -90,7 +95,7 @@ pub fn lint_tree(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport
         let count = analysis.panic_sites.len() as u32;
         let allowed = baseline.allowed_for(&rel);
         if count > 0 {
-            report.panic_counts.allowed.insert(rel.clone(), count);
+            report.counts.allowed.insert(rel.clone(), count);
         }
         if count > allowed {
             // Anchor the diagnostic at the first panic site so the report
@@ -107,7 +112,33 @@ pub fn lint_tree(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport
                 ),
             });
         } else if count < allowed {
-            report.ratchet.push((rel.clone(), count, allowed));
+            report
+                .ratchet
+                .push((RULE_PANIC, rel.clone(), count, allowed));
+        }
+
+        let count = analysis.output_sites.len() as u32;
+        let allowed = baseline.output_allowed_for(&rel);
+        if count > 0 {
+            report.counts.output_allowed.insert(rel.clone(), count);
+        }
+        if count > allowed {
+            let (line, col, ref what) = analysis.output_sites[0];
+            report.diagnostics.push(Diagnostic {
+                path: rel.clone(),
+                line,
+                col,
+                rule: RULE_OUTPUT,
+                message: format!(
+                    "{count} unstructured output site(s) in library code (first: `{what}`), \
+                     baseline allows {allowed}; return data to the caller (or use the trace \
+                     layer) instead of printing, or waive with a reason"
+                ),
+            });
+        } else if count < allowed {
+            report
+                .ratchet
+                .push((RULE_OUTPUT, rel.clone(), count, allowed));
         }
 
         for w in &analysis.waivers {
@@ -160,9 +191,9 @@ pub fn summary(report: &LintReport) -> String {
     }
     if !report.ratchet.is_empty() {
         out.push_str("  ratchet opportunities (run with --fix-baseline to lock in):\n");
-        for (path, now, allowed) in &report.ratchet {
+        for (rule, path, now, allowed) in &report.ratchet {
             out.push_str(&format!(
-                "    {path}: {now} panic site(s), baseline allows {allowed}\n"
+                "    {path}: {now} {rule} site(s), baseline allows {allowed}\n"
             ));
         }
     }

@@ -34,7 +34,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: qoserve-lint [--root PATH] [--fix-baseline] [--quiet]\n\
                             \n\
                             Lints every .rs file of the workspace for determinism, float-\n\
-                            ordering, and panic-hygiene violations. See DESIGN.md\n\
+                            ordering, panic-hygiene, and unstructured-output violations.\n\
+                            See DESIGN.md\n\
                             (\"Static analysis & the determinism contract\") for the rules.\n\
                             \n\
                             --root PATH       workspace root to lint (default: .)\n\
@@ -82,29 +83,33 @@ fn main() -> ExitCode {
     }
 
     if args.fix_baseline {
-        // Refuse to lock in a baseline while other rules are violated —
-        // the ratchet must never paper over live diagnostics.
-        let non_panic = report
+        // Refuse to lock in a baseline while non-ratcheted rules are
+        // violated — the ratchet must never paper over live diagnostics.
+        let non_ratcheted = report
             .diagnostics
             .iter()
-            .filter(|d| d.rule != qoserve_lint::rules::RULE_PANIC)
+            .filter(|d| {
+                d.rule != qoserve_lint::rules::RULE_PANIC
+                    && d.rule != qoserve_lint::rules::RULE_OUTPUT
+            })
             .count();
-        if non_panic > 0 {
+        if non_ratcheted > 0 {
             eprintln!(
-                "qoserve-lint: refusing --fix-baseline with {non_panic} non-panic violation(s) \
-                 outstanding"
+                "qoserve-lint: refusing --fix-baseline with {non_ratcheted} non-ratcheted \
+                 violation(s) outstanding"
             );
             return ExitCode::from(1);
         }
         let path = args.root.join(BASELINE_FILE);
-        if let Err(e) = std::fs::write(&path, report.panic_counts.render()) {
+        if let Err(e) = std::fs::write(&path, report.counts.render()) {
             eprintln!("qoserve-lint: writing {}: {e}", path.display());
             return ExitCode::from(2);
         }
         println!(
-            "qoserve-lint: wrote {} ({} file(s) with panic debt)",
+            "qoserve-lint: wrote {} ({} file(s) with panic debt, {} with output debt)",
             path.display(),
-            report.panic_counts.allowed.len()
+            report.counts.allowed.len(),
+            report.counts.output_allowed.len()
         );
         return ExitCode::SUCCESS;
     }

@@ -10,10 +10,11 @@
 //!
 //! | rule                   | scope (non-test `src/` code)           |
 //! |------------------------|----------------------------------------|
-//! | `nondeterministic-time`| sim, sched, engine, workload, cluster, core |
-//! | `hash-iteration`       | sim, sched, engine, workload, cluster, core |
+//! | `nondeterministic-time`| sim, sched, engine, workload, cluster, core, trace |
+//! | `hash-iteration`       | sim, sched, engine, workload, cluster, core, trace |
 //! | `float-ordering`       | every crate except the sanctioned helper `crates/sim/src/float.rs` |
 //! | `panic-hygiene`        | every crate, excluding `src/bin/` drivers; ratcheted by `lint-baseline.toml` |
+//! | `unstructured-output`  | library code only (`src/bin/` and `src/main.rs` exempt); ratcheted by `lint-baseline.toml` |
 //!
 //! Test code never participates: files under a `tests/`, `benches/`,
 //! `examples/`, or `fixtures/` path component are skipped entirely, and
@@ -32,12 +33,22 @@ pub const RULE_HASH: &str = "hash-iteration";
 pub const RULE_FLOAT: &str = "float-ordering";
 /// Rule name: panics in library code, above the ratcheted baseline.
 pub const RULE_PANIC: &str = "panic-hygiene";
+/// Rule name: `println!`-family output in library code, above the
+/// ratcheted baseline.
+pub const RULE_OUTPUT: &str = "unstructured-output";
 /// Rule name: malformed waiver comment.
 pub const RULE_WAIVER: &str = "bad-waiver";
 
 /// Crates whose `src/` is bound by the determinism contract (the
 /// simulation core; everything whose state feeds replayed results).
-const DETERMINISM_CRATES: &[&str] = &["sim", "sched", "engine", "workload", "cluster", "core"];
+const DETERMINISM_CRATES: &[&str] = &[
+    "sim", "sched", "engine", "workload", "cluster", "core", "trace",
+];
+
+/// Output macros that bypass structured reporting: library code must
+/// return data (or use the trace layer) instead of writing to the
+/// process streams; only `src/bin/` drivers and `src/main.rs` may print.
+const OUTPUT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
 
 /// The one file allowed to spell out raw float comparisons: the shared
 /// `total_cmp` helper everything else is routed through.
@@ -90,6 +101,8 @@ pub struct FileScope {
     pub float: bool,
     /// `panic-hygiene`.
     pub panic: bool,
+    /// `unstructured-output`.
+    pub output: bool,
 }
 
 impl FileScope {
@@ -98,11 +111,12 @@ impl FileScope {
         determinism: false,
         float: false,
         panic: false,
+        output: false,
     };
 
     /// True when at least one rule family applies.
     pub fn any(&self) -> bool {
-        self.determinism || self.float || self.panic
+        self.determinism || self.float || self.panic || self.output
     }
 }
 
@@ -124,10 +138,12 @@ pub fn scope_for(rel_path: &str) -> FileScope {
     if rest.is_empty() {
         return FileScope::NONE;
     }
+    let is_bin_target = rest.first() == Some(&"bin") || rest == ["main.rs"];
     FileScope {
         determinism: DETERMINISM_CRATES.contains(crate_name),
         float: rel_path != FLOAT_HELPER,
         panic: rest.first() != Some(&"bin"),
+        output: !is_bin_target,
     }
 }
 
@@ -140,6 +156,9 @@ pub struct FileAnalysis {
     /// Unwaived panic sites in non-test code: `(line, col, what)`. The
     /// caller compares `panic_sites.len()` against the baseline.
     pub panic_sites: Vec<(u32, u32, String)>,
+    /// Unwaived `println!`-family sites in non-test library code:
+    /// `(line, col, what)`, ratcheted like `panic_sites`.
+    pub output_sites: Vec<(u32, u32, String)>,
     /// All well-formed waivers found in the file (used or not).
     pub waivers: Vec<Waiver>,
 }
@@ -194,6 +213,23 @@ pub fn analyze(rel_path: &str, src: &str, scope: FileScope) -> FileAnalysis {
                 continue;
             }
             analysis.panic_sites.push((line, col, what));
+        }
+    }
+
+    if scope.output {
+        for (line, col, what) in output_sites(&code) {
+            if in_test(line) {
+                continue;
+            }
+            if let Some(w) = analysis
+                .waivers
+                .iter()
+                .find(|w| w.covers(RULE_OUTPUT, line))
+            {
+                w.used.set(true);
+                continue;
+            }
+            analysis.output_sites.push((line, col, what));
         }
     }
 
@@ -585,6 +621,24 @@ fn panic_sites(code: &[&Tok]) -> Vec<(u32, u32, String)> {
     sites
 }
 
+/// Unfiltered output-macro sites: `println!`, `eprintln!`, `print!`,
+/// `eprint!`, `dbg!`. Purely lexical, so `writeln!` and methods named
+/// `println` never match (the `!` check requires a macro invocation).
+fn output_sites(code: &[&Tok]) -> Vec<(u32, u32, String)> {
+    let mut sites = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind == TokKind::Ident
+            && OUTPUT_MACROS.contains(&t.text.as_str())
+            && i + 1 < code.len()
+            && code[i + 1].is_punct('!')
+        {
+            sites.push((t.line, t.col, format!("{}!", t.text)));
+        }
+    }
+    sites
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,6 +647,7 @@ mod tests {
         determinism: true,
         float: true,
         panic: true,
+        output: true,
     };
 
     fn rules_of(src: &str) -> Vec<&'static str> {
@@ -606,13 +661,20 @@ mod tests {
     #[test]
     fn scoping_table() {
         let s = scope_for("crates/sched/src/queue.rs");
-        assert!(s.determinism && s.float && s.panic);
+        assert!(s.determinism && s.float && s.panic && s.output);
         let s = scope_for("crates/metrics/src/histogram.rs");
-        assert!(!s.determinism && s.float && s.panic);
+        assert!(!s.determinism && s.float && s.panic && s.output);
+        let s = scope_for("crates/trace/src/tracer.rs");
+        assert!(s.determinism, "the trace layer feeds replayed results");
         let s = scope_for("crates/sim/src/float.rs");
         assert!(s.determinism && !s.float && s.panic, "sanctioned helper");
         let s = scope_for("crates/bench/src/bin/fig9.rs");
-        assert!(!s.determinism && s.float && !s.panic, "drivers may panic");
+        assert!(
+            !s.determinism && s.float && !s.panic && !s.output,
+            "drivers may panic and print"
+        );
+        let s = scope_for("crates/lint/src/main.rs");
+        assert!(s.panic && !s.output, "main.rs is a bin target for output");
         assert!(!scope_for("crates/sched/tests/props.rs").any());
         assert!(!scope_for("tests/tests/invariants.rs").any());
         assert!(!scope_for("examples/quickstart.rs").any());
@@ -709,6 +771,41 @@ mod tests {
             ALL,
         );
         assert!(a.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn output_sites_and_exclusions() {
+        let a = analyze(
+            "crates/metrics/src/x.rs",
+            "fn f() { println!(\"a\"); eprintln!(\"b\"); print!(\"c\"); eprint!(\"d\"); \
+             let v = dbg!(1); }",
+            ALL,
+        );
+        assert_eq!(a.output_sites.len(), 5);
+        assert_eq!(a.output_sites[0].2, "println!");
+        // Structured writes and lookalike idents don't count.
+        let a = analyze(
+            "crates/metrics/src/x.rs",
+            "fn f(w: &mut String) { writeln!(w, \"x\"); write!(w, \"y\"); self.println(); }",
+            ALL,
+        );
+        assert!(a.output_sites.is_empty());
+        // Test regions are excised, like every other rule.
+        let a = analyze(
+            "crates/metrics/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"dbg\"); }\n}\n",
+            ALL,
+        );
+        assert!(a.output_sites.is_empty());
+        // A waiver with a reason suppresses and is marked used.
+        let a = analyze(
+            "crates/bench/src/x.rs",
+            "// qoserve-lint: allow(unstructured-output) -- console banner is the product\n\
+             fn banner() { println!(\"hi\"); }\n",
+            ALL,
+        );
+        assert!(a.output_sites.is_empty());
+        assert!(a.waivers[0].used.get());
     }
 
     #[test]

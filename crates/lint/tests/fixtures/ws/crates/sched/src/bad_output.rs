@@ -1,0 +1,16 @@
+//! Fixture: unstructured output in library code must fire, once per
+//! file over the baseline, anchored at the first site.
+
+pub fn report(total: u32) {
+    println!("total = {total}");
+    let doubled = dbg!(total * 2);
+    eprintln!("doubled = {doubled}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_output_is_exempt() {
+        println!("fine in tests");
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: `src/bin/` drivers may print (and panic) freely.
+
+fn main() {
+    let value: Option<u32> = Some(1);
+    println!("driver output: {}", value.unwrap());
+    eprintln!("drivers own the process streams");
+}

@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 
 use qoserve_lint::baseline::Baseline;
-use qoserve_lint::rules::{RULE_FLOAT, RULE_HASH, RULE_PANIC, RULE_TIME, RULE_WAIVER};
+use qoserve_lint::rules::{RULE_FLOAT, RULE_HASH, RULE_OUTPUT, RULE_PANIC, RULE_TIME, RULE_WAIVER};
 use qoserve_lint::{lint_tree, load_baseline, summary, LintReport};
 
 fn fixture_root() -> PathBuf {
@@ -41,6 +41,9 @@ fn seeded_fixtures_produce_exact_diagnostics() {
          `slots` (`.drain()`) is order-nondeterministic; use `BTreeMap`/`BTreeSet` or a `Vec`",
         "crates/sched/src/bad_hash.rs:22:14 hash-iteration iteration over hash container `m` \
          (`.keys()`) is order-nondeterministic; use `BTreeMap`/`BTreeSet` or a `Vec`",
+        "crates/sched/src/bad_output.rs:5:5 unstructured-output 3 unstructured output site(s) \
+         in library code (first: `println!`), baseline allows 0; return data to the caller (or \
+         use the trace layer) instead of printing, or waive with a reason",
         "crates/sched/src/bad_waiver.rs:6:5 bad-waiver missing mandatory reason: write \
          `allow(<rule>) -- <why this is safe>`",
         "crates/sched/src/bad_waiver.rs:7:5 hash-iteration iteration over hash container `m` \
@@ -52,13 +55,20 @@ fn seeded_fixtures_produce_exact_diagnostics() {
     ];
     assert_eq!(got, want);
     assert!(!r.is_clean(), "seeded fixtures must make the tree dirty");
-    assert_eq!(r.files_scanned, 8);
+    assert_eq!(r.files_scanned, 10);
 }
 
 #[test]
 fn every_rule_class_is_covered() {
     let r = report();
-    for rule in [RULE_TIME, RULE_HASH, RULE_FLOAT, RULE_PANIC, RULE_WAIVER] {
+    for rule in [
+        RULE_TIME,
+        RULE_HASH,
+        RULE_FLOAT,
+        RULE_PANIC,
+        RULE_OUTPUT,
+        RULE_WAIVER,
+    ] {
         assert!(
             r.diagnostics.iter().any(|d| d.rule == rule),
             "no fixture fires `{rule}`"
@@ -96,25 +106,38 @@ fn waiver_with_reason_suppresses_and_is_marked_used() {
 #[test]
 fn baseline_gates_and_ratchets() {
     let r = report();
-    // Below-ceiling files are ratchet candidates, not violations.
+    // Below-ceiling files are ratchet candidates, not violations — for
+    // both ratcheted rules.
     assert_eq!(
         r.ratchet,
-        vec![("crates/engine/src/ratchet.rs".to_string(), 1, 5)]
+        vec![
+            (RULE_PANIC, "crates/engine/src/ratchet.rs".to_string(), 1, 5),
+            (
+                RULE_OUTPUT,
+                "crates/engine/src/ratchet.rs".to_string(),
+                0,
+                2
+            ),
+        ]
     );
     // What --fix-baseline would write: current counts, sorted, canonical.
-    let rendered = r.panic_counts.render();
+    let rendered = r.counts.render();
     assert!(rendered.contains("\"crates/engine/src/debt.rs\" = 3"));
     assert!(rendered.contains("\"crates/engine/src/ratchet.rs\" = 1"));
     assert!(rendered.contains("\"crates/metrics/src/bad_float.rs\" = 2"));
+    assert!(rendered.contains("[unstructured-output]"));
+    assert!(rendered.contains("\"crates/sched/src/bad_output.rs\" = 3"));
     let reparsed = Baseline::parse(&rendered).expect("rendered baseline reparses");
-    assert_eq!(reparsed, r.panic_counts);
+    assert_eq!(reparsed, r.counts);
 
-    // Re-linting against the ratcheted baseline clears panic-hygiene for
-    // ratchet.rs but debt.rs is still capped at its *new* count.
+    // Re-linting against the ratcheted baseline clears the candidates;
+    // debt stays capped at its *new* count for both rules.
     let r2 = lint_tree(&fixture_root(), &reparsed).expect("relint");
     assert!(r2.ratchet.is_empty(), "freshly ratcheted baseline is tight");
     assert!(
-        !r2.diagnostics.iter().any(|d| d.rule == RULE_PANIC),
+        !r2.diagnostics
+            .iter()
+            .any(|d| d.rule == RULE_PANIC || d.rule == RULE_OUTPUT),
         "counts at the ceiling are allowed, never below it"
     );
 }
@@ -128,8 +151,24 @@ fn clean_file_stays_clean() {
             .any(|d| d.path == "crates/core/src/clean.rs"),
         "construction + point lookup + test-module iteration must not fire"
     );
+    assert!(!r.counts.allowed.contains_key("crates/core/src/clean.rs"));
     assert!(!r
-        .panic_counts
-        .allowed
+        .counts
+        .output_allowed
         .contains_key("crates/core/src/clean.rs"));
+}
+
+#[test]
+fn bin_drivers_are_exempt_from_output_and_panic() {
+    let r = report();
+    assert!(
+        !r.diagnostics
+            .iter()
+            .any(|d| d.path == "crates/sim/src/bin/driver.rs"),
+        "drivers own the process streams and may unwrap"
+    );
+    assert!(!r
+        .counts
+        .output_allowed
+        .contains_key("crates/sim/src/bin/driver.rs"));
 }

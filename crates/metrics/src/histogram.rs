@@ -418,6 +418,69 @@ mod tests {
         assert_eq!(a.count(), 2);
     }
 
+    #[test]
+    fn extreme_quantiles_stay_within_one_bucket_of_min_and_max() {
+        // q=0 and q=1 resolve to the extreme buckets: at 5% growth the
+        // estimate sits within one bucket's relative error of the true
+        // extreme, and the clamp keeps it inside the observed range.
+        let h: LogHistogram = (1..=1000).map(|i| i as f64 * 0.731).collect();
+        let q0 = h.quantile(0.0).unwrap();
+        let q1 = h.quantile(1.0).unwrap();
+        assert!(q0 >= 0.731 && q0 <= 0.731 * 1.05, "q0={q0}");
+        assert!(q1 <= 731.0 && q1 >= 731.0 / 1.05, "q1={q1}");
+    }
+
+    #[test]
+    fn values_on_bucket_edges_bucket_deterministically() {
+        // A value exactly at the floor lands in bucket 0 (the `<=` in
+        // bucket_of); values exactly on a log-bucket edge land in a
+        // single bucket, so repeated edge values never straddle two.
+        let floor = 1.0;
+        let growth = 2.0;
+        let mut h = LogHistogram::with_resolution(floor, growth);
+        h.record(floor);
+        assert_eq!(h.quantile(0.5), Some(floor));
+
+        // growth^3 = 8.0 is an exact f64, i.e. a true bucket edge.
+        let mut edge = LogHistogram::with_resolution(floor, growth);
+        for _ in 0..10 {
+            edge.record(8.0);
+        }
+        // All mass in one bucket and clamped to the observed extremes:
+        // every quantile is exactly the recorded edge value.
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(edge.quantile(q), Some(8.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_rank_boundaries_pick_the_right_bucket() {
+        // Two buckets with equal mass: the rank rounding at q=0.5 must
+        // stay inside the lower bucket for an even split of 2 values.
+        let mut h = LogHistogram::with_resolution(1.0, 10.0);
+        h.record(2.0); // bucket for (1, 10]
+        h.record(200.0); // bucket for (100, 1000]
+        let q0 = h.quantile(0.0).unwrap();
+        let q1 = h.quantile(1.0).unwrap();
+        assert!((2.0..10.0).contains(&q0), "q0={q0}");
+        assert!((100.0..=200.0).contains(&q1), "q1={q1}");
+        // rank(0.49) = round(0.49 * 1) = 0 -> lower bucket; rank(0.51)
+        // rounds to 1 -> upper bucket.
+        assert!(h.quantile(0.49).unwrap() < 100.0);
+        assert!(h.quantile(0.51).unwrap() > 100.0);
+    }
+
+    #[test]
+    fn histogram_serde_round_trip_preserves_quantiles() {
+        let h: LogHistogram = (1..=500).map(|i| (i as f64).sqrt()).collect();
+        let json = serde_json::to_string(&h).expect("serialize");
+        let back: LogHistogram = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(h, back);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), back.quantile(q), "q={q}");
+        }
+    }
+
     proptest! {
         #[test]
         fn quantile_within_observed_range(

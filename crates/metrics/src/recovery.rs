@@ -187,4 +187,30 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         assert_eq!(serde_json::from_str::<RecoveryReport>(&json).unwrap(), r);
     }
+
+    #[test]
+    fn serde_round_trip_covers_every_disposition() {
+        let q1 = QosTier::paper_q1();
+        let q2 = QosTier::paper_q2();
+        let outcomes = vec![
+            completed(0, q1, true, 2),
+            RequestOutcome::unfinished(spec(1, q1), false, 0),
+            RequestOutcome::rejected(spec(2, q2), 0),
+            RequestOutcome::unserved(spec(3, q2), false, 0, Disposition::Shed),
+            RequestOutcome::unserved(spec(4, q2), false, 0, Disposition::RetryExhausted),
+        ];
+        let r = RecoveryReport::compute(&outcomes);
+        // Every disposition bucket is populated, so a lossy field would
+        // show up as an inequality.
+        assert_eq!(r.overall.completed, 1);
+        assert_eq!(r.overall.unfinished, 1);
+        assert_eq!(r.overall.rejected, 1);
+        assert_eq!(r.overall.shed, 1);
+        assert_eq!(r.overall.retry_exhausted, 1);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RecoveryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.tier(q2.id).shed, 1);
+        assert_eq!(back.overall.reprefill_tokens, 200);
+    }
 }

@@ -117,4 +117,53 @@ mod tests {
         assert_eq!(series.slice(60.0, 120.0), vec![100.0]);
         assert!(series.slice(120.0, 240.0).is_empty());
     }
+
+    #[test]
+    fn edge_samples_land_in_the_later_window() {
+        // Windows are half-open [start, start + w): a sample exactly on
+        // the boundary belongs to the window that starts there, and the
+        // last microsecond before it still belongs to the earlier one.
+        let s = vec![
+            (SimTime::from_micros(60_000_000 - 1), 1.0),
+            (SimTime::from_micros(60_000_000), 2.0),
+        ];
+        let series = RollingSeries::percentile_over(&s, SimDuration::from_secs(60), 0.5);
+        assert_eq!(series.points, vec![(0.0, 1.0), (60.0, 2.0)]);
+    }
+
+    #[test]
+    fn gap_windows_mid_series_are_omitted() {
+        // Windows 1 and 2 are empty; only windows 0 and 3 produce points.
+        let s = vec![
+            (SimTime::from_secs(10), 1.0),
+            (SimTime::from_secs(190), 2.0),
+        ];
+        let series = RollingSeries::percentile_over(&s, SimDuration::from_secs(60), 0.5);
+        assert_eq!(series.points, vec![(0.0, 1.0), (180.0, 2.0)]);
+    }
+
+    #[test]
+    fn zero_length_window_degenerates_to_microsecond_buckets() {
+        // The `.max(1)` guard turns a zero window into 1 us buckets
+        // instead of dividing by zero.
+        let s = vec![
+            (SimTime::from_micros(5), 1.0),
+            (SimTime::from_micros(5), 3.0),
+            (SimTime::from_micros(6), 7.0),
+        ];
+        let series = RollingSeries::percentile_over(&s, SimDuration::ZERO, 0.5);
+        assert_eq!(series.points.len(), 2);
+        assert_eq!(series.points[0], (5e-6, 2.0));
+        assert_eq!(series.points[1], (6e-6, 7.0));
+    }
+
+    #[test]
+    fn slice_is_half_open_on_both_ends() {
+        let series = RollingSeries::percentile_over(&samples(), SimDuration::from_secs(60), 0.5);
+        // Degenerate range selects nothing; the `to` bound is exclusive
+        // so a window starting exactly at `to` is left out.
+        assert!(series.slice(60.0, 60.0).is_empty());
+        assert_eq!(series.slice(0.0, 60.000001), vec![5.5, 100.0]);
+        assert!(series.slice(0.0, 60.0).len() == 1);
+    }
 }

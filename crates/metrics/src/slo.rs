@@ -332,6 +332,40 @@ mod tests {
     }
 
     #[test]
+    fn serde_round_trip_with_disposition_counters() {
+        // A report where every disposition-derived counter is nonzero
+        // must survive the round trip bit-for-bit.
+        let mut outcomes = sample();
+        let spec = outcomes[0].spec;
+        outcomes.push(RequestOutcome::rejected(spec, 0));
+        outcomes.push(RequestOutcome::unserved(spec, false, 0, Disposition::Shed));
+        outcomes.push(RequestOutcome::unserved(
+            spec,
+            false,
+            0,
+            Disposition::RetryExhausted,
+        ));
+        let r = SloReport::compute(&outcomes, 4_000);
+        assert!(r.rejected > 0 && r.shed > 0 && r.retry_exhausted > 0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<SloReport>(&json).unwrap(), r);
+    }
+
+    #[test]
+    fn old_reports_without_disposition_counters_still_deserialize() {
+        // Reports serialized before rejected/shed/retry_exhausted existed
+        // must load with those counters defaulting to zero.
+        let r = SloReport::compute(&sample(), 4_000);
+        let mut v = serde_json::to_value(&r).unwrap();
+        let map = v.as_object_mut().unwrap();
+        map.remove("rejected");
+        map.remove("shed");
+        map.remove("retry_exhausted");
+        let back: SloReport = serde_json::from_value(v).unwrap();
+        assert_eq!(back, r, "defaults must reproduce the zero counters");
+    }
+
+    #[test]
     fn rejections_are_counted_separately() {
         let mut outcomes = sample(); // 4 requests, 2 violations
         let spec = outcomes[0].spec;

@@ -14,6 +14,7 @@
 use std::cell::RefCell;
 
 use qoserve_sim::{SeedStream, SimDuration};
+use qoserve_trace::{TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::analytical::LatencyModel;
@@ -313,6 +314,7 @@ pub struct ChunkBudget {
     predictor: LatencyPredictor,
     limits: ChunkLimits,
     memo: Option<RefCell<MemoState>>,
+    tracer: Tracer,
 }
 
 impl ChunkBudget {
@@ -323,6 +325,7 @@ impl ChunkBudget {
             predictor,
             limits,
             memo: Some(RefCell::new(MemoState::new())),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -333,7 +336,14 @@ impl ChunkBudget {
             predictor,
             limits,
             memo: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the decision tracer. With a disabled tracer (the default)
+    /// the budget search is byte-identical to the untraced path.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Access to the underlying predictor.
@@ -391,37 +401,80 @@ impl ChunkBudget {
         prefill_context: u32,
         slack: Option<SimDuration>,
     ) -> u32 {
-        let slack = match slack {
-            None => return self.limits.max_chunk,
-            Some(s) => s,
+        // Cache-delta bookkeeping exists only for the trace event; the
+        // disabled path must stay branch-cheap.
+        let misses_before = if self.tracer.enabled() {
+            self.cache_stats().1
+        } else {
+            0
         };
-
-        match &self.memo {
-            Some(memo) => {
-                let mut memo = memo.borrow_mut();
-                let slack_us = slack.as_micros();
-                let margin_bits = self.predictor.margin().to_bits();
-                let degraded = self.predictor.fallback_engaged();
-                self.search(|chunk| {
-                    let key = MemoKey {
-                        chunk,
-                        num_decodes,
-                        decode_context_total,
-                        prefill_context,
-                        margin_bits,
-                        degraded,
-                    };
-                    memo.predict_micros(&self.predictor, key) <= slack_us
-                })
-            }
-            None => self.search(|chunk| {
-                let batch = BatchProfile::builder()
-                    .prefill_chunk(chunk, prefill_context)
-                    .decodes(num_decodes, decode_context_total)
-                    .build();
-                self.predictor.predict(&batch) <= slack
-            }),
+        let chosen = match slack {
+            None => self.limits.max_chunk,
+            Some(slack) => match &self.memo {
+                Some(memo) => {
+                    let mut memo = memo.borrow_mut();
+                    let slack_us = slack.as_micros();
+                    let margin_bits = self.predictor.margin().to_bits();
+                    let degraded = self.predictor.fallback_engaged();
+                    self.search(|chunk| {
+                        let key = MemoKey {
+                            chunk,
+                            num_decodes,
+                            decode_context_total,
+                            prefill_context,
+                            margin_bits,
+                            degraded,
+                        };
+                        memo.predict_micros(&self.predictor, key) <= slack_us
+                    })
+                }
+                None => self.search(|chunk| {
+                    let batch = BatchProfile::builder()
+                        .prefill_chunk(chunk, prefill_context)
+                        .decodes(num_decodes, decode_context_total)
+                        .build();
+                    self.predictor.predict(&batch) <= slack
+                }),
+            },
+        };
+        if self.tracer.enabled() {
+            self.trace_choice(
+                chosen,
+                num_decodes,
+                decode_context_total,
+                prefill_context,
+                misses_before,
+            );
         }
+        chosen
+    }
+
+    /// Emits `ChunkBudgetChosen` (enabled tracer only). Probing the chosen
+    /// chunk is a pure read of the predictor, so traced and untraced
+    /// searches return identical budgets; only the cache hit/miss counters
+    /// may move while tracing.
+    fn trace_choice(
+        &self,
+        chosen: u32,
+        num_decodes: u32,
+        decode_context_total: u64,
+        prefill_context: u32,
+        misses_before: u64,
+    ) {
+        let cache_hit = self.memo.is_some() && self.cache_stats().1 == misses_before;
+        let batch = BatchProfile::builder()
+            .prefill_chunk(chosen, prefill_context)
+            .decodes(num_decodes, decode_context_total)
+            .build();
+        self.tracer.emit(
+            None,
+            TraceEvent::ChunkBudgetChosen {
+                budget: chosen,
+                predicted_us: self.predictor.predict_raw_us(&batch),
+                margin: self.predictor.margin(),
+                cache_hit,
+            },
+        );
     }
 
     /// The search skeleton shared by the memoized and uncached paths:

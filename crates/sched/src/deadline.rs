@@ -19,6 +19,7 @@
 
 use qoserve_perf::{AdaptiveMargin, AdaptiveMarginConfig, BatchProfile, LatencyPredictor};
 use qoserve_sim::{SimDuration, SimTime};
+use qoserve_trace::{TraceEvent, Tracer};
 use qoserve_workload::RequestSpec;
 
 use crate::estimate::ProcessingEstimator;
@@ -39,6 +40,7 @@ pub struct DeadlineAwareAdmission<S> {
     margin: AdaptiveMargin,
     rejected: Vec<PrefillJob>,
     name: String,
+    tracer: Tracer,
 }
 
 impl<S: Scheduler> DeadlineAwareAdmission<S> {
@@ -56,6 +58,7 @@ impl<S: Scheduler> DeadlineAwareAdmission<S> {
             margin,
             rejected: Vec::new(),
             name,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -111,6 +114,17 @@ impl<S: Scheduler> Scheduler for DeadlineAwareAdmission<S> {
 
     fn on_arrival(&mut self, job: PrefillJob, now: SimTime) {
         if self.provably_misses(&job, now) {
+            if self.tracer.enabled() {
+                let widened = (self.margin.current() - self.margin.config().base).max(0.0);
+                let service = self.estimated_service(&job).mul_f64(1.0 + widened);
+                self.tracer.emit(
+                    Some(job.id().0),
+                    TraceEvent::AdmissionRejected {
+                        estimated_service_us: service.as_micros(),
+                        deadline_us: job.urgency_deadline().as_micros(),
+                    },
+                );
+            }
             self.rejected.push(job);
         } else {
             self.inner.on_arrival(job, now);
@@ -142,6 +156,11 @@ impl<S: Scheduler> Scheduler for DeadlineAwareAdmission<S> {
             }
         }
         self.inner.on_iteration(batch, observed, now);
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.inner.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     fn pending_prefills(&self) -> usize {

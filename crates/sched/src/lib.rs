@@ -58,6 +58,7 @@ pub use slos_serve::{SlosServeConfig, SlosServeScheduler};
 
 use qoserve_perf::BatchProfile;
 use qoserve_sim::{SimDuration, SimTime};
+use qoserve_trace::Tracer;
 use qoserve_workload::{RequestId, RequestSpec};
 
 /// Per-iteration resource limits the engine imposes on a plan.
@@ -159,6 +160,14 @@ pub trait Scheduler: Send {
     /// misprediction online; wrappers must forward it to their inner
     /// scheduler.
     fn on_iteration(&mut self, _batch: &BatchProfile, _observed: SimDuration, _now: SimTime) {}
+
+    /// Installs a decision [`Tracer`] (default: ignored). Schedulers with
+    /// traced decision points keep the handle and emit
+    /// [`qoserve_trace::TraceEvent`]s through it; wrappers must forward
+    /// the handle to their inner scheduler. With a disabled tracer —
+    /// always the default — scheduling decisions are bit-identical to the
+    /// untraced path.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 
     /// Number of requests still waiting in the prefill queue.
     fn pending_prefills(&self) -> usize;

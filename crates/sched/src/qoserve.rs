@@ -26,6 +26,7 @@ use qoserve_perf::{
 };
 use qoserve_sim::float::priority_micros;
 use qoserve_sim::{SimDuration, SimTime};
+use qoserve_trace::{RelegationReason, TraceEvent, Tracer, RELEGATED_TIER};
 use qoserve_workload::{Priority, RequestSpec};
 
 use crate::estimate::ProcessingEstimator;
@@ -184,6 +185,8 @@ pub struct QoServeScheduler {
     last_chunk_budget: u32,
     /// Online adaptive-margin controller (None = static margin).
     adaptive: Option<AdaptiveMargin>,
+    /// Decision tracer (disabled by default: zero behavioural drift).
+    tracer: Tracer,
 }
 
 impl QoServeScheduler {
@@ -211,6 +214,7 @@ impl QoServeScheduler {
             relegations: 0,
             last_chunk_budget: 0,
             adaptive,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -270,13 +274,25 @@ impl QoServeScheduler {
     /// * Low-priority jobs are additionally shed whenever the backlog is
     ///   beyond capacity, protecting important requests (§3.4).
     fn should_relegate(&self, job: &PrefillJob, now: SimTime, overloaded: bool) -> bool {
+        self.relegation_reason(job, now, overloaded).is_some()
+    }
+
+    /// Like [`should_relegate`](Self::should_relegate), but reports *why*
+    /// the job is being relegated (trace attribution).
+    fn relegation_reason(
+        &self,
+        job: &PrefillJob,
+        now: SimTime,
+        overloaded: bool,
+    ) -> Option<RelegationReason> {
         if !self.config.eager_relegation {
-            return false;
+            return None;
         }
         let deadline = job.urgency_deadline();
         let one_iteration = self.estimator.decode_time(1.0);
         if now + one_iteration >= deadline {
-            return true; // already violated / violates this iteration
+            // Already violated / violates this iteration.
+            return Some(RelegationReason::DeadlinePassed);
         }
         let remaining = if job.spec.class().is_interactive() {
             self.estimator.prefill_time(job.remaining_tokens())
@@ -285,7 +301,8 @@ impl QoServeScheduler {
                 .remaining_time(job.spec.app_id, job.remaining_tokens())
         };
         if now + remaining > deadline {
-            return true; // hopeless even if scheduled immediately
+            // Hopeless even if scheduled immediately.
+            return Some(RelegationReason::Hopeless);
         }
         // Preferential shedding of low-priority (free-tier) work: under
         // backlog pressure, relegate a low-priority job whose deadline is
@@ -296,9 +313,11 @@ impl QoServeScheduler {
         if job.priority() == Priority::Low && overloaded {
             let ahead = self.queue.live_tokens_ahead_of(job).min(u32::MAX as u64) as u32;
             let queue_delay = self.estimator.prefill_time(ahead);
-            return now + queue_delay + remaining > deadline;
+            if now + queue_delay + remaining > deadline {
+                return Some(RelegationReason::OverloadShed);
+            }
         }
-        false
+        None
     }
 
     /// Computes the prefill token budget for this iteration.
@@ -349,13 +368,22 @@ impl QoServeScheduler {
 /// estimate (e.g. a poisoned decode history) sorts *last* instead of
 /// being cast to 0 and seizing the queue front.
 fn hybrid_key(estimator: &ProcessingEstimator, alpha_us: f64, job: &PrefillJob) -> i64 {
-    let base = job.urgency_deadline().as_micros() as f64;
+    let (edf_term, srpf_term) = hybrid_terms(estimator, alpha_us, job);
+    priority_micros(edf_term + srpf_term)
+}
+
+/// The two additive terms of the hybrid key, in µs: the EDF term (the
+/// urgency deadline) and the SRPF term (α-weighted remaining work).
+/// Split out so the tracer can attribute a priority decision to its
+/// deadline vs. work components.
+fn hybrid_terms(estimator: &ProcessingEstimator, alpha_us: f64, job: &PrefillJob) -> (f64, f64) {
+    let edf_term = job.urgency_deadline().as_micros() as f64;
     let work_tokens = if job.spec.class().is_interactive() {
         job.remaining_tokens() as f64
     } else {
         job.remaining_tokens() as f64 + estimator.estimated_decode_tokens(job.spec.app_id)
     };
-    priority_micros(base + alpha_us * work_tokens)
+    (edf_term, alpha_us * work_tokens)
 }
 
 impl Scheduler for QoServeScheduler {
@@ -364,6 +392,17 @@ impl Scheduler for QoServeScheduler {
     }
 
     fn on_arrival(&mut self, job: PrefillJob, _now: SimTime) {
+        if self.tracer.enabled() {
+            let (edf_term, srpf_term) = hybrid_terms(&self.estimator, self.alpha_us, &job);
+            self.tracer.emit(
+                Some(job.id().0),
+                TraceEvent::PriorityScored {
+                    edf_term,
+                    srpf_term,
+                    alpha: self.alpha_us,
+                },
+            );
+        }
         let key = self.priority_key(&job);
         self.queue.push(job, key);
     }
@@ -402,12 +441,24 @@ impl Scheduler for QoServeScheduler {
                 self.queue.reinsert(job, key);
                 break;
             }
-            if !job.relegated && self.should_relegate(&job, now, overloaded) {
-                job.relegated = true;
-                self.relegations += 1;
-                let key = self.priority_key(&job);
-                self.queue.reinsert(job, key);
-                continue;
+            if !job.relegated {
+                if let Some(reason) = self.relegation_reason(&job, now, overloaded) {
+                    job.relegated = true;
+                    self.relegations += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            Some(job.id().0),
+                            TraceEvent::Relegated {
+                                from_tier: job.spec.tier().0,
+                                to_tier: RELEGATED_TIER,
+                                reason,
+                            },
+                        );
+                    }
+                    let key = self.priority_key(&job);
+                    self.queue.reinsert(job, key);
+                    continue;
+                }
             }
             let take = remaining
                 .min(job.remaining_tokens())
@@ -460,7 +511,21 @@ impl Scheduler for QoServeScheduler {
                 Some(f) => self.estimator.recalibrate(f),
                 None => self.estimator.restore_base_rates(),
             }
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    None,
+                    TraceEvent::MarginAdjusted {
+                        margin: am.current(),
+                        fallback: am.fallback_engaged(),
+                    },
+                );
+            }
         }
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.budget.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     fn pending_prefills(&self) -> usize {

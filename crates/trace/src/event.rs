@@ -1,0 +1,283 @@
+//! The closed event taxonomy and the canonical record order.
+
+use serde::{Deserialize, Serialize};
+
+/// Sentinel tier id for the relegation target: relegated work forfeits
+/// its deadlines and runs best-effort, which no real QoS tier models.
+pub const RELEGATED_TIER: u8 = u8::MAX;
+
+/// Why eager relegation demoted a request (§3.4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RelegationReason {
+    /// The urgency deadline already passed (or passes this iteration).
+    DeadlinePassed,
+    /// Hopeless even if scheduled immediately with the whole budget.
+    Hopeless,
+    /// Low-priority work shed under overload to protect important jobs.
+    OverloadShed,
+}
+
+/// Circuit-breaker phases (mirrors `BreakerState` in `qoserve-cluster`;
+/// duplicated here as plain data so the trace crate stays a leaf).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum BreakerPhase {
+    /// Healthy: re-dispatches flow to the replica.
+    Closed,
+    /// Unhealthy: re-dispatches are diverted.
+    Open,
+    /// Cooldown matured: one probe window decides close vs re-open.
+    HalfProbe,
+}
+
+/// What kind of fault fired.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultKind {
+    /// The replica crashed (KV state lost, running work orphaned).
+    Crash,
+    /// A slowdown window inflated this iteration's latency.
+    Slowdown,
+}
+
+/// One decision or lifecycle event. `Copy` by construction — no payload
+/// allocates, so ring capture is allocation-free after warm-up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum TraceEvent {
+    /// A request was delivered to the scheduler.
+    RequestArrived {
+        /// Prompt length.
+        prompt_tokens: u32,
+        /// Expected decode length.
+        decode_tokens: u32,
+        /// QoS tier id.
+        tier: u8,
+        /// Absolute urgency deadline (TTFT for interactive tiers).
+        deadline_us: u64,
+    },
+    /// The request's prefill completed (first token emitted).
+    FirstToken,
+    /// The request finished; payload carries the SLO verdict so forensic
+    /// replay needs no side-channel outcome file.
+    RequestCompleted {
+        /// Whether the request violated its SLO.
+        violated: bool,
+        /// Worst per-token lateness (negative = always early).
+        worst_lateness_us: i64,
+        /// Largest observed time-between-tokens.
+        max_tbt_us: u64,
+        /// Whether the request was relegated along the way.
+        relegated: bool,
+    },
+    /// Dynamic chunking picked this iteration's prefill token budget.
+    ChunkBudgetChosen {
+        /// The chosen budget in tokens.
+        budget: u32,
+        /// Raw (unmargined) predicted iteration latency at that budget.
+        predicted_us: f64,
+        /// Safety margin the search applied.
+        margin: f64,
+        /// Whether the search was served entirely from the memo cache.
+        cache_hit: bool,
+    },
+    /// Hybrid EDF↔SRPF prioritization scored an arriving request (Eq. 4/5).
+    PriorityScored {
+        /// Deadline term (absolute urgency deadline, µs).
+        edf_term: f64,
+        /// Remaining-work term (α · work tokens, µs).
+        srpf_term: f64,
+        /// The blending coefficient α (µs per token).
+        alpha: f64,
+    },
+    /// Eager relegation demoted a request to best-effort.
+    Relegated {
+        /// Tier the request held before demotion.
+        from_tier: u8,
+        /// Always [`RELEGATED_TIER`]: deadlines forfeit, best-effort.
+        to_tier: u8,
+        /// Which relegation predicate fired.
+        reason: RelegationReason,
+    },
+    /// The deadline-aware admission gate bounced a provably-late request.
+    AdmissionRejected {
+        /// Estimated service time under current drift conditions.
+        estimated_service_us: u64,
+        /// The deadline the estimate provably overshoots.
+        deadline_us: u64,
+    },
+    /// A replica circuit breaker changed state.
+    BreakerTransition {
+        /// Phase before.
+        from: BreakerPhase,
+        /// Phase after.
+        to: BreakerPhase,
+    },
+    /// The adaptive controller moved the chunk-budget safety margin.
+    MarginAdjusted {
+        /// The new margin.
+        margin: f64,
+        /// Whether the sticky forest→analytical fallback is engaged.
+        fallback: bool,
+    },
+    /// A scheduled fault fired.
+    FaultInjected {
+        /// Crash or slowdown.
+        kind: FaultKind,
+        /// Latency multiplier (1.0 for crashes).
+        slowdown: f64,
+    },
+    /// The recovery orchestrator re-dispatched crash-orphaned work.
+    OrphanRedispatched {
+        /// Replica the work died on.
+        from_replica: u32,
+        /// Replica it was re-submitted to.
+        to_replica: u32,
+        /// 1-based re-dispatch attempt.
+        attempt: u32,
+    },
+    /// One engine iteration ran (stamped at the iteration's *start*).
+    IterationExecuted {
+        /// Total scheduled tokens (prefill chunk + decodes).
+        batch_tokens: u32,
+        /// Prefill tokens in the batch.
+        prefill_tokens: u32,
+        /// Decode requests in the batch.
+        num_decodes: u32,
+        /// Observed (noised, possibly degraded) execution time.
+        observed_us: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lowercase name matching the serialized `type` tag.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::RequestArrived { .. } => "request_arrived",
+            TraceEvent::FirstToken => "first_token",
+            TraceEvent::RequestCompleted { .. } => "request_completed",
+            TraceEvent::ChunkBudgetChosen { .. } => "chunk_budget_chosen",
+            TraceEvent::PriorityScored { .. } => "priority_scored",
+            TraceEvent::Relegated { .. } => "relegated",
+            TraceEvent::AdmissionRejected { .. } => "admission_rejected",
+            TraceEvent::BreakerTransition { .. } => "breaker_transition",
+            TraceEvent::MarginAdjusted { .. } => "margin_adjusted",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::OrphanRedispatched { .. } => "orphan_redispatched",
+            TraceEvent::IterationExecuted { .. } => "iteration_executed",
+        }
+    }
+}
+
+/// One captured event with its deterministic stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulated time in microseconds (never wall clock).
+    pub time_us: u64,
+    /// Replica the event belongs to (orchestrator events use the replica
+    /// they act on).
+    pub replica: u32,
+    /// Per-replica sequence number, assigned in program order — the
+    /// tie-breaker that makes the canonical order total.
+    pub seq: u64,
+    /// Request id, when the event concerns a single request.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub request: Option<u64>,
+    /// The event payload.
+    #[serde(flatten)]
+    pub event: TraceEvent,
+}
+
+/// Sorts records into the canonical `(time_us, replica, seq)` order.
+///
+/// Per-replica streams are emitted in deterministic program order with
+/// nondecreasing stamps, so this total order is independent of how
+/// replica threads interleaved their writes into a shared sink.
+pub fn canonical_sort(records: &mut [TraceRecord]) {
+    records.sort_unstable_by_key(|r| (r.time_us, r.replica, r.seq));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(time_us: u64, replica: u32, seq: u64) -> TraceRecord {
+        TraceRecord {
+            time_us,
+            replica,
+            seq,
+            request: None,
+            event: TraceEvent::FirstToken,
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_time_then_replica_then_seq() {
+        let mut v = vec![rec(5, 1, 0), rec(5, 0, 1), rec(1, 2, 0), rec(5, 0, 0)];
+        canonical_sort(&mut v);
+        let key: Vec<(u64, u32, u64)> = v.iter().map(|r| (r.time_us, r.replica, r.seq)).collect();
+        assert_eq!(key, vec![(1, 2, 0), (5, 0, 0), (5, 0, 1), (5, 1, 0)]);
+    }
+
+    #[test]
+    fn events_are_copy_and_small() {
+        // The ring pre-allocates `TraceRecord`s; keep them registers-cheap.
+        assert!(std::mem::size_of::<TraceRecord>() <= 96);
+        let e = TraceEvent::FirstToken;
+        let _copy1 = e;
+        let _copy2 = e;
+    }
+
+    #[test]
+    fn serde_round_trips_with_type_tag() {
+        let r = TraceRecord {
+            time_us: 1_500,
+            replica: 3,
+            seq: 7,
+            request: Some(42),
+            event: TraceEvent::ChunkBudgetChosen {
+                budget: 1024,
+                predicted_us: 2_500.0,
+                margin: 0.06,
+                cache_hit: true,
+            },
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"type\":\"chunk_budget_chosen\""), "{json}");
+        assert!(json.contains("\"request\":42"), "{json}");
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // `request: None` is omitted entirely, and round-trips.
+        let r2 = TraceRecord { request: None, ..r };
+        let json2 = serde_json::to_string(&r2).unwrap();
+        assert!(!json2.contains("request"), "{json2}");
+        assert_eq!(serde_json::from_str::<TraceRecord>(&json2).unwrap(), r2);
+    }
+
+    #[test]
+    fn names_match_serialized_tags() {
+        for (event, name) in [
+            (TraceEvent::FirstToken, "first_token"),
+            (
+                TraceEvent::Relegated {
+                    from_tier: 1,
+                    to_tier: RELEGATED_TIER,
+                    reason: RelegationReason::Hopeless,
+                },
+                "relegated",
+            ),
+            (
+                TraceEvent::BreakerTransition {
+                    from: BreakerPhase::Closed,
+                    to: BreakerPhase::Open,
+                },
+                "breaker_transition",
+            ),
+        ] {
+            assert_eq!(event.name(), name);
+            let json = serde_json::to_string(&event).unwrap();
+            assert!(json.contains(&format!("\"type\":\"{name}\"")), "{json}");
+        }
+    }
+}

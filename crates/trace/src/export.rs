@@ -1,0 +1,272 @@
+//! Deterministic serializers: JSONL for diffing and forensic replay,
+//! Chrome-trace-event JSON for Perfetto.
+//!
+//! Both exporters require records in canonical order (as produced by
+//! [`TraceSink::snapshot`](crate::TraceSink::snapshot)) and emit keys in
+//! sorted order (`serde_json`'s default map), so output bytes are a pure
+//! function of the record list.
+
+use serde_json::{json, Value};
+
+use crate::event::{TraceEvent, TraceRecord};
+
+/// Serializes records as JSONL: a header object followed by one record
+/// per line.
+///
+/// The header carries the retained-record and evicted-record counts so a
+/// forensic reader knows whether the window is complete:
+///
+/// ```text
+/// {"dropped":0,"events":2,"trace":"qoserve","version":1}
+/// {"time_us":0,"replica":0,"seq":0,"request":7,"type":"first_token"}
+/// ```
+pub fn to_jsonl(records: &[TraceRecord], dropped: u64) -> String {
+    let mut out = String::new();
+    let header = json!({
+        "trace": "qoserve",
+        "version": 1,
+        "events": records.len(),
+        "dropped": dropped,
+    });
+    out.push_str(&header.to_string());
+    out.push('\n');
+    for r in records {
+        let Ok(line) = serde_json::to_string(r) else {
+            // Unreachable for these plain-data types; skipping keeps the
+            // exporter panic-free.
+            continue;
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// A parsed JSONL trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedTrace {
+    /// Records in file order.
+    pub records: Vec<TraceRecord>,
+    /// Evicted-record count from the header (0 when absent).
+    pub dropped: u64,
+}
+
+/// Parses a JSONL trace produced by [`to_jsonl`]. The header line is
+/// optional; malformed lines are reported with their 1-based number.
+pub fn from_jsonl(text: &str) -> Result<ParsedTrace, String> {
+    let mut trace = ParsedTrace::default();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if idx == 0 {
+            if let Ok(header) = serde_json::from_str::<Value>(line) {
+                if header.get("trace").and_then(Value::as_str) == Some("qoserve") {
+                    trace.dropped = header.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+                    continue;
+                }
+            }
+        }
+        match serde_json::from_str::<TraceRecord>(line) {
+            Ok(r) => trace.records.push(r),
+            Err(e) => return Err(format!("line {}: {e}", idx + 1)),
+        }
+    }
+    Ok(trace)
+}
+
+/// Serializes records as Chrome trace-event JSON (openable in Perfetto
+/// or `chrome://tracing`).
+///
+/// Layout: one track (`tid`) per replica under a single process,
+/// iterations as complete (`X`) slices, decision events as thread-scoped
+/// instants (`i`), and one async span (`b`/`e`, `cat: "request"`) per
+/// request from arrival through first token to completion.
+pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    let mut replicas: Vec<u32> = records.iter().map(|r| r.replica).collect();
+    replicas.sort_unstable();
+    replicas.dedup();
+    for replica in &replicas {
+        events.push(json!({
+            "ph": "M",
+            "name": "thread_name",
+            "pid": 0,
+            "tid": replica,
+            "args": {"name": format!("replica-{replica}")},
+        }));
+    }
+    for r in records {
+        events.push(chrome_event(r));
+    }
+    json!({"traceEvents": events, "displayTimeUnit": "ms"}).to_string()
+}
+
+fn chrome_event(r: &TraceRecord) -> Value {
+    let args = serde_json::to_value(r.event).unwrap_or(Value::Null);
+    match r.event {
+        TraceEvent::IterationExecuted { observed_us, .. } => json!({
+            "ph": "X",
+            "name": "iteration",
+            "pid": 0,
+            "tid": r.replica,
+            "ts": r.time_us,
+            "dur": observed_us,
+            "args": args,
+        }),
+        TraceEvent::RequestArrived { .. } => json!({
+            "ph": "b",
+            "cat": "request",
+            "id": r.request.unwrap_or(0),
+            "name": span_name(r),
+            "pid": 0,
+            "tid": r.replica,
+            "ts": r.time_us,
+            "args": args,
+        }),
+        TraceEvent::FirstToken => json!({
+            "ph": "n",
+            "cat": "request",
+            "id": r.request.unwrap_or(0),
+            "name": span_name(r),
+            "pid": 0,
+            "tid": r.replica,
+            "ts": r.time_us,
+        }),
+        TraceEvent::RequestCompleted { .. } => json!({
+            "ph": "e",
+            "cat": "request",
+            "id": r.request.unwrap_or(0),
+            "name": span_name(r),
+            "pid": 0,
+            "tid": r.replica,
+            "ts": r.time_us,
+            "args": args,
+        }),
+        _ => json!({
+            "ph": "i",
+            "s": "t",
+            "name": r.event.name(),
+            "pid": 0,
+            "tid": r.replica,
+            "ts": r.time_us,
+            "args": args,
+        }),
+    }
+}
+
+/// Async-span name: all three phases of a request's span must share it.
+fn span_name(r: &TraceRecord) -> String {
+    match r.request {
+        Some(id) => format!("request-{id}"),
+        None => "request".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::canonical_sort;
+
+    fn sample() -> Vec<TraceRecord> {
+        let mut v = vec![
+            TraceRecord {
+                time_us: 0,
+                replica: 0,
+                seq: 0,
+                request: Some(7),
+                event: TraceEvent::RequestArrived {
+                    prompt_tokens: 100,
+                    decode_tokens: 10,
+                    tier: 1,
+                    deadline_us: 6_000_000,
+                },
+            },
+            TraceRecord {
+                time_us: 1_000,
+                replica: 0,
+                seq: 1,
+                request: None,
+                event: TraceEvent::IterationExecuted {
+                    batch_tokens: 132,
+                    prefill_tokens: 100,
+                    num_decodes: 32,
+                    observed_us: 950,
+                },
+            },
+            TraceRecord {
+                time_us: 1_950,
+                replica: 0,
+                seq: 2,
+                request: Some(7),
+                event: TraceEvent::FirstToken,
+            },
+            TraceRecord {
+                time_us: 3_000,
+                replica: 1,
+                seq: 0,
+                request: Some(7),
+                event: TraceEvent::RequestCompleted {
+                    violated: true,
+                    worst_lateness_us: 1_500,
+                    max_tbt_us: 400,
+                    relegated: false,
+                },
+            },
+        ];
+        canonical_sort(&mut v);
+        v
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let records = sample();
+        let text = to_jsonl(&records, 3);
+        let parsed = from_jsonl(&text).unwrap();
+        assert_eq!(parsed.dropped, 3);
+        assert_eq!(parsed.records, records);
+    }
+
+    #[test]
+    fn jsonl_without_header_still_parses() {
+        let records = sample();
+        let text = to_jsonl(&records, 0);
+        let body: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        let parsed = from_jsonl(&body).unwrap();
+        assert_eq!(parsed.records, records);
+        assert_eq!(parsed.dropped, 0);
+    }
+
+    #[test]
+    fn jsonl_reports_malformed_lines() {
+        let err = from_jsonl("{\"not\": \"a record\"}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_is_deterministic() {
+        let records = sample();
+        assert_eq!(to_jsonl(&records, 0), to_jsonl(&records, 0));
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_slices_and_spans() {
+        let text = to_chrome_trace(&sample());
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        // 2 replica-name metadata events + 4 records.
+        assert_eq!(events.len(), 6);
+        let phases: Vec<&str> = events.iter().map(|e| e["ph"].as_str().unwrap()).collect();
+        assert_eq!(phases, vec!["M", "M", "b", "X", "n", "e"]);
+        // The request span shares id and name across b/n/e.
+        for e in events.iter().filter(|e| e["cat"] == "request") {
+            assert_eq!(e["id"], 7);
+            assert_eq!(e["name"], "request-7");
+        }
+        // The iteration slice carries its duration.
+        let x = events.iter().find(|e| e["ph"] == "X").unwrap();
+        assert_eq!(x["dur"], 950);
+        assert_eq!(x["tid"], 0);
+    }
+}

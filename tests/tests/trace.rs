@@ -1,0 +1,192 @@
+//! Determinism contract of the decision-trace layer.
+//!
+//! Two pins, mirroring DESIGN.md's trace section:
+//!
+//! 1. **Tracing never perturbs the simulation.** A disabled tracer is
+//!    the seed behaviour by construction (every emission site is gated
+//!    on `enabled()`); an *enabled* tracer only observes, so outcomes
+//!    must stay bit-identical either way.
+//! 2. **Trace bytes are a pure function of `(seed, config)`.** The
+//!    exported JSONL must be byte-identical across repeated runs and —
+//!    the hard part — across execution modes: one crossbeam thread per
+//!    replica (`run_shared_traced`) vs the single-threaded lockstep
+//!    recovery runner with a zero-fault plan
+//!    (`run_shared_faulty_traced`). Canonical `(time_us, replica, seq)`
+//!    ordering in the sink is what erases thread interleaving.
+
+use qoserve::prelude::*;
+use qoserve_trace::{to_chrome_trace, to_jsonl, TraceEvent, Tracer};
+
+fn small_trace(seed: u64) -> Trace {
+    TraceBuilder::new(Dataset::azure_conv())
+        .arrivals(ArrivalProcess::poisson(6.0))
+        .duration(SimDuration::from_secs(45))
+        .tier_mix(TierMix::paper_equal())
+        .build(&SeedStream::new(seed))
+}
+
+#[test]
+fn disabled_tracer_is_bit_identical_to_plain_entry_points() {
+    let trace = small_trace(21);
+    let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+    let spec = SchedulerSpec::qoserve();
+    let seeds = SeedStream::new(21);
+
+    let plain = run_shared(&trace, 2, &spec, &config, &seeds);
+    let traced = run_shared_traced(&trace, 2, &spec, &config, &seeds, &Tracer::disabled());
+    assert_eq!(plain, traced);
+
+    let plan = FaultPlan::with_faults(FaultConfig::moderate());
+    let plain = run_shared_faulty(&trace, 2, &spec, &config, &plan, &seeds)
+        .expect("plain faulty run routes");
+    let traced = run_shared_faulty_traced(
+        &trace,
+        2,
+        &spec,
+        &config,
+        &plan,
+        &seeds,
+        &Tracer::disabled(),
+    )
+    .expect("traced faulty run routes");
+    assert_eq!(plain.outcomes, traced.outcomes);
+    assert_eq!(plain.stats, traced.stats);
+}
+
+#[test]
+fn enabled_tracer_observes_without_perturbing_outcomes() {
+    let trace = small_trace(22);
+    let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+    let spec = SchedulerSpec::qoserve();
+    let seeds = SeedStream::new(22);
+
+    let plain = run_shared(&trace, 2, &spec, &config, &seeds);
+    let tracer = Tracer::unbounded();
+    let traced = run_shared_traced(&trace, 2, &spec, &config, &seeds, &tracer);
+
+    assert_eq!(plain, traced, "tracing must be a pure observer");
+    let records = tracer.snapshot();
+    assert!(!records.is_empty(), "an enabled tracer must capture events");
+    // Every request that arrived has an arrival event, and every
+    // finished outcome a completion event.
+    let arrivals = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::RequestArrived { .. }))
+        .count();
+    let completions = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::RequestCompleted { .. }))
+        .count();
+    assert_eq!(arrivals, trace.requests().len());
+    assert_eq!(completions, plain.iter().filter(|o| o.finished()).count());
+}
+
+#[test]
+fn trace_bytes_are_reproducible_across_repeated_runs() {
+    let trace = small_trace(23);
+    let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+    let spec = SchedulerSpec::qoserve();
+
+    let run_once = || {
+        let tracer = Tracer::ring(1 << 14);
+        let _ = run_shared_traced(&trace, 3, &spec, &config, &SeedStream::new(23), &tracer);
+        (
+            to_jsonl(&tracer.snapshot(), tracer.dropped()),
+            tracer.dropped(),
+        )
+    };
+    let (first, dropped_first) = run_once();
+    let (second, dropped_second) = run_once();
+    assert_eq!(
+        dropped_first, dropped_second,
+        "eviction must be deterministic"
+    );
+    assert_eq!(first, second, "exported JSONL must be byte-identical");
+}
+
+#[test]
+fn parallel_and_serial_lockstep_traces_match_byte_for_byte() {
+    let trace = small_trace(24);
+    let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+    let spec = SchedulerSpec::qoserve();
+
+    // Parallel: one crossbeam thread per replica, racing emissions into
+    // the shared sink.
+    let parallel = Tracer::unbounded();
+    let outcomes_parallel =
+        run_shared_traced(&trace, 3, &spec, &config, &SeedStream::new(24), &parallel);
+
+    // Serial: the lockstep recovery runner with a zero-fault plan is the
+    // single-threaded reference (pinned elsewhere to match run_shared
+    // bit-for-bit on outcomes).
+    let serial = Tracer::unbounded();
+    let result = run_shared_faulty_traced(
+        &trace,
+        3,
+        &spec,
+        &config,
+        &FaultPlan::none(),
+        &SeedStream::new(24),
+        &serial,
+    )
+    .expect("lockstep run routes");
+
+    let mut outcomes_serial = result.outcomes;
+    outcomes_serial.sort_by_key(|o| o.spec.id);
+    let mut outcomes_parallel = outcomes_parallel;
+    outcomes_parallel.sort_by_key(|o| o.spec.id);
+    assert_eq!(outcomes_parallel, outcomes_serial);
+
+    let jsonl_parallel = to_jsonl(&parallel.snapshot(), parallel.dropped());
+    let jsonl_serial = to_jsonl(&serial.snapshot(), serial.dropped());
+    assert_eq!(
+        jsonl_parallel, jsonl_serial,
+        "execution mode must not leak into trace bytes"
+    );
+
+    // The Chrome export is a pure function of the records, so it
+    // inherits the same invariance.
+    assert_eq!(
+        to_chrome_trace(&parallel.snapshot()),
+        to_chrome_trace(&serial.snapshot())
+    );
+}
+
+#[test]
+fn faulted_runs_trace_crashes_and_redispatches() {
+    let trace = small_trace(25);
+    let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
+    let spec = SchedulerSpec::qoserve();
+    let plan = FaultPlan::with_faults(FaultConfig::moderate());
+
+    let tracer = Tracer::unbounded();
+    let result = run_shared_faulty_traced(
+        &trace,
+        3,
+        &spec,
+        &config,
+        &plan,
+        &SeedStream::new(25),
+        &tracer,
+    )
+    .expect("faulty run routes");
+
+    let records = tracer.snapshot();
+    let faults = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::FaultInjected { .. }))
+        .count() as u64;
+    let redispatches = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::OrphanRedispatched { .. }))
+        .count() as u64;
+    assert!(
+        faults >= result.stats.crashes,
+        "every crash must appear in the trace ({faults} fault events, {} crashes)",
+        result.stats.crashes
+    );
+    assert_eq!(
+        redispatches, result.stats.redispatches,
+        "re-dispatch events must match the recovery counters"
+    );
+}
