@@ -100,7 +100,9 @@ fn run_sample() -> ParsedTrace {
     let config = ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1());
     let plan = FaultPlan::with_faults(FaultConfig::moderate());
 
-    let tracer = Tracer::unbounded();
+    // Captured events scale with request count (arrival + completion +
+    // per-iteration records); 16x is a comfortable pre-size.
+    let tracer = Tracer::unbounded_with_capacity(trace.len() * 16);
     let result = run_shared_faulty_traced(
         &trace,
         4,

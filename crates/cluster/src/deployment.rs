@@ -15,7 +15,7 @@
 use qoserve_engine::{ReplicaConfig, ReplicaEngine};
 use qoserve_metrics::RequestOutcome;
 use qoserve_perf::HardwareConfig;
-use qoserve_sim::{SeedStream, SimTime};
+use qoserve_sim::{par_map, SeedStream, SimTime};
 use qoserve_trace::Tracer;
 use qoserve_workload::{RequestSpec, TierId, Trace};
 
@@ -169,7 +169,11 @@ pub fn run_siloed(
     outcomes
 }
 
-/// Executes one pool of replicas in parallel threads.
+/// Executes one pool of replicas on [`par_map`] workers (bounded by
+/// `QOSERVE_THREADS`, not by the replica count — a 256-replica run no
+/// longer spawns 256 OS threads). Replicas simulate independently, so
+/// worker scheduling cannot affect results: outcomes come back in
+/// replica order and are then sorted by request id.
 fn run_replica_pools(
     per_replica: Vec<Vec<RequestSpec>>,
     scheduler: &SchedulerSpec,
@@ -178,40 +182,23 @@ fn run_replica_pools(
     replica_base: u32,
     tracer: &Tracer,
 ) -> Vec<RequestOutcome> {
-    let results: Vec<Vec<RequestOutcome>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = per_replica
-            .into_iter()
-            .enumerate()
-            .map(|(idx, specs)| {
-                let replica_id = replica_base + idx as u32;
-                let tracer = tracer.clone();
-                scope.spawn(move |_| {
-                    let replica_seeds = seeds.child("replica");
-                    let mut rc =
-                        ReplicaConfig::new(config.hardware.clone()).with_replica_id(replica_id);
-                    rc.noise_sigma = config.noise_sigma;
-                    rc.max_decode_batch = config.max_decode_batch;
-                    rc.horizon = config.horizon;
-                    let sched = scheduler.build(&config.hardware, &replica_seeds);
-                    let mut engine = ReplicaEngine::new(rc, sched, &replica_seeds);
-                    if tracer.enabled() {
-                        engine.set_tracer(tracer);
-                    }
-                    for spec in specs {
-                        engine.submit(spec);
-                    }
-                    engine.run()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            // qoserve-lint: allow(panic-hygiene) -- re-raises a worker panic; swallowing it would fabricate results
-            .map(|h| h.join().expect("replica thread panicked"))
-            .collect()
-    })
-    // qoserve-lint: allow(panic-hygiene) -- crossbeam scope only errs if a child panicked; propagate it
-    .expect("replica scope panicked");
+    let results: Vec<Vec<RequestOutcome>> = par_map(per_replica, |idx, specs| {
+        let replica_id = replica_base + idx as u32;
+        let replica_seeds = seeds.child("replica");
+        let mut rc = ReplicaConfig::new(config.hardware.clone()).with_replica_id(replica_id);
+        rc.noise_sigma = config.noise_sigma;
+        rc.max_decode_batch = config.max_decode_batch;
+        rc.horizon = config.horizon;
+        let sched = scheduler.build(&config.hardware, &replica_seeds);
+        let mut engine = ReplicaEngine::new(rc, sched, &replica_seeds);
+        if tracer.enabled() {
+            engine.set_tracer(tracer.clone());
+        }
+        for spec in specs {
+            engine.submit(spec);
+        }
+        engine.run()
+    });
 
     let mut outcomes: Vec<RequestOutcome> = results.into_iter().flatten().collect();
     outcomes.sort_by_key(|o| o.spec.id);

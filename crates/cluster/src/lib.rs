@@ -11,8 +11,9 @@
 //!   paper's experiments, plus a least-work router).
 //! * [`deployment`] — shared vs siloed deployments and their execution;
 //!   replicas run in parallel threads, each bit-reproducible.
-//! * [`recovery`] — fault-injected deployments: lockstep replica
-//!   stepping, crash-orphan re-dispatch with bounded retries and
+//! * [`recovery`] — fault-injected deployments: sharded epoch stepping
+//!   (replica-local advancement between fault events, lockstep around
+//!   crashes), crash-orphan re-dispatch with bounded retries and
 //!   deterministic backoff, re-prefill accounting, and tier-aware
 //!   shedding when surviving capacity is insufficient.
 //! * [`breaker`] — per-replica circuit breakers
@@ -33,7 +34,8 @@ pub use breaker::{pick_target, BreakerConfig, BreakerState, CircuitBreaker, Pick
 pub use capacity::{max_goodput, max_goodput_serial, min_replicas_for, GoodputOptions};
 pub use deployment::{run_shared, run_shared_traced, run_siloed, ClusterConfig, SiloGroup};
 pub use recovery::{
-    run_shared_faulty, run_shared_faulty_traced, FaultPlan, FaultRunResult, FaultRunStats,
+    run_shared_faulty, run_shared_faulty_lockstep, run_shared_faulty_traced, FaultPlan,
+    FaultRunResult, FaultRunStats,
 };
 pub use router::{Router, RouterError};
 pub use spec::SchedulerSpec;

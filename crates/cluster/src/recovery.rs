@@ -6,9 +6,13 @@
 //! everything in flight or queued on the dead replica, so this module
 //! replaces the static one-shot assignment with a recovery loop:
 //!
-//! 1. Replicas advance in lockstep (always stepping the engine with the
-//!    lowest simulated time), so a crash is observed before any survivor
-//!    moves past it.
+//! 1. Replicas advance in sharded epochs: between fault-schedule events
+//!    every replica's steps are purely replica-local, so the runner lets
+//!    each one advance independently (across `QOSERVE_THREADS` workers)
+//!    up to the next pending crash instant, then falls back to the
+//!    min-now lockstep kernel for the crash neighbourhood — a crash is
+//!    still observed before any survivor moves past it, and the step
+//!    order replayed around it is exactly the lockstep one.
 //! 2. A crash surfaces the dead replica's orphans
 //!    ([`OrphanedJob`](qoserve_engine::OrphanedJob)); each is re-dispatched
 //!    to a surviving replica after a deterministic linear backoff, paying
@@ -35,7 +39,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use qoserve_engine::{ReplicaConfig, ReplicaEngine};
 use qoserve_metrics::{Disposition, RequestOutcome};
 use qoserve_sim::faults::{CrashEvent, FaultConfig, FaultSchedule};
-use qoserve_sim::{SeedStream, SimDuration, SimTime};
+use qoserve_sim::{par_map, SeedStream, SimDuration, SimTime};
 use qoserve_trace::{FaultKind, TraceEvent, Tracer};
 use qoserve_workload::{Priority, RequestId, Trace};
 
@@ -197,9 +201,11 @@ pub fn run_shared_faulty(
 /// events (crash [`TraceEvent::FaultInjected`]s at the schedule's crash
 /// instants and [`TraceEvent::OrphanRedispatched`]s at re-dispatch times).
 /// The plain entry point delegates here with a disabled tracer, which is
-/// behaviourally free. The whole driver is single-threaded lockstep, so —
-/// combined with per-replica sequence stamps — the captured trace is a
-/// pure function of `(trace, scheduler, config, plan, seeds)`.
+/// behaviourally free. Within one replica, events are emitted in program
+/// order and the sink orders records canonically by `(time_us, replica,
+/// seq)`, so the captured trace is a pure function of
+/// `(trace, scheduler, config, plan, seeds)` — independent of how the
+/// sharded kernel's parallel phases were scheduled across threads.
 #[allow(clippy::too_many_arguments)]
 pub fn run_shared_faulty_traced(
     trace: &Trace,
@@ -209,6 +215,176 @@ pub fn run_shared_faulty_traced(
     plan: &FaultPlan,
     seeds: &SeedStream,
     tracer: &Tracer,
+) -> Result<FaultRunResult, RouterError> {
+    run_faulty_inner(
+        trace,
+        replicas,
+        scheduler,
+        config,
+        plan,
+        seeds,
+        tracer,
+        ExecMode::Sharded,
+    )
+}
+
+/// [`run_shared_faulty`] on the pre-event-core min-now lockstep kernel:
+/// a single thread always steps the engine furthest behind in simulated
+/// time, start to finish. Bit-identical to the sharded kernel — kept as
+/// the measured baseline for `sim_core_bench` and for differential
+/// testing, not as a production entry point.
+pub fn run_shared_faulty_lockstep(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    seeds: &SeedStream,
+) -> Result<FaultRunResult, RouterError> {
+    run_faulty_inner(
+        trace,
+        replicas,
+        scheduler,
+        config,
+        plan,
+        seeds,
+        &Tracer::disabled(),
+        ExecMode::Lockstep,
+    )
+}
+
+/// Which kernel drives a faulty run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecMode {
+    /// Two-phase sharded kernel: parallel replica-local advancement
+    /// between fault epochs, lockstep only around crash processing.
+    Sharded,
+    /// The original single-threaded min-now kernel, start to finish.
+    Lockstep,
+}
+
+/// Piecewise-constant cache of [`FaultSchedule::up_replicas_at`]: the
+/// up-set only changes at crash/restart instants, so re-dispatch stops
+/// rescanning the whole fault timeline per orphan and binary-searches a
+/// precomputed interval table instead.
+struct UpSetIndex {
+    /// Sorted instants where some replica goes down or comes back;
+    /// `sets[i]` holds on `[starts[i], starts[i + 1])`.
+    starts: Vec<SimTime>,
+    sets: Vec<Vec<u32>>,
+}
+
+impl UpSetIndex {
+    fn build(schedule: &FaultSchedule, replicas: u32) -> Self {
+        let mut starts = vec![SimTime::ZERO];
+        for r in 0..replicas {
+            for c in schedule.crashes_for(r) {
+                starts.push(c.at);
+                if let Some(restart) = c.restart_at {
+                    starts.push(restart);
+                }
+            }
+        }
+        starts.sort_unstable();
+        starts.dedup();
+        // Crash and restart both take effect *at* their instant
+        // (left-closed intervals), so evaluating the schedule at each
+        // boundary covers everything up to the next one.
+        let sets = starts.iter().map(|&t| schedule.up_replicas_at(t)).collect();
+        UpSetIndex { starts, sets }
+    }
+
+    /// Exactly `schedule.up_replicas_at(t)`, precomputed.
+    fn up_at(&self, t: SimTime) -> &[u32] {
+        let i = self.starts.partition_point(|&s| s <= t).saturating_sub(1);
+        &self.sets[i]
+    }
+}
+
+/// The next epoch barrier: the earliest pending crash instant across
+/// runnable slots. `None` means no runnable replica can ever crash again
+/// (parked slots only revive through re-dispatch, which needs a crash to
+/// fire first), so the rest of the run is purely replica-local.
+fn pending_crash_barrier(slots: &[Slot]) -> Option<SimTime> {
+    slots
+        .iter()
+        .filter(|s| !s.dead && !s.parked)
+        .filter_map(|s| s.crashes.get(s.next_crash).map(|c| c.at))
+        .min()
+}
+
+/// Advances one replica's purely local steps up to (strictly before)
+/// `barrier`, or to completion without one. The strict bound is what
+/// keeps the merged state on the lockstep schedule: a step whose entry
+/// clock has reached the barrier may be ordered after the crash
+/// processing in min-now order, so it belongs to the serial phase.
+fn advance_replica(
+    slot: &mut Slot,
+    mut breaker: Option<&mut CircuitBreaker>,
+    barrier: Option<SimTime>,
+) {
+    if slot.dead || slot.parked {
+        return;
+    }
+    loop {
+        if let Some(t) = barrier {
+            if slot.engine.now() >= t {
+                return;
+            }
+        }
+        if slot.engine.step() {
+            if let Some(b) = breaker.as_mut() {
+                // Health reads are pure and the breaker is replica-local,
+                // so observing here matches the lockstep order exactly.
+                b.observe(&slot.engine.health(), slot.engine.now());
+            }
+        } else {
+            if !slot.engine.crashed() {
+                slot.parked = true; // drained (or horizon); may be revived
+            }
+            return;
+        }
+    }
+}
+
+/// Phase one of the sharded kernel: every runnable replica advances to
+/// the barrier on [`par_map`] workers. Replica-local steps commute
+/// across replicas, so the merged state is bit-identical to stepping
+/// them serially at any `QOSERVE_THREADS`.
+fn advance_to_barrier(
+    slots: &mut Vec<Slot>,
+    breakers: &mut Vec<CircuitBreaker>,
+    barrier: Option<SimTime>,
+) {
+    let pairs: Vec<(Slot, Option<CircuitBreaker>)> = if breakers.is_empty() {
+        slots.drain(..).map(|s| (s, None)).collect()
+    } else {
+        slots.drain(..).zip(breakers.drain(..).map(Some)).collect()
+    };
+    for (slot, breaker) in par_map(pairs, |_, (mut slot, mut breaker)| {
+        advance_replica(&mut slot, breaker.as_mut(), barrier);
+        (slot, breaker)
+    }) {
+        slots.push(slot);
+        if let Some(b) = breaker {
+            breakers.push(b);
+        }
+    }
+}
+
+/// Shared driver behind every faulty entry point; `mode` selects the
+/// sharded kernel or the reference lockstep kernel. See the module docs
+/// for the synchronization argument.
+#[allow(clippy::too_many_arguments)]
+fn run_faulty_inner(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    seeds: &SeedStream,
+    tracer: &Tracer,
+    mode: ExecMode,
 ) -> Result<FaultRunResult, RouterError> {
     let targets = config
         .router
@@ -230,6 +406,7 @@ pub fn run_shared_faulty_traced(
     // the zero-fault case is bit-identical to `run_shared`.
     let make_engine = |replica_id: u32, from: SimTime| {
         let replica_seeds = seeds.child("replica");
+        // qoserve-lint: allow(hot-path-alloc) -- engine construction: once per replica and per crash restart, not per event
         let mut rc = ReplicaConfig::new(config.hardware.clone())
             .with_replica_id(replica_id)
             .with_faults(schedule.profile_for(replica_id, from));
@@ -239,6 +416,7 @@ pub fn run_shared_faulty_traced(
         let sched = scheduler.build(&config.hardware, &replica_seeds);
         let mut engine = ReplicaEngine::new(rc, sched, &replica_seeds);
         if tracer.enabled() {
+            // qoserve-lint: allow(hot-path-alloc) -- engine construction, not per event
             engine.set_tracer(tracer.clone());
         }
         engine
@@ -280,10 +458,25 @@ pub fn run_shared_faulty_traced(
         })
         .unwrap_or_default();
 
+    let up_index = UpSetIndex::build(&schedule, replicas);
+    let sharded = matches!(mode, ExecMode::Sharded);
+    // Two-phase sharded execution: at every resync point (run start and
+    // each processed crash) the barrier may have moved, so the runner
+    // first advances every runnable replica in parallel up to the next
+    // pending crash instant, then re-enters the lockstep kernel below to
+    // carry the crash neighbourhood serially.
+    let mut resync = sharded;
     loop {
+        if resync {
+            advance_to_barrier(&mut slots, &mut breakers, pending_crash_barrier(&slots));
+            resync = false;
+        }
+
         // Lockstep: always advance the live engine furthest behind, so a
         // crash is observed before any survivor's clock passes it. Ties
-        // break to the lowest replica index — deterministic.
+        // break to the lowest replica index — deterministic. In sharded
+        // mode every runnable clock already sits at or past the barrier,
+        // so this phase only covers the steps around one crash.
         let mut pick: Option<usize> = None;
         for (i, s) in slots.iter().enumerate() {
             if s.dead || s.parked {
@@ -376,7 +569,7 @@ pub fn run_shared_faulty_traced(
 
             let redispatch_at =
                 (crash_at + plan.retry_backoff * attempt as u64).max(orphan.spec.arrival);
-            let up = schedule.up_replicas_at(redispatch_at);
+            let up = up_index.up_at(redispatch_at);
             let up_fraction = up.len() as f64 / replicas as f64;
             let low_capacity = up_fraction < plan.shed_below_up_fraction
                 && orphan.spec.priority() == Priority::Low;
@@ -386,9 +579,9 @@ pub fn run_shared_faulty_traced(
             let picked = if low_capacity {
                 None
             } else if breakers.is_empty() {
-                pick_round_robin(&up, rotation)
+                pick_round_robin(up, rotation)
             } else {
-                pick_target(&up, &breakers, rotation, redispatch_at)
+                pick_target(up, &breakers, rotation, redispatch_at)
             };
             let Some(picked) = picked else {
                 stats.shed += 1;
@@ -421,6 +614,11 @@ pub fn run_shared_faulty_traced(
             slots[target].engine.submit_at(orphan.spec, redispatch_at);
             slots[target].parked = false;
         }
+
+        // One crash fully processed: re-dispatches may have revived
+        // parked slots and `next_crash` advanced, so the barrier has to
+        // be recomputed before anything else steps.
+        resync = sharded;
     }
 
     // Finalize every surviving engine (dead slots were emptied at crash
@@ -634,6 +832,40 @@ mod tests {
             a.stats.redispatches > 0,
             "orphans must still flow with breakers enabled"
         );
+    }
+
+    #[test]
+    fn sharded_kernel_matches_lockstep_reference_bit_for_bit() {
+        let t = trace(19, 8.0, 250);
+        let mut faults = FaultConfig::moderate();
+        faults.crash_rate_per_hour = 600.0;
+        let plan = FaultPlan::with_faults(faults).with_breaker(BreakerConfig::default());
+        let run = |f: &dyn Fn() -> Result<FaultRunResult, RouterError>| f().unwrap();
+        let sharded = run(&|| {
+            run_shared_faulty(
+                &t,
+                3,
+                &SchedulerSpec::qoserve(),
+                &config(),
+                &plan,
+                &SeedStream::new(19),
+            )
+        });
+        let lockstep = run(&|| {
+            run_shared_faulty_lockstep(
+                &t,
+                3,
+                &SchedulerSpec::qoserve(),
+                &config(),
+                &plan,
+                &SeedStream::new(19),
+            )
+        });
+        assert!(
+            sharded.stats.crashes > 0,
+            "the differential must exercise recovery"
+        );
+        assert_eq!(sharded, lockstep, "kernels must agree bit-for-bit");
     }
 
     #[test]

@@ -61,9 +61,9 @@ pub mod prelude {
 
     pub use qoserve_cluster::{
         max_goodput, min_replicas_for, pick_target, run_shared, run_shared_faulty,
-        run_shared_faulty_traced, run_shared_traced, run_siloed, BreakerConfig, BreakerState,
-        CircuitBreaker, ClusterConfig, FaultPlan, FaultRunResult, FaultRunStats, GoodputOptions,
-        PickedTarget, Router, RouterError, SchedulerSpec, SiloGroup,
+        run_shared_faulty_lockstep, run_shared_faulty_traced, run_shared_traced, run_siloed,
+        BreakerConfig, BreakerState, CircuitBreaker, ClusterConfig, FaultPlan, FaultRunResult,
+        FaultRunStats, GoodputOptions, PickedTarget, Router, RouterError, SchedulerSpec, SiloGroup,
     };
     pub use qoserve_engine::{
         HealthSnapshot, ReplicaConfig, ReplicaEngine, ReplicaState, HEALTH_WINDOW,

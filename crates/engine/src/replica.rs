@@ -14,7 +14,7 @@ use qoserve_perf::{BatchProfile, HardwareConfig, LatencyModel, PrefillChunkProfi
 use qoserve_sched::{Constraints, DecodeJob, PrefillJob, Scheduler};
 use qoserve_sim::faults::ReplicaFaultProfile;
 use qoserve_sim::time::SignedDuration;
-use qoserve_sim::{EventQueue, SeedStream, SimDuration, SimTime};
+use qoserve_sim::{CalendarQueue, JobRef, JobSlab, SeedStream, SimDuration, SimTime};
 use qoserve_trace::{FaultKind, TraceEvent, Tracer};
 use qoserve_workload::{RequestId, RequestSpec, Trace};
 
@@ -265,17 +265,25 @@ pub struct ReplicaEngine {
     model: LatencyModel,
     noise: ExecutionNoise,
     scheduler: Box<dyn Scheduler>,
-    arrivals: EventQueue<RequestSpec>,
+    arrivals: CalendarQueue<RequestSpec>,
     /// Specs of every request that has arrived (engine-side copy; the
     /// scheduler owns the live prefill job until completion).
     known_specs: HashMap<RequestId, RequestSpec>,
-    /// In-flight requests. Ordered map, not `HashMap`:
+    /// In-flight request state, slab-allocated so the per-iteration hot
+    /// loops index it in O(1) through [`JobRef`]s.
+    jobs: JobSlab<Running>,
+    /// Index of in-flight requests. Ordered map, not `HashMap`:
     /// `finalize_unfinished` drains it into the outcome list, and that
     /// walk order must be a function of request ids alone for replays to
     /// be bit-identical (`known_specs` above is point-lookup only, so it
     /// may stay hashed).
-    running: BTreeMap<RequestId, Running>,
-    decode_pool: Vec<RequestId>,
+    running: BTreeMap<RequestId, JobRef>,
+    decode_pool: Vec<(RequestId, JobRef)>,
+    /// Iteration-scoped scratch (decode snapshot, finished list, batch
+    /// profile), kept across steps so the hot loop never reallocates.
+    decode_scratch: Vec<DecodeJob>,
+    finished_scratch: Vec<RequestId>,
+    profile_scratch: BatchProfile,
     kv: KvCache,
     now: SimTime,
     outcomes: Vec<RequestOutcome>,
@@ -307,10 +315,14 @@ impl ReplicaEngine {
             model,
             noise,
             scheduler,
-            arrivals: EventQueue::new(),
+            arrivals: CalendarQueue::new(),
             known_specs: HashMap::new(),
+            jobs: JobSlab::new(),
             running: BTreeMap::new(),
             decode_pool: Vec::new(),
+            decode_scratch: Vec::new(),
+            finished_scratch: Vec::new(),
+            profile_scratch: BatchProfile::default(),
             kv,
             now: SimTime::ZERO,
             outcomes: Vec::new(),
@@ -336,7 +348,7 @@ impl ReplicaEngine {
 
     /// Queues a request for arrival at `spec.arrival`.
     pub fn submit(&mut self, spec: RequestSpec) {
-        self.arrivals.push(spec.arrival, spec);
+        self.arrivals.push(spec.arrival, 0, spec);
     }
 
     /// Queues a request for delivery at `at`, independent of
@@ -346,7 +358,7 @@ impl ReplicaEngine {
     /// running from the original arrival — a recovered request that blew
     /// its deadline while stranded still counts as violated.
     pub fn submit_at(&mut self, spec: RequestSpec, at: SimTime) {
-        self.arrivals.push(at.max(spec.arrival), spec);
+        self.arrivals.push(at.max(spec.arrival), 0, spec);
     }
 
     /// Current simulated time.
@@ -424,7 +436,7 @@ impl ReplicaEngine {
 
         // 1. Deliver due arrivals.
         self.tracer.set_now(self.now);
-        while let Some((_, spec)) = self.arrivals.pop_due(self.now) {
+        while let Some((_, _, spec)) = self.arrivals.pop_due(self.now) {
             self.known_specs.insert(spec.id, spec);
             if self.tracer.enabled() {
                 self.tracer.emit(
@@ -440,20 +452,24 @@ impl ReplicaEngine {
             self.scheduler.on_arrival(PrefillJob::new(spec), self.now);
         }
 
-        // 2. Snapshot the decode pool.
-        let decodes: Vec<DecodeJob> = self
-            .decode_pool
-            .iter()
-            .map(|id| {
-                let r = &self.running[id];
-                DecodeJob {
-                    id: *id,
-                    context_len: r.prefill_done + r.generated,
-                    next_token_deadline: r.spec.token_deadline(r.generated + 1),
-                    relegated: r.relegated,
+        // 2. Snapshot the decode pool into the reused scratch buffer —
+        // slab lookups through the pool's `JobRef`s, no per-step
+        // allocation.
+        self.decode_scratch.clear();
+        for &(id, job) in &self.decode_pool {
+            let Some(r) = self.jobs.get(job) else {
+                if cfg!(debug_assertions) {
+                    unreachable!("decode {id} is not running");
                 }
-            })
-            .collect();
+                continue;
+            };
+            self.decode_scratch.push(DecodeJob {
+                id,
+                context_len: r.prefill_done + r.generated,
+                next_token_deadline: r.spec.token_deadline(r.generated + 1),
+                relegated: r.relegated,
+            });
+        }
 
         // 3. Ask the scheduler for the prefill side.
         let total_running = self.running.len();
@@ -462,10 +478,12 @@ impl ReplicaEngine {
             allow_prefill: total_running < self.config.max_decode_batch,
             max_new_requests: self.config.max_decode_batch.saturating_sub(total_running),
         };
-        let plan = self.scheduler.plan_batch(self.now, &decodes, constraints);
+        let plan = self
+            .scheduler
+            .plan_batch(self.now, &self.decode_scratch, constraints);
 
         // 4. Idle handling: nothing runnable this instant.
-        if plan.is_empty() && decodes.is_empty() {
+        if plan.is_empty() && self.decode_scratch.is_empty() {
             if let Some(next) = self.arrivals.peek_time() {
                 // Jump to the next arrival.
                 self.now = self.now.max(next);
@@ -483,17 +501,22 @@ impl ReplicaEngine {
         }
         self.stall_streak = 0;
 
-        // 5. Execute the mixed batch.
-        let mut profile = BatchProfile::default();
+        // 5. Execute the mixed batch (profile rebuilt in place, reusing
+        // its chunk buffer).
+        self.profile_scratch.prefill.clear();
         for a in &plan.prefill {
-            profile
+            self.profile_scratch
                 .prefill
                 .push(PrefillChunkProfile::new(a.tokens, a.context_before));
         }
-        profile.num_decodes = decodes.len() as u32;
-        profile.decode_context_total = decodes.iter().map(|d| d.context_len as u64).sum();
+        self.profile_scratch.num_decodes = self.decode_scratch.len() as u32;
+        self.profile_scratch.decode_context_total = self
+            .decode_scratch
+            .iter()
+            .map(|d| d.context_len as u64)
+            .sum();
 
-        let clean = self.model.iteration_time(&profile);
+        let clean = self.model.iteration_time(&self.profile_scratch);
         let mut exec = self.noise.apply(clean);
         // Straggler/drift windows inflate the iteration latency by the
         // product of the factors of every window containing the iteration
@@ -518,9 +541,9 @@ impl ReplicaEngine {
             self.tracer.emit(
                 None,
                 TraceEvent::IterationExecuted {
-                    batch_tokens: plan.prefill_tokens() + decodes.len() as u32,
+                    batch_tokens: plan.prefill_tokens() + self.decode_scratch.len() as u32,
                     prefill_tokens: plan.prefill_tokens(),
-                    num_decodes: decodes.len() as u32,
+                    num_decodes: self.decode_scratch.len() as u32,
                     observed_us: exec.as_micros(),
                 },
             );
@@ -531,43 +554,49 @@ impl ReplicaEngine {
         self.health.record(HealthSample {
             degraded,
             ratio: exec.as_micros() as f64 / clean.as_micros().max(1) as f64,
-            tokens: plan.prefill_tokens() as u64 + decodes.len() as u64,
+            tokens: plan.prefill_tokens() as u64 + self.decode_scratch.len() as u64,
             exec_us: exec.as_micros(),
         });
         // Close the observe→adapt loop: the scheduler sees the batch it
         // planned together with the *observed* execution latency (a no-op
         // for static schedulers).
-        self.scheduler.on_iteration(&profile, exec, self.now);
+        self.scheduler
+            .on_iteration(&self.profile_scratch, exec, self.now);
         if self.config.record_batches {
             self.batch_log.push(BatchRecord {
                 start: self.now - exec,
                 exec,
                 token_budget: plan.token_budget,
                 prefill_tokens: plan.prefill_tokens(),
-                num_decodes: decodes.len() as u32,
+                num_decodes: self.decode_scratch.len() as u32,
             });
         }
 
-        // 6. Decode side: each pooled request emits one token.
-        let mut finished: Vec<RequestId> = Vec::new();
-        for d in &decodes {
-            let Some(r) = self.running.get_mut(&d.id) else {
+        // 6. Decode side: each pooled request emits one token. The pool
+        // itself only changes in `complete`, deferred until after the
+        // walk, so iterating it directly matches the snapshot exactly.
+        self.finished_scratch.clear();
+        for i in 0..self.decode_pool.len() {
+            let (id, job) = self.decode_pool[i];
+            let Some(r) = self.jobs.get_mut(job) else {
                 // Scheduler/engine contract breach: loud in debug builds
                 // (where the test suite runs), a defensive skip in release.
                 if cfg!(debug_assertions) {
-                    unreachable!("decode {} is not running", d.id);
+                    unreachable!("decode {id} is not running");
                 }
                 continue;
             };
             r.emit_token(self.now);
-            self.kv.write_decode(d.id);
+            self.kv.write_decode(id);
             if r.is_done() {
-                finished.push(d.id);
+                self.finished_scratch.push(id);
             }
         }
-        for id in finished {
+        let finished = std::mem::take(&mut self.finished_scratch);
+        for &id in &finished {
             self.complete(id);
         }
+        self.finished_scratch = finished;
 
         // 7. Prefill side: apply progress; completions emit their first
         // token and join the decode pool.
@@ -584,11 +613,15 @@ impl ReplicaEngine {
                 };
                 self.kv
                     .admit(a.id, spec.decode_tokens.saturating_sub(1) as u64);
-                self.running.insert(a.id, Running::new(spec));
+                let job = self.jobs.insert(Running::new(spec));
+                self.running.insert(a.id, job);
             }
             // Present unless the unknown-request guard above skipped the
             // admission for this assignment.
-            let Some(entry) = self.running.get_mut(&a.id) else {
+            let Some(&job) = self.running.get(&a.id) else {
+                continue;
+            };
+            let Some(entry) = self.jobs.get_mut(job) else {
                 continue;
             };
             entry.prefill_done += a.tokens;
@@ -602,7 +635,7 @@ impl ReplicaEngine {
                 if entry.is_done() {
                     self.complete(a.id);
                 } else {
-                    self.decode_pool.push(a.id);
+                    self.decode_pool.push((a.id, job));
                 }
             }
         }
@@ -611,13 +644,19 @@ impl ReplicaEngine {
     }
 
     fn complete(&mut self, id: RequestId) {
-        let Some(r) = self.running.remove(&id) else {
+        let Some(job) = self.running.remove(&id) else {
             if cfg!(debug_assertions) {
                 unreachable!("completing unknown request {id}");
             }
             return;
         };
-        self.decode_pool.retain(|d| *d != id);
+        let Some(r) = self.jobs.remove(job) else {
+            if cfg!(debug_assertions) {
+                unreachable!("completing stale job for request {id}");
+            }
+            return;
+        };
+        self.decode_pool.retain(|(d, _)| *d != id);
         self.kv.release(id);
         self.scheduler.on_completion(&r.spec, r.generated);
         if self.tracer.enabled() {
@@ -640,8 +679,13 @@ impl ReplicaEngine {
     fn finalize_unfinished(&mut self) {
         let replica = self.config.replica_id;
         let mut accounted: std::collections::HashSet<RequestId> = HashSet::new();
-        for (id, r) in std::mem::take(&mut self.running) {
+        // Index order (by request id), not slab order — pinned by replay
+        // bit-identity tests.
+        for (id, job) in std::mem::take(&mut self.running) {
             accounted.insert(id);
+            let Some(r) = self.jobs.remove(job) else {
+                continue;
+            };
             self.outcomes
                 .push(RequestOutcome::unfinished(r.spec, r.relegated, replica));
         }
@@ -662,7 +706,7 @@ impl ReplicaEngine {
                     .push(RequestOutcome::unfinished(job.spec, job.relegated, replica));
             }
         }
-        while let Some((_, spec)) = self.arrivals.pop() {
+        while let Some((_, _, spec)) = self.arrivals.pop() {
             self.outcomes
                 .push(RequestOutcome::unfinished(spec, false, replica));
         }
@@ -739,8 +783,11 @@ impl ReplicaEngine {
         let replica = self.config.replica_id;
         let mut accounted: HashSet<RequestId> = HashSet::new();
         let mut orphans: Vec<OrphanedJob> = Vec::new();
-        for (id, r) in std::mem::take(&mut self.running) {
+        for (id, job) in std::mem::take(&mut self.running) {
             accounted.insert(id);
+            let Some(r) = self.jobs.remove(job) else {
+                continue;
+            };
             orphans.push(OrphanedJob {
                 spec: r.spec,
                 prefill_done: r.prefill_done,
@@ -764,7 +811,7 @@ impl ReplicaEngine {
                 });
             }
         }
-        while let Some((_, spec)) = self.arrivals.pop() {
+        while let Some((_, _, spec)) = self.arrivals.pop() {
             if accounted.insert(spec.id) {
                 orphans.push(OrphanedJob {
                     spec,

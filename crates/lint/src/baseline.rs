@@ -1,12 +1,14 @@
 //! The ratcheting baselines (`lint-baseline.toml`).
 //!
-//! Existing rule debt in library code is frozen per file for the two
-//! ratcheted rules — `panic-hygiene` (`unwrap()`/`expect()`/`panic!`)
-//! and `unstructured-output` (`println!`-family macros): a file may
-//! never *gain* sites, and when it sheds some, `--fix-baseline` rewrites
-//! the file so the new, lower count becomes the ceiling. The format is a
-//! deliberately tiny TOML subset — known sections, quoted-path keys,
-//! integer values — parsed by hand so the linter stays dependency-free:
+//! Existing rule debt in library code is frozen per file for the three
+//! ratcheted rules — `panic-hygiene` (`unwrap()`/`expect()`/`panic!`),
+//! `unstructured-output` (`println!`-family macros), and
+//! `hot-path-alloc` (allocation churn inside hot-path fn bodies): a file
+//! may never *gain* sites, and when it sheds some, `--fix-baseline`
+//! rewrites the file so the new, lower count becomes the ceiling. The
+//! format is a deliberately tiny TOML subset — known sections,
+//! quoted-path keys, integer values — parsed by hand so the linter stays
+//! dependency-free:
 //!
 //! ```toml
 //! [panic-hygiene]
@@ -14,6 +16,9 @@
 //!
 //! [unstructured-output]
 //! "crates/bench/src/lib.rs" = 6
+//!
+//! [hot-path-alloc]
+//! "crates/sched/src/qoserve.rs" = 2
 //! ```
 
 use std::collections::BTreeMap;
@@ -27,6 +32,8 @@ pub struct Baseline {
     pub allowed: BTreeMap<String, u32>,
     /// `unstructured-output`: file path -> allowed output-site count.
     pub output_allowed: BTreeMap<String, u32>,
+    /// `hot-path-alloc`: file path -> allowed hot-path allocation count.
+    pub alloc_allowed: BTreeMap<String, u32>,
 }
 
 /// A parse failure with its line number.
@@ -49,6 +56,7 @@ impl std::fmt::Display for BaselineError {
 enum Section {
     Panic,
     Output,
+    Alloc,
 }
 
 impl Baseline {
@@ -60,6 +68,11 @@ impl Baseline {
     /// Allowed output-site count for `path` (0 when not listed).
     pub fn output_allowed_for(&self, path: &str) -> u32 {
         self.output_allowed.get(path).copied().unwrap_or(0)
+    }
+
+    /// Allowed hot-path allocation count for `path` (0 when not listed).
+    pub fn alloc_allowed_for(&self, path: &str) -> u32 {
+        self.alloc_allowed.get(path).copied().unwrap_or(0)
     }
 
     /// Parses the baseline file contents.
@@ -76,6 +89,7 @@ impl Baseline {
                 section = match name.trim() {
                     "panic-hygiene" => Some(Section::Panic),
                     "unstructured-output" => Some(Section::Output),
+                    "hot-path-alloc" => Some(Section::Alloc),
                     other => {
                         return Err(BaselineError {
                             line: lineno,
@@ -88,7 +102,8 @@ impl Baseline {
             let Some(section) = section else {
                 return Err(BaselineError {
                     line: lineno,
-                    message: "entry before a `[panic-hygiene]` or `[unstructured-output]` section"
+                    message: "entry before a `[panic-hygiene]`, `[unstructured-output]`, or \
+                              `[hot-path-alloc]` section"
                         .to_string(),
                 });
             };
@@ -119,6 +134,7 @@ impl Baseline {
             let map = match section {
                 Section::Panic => &mut baseline.allowed,
                 Section::Output => &mut baseline.output_allowed,
+                Section::Alloc => &mut baseline.alloc_allowed,
             };
             map.insert(path.to_string(), count);
         }
@@ -144,6 +160,14 @@ impl Baseline {
         if self.output_allowed.values().any(|c| *c > 0) {
             out.push_str("\n[unstructured-output]\n");
             for (path, count) in &self.output_allowed {
+                if *count > 0 {
+                    out.push_str(&format!("\"{path}\" = {count}\n"));
+                }
+            }
+        }
+        if self.alloc_allowed.values().any(|c| *c > 0) {
+            out.push_str("\n[hot-path-alloc]\n");
+            for (path, count) in &self.alloc_allowed {
                 if *count > 0 {
                     out.push_str(&format!("\"{path}\" = {count}\n"));
                 }
@@ -183,10 +207,23 @@ mod tests {
     }
 
     #[test]
+    fn parses_alloc_section() {
+        let b = Baseline::parse(
+            "[panic-hygiene]\n\"crates/a/src/x.rs\" = 2\n\n\
+             [hot-path-alloc]\n\"crates/sched/src/qoserve.rs\" = 3\n",
+        )
+        .unwrap();
+        assert_eq!(b.alloc_allowed_for("crates/sched/src/qoserve.rs"), 3);
+        assert_eq!(b.alloc_allowed_for("crates/a/src/x.rs"), 0);
+        assert_eq!(b.allowed_for("crates/a/src/x.rs"), 2);
+    }
+
+    #[test]
     fn empty_file_is_empty_baseline() {
         let b = Baseline::parse("").unwrap();
         assert!(b.allowed.is_empty());
         assert!(b.output_allowed.is_empty());
+        assert!(b.alloc_allowed.is_empty());
         assert_eq!(b.allowed_for("anything"), 0);
     }
 
@@ -197,17 +234,21 @@ mod tests {
         b.allowed.insert("a.rs".into(), 7);
         b.allowed.insert("gone.rs".into(), 0);
         b.output_allowed.insert("out.rs".into(), 4);
+        b.alloc_allowed.insert("hot.rs".into(), 9);
         let text = b.render();
         let reparsed = Baseline::parse(&text).unwrap();
         assert_eq!(reparsed.allowed_for("a.rs"), 7);
         assert_eq!(reparsed.allowed_for("z.rs"), 2);
         assert_eq!(reparsed.output_allowed_for("out.rs"), 4);
+        assert_eq!(reparsed.alloc_allowed_for("hot.rs"), 9);
         assert!(!text.contains("gone.rs"));
         let a = text.find("a.rs").unwrap();
         let z = text.find("z.rs").unwrap();
         assert!(a < z, "entries must be sorted");
         let section = text.find("[unstructured-output]").unwrap();
         assert!(z < section, "output section comes after panic entries");
+        let alloc = text.find("[hot-path-alloc]").unwrap();
+        assert!(section < alloc, "alloc section comes last");
     }
 
     #[test]
@@ -216,6 +257,7 @@ mod tests {
         b.allowed.insert("a.rs".into(), 1);
         let text = b.render();
         assert!(!text.contains("[unstructured-output]"));
+        assert!(!text.contains("[hot-path-alloc]"));
         assert_eq!(Baseline::parse(&text).unwrap(), b);
     }
 
@@ -226,6 +268,7 @@ mod tests {
         assert!(Baseline::parse("[panic-hygiene]\n\"x.rs\" = -2\n").is_err());
         assert!(Baseline::parse("[panic-hygiene]\n\"x.rs\" = lots\n").is_err());
         assert!(Baseline::parse("[unstructured-output]\n\"x.rs\" = ??\n").is_err());
+        assert!(Baseline::parse("[hot-path-alloc]\n\"x.rs\" = many\n").is_err());
         assert!(
             Baseline::parse("\"x.rs\" = 1\n").is_err(),
             "entry before section"

@@ -18,7 +18,12 @@
 //! * `println!`-family output in library code above its own ratcheting
 //!   baseline (`unstructured-output` — library code returns data or
 //!   emits trace events; only `src/bin/` drivers and `src/main.rs`
-//!   print).
+//!   print),
+//! * allocation churn (`Box::new`, `.to_string()`, `.clone()`, …) inside
+//!   hot-path function bodies (`step`, `on_iteration`, the event-loop
+//!   kernels) of determinism crates, above its own ratcheting baseline
+//!   (`hot-path-alloc` — hot paths reuse scratch buffers and slab
+//!   slots; allocation belongs in setup code).
 //!
 //! Violations can be waived inline with a mandatory reason:
 //! `// qoserve-lint: allow(<rule>) -- <reason>`. See [`rules`] for the
@@ -34,7 +39,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use baseline::Baseline;
-use rules::{analyze, scope_for, Diagnostic, RULE_OUTPUT, RULE_PANIC};
+use rules::{analyze, scope_for, Diagnostic, RULE_ALLOC, RULE_OUTPUT, RULE_PANIC};
 
 /// Name of the baseline file at the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.toml";
@@ -65,7 +70,7 @@ pub struct LintReport {
     /// `(rule, path, current, allowed)` for files whose ratcheted-rule
     /// count sits *below* their baseline ceiling — ratchet candidates.
     pub ratchet: Vec<(&'static str, String, u32, u32)>,
-    /// Current per-file counts for both ratcheted rules (what
+    /// Current per-file counts for the ratcheted rules (what
     /// `--fix-baseline` writes).
     pub counts: Baseline,
     /// Files scanned.
@@ -139,6 +144,30 @@ pub fn lint_tree(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport
             report
                 .ratchet
                 .push((RULE_OUTPUT, rel.clone(), count, allowed));
+        }
+
+        let count = analysis.alloc_sites.len() as u32;
+        let allowed = baseline.alloc_allowed_for(&rel);
+        if count > 0 {
+            report.counts.alloc_allowed.insert(rel.clone(), count);
+        }
+        if count > allowed {
+            let (line, col, ref what) = analysis.alloc_sites[0];
+            report.diagnostics.push(Diagnostic {
+                path: rel.clone(),
+                line,
+                col,
+                rule: RULE_ALLOC,
+                message: format!(
+                    "{count} allocation site(s) in hot-path code (first: `{what}`), baseline \
+                     allows {allowed}; reuse a scratch buffer or slab slot (see \
+                     `qoserve_sim::eventcore`), or waive with a reason"
+                ),
+            });
+        } else if count < allowed {
+            report
+                .ratchet
+                .push((RULE_ALLOC, rel.clone(), count, allowed));
         }
 
         for w in &analysis.waivers {

@@ -34,12 +34,12 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: qoserve-lint [--root PATH] [--fix-baseline] [--quiet]\n\
                             \n\
                             Lints every .rs file of the workspace for determinism, float-\n\
-                            ordering, panic-hygiene, and unstructured-output violations.\n\
-                            See DESIGN.md\n\
+                            ordering, panic-hygiene, unstructured-output, and hot-path-alloc\n\
+                            violations. See DESIGN.md\n\
                             (\"Static analysis & the determinism contract\") for the rules.\n\
                             \n\
                             --root PATH       workspace root to lint (default: .)\n\
-                            --fix-baseline    rewrite lint-baseline.toml with current panic\n\
+                            --fix-baseline    rewrite lint-baseline.toml with current ratcheted\n\
                             \u{20}                 counts (ratchet down; other rules must be clean)\n\
                             --quiet           suppress the summary, print diagnostics only"
                     .to_string());
@@ -91,6 +91,7 @@ fn main() -> ExitCode {
             .filter(|d| {
                 d.rule != qoserve_lint::rules::RULE_PANIC
                     && d.rule != qoserve_lint::rules::RULE_OUTPUT
+                    && d.rule != qoserve_lint::rules::RULE_ALLOC
             })
             .count();
         if non_ratcheted > 0 {
@@ -106,10 +107,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!(
-            "qoserve-lint: wrote {} ({} file(s) with panic debt, {} with output debt)",
+            "qoserve-lint: wrote {} ({} file(s) with panic debt, {} with output debt, \
+             {} with hot-path-alloc debt)",
             path.display(),
             report.counts.allowed.len(),
-            report.counts.output_allowed.len()
+            report.counts.output_allowed.len(),
+            report.counts.alloc_allowed.len()
         );
         return ExitCode::SUCCESS;
     }

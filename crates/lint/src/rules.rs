@@ -15,6 +15,7 @@
 //! | `float-ordering`       | every crate except the sanctioned helper `crates/sim/src/float.rs` |
 //! | `panic-hygiene`        | every crate, excluding `src/bin/` drivers; ratcheted by `lint-baseline.toml` |
 //! | `unstructured-output`  | library code only (`src/bin/` and `src/main.rs` exempt); ratcheted by `lint-baseline.toml` |
+//! | `hot-path-alloc`       | hot-path fn bodies in determinism-crate library code; ratcheted by `lint-baseline.toml` |
 //!
 //! Test code never participates: files under a `tests/`, `benches/`,
 //! `examples/`, or `fixtures/` path component are skipped entirely, and
@@ -36,6 +37,9 @@ pub const RULE_PANIC: &str = "panic-hygiene";
 /// Rule name: `println!`-family output in library code, above the
 /// ratcheted baseline.
 pub const RULE_OUTPUT: &str = "unstructured-output";
+/// Rule name: allocation churn inside simulation hot paths, above the
+/// ratcheted baseline.
+pub const RULE_ALLOC: &str = "hot-path-alloc";
 /// Rule name: malformed waiver comment.
 pub const RULE_WAIVER: &str = "bad-waiver";
 
@@ -53,6 +57,18 @@ const OUTPUT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"
 /// The one file allowed to spell out raw float comparisons: the shared
 /// `total_cmp` helper everything else is routed through.
 const FLOAT_HELPER: &str = "crates/sim/src/float.rs";
+
+/// Functions whose bodies are simulation hot paths: per-iteration and
+/// per-event code where allocation churn dominates wall-clock time.
+/// Matched lexically by name (`fn <name>`), like every other rule.
+const HOT_FNS: &[&str] = &[
+    "step",
+    "on_iteration",
+    "advance_replica",
+    "run_faulty_inner",
+    "pop",
+    "pop_due",
+];
 
 /// `HashMap`/`HashSet` methods that observe iteration order.
 const ITER_METHODS: &[&str] = &[
@@ -103,6 +119,8 @@ pub struct FileScope {
     pub panic: bool,
     /// `unstructured-output`.
     pub output: bool,
+    /// `hot-path-alloc`.
+    pub alloc: bool,
 }
 
 impl FileScope {
@@ -112,11 +130,12 @@ impl FileScope {
         float: false,
         panic: false,
         output: false,
+        alloc: false,
     };
 
     /// True when at least one rule family applies.
     pub fn any(&self) -> bool {
-        self.determinism || self.float || self.panic || self.output
+        self.determinism || self.float || self.panic || self.output || self.alloc
     }
 }
 
@@ -139,11 +158,13 @@ pub fn scope_for(rel_path: &str) -> FileScope {
         return FileScope::NONE;
     }
     let is_bin_target = rest.first() == Some(&"bin") || rest == ["main.rs"];
+    let determinism = DETERMINISM_CRATES.contains(crate_name);
     FileScope {
-        determinism: DETERMINISM_CRATES.contains(crate_name),
+        determinism,
         float: rel_path != FLOAT_HELPER,
         panic: rest.first() != Some(&"bin"),
         output: !is_bin_target,
+        alloc: determinism && rest.first() != Some(&"bin"),
     }
 }
 
@@ -159,6 +180,10 @@ pub struct FileAnalysis {
     /// Unwaived `println!`-family sites in non-test library code:
     /// `(line, col, what)`, ratcheted like `panic_sites`.
     pub output_sites: Vec<(u32, u32, String)>,
+    /// Unwaived allocation sites inside hot-path fn bodies (see
+    /// [`HOT_FNS`]) in non-test code: `(line, col, what)`, ratcheted like
+    /// `panic_sites`.
+    pub alloc_sites: Vec<(u32, u32, String)>,
     /// All well-formed waivers found in the file (used or not).
     pub waivers: Vec<Waiver>,
 }
@@ -230,6 +255,21 @@ pub fn analyze(rel_path: &str, src: &str, scope: FileScope) -> FileAnalysis {
                 continue;
             }
             analysis.output_sites.push((line, col, what));
+        }
+    }
+
+    if scope.alloc {
+        let hot = hot_regions(&code);
+        let in_hot = |line: u32| hot.iter().any(|(lo, hi)| (*lo..=*hi).contains(&line));
+        for (line, col, what) in alloc_sites(&code) {
+            if !in_hot(line) || in_test(line) {
+                continue;
+            }
+            if let Some(w) = analysis.waivers.iter().find(|w| w.covers(RULE_ALLOC, line)) {
+                w.used.set(true);
+                continue;
+            }
+            analysis.alloc_sites.push((line, col, what));
         }
     }
 
@@ -639,6 +679,97 @@ fn output_sites(code: &[&Tok]) -> Vec<(u32, u32, String)> {
     sites
 }
 
+/// Line ranges covered by the bodies of hot-path functions (any `fn`
+/// named in [`HOT_FNS`]), including nested closures and items.
+fn hot_regions(code: &[&Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < code.len() {
+        if !(code[i].is_ident("fn")
+            && code[i + 1].kind == TokKind::Ident
+            && HOT_FNS.contains(&code[i + 1].text.as_str()))
+        {
+            i += 1;
+            continue;
+        }
+        // Scan the signature for the body `{` at bracket depth 0; a `;`
+        // first means a bodyless trait-method declaration.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        let mut open = None;
+        while j < code.len() {
+            let t = code[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('{') {
+                open = Some(j);
+                break;
+            } else if depth == 0 && t.is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j.max(i + 2);
+            continue;
+        };
+        let mut d = 1i32;
+        let mut m = open + 1;
+        let mut end_line = u32::MAX; // unterminated: rest of file is hot
+        while m < code.len() {
+            if code[m].is_punct('{') {
+                d += 1;
+            } else if code[m].is_punct('}') {
+                d -= 1;
+                if d == 0 {
+                    end_line = code[m].line;
+                    break;
+                }
+            }
+            m += 1;
+        }
+        regions.push((code[open].line, end_line));
+        i = m + 1;
+    }
+    regions
+}
+
+/// Unfiltered allocation sites: `Box::new(`, `.to_string(`, `.clone(`,
+/// `.to_owned(`, `.to_vec(`. `Clone` derives and pass-through calls like
+/// `clone_from` never match (the method name must be exact).
+fn alloc_sites(code: &[&Tok]) -> Vec<(u32, u32, String)> {
+    let mut sites = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Box"
+                if i + 4 < code.len()
+                    && code[i + 1].is_punct(':')
+                    && code[i + 2].is_punct(':')
+                    && code[i + 3].is_ident("new")
+                    && code[i + 4].is_punct('(') =>
+            {
+                sites.push((t.line, t.col, "Box::new(..)".to_string()));
+            }
+            "to_string" | "clone" | "to_owned" | "to_vec"
+                if i >= 1
+                    && code[i - 1].is_punct('.')
+                    && i + 1 < code.len()
+                    && code[i + 1].is_punct('(') =>
+            {
+                sites.push((t.line, t.col, format!(".{}()", t.text)));
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -648,6 +779,7 @@ mod tests {
         float: true,
         panic: true,
         output: true,
+        alloc: true,
     };
 
     fn rules_of(src: &str) -> Vec<&'static str> {
@@ -661,17 +793,23 @@ mod tests {
     #[test]
     fn scoping_table() {
         let s = scope_for("crates/sched/src/queue.rs");
-        assert!(s.determinism && s.float && s.panic && s.output);
+        assert!(s.determinism && s.float && s.panic && s.output && s.alloc);
         let s = scope_for("crates/metrics/src/histogram.rs");
         assert!(!s.determinism && s.float && s.panic && s.output);
+        assert!(!s.alloc, "hot-path-alloc only binds determinism crates");
         let s = scope_for("crates/trace/src/tracer.rs");
         assert!(s.determinism, "the trace layer feeds replayed results");
         let s = scope_for("crates/sim/src/float.rs");
         assert!(s.determinism && !s.float && s.panic, "sanctioned helper");
         let s = scope_for("crates/bench/src/bin/fig9.rs");
         assert!(
-            !s.determinism && s.float && !s.panic && !s.output,
+            !s.determinism && s.float && !s.panic && !s.output && !s.alloc,
             "drivers may panic and print"
+        );
+        let s = scope_for("crates/engine/src/bin/probe.rs");
+        assert!(
+            !s.alloc,
+            "bin targets are exempt even in determinism crates"
         );
         let s = scope_for("crates/lint/src/main.rs");
         assert!(s.panic && !s.output, "main.rs is a bin target for output");
@@ -806,6 +944,67 @@ mod tests {
         );
         assert!(a.output_sites.is_empty());
         assert!(a.waivers[0].used.get());
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_only_inside_hot_fns() {
+        let src = "impl Engine {\n\
+                   fn label(&self) -> String { self.name.clone() }\n\
+                   pub fn step(&mut self) -> bool {\n\
+                   let b = Box::new(Job::default());\n\
+                   let s = self.id.to_string();\n\
+                   let js = self.jobs.clone();\n\
+                   let o = buf.to_owned();\n\
+                   let v = slice.to_vec();\n\
+                   true\n\
+                   }\n\
+                   }\n";
+        let a = analyze("crates/engine/src/x.rs", src, ALL);
+        assert_eq!(a.alloc_sites.len(), 5, "{:?}", a.alloc_sites);
+        assert_eq!(a.alloc_sites[0].2, "Box::new(..)");
+        assert_eq!(a.alloc_sites[1].2, ".to_string()");
+        // The same allocations outside a hot fn are legal.
+        let a = analyze(
+            "crates/engine/src/x.rs",
+            "fn setup() { let b = Box::new(1); let s = x.to_string(); let c = y.clone(); }",
+            ALL,
+        );
+        assert!(a.alloc_sites.is_empty());
+        // Lookalikes don't count: clone_from, Clone bound, non-call clone.
+        let a = analyze(
+            "crates/engine/src/x.rs",
+            "fn on_iteration<T: Clone>(&mut self) { a.clone_from(&b); let f = Self::clone; }",
+            ALL,
+        );
+        assert!(a.alloc_sites.is_empty(), "{:?}", a.alloc_sites);
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_all_hot_fns_and_respects_waivers() {
+        for name in ["step", "on_iteration", "advance_replica", "pop", "pop_due"] {
+            let src = format!("fn {name}(&mut self) -> u32 {{ self.v.clone() }}");
+            let a = analyze("crates/sim/src/x.rs", &src, ALL);
+            assert_eq!(a.alloc_sites.len(), 1, "fn {name}");
+        }
+        // A bodyless trait declaration must not swallow the rest of the
+        // file into a hot region.
+        let src = "trait S { fn step(&mut self) -> bool; }\n\
+                   fn setup() { let c = x.clone(); }\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.alloc_sites.is_empty(), "{:?}", a.alloc_sites);
+        // Waivers suppress and are marked used, like every other rule.
+        let src = "fn step(&mut self) {\n\
+                   // qoserve-lint: allow(hot-path-alloc) -- cold error path\n\
+                   let msg = err.to_string();\n\
+                   }\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.alloc_sites.is_empty());
+        assert!(a.waivers[0].used.get());
+        // Test regions are excised.
+        let src = "#[cfg(test)]\nmod tests {\n#[test]\nfn t() { \
+                   fn step(x: &X) -> X { x.clone() } }\n}\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.alloc_sites.is_empty());
     }
 
     #[test]

@@ -149,6 +149,15 @@ impl VecSink {
     pub fn new() -> VecSink {
         VecSink::default()
     }
+
+    /// An empty sink pre-sized for `capacity` records, so capturing a
+    /// run whose event count is known up front (roughly proportional to
+    /// the trace's request count) never regrows the buffer mid-run.
+    pub fn with_capacity(capacity: usize) -> VecSink {
+        VecSink {
+            records: Vec::with_capacity(capacity),
+        }
+    }
 }
 
 impl TraceSink for VecSink {

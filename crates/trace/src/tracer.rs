@@ -91,6 +91,13 @@ impl Tracer {
         Tracer::new(Box::new(VecSink::new()))
     }
 
+    /// [`Tracer::unbounded`] pre-sized for roughly `records` captured
+    /// events (callers usually derive this from the trace's request
+    /// count), so large captures never regrow the sink mid-run.
+    pub fn unbounded_with_capacity(records: usize) -> Tracer {
+        Tracer::new(Box::new(VecSink::with_capacity(records)))
+    }
+
     /// Whether events are captured at all.
     pub fn enabled(&self) -> bool {
         self.shared.is_some()

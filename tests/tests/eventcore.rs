@@ -1,0 +1,165 @@
+//! Property pins for the event core (`qoserve_sim::eventcore`).
+//!
+//! The calendar queue is only allowed to be *faster* than the naive
+//! `BinaryHeap` event queue — never differently ordered. These tests
+//! drive it with arbitrary insert/pop interleavings against a reference
+//! model and check three properties:
+//!
+//! 1. Pops are globally nondecreasing in `(time_us, sub, seq)`.
+//! 2. Same-`(time, sub)` ties pop in push order (FIFO stability).
+//! 3. The pop sequence is identical to a `BinaryHeap` reference model.
+//!
+//! Plus the slab-arena lifetime pin: a generation-checked `JobRef` must
+//! detect use-after-free instead of silently reading a recycled slot.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+use qoserve_sim::{CalendarQueue, JobSlab, SimTime};
+
+/// One scripted action against both the queue and the model.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push at `time_us` on substream `sub`.
+    Push { time_us: u64, sub: u64 },
+    /// Pop once (a no-op on an empty queue).
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (time_strategy(), 0u64..4).prop_map(|(time_us, sub)| Op::Push { time_us, sub }),
+        2 => Just(Op::Pop),
+    ]
+}
+
+/// Times spanning all three internal regions of the calendar queue:
+/// dense near zero (wheel), clustered ties, and far-future outliers
+/// (radix-heap overflow, beyond the wheel's ~8.6 s span).
+fn time_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0u64..200_000,
+        2 => (0u64..64).prop_map(|t| t * 1_000), // heavy same-time ties
+        1 => 0u64..100_000_000_000,
+    ]
+}
+
+/// Reference model: plain `BinaryHeap` over the inverted full key.
+#[derive(Default)]
+struct ModelQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, u64, u64)>>,
+    next_seq: u64,
+}
+
+impl ModelQueue {
+    fn push(&mut self, time_us: u64, sub: u64, payload: u64) {
+        self.heap
+            .push(Reverse((time_us, sub, self.next_seq, payload)));
+        self.next_seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64, u64)> {
+        self.heap
+            .pop()
+            .map(|Reverse((time_us, sub, _, payload))| (time_us, sub, payload))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn calendar_queue_matches_binary_heap_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut queue: CalendarQueue<u64> = CalendarQueue::new();
+        let mut model = ModelQueue::default();
+        let mut payload = 0u64;
+
+        for op in &ops {
+            match *op {
+                Op::Push { time_us, sub } => {
+                    queue.push(SimTime::from_micros(time_us), sub, payload);
+                    model.push(time_us, sub, payload);
+                    payload += 1;
+                }
+                Op::Pop => {
+                    let got = queue.pop().map(|(t, sub, p)| (t.as_micros(), sub, p));
+                    let want = model.pop();
+                    // Identical to the reference model, pop for pop. The
+                    // payload equality doubles as the FIFO-stability pin:
+                    // the model breaks (time, sub) ties by insertion
+                    // order, so any tie reordering changes the payload.
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+
+        // Drain both to empty: the tail must stay identical and globally
+        // nondecreasing in (time_us, sub, seq) — with no further pushes,
+        // every pop key must be >= its predecessor.
+        let mut prev: Option<(u64, u64)> = None;
+        loop {
+            let got = queue.pop().map(|(t, sub, p)| (t.as_micros(), sub, p));
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            let Some((t, sub, _)) = got else { break };
+            if let Some((pt, psub)) = prev {
+                prop_assert!(
+                    (pt, psub) <= (t, sub),
+                    "pops must be nondecreasing: ({pt}, {psub}) then ({t}, {sub})"
+                );
+            }
+            prev = Some((t, sub));
+        }
+        prop_assert!(queue.is_empty());
+        prop_assert_eq!(queue.len(), 0);
+    }
+
+    #[test]
+    fn same_time_ties_pop_in_push_order(
+        time_us in time_strategy(),
+        sub in 0u64..4,
+        n in 1usize..64,
+    ) {
+        let mut queue: CalendarQueue<usize> = CalendarQueue::new();
+        for i in 0..n {
+            queue.push(SimTime::from_micros(time_us), sub, i);
+        }
+        let drained: Vec<usize> = std::iter::from_fn(|| queue.pop().map(|(_, _, p)| p)).collect();
+        let expected: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(drained, expected, "ties must preserve push order");
+    }
+}
+
+#[test]
+fn slab_generation_check_detects_use_after_free() {
+    let mut slab: JobSlab<String> = JobSlab::new();
+    let a = slab.insert("a".to_string());
+    let b = slab.insert("b".to_string());
+    assert_eq!(slab.get(a).map(String::as_str), Some("a"));
+
+    // Free `a`, then reuse its slot: the stale ref must read as dead
+    // even though the index is occupied again.
+    assert_eq!(slab.remove(a), Some("a".to_string()));
+    let c = slab.insert("c".to_string());
+    assert_eq!(
+        slab.get(c).map(String::as_str),
+        Some("c"),
+        "the freed slot is recycled"
+    );
+    assert_eq!(slab.get(a), None, "stale JobRef must not resolve");
+    assert_eq!(
+        slab.get_mut(a),
+        None,
+        "stale JobRef must not resolve mutably"
+    );
+    assert_eq!(slab.remove(a), None, "double-free must be rejected");
+    assert_eq!(
+        slab.get(b).map(String::as_str),
+        Some("b"),
+        "live refs survive"
+    );
+    assert_eq!(slab.len(), 2);
+}
