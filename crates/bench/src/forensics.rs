@@ -148,7 +148,17 @@ impl TraceForensics {
                 TraceEvent::Relegated { .. } => f.relegated = true,
                 TraceEvent::AdmissionRejected { .. } => f.rejected = true,
                 TraceEvent::OrphanRedispatched { .. } => f.redispatches += 1,
-                _ => {}
+                // Decision and replica-level events update no summary
+                // field; they still land in the request's raw timeline
+                // below. Spelled out (not `_`) so adding a TraceEvent
+                // variant forces a decision here; `trace-coverage`
+                // enforces this.
+                TraceEvent::ChunkBudgetChosen { .. }
+                | TraceEvent::PriorityScored { .. }
+                | TraceEvent::BreakerTransition { .. }
+                | TraceEvent::MarginAdjusted { .. }
+                | TraceEvent::FaultInjected { .. }
+                | TraceEvent::IterationExecuted { .. } => {}
             }
             f.events.push(*r);
         }

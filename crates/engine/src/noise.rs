@@ -24,7 +24,7 @@ impl ExecutionNoise {
     /// (0.02 ≈ 2 % jitter; 0 disables noise), seeded per replica.
     pub fn new(seeds: &SeedStream, replica: u32, sigma: f64) -> Self {
         ExecutionNoise {
-            rng: seeds.derive_indexed("exec-noise", replica as u64),
+            rng: seeds.derive_indexed("exec-noise", u64::from(replica)),
             sigma: sigma.max(0.0),
         }
     }

@@ -13,6 +13,7 @@ use qoserve_metrics::RequestOutcome;
 use qoserve_perf::{BatchProfile, HardwareConfig, LatencyModel, PrefillChunkProfile};
 use qoserve_sched::{Constraints, DecodeJob, PrefillJob, Scheduler};
 use qoserve_sim::faults::ReplicaFaultProfile;
+use qoserve_sim::nums;
 use qoserve_sim::time::SignedDuration;
 use qoserve_sim::{CalendarQueue, JobRef, JobSlab, SeedStream, SimDuration, SimTime};
 use qoserve_trace::{FaultKind, TraceEvent, Tracer};
@@ -135,16 +136,16 @@ pub fn sustainable_decode_batch(hw: &HardwareConfig) -> usize {
     let model = LatencyModel::new(hw);
     let fits = |n: u64| {
         let batch = BatchProfile::builder()
-            .decodes(n as u32, n * CTX_PER_DECODE)
+            .decodes(nums::u64_to_u32(n), n * CTX_PER_DECODE)
             .build();
         model.iteration_time_us(&batch) / 1e3 <= BUDGET_MS
     };
     let (mut lo, mut hi) = (8u64, 256u64);
     if !fits(lo) {
-        return lo as usize;
+        return nums::u64_to_usize(lo);
     }
     if fits(hi) {
-        return hi as usize;
+        return nums::u64_to_usize(hi);
     }
     while hi - lo > 1 {
         let mid = (lo + hi) / 2;
@@ -154,7 +155,7 @@ pub fn sustainable_decode_batch(hw: &HardwareConfig) -> usize {
             hi = mid;
         }
     }
-    lo as usize
+    nums::u64_to_usize(lo)
 }
 
 /// Per-batch diagnostic record.
@@ -509,11 +510,11 @@ impl ReplicaEngine {
                 .prefill
                 .push(PrefillChunkProfile::new(a.tokens, a.context_before));
         }
-        self.profile_scratch.num_decodes = self.decode_scratch.len() as u32;
+        self.profile_scratch.num_decodes = nums::usize_to_u32(self.decode_scratch.len());
         self.profile_scratch.decode_context_total = self
             .decode_scratch
             .iter()
-            .map(|d| d.context_len as u64)
+            .map(|d| u64::from(d.context_len))
             .sum();
 
         let clean = self.model.iteration_time(&self.profile_scratch);
@@ -541,9 +542,10 @@ impl ReplicaEngine {
             self.tracer.emit(
                 None,
                 TraceEvent::IterationExecuted {
-                    batch_tokens: plan.prefill_tokens() + self.decode_scratch.len() as u32,
+                    batch_tokens: plan.prefill_tokens()
+                        + nums::usize_to_u32(self.decode_scratch.len()),
                     prefill_tokens: plan.prefill_tokens(),
-                    num_decodes: self.decode_scratch.len() as u32,
+                    num_decodes: nums::usize_to_u32(self.decode_scratch.len()),
                     observed_us: exec.as_micros(),
                 },
             );
@@ -554,7 +556,8 @@ impl ReplicaEngine {
         self.health.record(HealthSample {
             degraded,
             ratio: exec.as_micros() as f64 / clean.as_micros().max(1) as f64,
-            tokens: plan.prefill_tokens() as u64 + self.decode_scratch.len() as u64,
+            tokens: u64::from(plan.prefill_tokens())
+                + nums::usize_to_u64(self.decode_scratch.len()),
             exec_us: exec.as_micros(),
         });
         // Close the observe→adapt loop: the scheduler sees the batch it
@@ -568,7 +571,7 @@ impl ReplicaEngine {
                 exec,
                 token_budget: plan.token_budget,
                 prefill_tokens: plan.prefill_tokens(),
-                num_decodes: self.decode_scratch.len() as u32,
+                num_decodes: nums::usize_to_u32(self.decode_scratch.len()),
             });
         }
 
@@ -612,7 +615,7 @@ impl ReplicaEngine {
                     continue;
                 };
                 self.kv
-                    .admit(a.id, spec.decode_tokens.saturating_sub(1) as u64);
+                    .admit(a.id, u64::from(spec.decode_tokens.saturating_sub(1)));
                 let job = self.jobs.insert(Running::new(spec));
                 self.running.insert(a.id, job);
             }
@@ -626,7 +629,7 @@ impl ReplicaEngine {
             };
             entry.prefill_done += a.tokens;
             entry.relegated |= a.relegated;
-            self.kv.write_prefill(a.id, a.tokens as u64);
+            self.kv.write_prefill(a.id, u64::from(a.tokens));
             if a.completes_prefill {
                 entry.emit_token(self.now);
                 if self.tracer.enabled() {

@@ -1,12 +1,10 @@
 //! The ratcheting baselines (`lint-baseline.toml`).
 //!
-//! Existing rule debt in library code is frozen per file for the three
-//! ratcheted rules — `panic-hygiene` (`unwrap()`/`expect()`/`panic!`),
-//! `unstructured-output` (`println!`-family macros), and
-//! `hot-path-alloc` (allocation churn inside hot-path fn bodies): a file
-//! may never *gain* sites, and when it sheds some, `--fix-baseline`
-//! rewrites the file so the new, lower count becomes the ceiling. The
-//! format is a deliberately tiny TOML subset — known sections,
+//! Existing rule debt in library code is frozen per file for each
+//! *ratcheted family* (see [`FAMILIES`]): a file may never *gain* sites,
+//! and when it sheds some, `--fix-baseline` rewrites the file so the new,
+//! lower count becomes the ceiling. Each family owns one section of the
+//! file. The format is a deliberately tiny TOML subset — known sections,
 //! quoted-path keys, integer values — parsed by hand so the linter stays
 //! dependency-free:
 //!
@@ -14,26 +12,70 @@
 //! [panic-hygiene]
 //! "crates/sched/src/queue.rs" = 14
 //!
-//! [unstructured-output]
-//! "crates/bench/src/lib.rs" = 6
-//!
-//! [hot-path-alloc]
-//! "crates/sched/src/qoserve.rs" = 2
+//! [lossy-cast]
+//! "crates/sim/src/time.rs" = 9
 //! ```
 
 use std::collections::BTreeMap;
 
-/// Per-file allowed site counts for the ratcheted rules, keyed by
-/// workspace-relative path (always with `/` separators, so baselines are
-/// portable across hosts).
+use crate::rules::{RULE_ALLOC, RULE_CAST, RULE_OUTPUT, RULE_PANIC, RULE_SERDE};
+
+/// One ratcheted rule family: its baseline section name (== rule name)
+/// and the phrasing of its over-ceiling diagnostic.
+#[derive(Debug, Clone, Copy)]
+pub struct Family {
+    /// Rule name; also the `[section]` header in `lint-baseline.toml`.
+    pub rule: &'static str,
+    /// What a site is, for the count message ("N {noun} (first: ..)").
+    pub noun: &'static str,
+    /// How to fix it, appended after the count.
+    pub hint: &'static str,
+}
+
+/// Every ratcheted family, in baseline-section render order.
+pub const FAMILIES: &[Family] = &[
+    Family {
+        rule: RULE_PANIC,
+        noun: "panic site(s) in non-test code",
+        hint: "handle the error or waive with a reason, never raise the baseline",
+    },
+    Family {
+        rule: RULE_OUTPUT,
+        noun: "unstructured output site(s) in library code",
+        hint: "return data to the caller (or use the trace layer) instead of printing, or \
+               waive with a reason",
+    },
+    Family {
+        rule: RULE_ALLOC,
+        noun: "allocation site(s) in hot-path code",
+        hint: "reuse a scratch buffer or slab slot (see `qoserve_sim::eventcore`), or waive \
+               with a reason",
+    },
+    Family {
+        rule: RULE_CAST,
+        noun: "lossy integer cast(s)",
+        hint: "use the checked conversions in `qoserve_sim::nums`, or waive with a reason",
+    },
+    Family {
+        rule: RULE_SERDE,
+        noun: "persisted serde field(s) without `#[serde(default)]`",
+        hint: "add `#[serde(default)]` so old JSONL artifacts keep deserializing, or waive \
+               with a reason",
+    },
+];
+
+/// Looks up a family by rule name.
+pub fn family(rule: &str) -> Option<&'static Family> {
+    FAMILIES.iter().find(|f| f.rule == rule)
+}
+
+/// Per-family, per-file allowed site counts, keyed by workspace-relative
+/// path (always with `/` separators, so baselines are portable across
+/// hosts).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
-    /// `panic-hygiene`: file path -> allowed panic-site count.
-    pub allowed: BTreeMap<String, u32>,
-    /// `unstructured-output`: file path -> allowed output-site count.
-    pub output_allowed: BTreeMap<String, u32>,
-    /// `hot-path-alloc`: file path -> allowed hot-path allocation count.
-    pub alloc_allowed: BTreeMap<String, u32>,
+    /// family rule name -> (file path -> allowed count).
+    pub sections: BTreeMap<&'static str, BTreeMap<String, u32>>,
 }
 
 /// A parse failure with its line number.
@@ -51,34 +93,38 @@ impl std::fmt::Display for BaselineError {
     }
 }
 
-/// Which section of the baseline a line belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Section {
-    Panic,
-    Output,
-    Alloc,
-}
-
 impl Baseline {
-    /// Allowed panic-site count for `path` (0 when not listed).
-    pub fn allowed_for(&self, path: &str) -> u32 {
-        self.allowed.get(path).copied().unwrap_or(0)
+    /// Allowed site count of `rule` for `path` (0 when not listed).
+    pub fn allowed_for(&self, rule: &str, path: &str) -> u32 {
+        self.sections
+            .get(rule)
+            .and_then(|m| m.get(path))
+            .copied()
+            .unwrap_or(0)
     }
 
-    /// Allowed output-site count for `path` (0 when not listed).
-    pub fn output_allowed_for(&self, path: &str) -> u32 {
-        self.output_allowed.get(path).copied().unwrap_or(0)
+    /// Records the current count of `rule` for `path` (what
+    /// `--fix-baseline` writes). Zero counts are simply not recorded.
+    pub fn record(&mut self, rule: &'static str, path: &str, count: u32) {
+        if count > 0 {
+            self.sections
+                .entry(rule)
+                .or_default()
+                .insert(path.to_string(), count);
+        }
     }
 
-    /// Allowed hot-path allocation count for `path` (0 when not listed).
-    pub fn alloc_allowed_for(&self, path: &str) -> u32 {
-        self.alloc_allowed.get(path).copied().unwrap_or(0)
+    /// The per-file counts of one family (empty map when none).
+    pub fn counts_of(&self, rule: &str) -> &BTreeMap<String, u32> {
+        static EMPTY: BTreeMap<String, u32> = BTreeMap::new();
+        self.sections.get(rule).unwrap_or(&EMPTY)
     }
 
-    /// Parses the baseline file contents.
+    /// Parses the baseline file contents. Section names must be ratcheted
+    /// family rules (see [`FAMILIES`]).
     pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
         let mut baseline = Baseline::default();
-        let mut section: Option<Section> = None;
+        let mut section: Option<&'static str> = None;
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx as u32 + 1;
             let line = raw.trim();
@@ -86,24 +132,20 @@ impl Baseline {
                 continue;
             }
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-                section = match name.trim() {
-                    "panic-hygiene" => Some(Section::Panic),
-                    "unstructured-output" => Some(Section::Output),
-                    "hot-path-alloc" => Some(Section::Alloc),
-                    other => {
-                        return Err(BaselineError {
-                            line: lineno,
-                            message: format!("unknown section `[{other}]`"),
-                        })
-                    }
+                let name = name.trim();
+                let Some(fam) = FAMILIES.iter().find(|f| f.rule == name) else {
+                    return Err(BaselineError {
+                        line: lineno,
+                        message: format!("unknown section `[{name}]`"),
+                    });
                 };
+                section = Some(fam.rule);
                 continue;
             }
             let Some(section) = section else {
                 return Err(BaselineError {
                     line: lineno,
-                    message: "entry before a `[panic-hygiene]`, `[unstructured-output]`, or \
-                              `[hot-path-alloc]` section"
+                    message: "entry before a family section header (e.g. `[panic-hygiene]`)"
                         .to_string(),
                 });
             };
@@ -131,43 +173,34 @@ impl Baseline {
                     value.trim()
                 ),
             })?;
-            let map = match section {
-                Section::Panic => &mut baseline.allowed,
-                Section::Output => &mut baseline.output_allowed,
-                Section::Alloc => &mut baseline.alloc_allowed,
-            };
-            map.insert(path.to_string(), count);
+            baseline
+                .sections
+                .entry(section)
+                .or_default()
+                .insert(path.to_string(), count);
         }
         Ok(baseline)
     }
 
-    /// Renders the baseline back to its canonical on-disk form (sorted,
-    /// zero-count entries dropped, empty sections omitted — except
-    /// `[panic-hygiene]`, which is always present as the file anchor).
+    /// Renders the baseline back to its canonical on-disk form: families
+    /// in [`FAMILIES`] order, entries sorted, zero-count entries dropped,
+    /// empty sections omitted — except the first family, which is always
+    /// present as the file anchor.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(
             "# Ratcheting lint baselines, maintained by `qoserve-lint`.\n\
              # Counts may only go DOWN: fix the sites, then run\n\
-             # `cargo run -p qoserve-lint -- --fix-baseline` to lower the ceiling.\n\
-             \n[panic-hygiene]\n",
+             # `cargo run -p qoserve-lint -- --fix-baseline` to lower the ceiling.\n",
         );
-        for (path, count) in &self.allowed {
-            if *count > 0 {
-                out.push_str(&format!("\"{path}\" = {count}\n"));
+        for (idx, fam) in FAMILIES.iter().enumerate() {
+            let counts = self.counts_of(fam.rule);
+            let nonzero = counts.values().any(|c| *c > 0);
+            if idx > 0 && !nonzero {
+                continue;
             }
-        }
-        if self.output_allowed.values().any(|c| *c > 0) {
-            out.push_str("\n[unstructured-output]\n");
-            for (path, count) in &self.output_allowed {
-                if *count > 0 {
-                    out.push_str(&format!("\"{path}\" = {count}\n"));
-                }
-            }
-        }
-        if self.alloc_allowed.values().any(|c| *c > 0) {
-            out.push_str("\n[hot-path-alloc]\n");
-            for (path, count) in &self.alloc_allowed {
+            out.push_str(&format!("\n[{}]\n", fam.rule));
+            for (path, count) in counts {
                 if *count > 0 {
                     out.push_str(&format!("\"{path}\" = {count}\n"));
                 }
@@ -187,77 +220,68 @@ mod tests {
             "# comment\n\n[panic-hygiene]\n\"crates/a/src/x.rs\" = 14\n\"crates/b/src/y.rs\" = 3\n",
         )
         .unwrap();
-        assert_eq!(b.allowed_for("crates/a/src/x.rs"), 14);
-        assert_eq!(b.allowed_for("crates/b/src/y.rs"), 3);
-        assert_eq!(b.allowed_for("crates/never/seen.rs"), 0);
-        assert_eq!(b.output_allowed_for("crates/a/src/x.rs"), 0);
+        assert_eq!(b.allowed_for(RULE_PANIC, "crates/a/src/x.rs"), 14);
+        assert_eq!(b.allowed_for(RULE_PANIC, "crates/b/src/y.rs"), 3);
+        assert_eq!(b.allowed_for(RULE_PANIC, "crates/never/seen.rs"), 0);
+        assert_eq!(b.allowed_for(RULE_OUTPUT, "crates/a/src/x.rs"), 0);
     }
 
     #[test]
-    fn parses_both_sections_independently() {
-        let b = Baseline::parse(
-            "[panic-hygiene]\n\"crates/a/src/x.rs\" = 2\n\n\
-             [unstructured-output]\n\"crates/bench/src/lib.rs\" = 6\n\"crates/a/src/x.rs\" = 1\n",
-        )
-        .unwrap();
-        assert_eq!(b.allowed_for("crates/a/src/x.rs"), 2);
-        assert_eq!(b.output_allowed_for("crates/a/src/x.rs"), 1);
-        assert_eq!(b.output_allowed_for("crates/bench/src/lib.rs"), 6);
-        assert_eq!(b.allowed_for("crates/bench/src/lib.rs"), 0);
-    }
-
-    #[test]
-    fn parses_alloc_section() {
-        let b = Baseline::parse(
-            "[panic-hygiene]\n\"crates/a/src/x.rs\" = 2\n\n\
-             [hot-path-alloc]\n\"crates/sched/src/qoserve.rs\" = 3\n",
-        )
-        .unwrap();
-        assert_eq!(b.alloc_allowed_for("crates/sched/src/qoserve.rs"), 3);
-        assert_eq!(b.alloc_allowed_for("crates/a/src/x.rs"), 0);
-        assert_eq!(b.allowed_for("crates/a/src/x.rs"), 2);
+    fn parses_every_family_section() {
+        let text = "[panic-hygiene]\n\"a.rs\" = 1\n\n\
+                    [unstructured-output]\n\"b.rs\" = 2\n\n\
+                    [hot-path-alloc]\n\"c.rs\" = 3\n\n\
+                    [lossy-cast]\n\"d.rs\" = 4\n\n\
+                    [serde-back-compat]\n\"e.rs\" = 5\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.allowed_for(RULE_PANIC, "a.rs"), 1);
+        assert_eq!(b.allowed_for(RULE_OUTPUT, "b.rs"), 2);
+        assert_eq!(b.allowed_for(RULE_ALLOC, "c.rs"), 3);
+        assert_eq!(b.allowed_for(RULE_CAST, "d.rs"), 4);
+        assert_eq!(b.allowed_for(RULE_SERDE, "e.rs"), 5);
+        // Sections are independent namespaces.
+        assert_eq!(b.allowed_for(RULE_CAST, "a.rs"), 0);
     }
 
     #[test]
     fn empty_file_is_empty_baseline() {
         let b = Baseline::parse("").unwrap();
-        assert!(b.allowed.is_empty());
-        assert!(b.output_allowed.is_empty());
-        assert!(b.alloc_allowed.is_empty());
-        assert_eq!(b.allowed_for("anything"), 0);
+        assert!(b.sections.is_empty());
+        assert_eq!(b.allowed_for(RULE_PANIC, "anything"), 0);
     }
 
     #[test]
     fn render_roundtrips_sorted_without_zeros() {
         let mut b = Baseline::default();
-        b.allowed.insert("z.rs".into(), 2);
-        b.allowed.insert("a.rs".into(), 7);
-        b.allowed.insert("gone.rs".into(), 0);
-        b.output_allowed.insert("out.rs".into(), 4);
-        b.alloc_allowed.insert("hot.rs".into(), 9);
+        b.record(RULE_PANIC, "z.rs", 2);
+        b.record(RULE_PANIC, "a.rs", 7);
+        b.record(RULE_PANIC, "gone.rs", 0);
+        b.record(RULE_OUTPUT, "out.rs", 4);
+        b.record(RULE_CAST, "time.rs", 9);
+        b.record(RULE_SERDE, "event.rs", 5);
         let text = b.render();
         let reparsed = Baseline::parse(&text).unwrap();
-        assert_eq!(reparsed.allowed_for("a.rs"), 7);
-        assert_eq!(reparsed.allowed_for("z.rs"), 2);
-        assert_eq!(reparsed.output_allowed_for("out.rs"), 4);
-        assert_eq!(reparsed.alloc_allowed_for("hot.rs"), 9);
-        assert!(!text.contains("gone.rs"));
+        assert_eq!(reparsed, b);
+        assert!(!text.contains("gone.rs"), "zero counts are never recorded");
         let a = text.find("a.rs").unwrap();
         let z = text.find("z.rs").unwrap();
         assert!(a < z, "entries must be sorted");
-        let section = text.find("[unstructured-output]").unwrap();
-        assert!(z < section, "output section comes after panic entries");
-        let alloc = text.find("[hot-path-alloc]").unwrap();
-        assert!(section < alloc, "alloc section comes last");
+        let output = text.find("[unstructured-output]").unwrap();
+        let cast = text.find("[lossy-cast]").unwrap();
+        let serde = text.find("[serde-back-compat]").unwrap();
+        assert!(z < output && output < cast && cast < serde, "family order");
+        assert!(
+            !text.contains("[hot-path-alloc]"),
+            "empty non-anchor sections are omitted"
+        );
     }
 
     #[test]
-    fn empty_output_section_is_omitted_from_render() {
+    fn anchor_section_is_always_rendered() {
         let mut b = Baseline::default();
-        b.allowed.insert("a.rs".into(), 1);
+        b.record(RULE_CAST, "d.rs", 1);
         let text = b.render();
-        assert!(!text.contains("[unstructured-output]"));
-        assert!(!text.contains("[hot-path-alloc]"));
+        assert!(text.contains("[panic-hygiene]"), "anchor always present");
         assert_eq!(Baseline::parse(&text).unwrap(), b);
     }
 
@@ -267,8 +291,7 @@ mod tests {
         assert!(Baseline::parse("[panic-hygiene]\nbare/path.rs = 1\n").is_err());
         assert!(Baseline::parse("[panic-hygiene]\n\"x.rs\" = -2\n").is_err());
         assert!(Baseline::parse("[panic-hygiene]\n\"x.rs\" = lots\n").is_err());
-        assert!(Baseline::parse("[unstructured-output]\n\"x.rs\" = ??\n").is_err());
-        assert!(Baseline::parse("[hot-path-alloc]\n\"x.rs\" = many\n").is_err());
+        assert!(Baseline::parse("[lossy-cast]\n\"x.rs\" = ??\n").is_err());
         assert!(
             Baseline::parse("\"x.rs\" = 1\n").is_err(),
             "entry before section"
@@ -276,5 +299,9 @@ mod tests {
         let err = Baseline::parse("[other-section]\n").unwrap_err();
         assert!(err.message.contains("unknown section"));
         assert_eq!(err.line, 1);
+        assert!(
+            Baseline::parse("[lock-discipline]\n").is_err(),
+            "non-ratcheted rules cannot be baselined — fix or waive"
+        );
     }
 }

@@ -1,0 +1,171 @@
+//! `--explain <rule>`: the rule book, embedded in the binary.
+//!
+//! One entry per rule: what fires, why the invariant matters to the
+//! QoServe reproduction, and the sanctioned fix. `--explain` keeps the
+//! contract discoverable without leaving the terminal; DESIGN.md carries
+//! the long-form rationale.
+
+use crate::rules::{
+    RULE_ALLOC, RULE_CAST, RULE_COVERAGE, RULE_FLOAT, RULE_HASH, RULE_LOCK, RULE_OUTPUT,
+    RULE_PANIC, RULE_SERDE, RULE_TIME, RULE_WAIVER,
+};
+
+/// `(rule, explanation)` for every rule, in display order.
+pub const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        RULE_TIME,
+        "Wall-clock and OS-entropy sources (`Instant::now`, `SystemTime`, `thread_rng`, \
+         `from_entropy`) in determinism-crate library code.\n\
+         Why: every headline result is a replayed discrete-event simulation; the test suite \
+         pins parallel==serial and sharded==lockstep bit-for-bit, which any ambient time or \
+         randomness breaks.\n\
+         Fix: take simulated time from the event loop (`SimTime`) and randomness from a \
+         `SeedStream`-derived stream.",
+    ),
+    (
+        RULE_HASH,
+        "Iteration over `HashMap`/`HashSet` (`.iter()`, `.values()`, `.drain()`, bare `for`) \
+         in determinism-crate library code. Construction and point lookup stay legal.\n\
+         Why: hash iteration order varies per process, so any decision made while iterating \
+         diverges between replays.\n\
+         Fix: use `BTreeMap`/`BTreeSet` or an explicitly ordered `Vec`.",
+    ),
+    (
+        RULE_FLOAT,
+        "NaN-unsafe float comparisons: `partial_cmp(..).unwrap()` and sort/min/max \
+         comparators built on `partial_cmp`.\n\
+         Why: the job heaps order by floating-point priority (Eq. 4/5); `partial_cmp` is not \
+         a total order under NaN, so a single bad sample can panic or reorder the heap \
+         nondeterministically.\n\
+         Fix: route comparisons through `f64::total_cmp` (see `qoserve_sim::float`).",
+    ),
+    (
+        RULE_PANIC,
+        "Panic sites (`.unwrap()`, `.expect()`, `panic!`, `todo!`) in non-test library code, \
+         above the per-file ceiling in `lint-baseline.toml` (ratcheted: counts only go \
+         down).\n\
+         Why: a mid-sweep panic discards hours of simulation; library code must surface \
+         errors as values.\n\
+         Fix: return `Result`/`Option`, or waive with a reason when infallibility is \
+         locally provable.",
+    ),
+    (
+        RULE_OUTPUT,
+        "`println!`-family output (`println!`, `eprintln!`, `print!`, `eprint!`, `dbg!`) in \
+         library code, above the ratcheted baseline. `src/bin/` drivers and `src/main.rs` \
+         are exempt.\n\
+         Why: results are machine-consumed (JSONL, CSV); stray prints corrupt piped output \
+         and hide real reporting paths.\n\
+         Fix: return data to the caller or emit a trace event.",
+    ),
+    (
+        RULE_ALLOC,
+        "Allocation churn (`Box::new`, `.to_string()`, `.clone()`, `.to_owned()`, \
+         `.to_vec()`) inside hot-path fn bodies (`step`, `on_iteration`, `advance_replica`, \
+         `run_faulty_inner`, `pop`, `pop_due`) of determinism crates, above the ratcheted \
+         baseline.\n\
+         Why: these functions run once per simulated event; allocator traffic there \
+         dominates wall-clock time and destroys the perf headroom the sharded core bought.\n\
+         Fix: reuse scratch buffers and slab slots (see `qoserve_sim::eventcore`).",
+    ),
+    (
+        RULE_CAST,
+        "Truncating / sign-changing integer `as` casts (`as u64`, `as i32`, `as usize`, …) \
+         in sim/engine/sched/cluster/perf library code, above the ratcheted baseline. \
+         `as f64` is out of scope; `crates/sim/src/nums.rs` is the sanctioned helper and is \
+         exempt.\n\
+         Why: simulated time is integer microseconds and token budgets are integer counts; \
+         an `as` cast silently truncates (`u128 as u64`), wraps (`i64 as u64`), or clamps \
+         (`f64 as u64`) — corrupting time arithmetic with no panic to point at the site.\n\
+         Fix: use the checked/saturating conversions in `qoserve_sim::nums`, which make the \
+         policy explicit and debug-assert on real information loss.",
+    ),
+    (
+        RULE_LOCK,
+        "Lock hygiene in determinism-crate library code, via the workspace call graph: \
+         (1) a second `.lock()` taken in the same statement as an earlier one, and (2) any \
+         `.lock()` site inside a function reachable from the hot-fn set (`step`, \
+         `advance_replica`, `pop_due`, …). Name-resolved reachability over-approximates by \
+         design.\n\
+         Why: same-statement guards overlap in scheduler-chosen order (deadlock and replay \
+         hazard); per-iteration locking skews the sharded==lockstep timing contract.\n\
+         Fix: bind and drop the first guard before the second acquisition; hoist hot-path \
+         locks out of the loop, or waive with a proof the path never locks (e.g. a \
+         disabled tracer handle).",
+    ),
+    (
+        RULE_COVERAGE,
+        "Cross-file exhaustiveness: every variant of the workspace `TraceEvent` enum must \
+         be mentioned (as a `TraceEvent::Variant` path in non-test code) in each export \
+         surface — the trace exporters (`crates/trace/src/export.rs`) and forensics \
+         attribution (`crates/bench/src/forensics.rs`).\n\
+         Why: a `_` arm silently swallows variants added later, so a new event would ship \
+         without Chrome-trace or forensics wiring and the gap would surface as missing data \
+         months later.\n\
+         Fix: add an explicit arm (or list the variant in an or-pattern) per surface; the \
+         rule is inert when no `TraceEvent` enum is in the scanned set.",
+    ),
+    (
+        RULE_SERDE,
+        "Fields of `#[derive(Serialize, Deserialize)]` structs in metrics/trace library \
+         code without `#[serde(default)]`, above the ratcheted baseline. Container-level \
+         `#[serde(default)]`/`#[serde(transparent)]` satisfies the rule; `#[serde(skip)]` \
+         and `#[serde(flatten)]` fields are exempt.\n\
+         Why: metrics snapshots and trace records are persisted JSONL that outlives the \
+         binary; a field without a default makes every old artifact unreadable the moment \
+         the struct grows.\n\
+         Fix: add `#[serde(default)]` to the field (the convention PRs 3–5 followed by \
+         hand).",
+    ),
+    (
+        RULE_WAIVER,
+        "Waiver comments (`// qoserve-lint: allow(<rule>) -- <reason>`) that are malformed \
+         (missing the mandatory reason) or *unused* (no diagnostic of the waived rule fires \
+         on the covered lines).\n\
+         Why: a waiver is a standing exception to an invariant; without a reason it cannot \
+         be audited, and once stale it hides the next real violation at that site.\n\
+         Fix: add the reason after `--`, or delete the waiver once the code it excused is \
+         gone.",
+    ),
+];
+
+/// The explanation for `rule`, if it exists.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    EXPLANATIONS
+        .iter()
+        .find(|(r, _)| *r == rule)
+        .map(|(_, text)| *text)
+}
+
+/// Every rule name, in display order.
+pub fn rule_names() -> Vec<&'static str> {
+    EXPLANATIONS.iter().map(|(r, _)| *r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for rule in [
+            RULE_TIME,
+            RULE_HASH,
+            RULE_FLOAT,
+            RULE_PANIC,
+            RULE_OUTPUT,
+            RULE_ALLOC,
+            RULE_CAST,
+            RULE_LOCK,
+            RULE_COVERAGE,
+            RULE_SERDE,
+            RULE_WAIVER,
+        ] {
+            let text = explain(rule).unwrap_or_else(|| panic!("no explanation for {rule}"));
+            assert!(text.contains("Why:"), "{rule} explains the invariant");
+            assert!(text.contains("Fix:"), "{rule} names the sanctioned fix");
+        }
+        assert!(explain("no-such-rule").is_none());
+        assert_eq!(rule_names().len(), 11);
+    }
+}

@@ -1,0 +1,92 @@
+//! `--format json`: machine-readable diagnostics.
+//!
+//! One JSON object per line (JSONL), one record per diagnostic, in the
+//! same deterministic `(path, line, col)` order as the human output. The
+//! schema is pinned by the integration tests and is a compatibility
+//! surface for CI artifact consumers — fields are only ever *added*:
+//!
+//! ```json
+//! {"path":"crates/sim/src/time.rs","line":42,"col":17,"rule":"lossy-cast","message":"..."}
+//! ```
+//!
+//! Hand-rolled (no serde) so the linter stays dependency-free; strings
+//! are escaped per RFC 8259 (quote, backslash, and control characters).
+
+use crate::rules::Diagnostic;
+use crate::LintReport;
+
+/// Renders all diagnostics of a report as JSONL. Clean reports render to
+/// the empty string.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&diagnostic_json(d));
+        out.push('\n');
+    }
+    out
+}
+
+/// One diagnostic as a single-line JSON object with fixed key order.
+pub fn diagnostic_json(d: &Diagnostic) -> String {
+    format!(
+        "{{\"path\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
+        escape(&d.path),
+        d.line,
+        d.col,
+        escape(d.rule),
+        escape(&d.message)
+    )
+}
+
+/// JSON string literal for `s`.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULE_CAST;
+
+    #[test]
+    fn fixed_key_order_and_escaping() {
+        let d = Diagnostic {
+            path: "crates/sim/src/x.rs".to_string(),
+            line: 7,
+            col: 3,
+            rule: RULE_CAST,
+            message: "a \"quoted\" back\\slash\nnewline".to_string(),
+        };
+        assert_eq!(
+            diagnostic_json(&d),
+            "{\"path\":\"crates/sim/src/x.rs\",\"line\":7,\"col\":3,\
+             \"rule\":\"lossy-cast\",\"message\":\"a \\\"quoted\\\" back\\\\slash\\nnewline\"}"
+        );
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(escape("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(escape("tab\there"), "\"tab\\there\"");
+    }
+
+    #[test]
+    fn clean_report_renders_empty() {
+        let report = LintReport::default();
+        assert_eq!(render_json(&report), "");
+    }
+}

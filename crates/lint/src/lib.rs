@@ -3,8 +3,10 @@
 //! The QoServe reproduction's headline results are discrete-event
 //! simulations whose validity rests on strict determinism (the test suite
 //! pins `parallel == serial` bit-for-bit). This crate makes that contract
-//! *machine-enforced* rather than conventional: a zero-dependency linter
-//! that walks every `.rs` file in the workspace and rejects
+//! *machine-enforced* rather than conventional: a zero-dependency
+//! structural analyzer that walks every `.rs` file in the workspace,
+//! lexes it, parses an item tree ([`structure`]), builds a workspace
+//! symbol table and call graph ([`symbols`]), and rejects
 //!
 //! * wall-clock / entropy sources in simulation crates
 //!   (`nondeterministic-time`),
@@ -16,30 +18,41 @@
 //! * panic sites in library code above a ratcheting per-file baseline
 //!   (`panic-hygiene`, `lint-baseline.toml`),
 //! * `println!`-family output in library code above its own ratcheting
-//!   baseline (`unstructured-output` — library code returns data or
-//!   emits trace events; only `src/bin/` drivers and `src/main.rs`
-//!   print),
-//! * allocation churn (`Box::new`, `.to_string()`, `.clone()`, …) inside
-//!   hot-path function bodies (`step`, `on_iteration`, the event-loop
-//!   kernels) of determinism crates, above its own ratcheting baseline
-//!   (`hot-path-alloc` — hot paths reuse scratch buffers and slab
-//!   slots; allocation belongs in setup code).
+//!   baseline (`unstructured-output`),
+//! * allocation churn inside hot-path function bodies of determinism
+//!   crates, above its own ratcheting baseline (`hot-path-alloc`),
+//! * truncating / sign-changing integer `as` casts in time/token math
+//!   crates, above its own ratcheting baseline (`lossy-cast` —
+//!   `qoserve_sim::nums` is the sanctioned helper),
+//! * nested same-statement lock acquisition and `.lock()` reachable from
+//!   the hot-fn set over the call graph (`lock-discipline`),
+//! * `TraceEvent` variants missing from an export surface
+//!   (`trace-coverage` — cross-file exhaustiveness),
+//! * persisted serde fields without `#[serde(default)]`
+//!   (`serde-back-compat`, ratcheted),
+//! * malformed or unused waiver comments (`bad-waiver`).
 //!
 //! Violations can be waived inline with a mandatory reason:
 //! `// qoserve-lint: allow(<rule>) -- <reason>`. See [`rules`] for the
-//! scoping table and DESIGN.md for the workflow.
+//! scoping table, `--explain <rule>` for the embedded rule book, and
+//! DESIGN.md for the workflow.
 
 pub mod baseline;
+pub mod explain;
+pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod structure;
+pub mod symbols;
 pub mod waiver;
 pub mod walk;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use baseline::Baseline;
-use rules::{analyze, scope_for, Diagnostic, RULE_ALLOC, RULE_OUTPUT, RULE_PANIC};
+use baseline::{Baseline, FAMILIES};
+use rules::{analyze, scope_for, Diagnostic, FileAnalysis, FileScope, RULE_WAIVER};
+use symbols::SymbolTable;
 
 /// Name of the baseline file at the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.toml";
@@ -51,6 +64,8 @@ pub struct WaiverNote {
     pub path: String,
     /// Line of the waiver comment.
     pub line: u32,
+    /// Column of the waiver comment.
+    pub col: u32,
     /// Rules it covers.
     pub rules: Vec<String>,
     /// The stated reason.
@@ -84,105 +99,153 @@ impl LintReport {
     }
 }
 
+/// One scanned file, held across the per-file and workspace passes.
+struct Bundle {
+    rel: String,
+    scope: FileScope,
+    analysis: FileAnalysis,
+}
+
 /// Lints every `.rs` file under `root` against `baseline`.
 pub fn lint_tree(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport> {
-    let mut report = LintReport::default();
+    lint_tree_filtered(root, baseline, None)
+}
+
+/// Like [`lint_tree`], restricted to files whose workspace-relative path
+/// starts with `only` (when given). Cross-file rules then see only that
+/// slice of the workspace — `trace-coverage` goes inert when the enum is
+/// out of view, which is exactly right for partial self-lints.
+pub fn lint_tree_filtered(
+    root: &Path,
+    baseline: &Baseline,
+    only: Option<&str>,
+) -> std::io::Result<LintReport> {
+    // Pass 1: per-file lexical + structural analysis.
+    let mut bundles: Vec<Bundle> = Vec::new();
     for rel in walk::rust_files(root)? {
+        if let Some(prefix) = only {
+            if !rel.starts_with(prefix) {
+                continue;
+            }
+        }
         let scope = scope_for(&rel);
         if !scope.any() {
             continue;
         }
-        report.files_scanned += 1;
         let src = fs::read_to_string(root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)))?;
         let analysis = analyze(&rel, &src, scope);
-        report.diagnostics.extend(analysis.diagnostics);
+        bundles.push(Bundle {
+            rel,
+            scope,
+            analysis,
+        });
+    }
 
-        let count = analysis.panic_sites.len() as u32;
-        let allowed = baseline.allowed_for(&rel);
-        if count > 0 {
-            report.counts.allowed.insert(rel.clone(), count);
-        }
-        if count > allowed {
-            // Anchor the diagnostic at the first panic site so the report
-            // is clickable even though the violation is file-level.
-            let (line, col, ref what) = analysis.panic_sites[0];
-            report.diagnostics.push(Diagnostic {
-                path: rel.clone(),
-                line,
-                col,
-                rule: RULE_PANIC,
-                message: format!(
-                    "{count} panic site(s) in non-test code (first: `{what}`), baseline allows \
-                     {allowed}; handle the error or waive with a reason, never raise the baseline"
-                ),
-            });
-        } else if count < allowed {
-            report
-                .ratchet
-                .push((RULE_PANIC, rel.clone(), count, allowed));
-        }
+    let mut report = LintReport {
+        files_scanned: bundles.len(),
+        ..Default::default()
+    };
 
-        let count = analysis.output_sites.len() as u32;
-        let allowed = baseline.output_allowed_for(&rel);
-        if count > 0 {
-            report.counts.output_allowed.insert(rel.clone(), count);
+    // Pass 2: workspace rules over the symbol table / call graph. Every
+    // cross-file diagnostic is routed through the *owning file's* waivers
+    // so one `allow(..)` line works identically for both tiers.
+    let table = SymbolTable::build(
+        bundles.iter().map(|b| &b.analysis.structure),
+        |file, line| bundles[file].analysis.is_test_line(line),
+    );
+    let paths: Vec<String> = bundles.iter().map(|b| b.rel.clone()).collect();
+    let mut ws_diags =
+        rules::locks::check_hot_locks(&table, &paths, |file| bundles[file].scope.locks);
+    let mentions: Vec<Vec<(String, String, u32)>> = bundles
+        .iter()
+        .map(|b| b.analysis.nontest_mentions())
+        .collect();
+    let surface_files: Vec<rules::coverage::SurfaceFile<'_>> = bundles
+        .iter()
+        .zip(mentions.iter())
+        .map(|(b, m)| rules::coverage::SurfaceFile {
+            path: &b.rel,
+            mentions: m,
+        })
+        .collect();
+    ws_diags.extend(rules::coverage::check(&table, &surface_files));
+    for (file_idx, d) in ws_diags {
+        let analysis = &bundles[file_idx].analysis;
+        if analysis.is_test_line(d.line) {
+            continue;
         }
-        if count > allowed {
-            let (line, col, ref what) = analysis.output_sites[0];
-            report.diagnostics.push(Diagnostic {
-                path: rel.clone(),
-                line,
-                col,
-                rule: RULE_OUTPUT,
-                message: format!(
-                    "{count} unstructured output site(s) in library code (first: `{what}`), \
-                     baseline allows {allowed}; return data to the caller (or use the trace \
-                     layer) instead of printing, or waive with a reason"
-                ),
-            });
-        } else if count < allowed {
-            report
-                .ratchet
-                .push((RULE_OUTPUT, rel.clone(), count, allowed));
+        if let Some(w) = analysis.waivers.iter().find(|w| w.covers(d.rule, d.line)) {
+            w.used.set(true);
+            continue;
         }
+        report.diagnostics.push(d);
+    }
 
-        let count = analysis.alloc_sites.len() as u32;
-        let allowed = baseline.alloc_allowed_for(&rel);
-        if count > 0 {
-            report.counts.alloc_allowed.insert(rel.clone(), count);
+    // Pass 3: per-file diagnostics and the generic family ratchet.
+    for b in &bundles {
+        report.diagnostics.extend(b.analysis.diagnostics.clone());
+        for fam in FAMILIES {
+            let sites = b.analysis.ratchet_sites(fam.rule);
+            let count = sites.len() as u32;
+            let allowed = baseline.allowed_for(fam.rule, &b.rel);
+            report.counts.record(fam.rule, &b.rel, count);
+            if count > allowed {
+                // Anchor the diagnostic at the first site so the report is
+                // clickable even though the violation is file-level.
+                let (line, col, ref what) = sites[0];
+                report.diagnostics.push(Diagnostic {
+                    path: b.rel.clone(),
+                    line,
+                    col,
+                    rule: fam.rule,
+                    message: format!(
+                        "{count} {} (first: `{what}`), baseline allows {allowed}; {}",
+                        fam.noun, fam.hint
+                    ),
+                });
+            } else if count < allowed {
+                report
+                    .ratchet
+                    .push((fam.rule, b.rel.clone(), count, allowed));
+            }
         }
-        if count > allowed {
-            let (line, col, ref what) = analysis.alloc_sites[0];
-            report.diagnostics.push(Diagnostic {
-                path: rel.clone(),
-                line,
-                col,
-                rule: RULE_ALLOC,
-                message: format!(
-                    "{count} allocation site(s) in hot-path code (first: `{what}`), baseline \
-                     allows {allowed}; reuse a scratch buffer or slab slot (see \
-                     `qoserve_sim::eventcore`), or waive with a reason"
-                ),
-            });
-        } else if count < allowed {
-            report
-                .ratchet
-                .push((RULE_ALLOC, rel.clone(), count, allowed));
-        }
+    }
 
-        for w in &analysis.waivers {
+    // Pass 4: unused-waiver detection — after every rule (both tiers) has
+    // had its chance to mark waivers used. A waiver that suppressed
+    // nothing is itself a diagnostic: stale exceptions hide the next real
+    // violation at that site. Test-region waivers are tolerated (tests
+    // are out of scope, so nothing can ever mark them used).
+    for b in &bundles {
+        for w in &b.analysis.waivers {
+            let used = w.used.get();
+            if !used && !b.analysis.is_test_line(w.line) {
+                report.diagnostics.push(Diagnostic {
+                    path: b.rel.clone(),
+                    line: w.line,
+                    col: w.col,
+                    rule: RULE_WAIVER,
+                    message: format!(
+                        "unused waiver for `{}` — no violation of the waived rule(s) fires on \
+                         the covered lines; delete it so drift cannot hide behind it",
+                        w.rules.join(", ")
+                    ),
+                });
+            }
             report.waivers.push(WaiverNote {
-                path: rel.clone(),
+                path: b.rel.clone(),
                 line: w.line,
+                col: w.col,
                 rules: w.rules.clone(),
                 reason: w.reason.clone(),
-                used: w.used.get(),
+                used,
             });
         }
     }
+
     report
         .diagnostics
-        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     Ok(report)
 }
 

@@ -1,16 +1,28 @@
-//! CLI entry point: `cargo run -p qoserve-lint [-- --root PATH] [--fix-baseline]`.
+//! CLI entry point: `cargo run -p qoserve-lint [-- FLAGS]`.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use qoserve_lint::{lint_tree, load_baseline, summary, BASELINE_FILE};
+use qoserve_lint::rules::{Diagnostic, RULE_WAIVER};
+use qoserve_lint::{
+    baseline, explain, json, lint_tree_filtered, load_baseline, summary, BASELINE_FILE,
+};
+
+enum Format {
+    Human,
+    Json,
+}
 
 struct Args {
     root: PathBuf,
     fix_baseline: bool,
     quiet: bool,
+    format: Format,
+    only: Option<String>,
+    forbid_waivers: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -18,6 +30,10 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         fix_baseline: false,
         quiet: false,
+        format: Format::Human,
+        only: None,
+        forbid_waivers: false,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -30,19 +46,53 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fix-baseline" => args.fix_baseline = true,
             "--quiet" | "-q" => args.quiet = true,
+            "--format" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--format requires `human` or `json`".to_string())?;
+                args.format = match v.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (human|json)")),
+                };
+            }
+            "--only" => {
+                args.only = Some(
+                    it.next()
+                        .ok_or_else(|| "--only requires a path prefix".to_string())?,
+                );
+            }
+            "--forbid-waivers" => args.forbid_waivers = true,
+            "--explain" => {
+                args.explain = Some(
+                    it.next()
+                        .ok_or_else(|| "--explain requires a rule name".to_string())?,
+                );
+            }
             "--help" | "-h" => {
-                return Err("usage: qoserve-lint [--root PATH] [--fix-baseline] [--quiet]\n\
-                            \n\
-                            Lints every .rs file of the workspace for determinism, float-\n\
-                            ordering, panic-hygiene, unstructured-output, and hot-path-alloc\n\
-                            violations. See DESIGN.md\n\
-                            (\"Static analysis & the determinism contract\") for the rules.\n\
-                            \n\
-                            --root PATH       workspace root to lint (default: .)\n\
-                            --fix-baseline    rewrite lint-baseline.toml with current ratcheted\n\
-                            \u{20}                 counts (ratchet down; other rules must be clean)\n\
-                            --quiet           suppress the summary, print diagnostics only"
-                    .to_string());
+                return Err(
+                    "usage: qoserve-lint [--root PATH] [--only PREFIX] [--format human|json]\n\
+                     \u{20}                   [--fix-baseline] [--forbid-waivers] [--quiet]\n\
+                     \u{20}                   [--explain RULE]\n\
+                     \n\
+                     Structural analyzer for the QoServe workspace: determinism, float-\n\
+                     ordering, panic-hygiene, unstructured-output, hot-path-alloc,\n\
+                     lossy-cast, lock-discipline, trace-coverage, serde-back-compat,\n\
+                     and bad-waiver. See DESIGN.md (\"Static analysis & the determinism\n\
+                     contract\") for the rules, or `--explain <rule>` for one of them.\n\
+                     \n\
+                     --root PATH       workspace root to lint (default: .)\n\
+                     --only PREFIX     lint only files whose path starts with PREFIX\n\
+                     \u{20}                 (e.g. `crates/lint` for the CI self-lint)\n\
+                     --format FORMAT   `human` (default) or `json` (one JSON object per\n\
+                     \u{20}                 diagnostic, stable schema, summary suppressed)\n\
+                     --fix-baseline    rewrite lint-baseline.toml with current ratcheted\n\
+                     \u{20}                 counts (non-ratcheted rules must be clean)\n\
+                     --forbid-waivers  treat every waiver as a violation (CI self-lint)\n\
+                     --quiet           suppress the summary, print diagnostics only\n\
+                     --explain RULE    print the rule book entry for RULE and exit"
+                        .to_string(),
+                );
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -59,6 +109,22 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(rule) = &args.explain {
+        return match explain::explain(rule) {
+            Some(text) => {
+                println!("{rule}\n\n{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "qoserve-lint: unknown rule `{rule}`; known rules: {}",
+                    explain::rule_names().join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let baseline = match load_baseline(&args.root) {
         Ok(b) => b,
         Err(e) => {
@@ -67,7 +133,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match lint_tree(&args.root, &baseline) {
+    let mut report = match lint_tree_filtered(&args.root, &baseline, args.only.as_deref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("qoserve-lint: {e}");
@@ -75,11 +141,37 @@ fn main() -> ExitCode {
         }
     };
 
-    for d in &report.diagnostics {
-        println!("{d}");
+    if args.forbid_waivers {
+        // The CI self-lint over `crates/lint` runs with this flag: the
+        // linter must hold its own rules without exceptions.
+        for w in &report.waivers {
+            report.diagnostics.push(Diagnostic {
+                path: w.path.clone(),
+                line: w.line,
+                col: w.col,
+                rule: RULE_WAIVER,
+                message: format!(
+                    "waiver for `{}` present, but waivers are forbidden in this scope \
+                     (--forbid-waivers); fix the underlying violation instead",
+                    w.rules.join(", ")
+                ),
+            });
+        }
+        report.diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
     }
-    if !args.quiet {
-        print!("{}", summary(&report));
+
+    match args.format {
+        Format::Human => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            if !args.quiet {
+                print!("{}", summary(&report));
+            }
+        }
+        Format::Json => print!("{}", json::render_json(&report)),
     }
 
     if args.fix_baseline {
@@ -88,11 +180,7 @@ fn main() -> ExitCode {
         let non_ratcheted = report
             .diagnostics
             .iter()
-            .filter(|d| {
-                d.rule != qoserve_lint::rules::RULE_PANIC
-                    && d.rule != qoserve_lint::rules::RULE_OUTPUT
-                    && d.rule != qoserve_lint::rules::RULE_ALLOC
-            })
+            .filter(|d| baseline::family(d.rule).is_none())
             .count();
         if non_ratcheted > 0 {
             eprintln!(
@@ -106,13 +194,14 @@ fn main() -> ExitCode {
             eprintln!("qoserve-lint: writing {}: {e}", path.display());
             return ExitCode::from(2);
         }
+        let debts: Vec<String> = baseline::FAMILIES
+            .iter()
+            .map(|f| format!("{} {}", report.counts.counts_of(f.rule).len(), f.rule))
+            .collect();
         println!(
-            "qoserve-lint: wrote {} ({} file(s) with panic debt, {} with output debt, \
-             {} with hot-path-alloc debt)",
+            "qoserve-lint: wrote {} (files with debt: {})",
             path.display(),
-            report.counts.allowed.len(),
-            report.counts.output_allowed.len(),
-            report.counts.alloc_allowed.len()
+            debts.join(", ")
         );
         return ExitCode::SUCCESS;
     }

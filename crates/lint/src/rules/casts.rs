@@ -1,0 +1,40 @@
+//! `lossy-cast`: truncating / sign-changing `as` casts.
+//!
+//! The simulation's time and token arithmetic is integer microseconds and
+//! counts; an `as` cast silently truncates (`u128 as u64`), wraps
+//! (`i64 as u64`), or saturates (`f64 as u64`) — all of which corrupt
+//! simulated time without a panic to point at the site. The sanctioned
+//! fix is the checked/saturating helpers in `qoserve_sim::nums` (sibling
+//! to the `float` helper), which make the clamp/round policy explicit and
+//! debug-assert on real information loss. The rule is ratcheted: existing
+//! debt is frozen per file in `lint-baseline.toml` and may only go down.
+
+use crate::lexer::{Tok, TokKind};
+
+use super::Site;
+
+/// Integer cast targets that can lose value or sign. `as f64`/`as f32`
+/// are out of scope (precision loss there is the float rules' domain).
+const INT_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Unfiltered `as <int>` cast sites, anchored at the `as` keyword.
+pub(crate) fn cast_sites(code: &[&Tok]) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if !t.is_ident("as") {
+            continue;
+        }
+        // `use x as y` aliases never target a primitive int, so matching
+        // the target type alone is enough to exclude them.
+        let Some(target) = code.get(i + 1) else {
+            continue;
+        };
+        if target.kind == TokKind::Ident && INT_TARGETS.contains(&target.text.as_str()) {
+            sites.push((t.line, t.col, format!("`as {}`", target.text)));
+        }
+    }
+    sites
+}

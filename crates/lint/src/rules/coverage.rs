@@ -1,0 +1,100 @@
+//! `trace-coverage`: cross-file exhaustiveness for the trace taxonomy.
+//!
+//! `TraceEvent` is a closed enum; its value comes from every consumer
+//! handling every variant. Serde keeps the JSONL round-trip exhaustive
+//! for free, but the Chrome exporter and the forensics attributor match
+//! on variants by hand — and a `_` arm silently swallows any variant
+//! added later. This rule makes that a lint error: every variant of the
+//! workspace's `TraceEvent` enum must be *mentioned* (as a
+//! `TraceEvent::Variant` path in non-test code) in each export surface.
+//! The mention test deliberately accepts explicit multi-variant or-arms
+//! (`TraceEvent::A | TraceEvent::B => ..`) — the point is that adding a
+//! variant forces the author to *decide* per surface, not that every
+//! variant needs bespoke handling.
+//!
+//! When no `TraceEvent` enum is in the scanned set (e.g. `--only
+//! crates/lint` self-lint), the rule is inert.
+
+use std::collections::BTreeSet;
+
+use crate::symbols::SymbolTable;
+
+use super::{Diagnostic, RULE_COVERAGE};
+
+/// The enum whose variants must be covered.
+pub(crate) const TRACE_ENUM: &str = "TraceEvent";
+
+/// Export surfaces: `(workspace-relative path, description)`. A surface
+/// absent from the scanned set is skipped (partial lints stay green).
+pub(crate) const SURFACES: &[(&str, &str)] = &[
+    (
+        "crates/trace/src/export.rs",
+        "the trace exporters (JSONL + Chrome)",
+    ),
+    ("crates/bench/src/forensics.rs", "forensics attribution"),
+];
+
+/// Facts the workspace pass needs about one scanned file.
+pub(crate) struct SurfaceFile<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// `(Enum, Variant, line)` path mentions in non-test code.
+    pub mentions: &'a [(String, String, u32)],
+}
+
+/// Workspace pass: for each surface file present, every variant of the
+/// workspace `TraceEvent` enum must appear as a `TraceEvent::Variant`
+/// mention. Diagnostics anchor at the surface's first `TraceEvent`
+/// mention (falling back to 1:1), so one waiver line can cover a
+/// deliberate opt-out. Returns `(file_index, diagnostic)` pairs.
+pub(crate) fn check(table: &SymbolTable, files: &[SurfaceFile<'_>]) -> Vec<(usize, Diagnostic)> {
+    let Some(enum_site) = table.enum_named(TRACE_ENUM) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (surface_path, desc) in SURFACES {
+        let Some((file_idx, file)) = files
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.path == *surface_path)
+        else {
+            continue;
+        };
+        let mentioned: BTreeSet<&str> = file
+            .mentions
+            .iter()
+            .filter(|(e, _, _)| e == TRACE_ENUM)
+            .map(|(_, v, _)| v.as_str())
+            .collect();
+        let anchor = file
+            .mentions
+            .iter()
+            .filter(|(e, _, _)| e == TRACE_ENUM)
+            .map(|(_, _, line)| *line)
+            .min()
+            .unwrap_or(1);
+        for variant in &enum_site.variants {
+            if mentioned.contains(variant.as_str()) {
+                continue;
+            }
+            out.push((
+                file_idx,
+                Diagnostic {
+                    path: file.path.to_string(),
+                    line: anchor,
+                    col: 1,
+                    rule: RULE_COVERAGE,
+                    message: format!(
+                        "`{TRACE_ENUM}::{variant}` is not handled in {desc}; a `_` arm would \
+                         silently swallow it — add an explicit arm (or list it in an or-pattern), \
+                         or waive with a reason"
+                    ),
+                },
+            ));
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.0, a.1.line, a.1.col, &a.1.message).cmp(&(b.0, b.1.line, b.1.col, &b.1.message))
+    });
+    out
+}

@@ -1,0 +1,498 @@
+//! The original token-stream rules: nondeterministic time sources, hash
+//! iteration, NaN-unsafe float comparisons, panic/output/alloc site
+//! collection, and the shared test-region excision they all respect.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+
+use super::{diag, Diagnostic, Site, RULE_FLOAT, RULE_HASH, RULE_TIME};
+
+/// Output macros that bypass structured reporting: library code must
+/// return data (or use the trace layer) instead of writing to the
+/// process streams; only `src/bin/` drivers and `src/main.rs` may print.
+const OUTPUT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// `HashMap`/`HashSet` methods that observe iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
+pub(crate) fn test_regions(code: &[&Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(code[i].is_punct('#') && i + 1 < code.len() && code[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let attr_start = i;
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        let mut attr_text: Vec<&str> = Vec::new();
+        while j < code.len() && depth > 0 {
+            if code[j].is_punct('[') {
+                depth += 1;
+            } else if code[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            attr_text.push(code[j].text.as_str());
+            j += 1;
+        }
+        let is_test_attr =
+            attr_text == ["test"] || attr_text.windows(4).any(|w| w == ["cfg", "(", "test", ")"]);
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item body braces.
+        let mut k = j + 1;
+        while k + 1 < code.len() && code[k].is_punct('#') && code[k + 1].is_punct('[') {
+            let mut d = 1i32;
+            k += 2;
+            while k < code.len() && d > 0 {
+                if code[k].is_punct('[') {
+                    d += 1;
+                } else if code[k].is_punct(']') {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        // Scan to the opening brace; `;` first means `mod tests;` (the
+        // referenced file is exempt by path anyway).
+        let mut body_open = None;
+        while k < code.len() {
+            if code[k].is_punct('{') {
+                body_open = Some(k);
+                break;
+            }
+            if code[k].is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        let Some(open) = body_open else {
+            i = j + 1;
+            continue;
+        };
+        let mut d = 1i32;
+        let mut end = open;
+        let mut m = open + 1;
+        while m < code.len() {
+            if code[m].is_punct('{') {
+                d += 1;
+            } else if code[m].is_punct('}') {
+                d -= 1;
+                if d == 0 {
+                    end = m;
+                    break;
+                }
+            }
+            m += 1;
+        }
+        let end_line = if d == 0 {
+            code[end].line
+        } else {
+            u32::MAX // unterminated: treat the rest of the file as test
+        };
+        regions.push((code[attr_start].line, end_line));
+        i = m + 1;
+    }
+    regions
+}
+
+/// `Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`.
+pub(crate) fn check_time(path: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Instant"
+                if i + 3 < code.len()
+                    && code[i + 1].is_punct(':')
+                    && code[i + 2].is_punct(':')
+                    && code[i + 3].is_ident("now") =>
+            {
+                out.push(diag(
+                    path,
+                    t,
+                    RULE_TIME,
+                    "`Instant::now` breaks replay determinism; use `SimTime` from the event loop"
+                        .to_string(),
+                ));
+            }
+            "SystemTime" => out.push(diag(
+                path,
+                t,
+                RULE_TIME,
+                "`SystemTime` breaks replay determinism; thread simulated time through instead"
+                    .to_string(),
+            )),
+            "thread_rng" => out.push(diag(
+                path,
+                t,
+                RULE_TIME,
+                "`thread_rng` is nondeterministic; derive a stream from `SeedStream`".to_string(),
+            )),
+            "from_entropy" => out.push(diag(
+                path,
+                t,
+                RULE_TIME,
+                "`from_entropy` seeds from the OS; derive a stream from `SeedStream`".to_string(),
+            )),
+            _ => {}
+        }
+    }
+}
+
+/// Names bound to `HashMap` / `HashSet` in this file (fields, lets,
+/// params). Purely lexical; see module docs for the shadowing caveat.
+fn hash_names(code: &[&Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // `name = HashMap::new()` / `= HashSet::with_capacity(..)`.
+        if i >= 2 && code[i - 1].is_punct('=') && code[i - 2].kind == TokKind::Ident {
+            names.insert(code[i - 2].text.clone());
+            continue;
+        }
+        // `name: [&][mut] [path::]HashMap<..>` — walk back over the path.
+        let mut j = i;
+        while j >= 3
+            && code[j - 1].is_punct(':')
+            && code[j - 2].is_punct(':')
+            && code[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        while j >= 1 && (code[j - 1].is_punct('&') || code[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        if j >= 2
+            && code[j - 1].is_punct(':')
+            && !code[j - 2].is_punct(':')
+            && code[j - 2].kind == TokKind::Ident
+        {
+            names.insert(code[j - 2].text.clone());
+        }
+    }
+    names
+}
+
+/// Iteration over tracked hash containers: `x.iter()`, `x.values()`,
+/// `for k in &x`, `x.drain()`, …
+pub(crate) fn check_hash_iteration(path: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    let names = hash_names(code);
+    if names.is_empty() {
+        return;
+    }
+    // Method-call form.
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind == TokKind::Ident
+            && names.contains(&t.text)
+            && i + 3 < code.len()
+            && code[i + 1].is_punct('.')
+            && code[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&code[i + 2].text.as_str())
+            && code[i + 3].is_punct('(')
+        {
+            out.push(diag(
+                path,
+                t,
+                RULE_HASH,
+                format!(
+                    "iteration over hash container `{}` (`.{}()`) is order-nondeterministic; \
+                     use `BTreeMap`/`BTreeSet` or a `Vec`",
+                    t.text,
+                    code[i + 2].text
+                ),
+            ));
+        }
+    }
+    // Bare `for .. in [&[mut]] x` form.
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // Find `in` at bracket depth 0; bail at `{` (e.g. `impl T for U {`).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut in_at = None;
+        while j < code.len() {
+            let t = code[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("in") {
+                in_at = Some(j);
+                break;
+            } else if depth == 0 && (t.is_punct('{') || t.is_punct(';')) {
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_at) = in_at else {
+            i = j.max(i + 1);
+            continue;
+        };
+        // Expression tokens up to the loop body `{`.
+        let mut k = in_at + 1;
+        let mut depth = 0i32;
+        while k < code.len() {
+            let t = code[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('{') {
+                break;
+            } else if t.kind == TokKind::Ident
+                && names.contains(&t.text)
+                && !(k + 1 < code.len() && code[k + 1].is_punct('.'))
+            {
+                out.push(diag(
+                    path,
+                    t,
+                    RULE_HASH,
+                    format!(
+                        "`for .. in` over hash container `{}` is order-nondeterministic; \
+                         use `BTreeMap`/`BTreeSet` or a `Vec`",
+                        t.text
+                    ),
+                ));
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+}
+
+/// Index of the `)` matching `code[open]` (which must be `(`).
+fn matching_paren(code: &[&Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (idx, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(idx);
+            }
+        }
+    }
+    None
+}
+
+/// `partial_cmp(..).unwrap()/expect(..)` and comparator closures built on
+/// `partial_cmp` passed to the sort/min/max family.
+pub(crate) fn check_float_ordering(path: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    let mut covered: Vec<(usize, usize)> = Vec::new();
+    const SORT_FAMILY: &[&str] = &["sort_by", "sort_unstable_by", "max_by", "min_by"];
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind == TokKind::Ident
+            && SORT_FAMILY.contains(&t.text.as_str())
+            && i + 1 < code.len()
+            && code[i + 1].is_punct('(')
+        {
+            if let Some(close) = matching_paren(code, i + 1) {
+                if code[i + 2..close].iter().any(|a| a.is_ident("partial_cmp")) {
+                    out.push(diag(
+                        path,
+                        t,
+                        RULE_FLOAT,
+                        format!(
+                            "`{}` comparator built on `partial_cmp` is not a total order under \
+                             NaN; use `f64::total_cmp` (see `qoserve_sim::float`)",
+                            t.text
+                        ),
+                    ));
+                    covered.push((i + 2, close));
+                }
+            }
+        }
+    }
+    for i in 0..code.len() {
+        if covered.iter().any(|(lo, hi)| (*lo..*hi).contains(&i)) {
+            continue;
+        }
+        let t = code[i];
+        if !t.is_ident("partial_cmp") || i + 1 >= code.len() || !code[i + 1].is_punct('(') {
+            continue;
+        }
+        let Some(close) = matching_paren(code, i + 1) else {
+            continue;
+        };
+        if close + 2 < code.len()
+            && code[close + 1].is_punct('.')
+            && (code[close + 2].is_ident("unwrap") || code[close + 2].is_ident("expect"))
+        {
+            out.push(diag(
+                path,
+                t,
+                RULE_FLOAT,
+                "`partial_cmp(..).unwrap()` panics on NaN; use `f64::total_cmp` \
+                 (see `qoserve_sim::float`)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Unfiltered panic sites: `.unwrap(`, `.expect(`, `panic!`, `todo!`.
+pub(crate) fn panic_sites(code: &[&Tok]) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if i >= 1
+                    && code[i - 1].is_punct('.')
+                    && i + 1 < code.len()
+                    && code[i + 1].is_punct('(') =>
+            {
+                sites.push((t.line, t.col, format!(".{}()", t.text)));
+            }
+            "panic" | "todo" if i + 1 < code.len() && code[i + 1].is_punct('!') => {
+                sites.push((t.line, t.col, format!("{}!", t.text)));
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+/// Unfiltered output-macro sites: `println!`, `eprintln!`, `print!`,
+/// `eprint!`, `dbg!`. Purely lexical, so `writeln!` and methods named
+/// `println` never match (the `!` check requires a macro invocation).
+pub(crate) fn output_sites(code: &[&Tok]) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind == TokKind::Ident
+            && OUTPUT_MACROS.contains(&t.text.as_str())
+            && i + 1 < code.len()
+            && code[i + 1].is_punct('!')
+        {
+            sites.push((t.line, t.col, format!("{}!", t.text)));
+        }
+    }
+    sites
+}
+
+/// Line ranges covered by the bodies of hot-path functions (any `fn`
+/// named in [`super::HOT_FNS`]), including nested closures and items.
+pub(crate) fn hot_regions(code: &[&Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < code.len() {
+        if !(code[i].is_ident("fn")
+            && code[i + 1].kind == TokKind::Ident
+            && super::HOT_FNS.contains(&code[i + 1].text.as_str()))
+        {
+            i += 1;
+            continue;
+        }
+        // Scan the signature for the body `{` at bracket depth 0; a `;`
+        // first means a bodyless trait-method declaration.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        let mut open = None;
+        while j < code.len() {
+            let t = code[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('{') {
+                open = Some(j);
+                break;
+            } else if depth == 0 && t.is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j.max(i + 2);
+            continue;
+        };
+        let mut d = 1i32;
+        let mut m = open + 1;
+        let mut end_line = u32::MAX; // unterminated: rest of file is hot
+        while m < code.len() {
+            if code[m].is_punct('{') {
+                d += 1;
+            } else if code[m].is_punct('}') {
+                d -= 1;
+                if d == 0 {
+                    end_line = code[m].line;
+                    break;
+                }
+            }
+            m += 1;
+        }
+        regions.push((code[open].line, end_line));
+        i = m + 1;
+    }
+    regions
+}
+
+/// Unfiltered allocation sites: `Box::new(`, `.to_string(`, `.clone(`,
+/// `.to_owned(`, `.to_vec(`. `Clone` derives and pass-through calls like
+/// `clone_from` never match (the method name must be exact).
+pub(crate) fn alloc_sites(code: &[&Tok]) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Box"
+                if i + 4 < code.len()
+                    && code[i + 1].is_punct(':')
+                    && code[i + 2].is_punct(':')
+                    && code[i + 3].is_ident("new")
+                    && code[i + 4].is_punct('(') =>
+            {
+                sites.push((t.line, t.col, "Box::new(..)".to_string()));
+            }
+            "to_string" | "clone" | "to_owned" | "to_vec"
+                if i >= 1
+                    && code[i - 1].is_punct('.')
+                    && i + 1 < code.len()
+                    && code[i + 1].is_punct('(') =>
+            {
+                sites.push((t.line, t.col, format!(".{}()", t.text)));
+            }
+            _ => {}
+        }
+    }
+    sites
+}

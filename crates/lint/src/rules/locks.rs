@@ -1,0 +1,91 @@
+//! `lock-discipline`: call-graph-aware lock hygiene.
+//!
+//! Two shapes are rejected in determinism-crate library code:
+//!
+//! 1. **Nested acquisition** — a second `.lock()` taken in the same
+//!    statement as an earlier one (`a.lock()...b.lock()...`): the classic
+//!    inconsistent-order deadlock hazard, and under the determinism
+//!    contract also a replay hazard (guard lifetimes now overlap in an
+//!    order the scheduler chooses). Detected per file from the structural
+//!    pass.
+//! 2. **Hot-path reachability** — a `.lock()` site inside any function
+//!    reachable (over the name-resolved workspace call graph) from the
+//!    hot-fn set shared with `hot-path-alloc` (`step`, `advance_replica`,
+//!    `pop_due`, …). Per-iteration locking skews the sharded==lockstep
+//!    timing contract; hoist the lock out of the loop or waive with a
+//!    proof that the path never actually locks (e.g. a disabled tracer).
+//!
+//! Both shapes are fix-or-waive, never ratcheted: new locks on hot paths
+//! are exactly the regressions the rule exists to stop.
+
+use crate::symbols::SymbolTable;
+
+use super::{Diagnostic, RULE_LOCK};
+
+/// Hot roots shared with `hot-path-alloc` (see [`super::HOT_FNS`]).
+pub(crate) fn hot_roots() -> &'static [&'static str] {
+    super::HOT_FNS
+}
+
+/// Workspace pass: every `.lock(` site in a function reachable from the
+/// hot roots. Returns `(file_index, diagnostic)` pairs; the caller routes
+/// them through that file's waivers. `in_scope(file)` limits reports to
+/// files whose scope includes lock discipline.
+pub(crate) fn check_hot_locks(
+    table: &SymbolTable,
+    paths: &[String],
+    in_scope: impl Fn(usize) -> bool,
+) -> Vec<(usize, Diagnostic)> {
+    let mut out = Vec::new();
+    for reach in table.reachable_from(hot_roots()) {
+        let site = &table.fns[reach.site];
+        if !in_scope(site.file) {
+            continue;
+        }
+        for &(line, col) in site.locks.iter().chain(site.nested_locks.iter()) {
+            out.push((
+                site.file,
+                Diagnostic {
+                    path: paths[site.file].clone(),
+                    line,
+                    col,
+                    rule: RULE_LOCK,
+                    message: format!(
+                        "`.lock()` in `fn {}` is reachable from hot path `{}` (call chain: {}); \
+                         per-iteration locking skews the sharded==lockstep timing contract; \
+                         hoist the lock out of the loop, or waive with a reason",
+                        site.name,
+                        reach.chain.first().map_or("?", |s| s.as_str()),
+                        reach.chain.join(" -> "),
+                    ),
+                },
+            ));
+        }
+    }
+    out.sort_by(|a, b| (a.0, a.1.line, a.1.col).cmp(&(b.0, b.1.line, b.1.col)));
+    out
+}
+
+/// Per-file pass: same-statement nested `.lock()` acquisition. The caller
+/// supplies the structural fn list of one file and receives raw sites.
+pub(crate) fn nested_lock_sites(
+    structure: &crate::structure::FileStructure,
+) -> Vec<(u32, u32, String)> {
+    let mut sites = Vec::new();
+    for f in &structure.fns {
+        for &(line, col) in &f.nested_locks {
+            sites.push((
+                line,
+                col,
+                format!(
+                    "`.lock()` taken while another guard from the same statement is still live \
+                     (in `fn {}`); bind the first guard, drop it, then acquire the second, or \
+                     waive with a reason",
+                    f.name
+                ),
+            ));
+        }
+    }
+    sites.sort_by_key(|(line, col, _)| (*line, *col));
+    sites
+}

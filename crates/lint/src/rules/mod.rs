@@ -1,0 +1,786 @@
+//! The repo-specific rules and their per-crate scoping.
+//!
+//! Rules come in two tiers. The *lexical* tier matches patterns over the
+//! token stream of [`crate::lexer`] (with a light name-tracking heuristic
+//! for hash containers). The *structural* tier runs over the item tree,
+//! workspace symbol table, and call graph built by [`crate::structure`]
+//! and [`crate::symbols`] — that is what lets `lock-discipline` reason
+//! about reachability across files and `trace-coverage` compare an enum
+//! in one crate against match arms in another. Both tiers stay
+//! dependency-free and type-blind; the waiver syntax exists for the rare
+//! false positive.
+//!
+//! | rule                   | tier        | scope (non-test `src/` code) |
+//! |------------------------|-------------|------------------------------|
+//! | `nondeterministic-time`| lexical     | determinism crates (sim, sched, engine, workload, cluster, core, trace) |
+//! | `hash-iteration`       | lexical     | determinism crates |
+//! | `float-ordering`       | lexical     | every crate except the sanctioned helper `crates/sim/src/float.rs` |
+//! | `panic-hygiene`        | lexical     | every crate, excluding `src/bin/` drivers; ratcheted |
+//! | `unstructured-output`  | lexical     | library code only; ratcheted |
+//! | `hot-path-alloc`       | lexical     | hot-path fn bodies in determinism-crate library code; ratcheted |
+//! | `lossy-cast`           | lexical     | sim, engine, sched, cluster, perf library code, except the sanctioned helper `crates/sim/src/nums.rs`; ratcheted |
+//! | `lock-discipline`      | structural  | determinism-crate library code (call-graph reachability from the hot-fn set) |
+//! | `trace-coverage`       | structural  | the export surfaces, against the workspace `TraceEvent` enum |
+//! | `serde-back-compat`    | structural  | metrics + trace library code; ratcheted |
+//! | `bad-waiver`           | —           | everywhere a waiver comment appears (malformed or unused) |
+//!
+//! Test code never participates: files under a `tests/`, `benches/`,
+//! `examples/`, or `fixtures/` path component are skipped entirely, and
+//! `#[cfg(test)]` / `#[test]` regions inside library files are excised.
+
+pub(crate) mod casts;
+pub(crate) mod coverage;
+pub(crate) mod lexical;
+pub(crate) mod locks;
+pub(crate) mod serde_compat;
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::structure::{self, FileStructure};
+use crate::waiver::{collect_waivers, Waiver};
+
+/// Rule name: wall-clock / entropy sources in simulation crates.
+pub const RULE_TIME: &str = "nondeterministic-time";
+/// Rule name: iteration over `HashMap` / `HashSet`.
+pub const RULE_HASH: &str = "hash-iteration";
+/// Rule name: NaN-unsafe float comparisons.
+pub const RULE_FLOAT: &str = "float-ordering";
+/// Rule name: panics in library code, above the ratcheted baseline.
+pub const RULE_PANIC: &str = "panic-hygiene";
+/// Rule name: `println!`-family output in library code, above the
+/// ratcheted baseline.
+pub const RULE_OUTPUT: &str = "unstructured-output";
+/// Rule name: allocation churn inside simulation hot paths, above the
+/// ratcheted baseline.
+pub const RULE_ALLOC: &str = "hot-path-alloc";
+/// Rule name: truncating / sign-changing integer `as` casts, above the
+/// ratcheted baseline.
+pub const RULE_CAST: &str = "lossy-cast";
+/// Rule name: nested lock acquisition / locks reachable from hot paths.
+pub const RULE_LOCK: &str = "lock-discipline";
+/// Rule name: `TraceEvent` variants missing from an export surface.
+pub const RULE_COVERAGE: &str = "trace-coverage";
+/// Rule name: serde fields without `#[serde(default)]` in persisted
+/// schemas, above the ratcheted baseline.
+pub const RULE_SERDE: &str = "serde-back-compat";
+/// Rule name: malformed or unused waiver comment.
+pub const RULE_WAIVER: &str = "bad-waiver";
+
+/// Crates whose `src/` is bound by the determinism contract (the
+/// simulation core; everything whose state feeds replayed results).
+const DETERMINISM_CRATES: &[&str] = &[
+    "sim", "sched", "engine", "workload", "cluster", "core", "trace",
+];
+
+/// Crates whose `src/` does time/token integer arithmetic bound by the
+/// `lossy-cast` rule.
+const CAST_CRATES: &[&str] = &["sim", "engine", "sched", "cluster", "perf"];
+
+/// Crates whose serialized structs are persisted (JSONL results, trace
+/// files) and bound by `serde-back-compat`.
+const SERDE_CRATES: &[&str] = &["metrics", "trace"];
+
+/// The one file allowed to spell out raw float comparisons: the shared
+/// `total_cmp` helper everything else is routed through.
+const FLOAT_HELPER: &str = "crates/sim/src/float.rs";
+
+/// The one file allowed to spell out raw integer casts: the checked /
+/// saturating conversion helpers everything else is routed through.
+const NUMS_HELPER: &str = "crates/sim/src/nums.rs";
+
+/// Functions whose bodies are simulation hot paths: per-iteration and
+/// per-event code where allocation churn (and locking) dominates
+/// wall-clock time. Matched by name; `lock-discipline` additionally
+/// follows the call graph out of these roots.
+pub(crate) const HOT_FNS: &[&str] = &[
+    "step",
+    "on_iteration",
+    "advance_replica",
+    "run_faulty_inner",
+    "pop",
+    "pop_due",
+];
+
+/// One raw rule hit before waiver/baseline filtering: `(line, col, what)`.
+pub type Site = (u32, u32, String);
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule name (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} {} {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileScope {
+    /// `nondeterministic-time` + `hash-iteration`.
+    pub determinism: bool,
+    /// `float-ordering`.
+    pub float: bool,
+    /// `panic-hygiene`.
+    pub panic: bool,
+    /// `unstructured-output`.
+    pub output: bool,
+    /// `hot-path-alloc`.
+    pub alloc: bool,
+    /// `lossy-cast`.
+    pub casts: bool,
+    /// `serde-back-compat`.
+    pub serde_compat: bool,
+    /// `lock-discipline`.
+    pub locks: bool,
+}
+
+impl FileScope {
+    /// Nothing applies (test code, fixtures, non-crate files).
+    pub const NONE: FileScope = FileScope {
+        determinism: false,
+        float: false,
+        panic: false,
+        output: false,
+        alloc: false,
+        casts: false,
+        serde_compat: false,
+        locks: false,
+    };
+
+    /// True when at least one rule family applies.
+    pub fn any(&self) -> bool {
+        self.determinism
+            || self.float
+            || self.panic
+            || self.output
+            || self.alloc
+            || self.casts
+            || self.serde_compat
+            || self.locks
+    }
+}
+
+/// Computes the rule scope of a workspace-relative path (must use `/`
+/// separators; [`crate::walk`] normalizes).
+pub fn scope_for(rel_path: &str) -> FileScope {
+    let components: Vec<&str> = rel_path.split('/').collect();
+    // Test, bench, example, and fixture code is exempt from everything.
+    if components
+        .iter()
+        .any(|c| matches!(*c, "tests" | "benches" | "examples" | "fixtures"))
+    {
+        return FileScope::NONE;
+    }
+    // Only crate library/binary sources are in scope.
+    let ["crates", crate_name, "src", rest @ ..] = components.as_slice() else {
+        return FileScope::NONE;
+    };
+    if rest.is_empty() {
+        return FileScope::NONE;
+    }
+    let is_bin_target = rest.first() == Some(&"bin") || rest == ["main.rs"];
+    let determinism = DETERMINISM_CRATES.contains(crate_name);
+    FileScope {
+        determinism,
+        float: rel_path != FLOAT_HELPER,
+        panic: rest.first() != Some(&"bin"),
+        output: !is_bin_target,
+        alloc: determinism && rest.first() != Some(&"bin"),
+        casts: CAST_CRATES.contains(crate_name) && !is_bin_target && rel_path != NUMS_HELPER,
+        serde_compat: SERDE_CRATES.contains(crate_name) && !is_bin_target,
+        locks: determinism && !is_bin_target,
+    }
+}
+
+/// Result of analysing one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Violations of the non-ratcheted per-file rules (time, hash, float,
+    /// nested-lock) plus any malformed waivers. Waived hits are already
+    /// removed.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Unwaived panic sites in non-test code. The caller compares the
+    /// count against the baseline.
+    pub panic_sites: Vec<Site>,
+    /// Unwaived `println!`-family sites in non-test library code,
+    /// ratcheted like `panic_sites`.
+    pub output_sites: Vec<Site>,
+    /// Unwaived allocation sites inside hot-path fn bodies (see
+    /// [`HOT_FNS`]) in non-test code, ratcheted like `panic_sites`.
+    pub alloc_sites: Vec<Site>,
+    /// Unwaived lossy integer cast sites in non-test code, ratcheted like
+    /// `panic_sites`.
+    pub cast_sites: Vec<Site>,
+    /// Unwaived serde fields without `#[serde(default)]`, ratcheted like
+    /// `panic_sites`.
+    pub serde_sites: Vec<Site>,
+    /// All well-formed waivers found in the file (used or not).
+    pub waivers: Vec<Waiver>,
+    /// The structural item tree (for the workspace passes).
+    pub structure: FileStructure,
+    /// `#[cfg(test)]` / `#[test]` line ranges.
+    pub test_lines: Vec<(u32, u32)>,
+}
+
+impl FileAnalysis {
+    /// True when `line` falls inside a test region of this file.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines
+            .iter()
+            .any(|(lo, hi)| (*lo..=*hi).contains(&line))
+    }
+
+    /// The unwaived sites of one ratcheted family.
+    pub fn ratchet_sites(&self, rule: &str) -> &[Site] {
+        match rule {
+            r if r == RULE_PANIC => &self.panic_sites,
+            r if r == RULE_OUTPUT => &self.output_sites,
+            r if r == RULE_ALLOC => &self.alloc_sites,
+            r if r == RULE_CAST => &self.cast_sites,
+            r if r == RULE_SERDE => &self.serde_sites,
+            _ => &[],
+        }
+    }
+
+    /// Non-test `(Enum, Variant, line)` path mentions, for coverage.
+    pub fn nontest_mentions(&self) -> Vec<(String, String, u32)> {
+        self.structure
+            .path_mentions
+            .iter()
+            .filter(|(_, _, line)| !self.is_test_line(*line))
+            .cloned()
+            .collect()
+    }
+}
+
+pub(crate) fn diag(path: &str, t: &Tok, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message,
+    }
+}
+
+/// Analyses one file under `scope`: lexical rules, structural parse, and
+/// every per-file structural rule. Cross-file rules run later over the
+/// collected [`FileAnalysis`] set (see [`crate::lint_tree`]).
+pub fn analyze(rel_path: &str, src: &str, scope: FileScope) -> FileAnalysis {
+    let toks = lex(src);
+    let (waivers, bad_waivers) = collect_waivers(&toks);
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| t.kind != TokKind::LineComment)
+        .collect();
+    let test_lines = lexical::test_regions(&code);
+    let in_test = |line: u32| {
+        test_lines
+            .iter()
+            .any(|(lo, hi)| (*lo..=*hi).contains(&line))
+    };
+    let structure = structure::parse(&code);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    if scope.determinism {
+        lexical::check_time(rel_path, &code, &mut raw);
+        lexical::check_hash_iteration(rel_path, &code, &mut raw);
+    }
+    if scope.float {
+        lexical::check_float_ordering(rel_path, &code, &mut raw);
+    }
+    if scope.locks {
+        for (line, col, message) in locks::nested_lock_sites(&structure) {
+            raw.push(Diagnostic {
+                path: rel_path.to_string(),
+                line,
+                col,
+                rule: RULE_LOCK,
+                message,
+            });
+        }
+    }
+
+    let mut analysis = FileAnalysis {
+        waivers,
+        ..Default::default()
+    };
+
+    for d in raw {
+        if in_test(d.line) {
+            continue;
+        }
+        if let Some(w) = analysis.waivers.iter().find(|w| w.covers(d.rule, d.line)) {
+            w.used.set(true);
+            continue;
+        }
+        analysis.diagnostics.push(d);
+    }
+
+    // Ratcheted families: collect unwaived non-test sites; the caller
+    // compares counts against the per-file baseline ceilings.
+    let families: [(bool, &'static str, Vec<Site>); 5] = [
+        (scope.panic, RULE_PANIC, lexical::panic_sites(&code)),
+        (scope.output, RULE_OUTPUT, lexical::output_sites(&code)),
+        (scope.alloc, RULE_ALLOC, {
+            let hot = lexical::hot_regions(&code);
+            let in_hot = |line: u32| hot.iter().any(|(lo, hi)| (*lo..=*hi).contains(&line));
+            lexical::alloc_sites(&code)
+                .into_iter()
+                .filter(|(line, _, _)| in_hot(*line))
+                .collect()
+        }),
+        (scope.casts, RULE_CAST, casts::cast_sites(&code)),
+        (
+            scope.serde_compat,
+            RULE_SERDE,
+            serde_compat::serde_sites(&structure),
+        ),
+    ];
+    for (enabled, rule, sites) in families {
+        if !enabled {
+            continue;
+        }
+        let kept: Vec<Site> = sites
+            .into_iter()
+            .filter(|(line, _, _)| {
+                if in_test(*line) {
+                    return false;
+                }
+                if let Some(w) = analysis.waivers.iter().find(|w| w.covers(rule, *line)) {
+                    w.used.set(true);
+                    return false;
+                }
+                true
+            })
+            .collect();
+        match rule {
+            r if r == RULE_PANIC => analysis.panic_sites = kept,
+            r if r == RULE_OUTPUT => analysis.output_sites = kept,
+            r if r == RULE_ALLOC => analysis.alloc_sites = kept,
+            r if r == RULE_CAST => analysis.cast_sites = kept,
+            _ => analysis.serde_sites = kept,
+        }
+    }
+
+    for b in bad_waivers {
+        analysis.diagnostics.push(Diagnostic {
+            path: rel_path.to_string(),
+            line: b.line,
+            col: b.col,
+            rule: RULE_WAIVER,
+            message: b.message,
+        });
+    }
+
+    analysis
+        .diagnostics
+        .sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
+    analysis.structure = structure;
+    analysis.test_lines = test_lines;
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: FileScope = FileScope {
+        determinism: true,
+        float: true,
+        panic: true,
+        output: true,
+        alloc: true,
+        casts: true,
+        serde_compat: true,
+        locks: true,
+    };
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        analyze("crates/sim/src/x.rs", src, ALL)
+            .diagnostics
+            .iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn scoping_table() {
+        let s = scope_for("crates/sched/src/queue.rs");
+        assert!(s.determinism && s.float && s.panic && s.output && s.alloc);
+        assert!(s.casts && s.locks && !s.serde_compat);
+        let s = scope_for("crates/metrics/src/histogram.rs");
+        assert!(!s.determinism && s.float && s.panic && s.output);
+        assert!(!s.alloc, "hot-path-alloc only binds determinism crates");
+        assert!(s.serde_compat && !s.casts && !s.locks);
+        let s = scope_for("crates/trace/src/tracer.rs");
+        assert!(s.determinism, "the trace layer feeds replayed results");
+        assert!(s.serde_compat && s.locks && !s.casts);
+        let s = scope_for("crates/perf/src/predictor.rs");
+        assert!(s.casts && !s.determinism, "perf does token math");
+        let s = scope_for("crates/sim/src/float.rs");
+        assert!(s.determinism && !s.float && s.panic, "sanctioned helper");
+        let s = scope_for("crates/sim/src/nums.rs");
+        assert!(
+            !s.casts && s.determinism && s.float,
+            "nums.rs is the sanctioned cast helper"
+        );
+        let s = scope_for("crates/bench/src/bin/fig9.rs");
+        assert!(
+            !s.determinism && s.float && !s.panic && !s.output && !s.alloc,
+            "drivers may panic and print"
+        );
+        let s = scope_for("crates/engine/src/bin/probe.rs");
+        assert!(
+            !s.alloc && !s.casts && !s.locks,
+            "bin targets are exempt even in determinism/cast crates"
+        );
+        let s = scope_for("crates/lint/src/main.rs");
+        assert!(s.panic && !s.output, "main.rs is a bin target for output");
+        assert!(!scope_for("crates/sched/tests/props.rs").any());
+        assert!(!scope_for("tests/tests/invariants.rs").any());
+        assert!(!scope_for("examples/quickstart.rs").any());
+        assert!(!scope_for("crates/lint/tests/fixtures/ws/crates/sim/src/bad.rs").any());
+    }
+
+    #[test]
+    fn time_rule_fires() {
+        assert_eq!(rules_of("let t = Instant::now();"), vec![RULE_TIME]);
+        assert_eq!(rules_of("let t = SystemTime::now();"), vec![RULE_TIME]);
+        assert_eq!(rules_of("let mut r = rand::thread_rng();"), vec![RULE_TIME]);
+        assert_eq!(
+            rules_of("let r = ChaCha8Rng::from_entropy();"),
+            vec![RULE_TIME]
+        );
+        // `Instant` in other positions (e.g. a type name) is fine.
+        assert!(rules_of("fn f(t: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_method_forms() {
+        let src = "struct S { m: HashMap<u32, u32> }\nimpl S { fn f(&self) { \
+                   for v in self.m.values() { } } }";
+        let a = analyze("crates/sched/src/x.rs", src, ALL);
+        assert_eq!(a.diagnostics.len(), 1);
+        assert_eq!(a.diagnostics[0].rule, RULE_HASH);
+        assert!(a.diagnostics[0].message.contains(".values()"));
+
+        for m in ["iter", "keys", "drain", "into_values", "iter_mut"] {
+            let src = format!("let mut m = HashMap::new();\nlet x: Vec<_> = m.{m}().collect();");
+            assert_eq!(rules_of(&src), vec![RULE_HASH], "method {m}");
+        }
+    }
+
+    #[test]
+    fn hash_iteration_bare_for_forms() {
+        let src = "let m: HashMap<u32, u32> = HashMap::new();\nfor (k, v) in &m { }";
+        assert_eq!(rules_of(src), vec![RULE_HASH]);
+        let src = "struct S { seen: HashSet<u64> }\nfn f(s: S) { for x in s.seen { } }";
+        // `s.seen` — the tracked ident is followed by nothing iterable-
+        // looking but is the for target; caught via the bare-ident path.
+        assert_eq!(rules_of(src), vec![RULE_HASH]);
+    }
+
+    #[test]
+    fn hash_construction_and_lookup_are_legal() {
+        let src = "let mut m: HashMap<u32, u32> = HashMap::new();\n\
+                   m.insert(1, 2);\nlet v = m.get(&1);\nlet n = m.len();\n\
+                   m.entry(3).or_default();\nm.remove(&1);";
+        assert!(rules_of(src).is_empty());
+        // BTreeMap iteration is the sanctioned alternative.
+        assert!(rules_of("let m = BTreeMap::new(); for x in m.values() { }").is_empty());
+        // `impl Trait for Type` must not confuse the for-loop scan.
+        assert!(rules_of("impl Iterator for Thing { }").is_empty());
+    }
+
+    #[test]
+    fn float_rule_fires() {
+        assert_eq!(
+            rules_of("let o = a.partial_cmp(&b).unwrap();"),
+            vec![RULE_FLOAT]
+        );
+        assert_eq!(
+            rules_of("let o = a.partial_cmp(&b).expect(\"cmp\");"),
+            vec![RULE_FLOAT]
+        );
+        // sort_by with a partial_cmp comparator: one diagnostic, at the
+        // sort, even when the inner call also unwraps.
+        assert_eq!(
+            rules_of("v.sort_by(|a, b| a.partial_cmp(b).unwrap());"),
+            vec![RULE_FLOAT]
+        );
+        assert_eq!(
+            rules_of("v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));"),
+            vec![RULE_FLOAT]
+        );
+        // total_cmp is always fine; bare partial_cmp without unwrap too.
+        assert!(rules_of("v.sort_by(|a, b| a.total_cmp(b));").is_empty());
+        assert!(rules_of("if a.partial_cmp(&b) == Some(Ordering::Less) { }").is_empty());
+    }
+
+    #[test]
+    fn panic_sites_and_exclusions() {
+        let a = analyze(
+            "crates/sim/src/x.rs",
+            "fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"boom\"); todo!(); }",
+            ALL,
+        );
+        assert_eq!(a.panic_sites.len(), 4);
+        // Named lookalikes don't count.
+        let a = analyze(
+            "crates/sim/src/x.rs",
+            "fn f() { x.unwrap_or(0); x.unwrap_or_else(f); assert!(x); debug_assert_eq!(a, b); }",
+            ALL,
+        );
+        assert!(a.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn output_sites_and_exclusions() {
+        let a = analyze(
+            "crates/metrics/src/x.rs",
+            "fn f() { println!(\"a\"); eprintln!(\"b\"); print!(\"c\"); eprint!(\"d\"); \
+             let v = dbg!(1); }",
+            ALL,
+        );
+        assert_eq!(a.output_sites.len(), 5);
+        assert_eq!(a.output_sites[0].2, "println!");
+        // Structured writes and lookalike idents don't count.
+        let a = analyze(
+            "crates/metrics/src/x.rs",
+            "fn f(w: &mut String) { writeln!(w, \"x\"); write!(w, \"y\"); self.println(); }",
+            ALL,
+        );
+        assert!(a.output_sites.is_empty());
+        // Test regions are excised, like every other rule.
+        let a = analyze(
+            "crates/metrics/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"dbg\"); }\n}\n",
+            ALL,
+        );
+        assert!(a.output_sites.is_empty());
+        // A waiver with a reason suppresses and is marked used.
+        let a = analyze(
+            "crates/bench/src/x.rs",
+            "// qoserve-lint: allow(unstructured-output) -- console banner is the product\n\
+             fn banner() { println!(\"hi\"); }\n",
+            ALL,
+        );
+        assert!(a.output_sites.is_empty());
+        assert!(a.waivers[0].used.get());
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_only_inside_hot_fns() {
+        let src = "impl Engine {\n\
+                   fn label(&self) -> String { self.name.clone() }\n\
+                   pub fn step(&mut self) -> bool {\n\
+                   let b = Box::new(Job::default());\n\
+                   let s = self.id.to_string();\n\
+                   let js = self.jobs.clone();\n\
+                   let o = buf.to_owned();\n\
+                   let v = slice.to_vec();\n\
+                   true\n\
+                   }\n\
+                   }\n";
+        let a = analyze("crates/engine/src/x.rs", src, ALL);
+        assert_eq!(a.alloc_sites.len(), 5, "{:?}", a.alloc_sites);
+        assert_eq!(a.alloc_sites[0].2, "Box::new(..)");
+        assert_eq!(a.alloc_sites[1].2, ".to_string()");
+        // The same allocations outside a hot fn are legal.
+        let a = analyze(
+            "crates/engine/src/x.rs",
+            "fn setup() { let b = Box::new(1); let s = x.to_string(); let c = y.clone(); }",
+            ALL,
+        );
+        assert!(a.alloc_sites.is_empty());
+        // Lookalikes don't count: clone_from, Clone bound, non-call clone.
+        let a = analyze(
+            "crates/engine/src/x.rs",
+            "fn on_iteration<T: Clone>(&mut self) { a.clone_from(&b); let f = Self::clone; }",
+            ALL,
+        );
+        assert!(a.alloc_sites.is_empty(), "{:?}", a.alloc_sites);
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_all_hot_fns_and_respects_waivers() {
+        for name in ["step", "on_iteration", "advance_replica", "pop", "pop_due"] {
+            let src = format!("fn {name}(&mut self) -> u32 {{ self.v.clone() }}");
+            let a = analyze("crates/sim/src/x.rs", &src, ALL);
+            assert_eq!(a.alloc_sites.len(), 1, "fn {name}");
+        }
+        // A bodyless trait declaration must not swallow the rest of the
+        // file into a hot region.
+        let src = "trait S { fn step(&mut self) -> bool; }\n\
+                   fn setup() { let c = x.clone(); }\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.alloc_sites.is_empty(), "{:?}", a.alloc_sites);
+        // Waivers suppress and are marked used, like every other rule.
+        let src = "fn step(&mut self) {\n\
+                   // qoserve-lint: allow(hot-path-alloc) -- cold error path\n\
+                   let msg = err.to_string();\n\
+                   }\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.alloc_sites.is_empty());
+        assert!(a.waivers[0].used.get());
+        // Test regions are excised.
+        let src = "#[cfg(test)]\nmod tests {\n#[test]\nfn t() { \
+                   fn step(x: &X) -> X { x.clone() } }\n}\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.alloc_sites.is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_sites_are_collected() {
+        let a = analyze(
+            "crates/sim/src/x.rs",
+            "fn f(t: u128, d: i64) -> u64 { (t as u64) + (d as u64) }",
+            ALL,
+        );
+        assert_eq!(a.cast_sites.len(), 2, "{:?}", a.cast_sites);
+        assert_eq!(a.cast_sites[0].2, "`as u64`");
+        // Float targets and use-aliases are out of scope.
+        let a = analyze(
+            "crates/sim/src/x.rs",
+            "use std::io::Result as IoResult;\nfn f(x: u64) -> f64 { x as f64 }",
+            ALL,
+        );
+        assert!(a.cast_sites.is_empty(), "{:?}", a.cast_sites);
+        // Waivers suppress; test regions are excised.
+        let a = analyze(
+            "crates/sim/src/x.rs",
+            "fn f(t: u128) -> u64 {\n\
+             // qoserve-lint: allow(lossy-cast) -- bounded by the horizon check above\n\
+             t as u64\n\
+             }\n\
+             #[cfg(test)]\nmod tests { fn g(x: u64) -> u32 { x as u32 } }\n",
+            ALL,
+        );
+        assert!(a.cast_sites.is_empty(), "{:?}", a.cast_sites);
+        assert!(a.waivers[0].used.get());
+    }
+
+    #[test]
+    fn serde_back_compat_sites_are_collected() {
+        let src = "#[derive(Debug, Serialize, Deserialize)]\n\
+                   pub struct Snap {\n\
+                       pub p50_us: u64,\n\
+                       #[serde(default)]\n\
+                       pub p99_us: u64,\n\
+                   }\n";
+        let a = analyze("crates/metrics/src/x.rs", src, ALL);
+        assert_eq!(a.serde_sites.len(), 1, "{:?}", a.serde_sites);
+        assert_eq!(a.serde_sites[0].2, "`Snap::p50_us`");
+        // Serialize-only structs and container-level defaults are fine.
+        let src = "#[derive(Serialize)]\nstruct Out { x: u64 }\n\
+                   #[derive(Serialize, Deserialize)]\n#[serde(default)]\n\
+                   struct Tolerant { y: u64 }\n";
+        let a = analyze("crates/metrics/src/x.rs", src, ALL);
+        assert!(a.serde_sites.is_empty(), "{:?}", a.serde_sites);
+    }
+
+    #[test]
+    fn nested_lock_fires_and_sequential_locks_do_not() {
+        let src = "fn merge(&self) { let x = a.lock().unwrap().merge(b.lock().unwrap()); }";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        let locks: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RULE_LOCK)
+            .collect();
+        assert_eq!(locks.len(), 1, "{:?}", a.diagnostics);
+        assert!(locks[0].message.contains("fn merge"));
+        let src = "fn merge(&self) { let x = a.lock().unwrap(); let y = b.lock().unwrap(); }";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(
+            !a.diagnostics.iter().any(|d| d.rule == RULE_LOCK),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn test_regions_are_excised() {
+        let src = "fn lib() { }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); \
+                   let m = HashMap::new(); for v in m.values() { } }\n}\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert!(a.panic_sites.is_empty());
+        // A top-level #[test] fn (no cfg module) is excised too.
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn lib(y: Option<u32>) -> u32 { y.unwrap() }";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert_eq!(a.panic_sites.len(), 1);
+        assert_eq!(a.panic_sites[0].0, 3, "only the library-code unwrap counts");
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "// Instant::now() in a comment\n\
+                   /* thread_rng() in a block /* nested unwrap() */ */\n\
+                   let s = \"Instant::now() partial_cmp unwrap()\";\n\
+                   let r = r#\"for x in m.values()\"#;\n\
+                   let c = '\"';\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.diagnostics.is_empty());
+        assert!(a.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn waivers_suppress_and_mark_used() {
+        let src = "// qoserve-lint: allow(nondeterministic-time) -- wall-clock overhead probe\n\
+                   let t = Instant::now();\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.diagnostics.is_empty());
+        assert_eq!(a.waivers.len(), 1);
+        assert!(a.waivers[0].used.get());
+        // Trailing same-line waiver works too.
+        let src = "let v = x.unwrap(); // qoserve-lint: allow(panic-hygiene) -- infallible here\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.panic_sites.is_empty());
+        // A waiver for the wrong rule does not suppress.
+        let src = "// qoserve-lint: allow(panic-hygiene) -- wrong rule\nlet t = Instant::now();\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert_eq!(a.diagnostics.len(), 1);
+        assert!(!a.waivers[0].used.get());
+    }
+
+    #[test]
+    fn bad_waiver_is_reported() {
+        let src = "// qoserve-lint: allow(panic-hygiene)\nlet v = x.unwrap();\n";
+        let a = analyze("crates/sim/src/x.rs", src, ALL);
+        assert!(a.diagnostics.iter().any(|d| d.rule == RULE_WAIVER));
+        // And the malformed waiver does NOT suppress the site.
+        assert_eq!(a.panic_sites.len(), 1);
+    }
+
+    #[test]
+    fn diagnostics_carry_exact_positions() {
+        let a = analyze("crates/sim/src/x.rs", "\n  let t = Instant::now();", ALL);
+        assert_eq!(a.diagnostics[0].line, 2);
+        assert_eq!(a.diagnostics[0].col, 11);
+        assert_eq!(
+            a.diagnostics[0].to_string(),
+            format!(
+                "crates/sim/src/x.rs:2:11 nondeterministic-time {}",
+                a.diagnostics[0].message
+            )
+        );
+    }
+}

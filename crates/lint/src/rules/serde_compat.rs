@@ -1,0 +1,37 @@
+//! `serde-back-compat`: persisted-schema tolerance for added fields.
+//!
+//! Metrics snapshots and trace records are serialized to JSONL that
+//! outlives the binary which wrote it. The repo's convention (followed by
+//! hand since PR 3) is that every field of a
+//! `#[derive(Serialize, Deserialize)]` struct in the metrics/trace crates
+//! carries `#[serde(default)]`, so yesterday's artifacts keep loading
+//! after today's struct gains a field. This rule mechanizes the
+//! convention via the structural pass: container-level `#[serde(default)]`
+//! (or `#[serde(transparent)]`) satisfies it wholesale; `#[serde(skip)]`
+//! and `#[serde(flatten)]` fields are exempt (never deserialized directly
+//! / delegated to the inner type). Ratcheted: pre-existing fields are
+//! frozen in `lint-baseline.toml`.
+
+use crate::structure::FileStructure;
+
+use super::Site;
+
+/// Unfiltered non-defaulted serde fields, anchored at the field name.
+pub(crate) fn serde_sites(structure: &FileStructure) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for st in &structure.structs {
+        let serializes = st.derives.iter().any(|d| d == "Serialize");
+        let deserializes = st.derives.iter().any(|d| d == "Deserialize");
+        if !(serializes && deserializes) || st.serde_container_default {
+            continue;
+        }
+        for f in &st.fields {
+            if f.serde_default || f.serde_skip || f.serde_flatten {
+                continue;
+            }
+            sites.push((f.line, f.col, format!("`{}::{}`", st.name, f.name)));
+        }
+    }
+    sites.sort_by_key(|(line, col, _)| (*line, *col));
+    sites
+}

@@ -1,0 +1,1265 @@
+//! The structural analyzer: a zero-dependency recursive-descent pass over
+//! the token stream of [`crate::lexer`].
+//!
+//! Where the original linter saw only a flat token stream, this module
+//! builds an *item tree* — modules, functions (with their `impl` owner),
+//! enums with variant lists, structs with per-field attribute facts — plus
+//! every `match` expression with its arm patterns, and per-function body
+//! facts (call names, `.lock()` sites, statement-local lock nesting).
+//! [`crate::symbols`] folds the per-file trees into a workspace symbol
+//! table and call graph for the cross-file rules.
+//!
+//! The parser is *lossless at the top level*: every token of a file is
+//! covered by exactly one top-level item span or one gap span (tokens the
+//! parser chose not to claim). The structural test suite pins this tiling
+//! invariant, which is what lets span-based rules trust the tree.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+
+/// A half-open range `[start, end)` of indices into the code-token slice
+/// (comments removed) the file was parsed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First token index.
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+}
+
+impl Span {
+    /// True when `idx` lies inside the span.
+    pub fn contains(&self, idx: usize) -> bool {
+        (self.start..self.end).contains(&idx)
+    }
+}
+
+/// What kind of item a top-level (or nested) item is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { .. }` or `mod name;`
+    Mod,
+    /// `fn name(..) { .. }` (possibly bodyless in traits)
+    Fn,
+    /// `impl [Trait for] Type { .. }`
+    Impl,
+    /// `trait Name { .. }`
+    Trait,
+    /// `enum Name { .. }`
+    Enum,
+    /// `struct Name ..`
+    Struct,
+    /// `union Name { .. }`
+    Union,
+    /// `use ..;`
+    Use,
+    /// `type Alias = ..;`
+    TypeAlias,
+    /// `const NAME: T = ..;` / `static NAME: T = ..;`
+    ConstStatic,
+    /// `macro_rules! name { .. }`
+    MacroDef,
+    /// `extern crate ..;` / `extern "C" { .. }`
+    Extern,
+}
+
+/// One node of the item tree.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// What it is.
+    pub kind: ItemKind,
+    /// Its name, when it has one (`impl` items carry the type name).
+    pub name: Option<String>,
+    /// Token span, attributes included.
+    pub span: Span,
+    /// 1-based line of the first token.
+    pub line: u32,
+    /// Child items (module bodies, impl/trait members).
+    pub children: Vec<Item>,
+}
+
+/// One function, flattened out of the tree with its ownership context.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Function name.
+    pub name: String,
+    /// The `impl`/`trait` type it belongs to, if any.
+    pub owner: Option<String>,
+    /// Full item span (attributes through body).
+    pub span: Span,
+    /// Body token span (inside the braces), `None` for bodyless
+    /// trait-method declarations.
+    pub body: Option<Span>,
+    /// 1-based line of the `fn` keyword's item.
+    pub line: u32,
+    /// Names invoked from the body: `foo(..)`, `x.foo(..)`, `T::foo(..)`.
+    /// Macro invocations (`foo!`) never count.
+    pub calls: BTreeSet<String>,
+    /// `.lock(` call sites in the body: `(line, col)`.
+    pub locks: Vec<(u32, u32)>,
+    /// Second-and-later `.lock(` sites within a single statement:
+    /// `(line, col)` — the classic inconsistent-order hazard shape.
+    pub nested_locks: Vec<(u32, u32)>,
+}
+
+/// One enum with its variant list.
+#[derive(Debug, Clone)]
+pub struct EnumNode {
+    /// Enum name.
+    pub name: String,
+    /// Variant names with positions, in declaration order.
+    pub variants: Vec<VariantNode>,
+    /// 1-based line of the `enum` keyword's item.
+    pub line: u32,
+}
+
+/// One enum variant.
+#[derive(Debug, Clone)]
+pub struct VariantNode {
+    /// Variant name.
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One struct with per-field serde facts.
+#[derive(Debug, Clone)]
+pub struct StructNode {
+    /// Struct name.
+    pub name: String,
+    /// Traits named in `#[derive(..)]` attributes.
+    pub derives: Vec<String>,
+    /// Whether the container carries `#[serde(default)]` / `#[serde(transparent)]`.
+    pub serde_container_default: bool,
+    /// Named fields (tuple/unit structs have none).
+    pub fields: Vec<FieldNode>,
+    /// 1-based line of the `struct` keyword's item.
+    pub line: u32,
+}
+
+/// One named struct field with the serde facts the rules care about.
+#[derive(Debug, Clone)]
+pub struct FieldNode {
+    /// Field name.
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// `#[serde(default)]` (possibly with other args) present.
+    pub serde_default: bool,
+    /// `#[serde(skip)]` present — never deserialized, back-compat moot.
+    pub serde_skip: bool,
+    /// `#[serde(flatten)]` present — delegates to the inner type.
+    pub serde_flatten: bool,
+}
+
+/// One `match` expression with its arm list.
+#[derive(Debug, Clone)]
+pub struct MatchNode {
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+    /// 1-based column of the `match` keyword.
+    pub col: u32,
+    /// Arm patterns: each arm is its `|`-alternatives, each alternative
+    /// the leading path segments (`["TraceEvent", "FirstToken"]`).
+    pub arms: Vec<ArmNode>,
+}
+
+/// One match arm.
+#[derive(Debug, Clone)]
+pub struct ArmNode {
+    /// 1-based line of the first pattern token.
+    pub line: u32,
+    /// Path segments per `|`-alternative; a lone `_` or a bare binding
+    /// yields an empty path.
+    pub paths: Vec<Vec<String>>,
+    /// True when any alternative is a catch-all (`_` or a bare binding).
+    pub wildcard: bool,
+}
+
+/// Everything the structural pass extracted from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileStructure {
+    /// Top-level item tree.
+    pub items: Vec<Item>,
+    /// Token ranges not claimed by any top-level item.
+    pub gaps: Vec<Span>,
+    /// All functions, every nesting level, flattened.
+    pub fns: Vec<FnNode>,
+    /// All enums, flattened.
+    pub enums: Vec<EnumNode>,
+    /// All structs, flattened.
+    pub structs: Vec<StructNode>,
+    /// All `match` expressions, in source order.
+    pub matches: Vec<MatchNode>,
+    /// Every qualified `A::B` path mention (`A` capitalized), with the
+    /// line of the mention — the raw material for cross-file coverage.
+    pub path_mentions: Vec<(String, String, u32)>,
+}
+
+/// Keywords that look like calls when followed by `(`.
+const CALLISH_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "break", "continue", "fn", "as", "in", "move",
+    "else", "let", "mut", "ref", "await",
+];
+
+/// Parses one file's code tokens (comments already filtered out).
+pub fn parse(code: &[&Tok]) -> FileStructure {
+    let mut p = Parser {
+        code,
+        pos: 0,
+        out: FileStructure::default(),
+    };
+    let (items, gaps) = p.parse_items(None, code.len());
+    p.out.items = items;
+    p.out.gaps = gaps;
+    p.collect_matches();
+    p.collect_path_mentions();
+    p.out
+}
+
+struct Parser<'a> {
+    code: &'a [&'a Tok],
+    pos: usize,
+    out: FileStructure,
+}
+
+impl<'a> Parser<'a> {
+    fn at(&self, i: usize) -> Option<&'a Tok> {
+        self.code.get(i).copied()
+    }
+
+    fn is_kw(&self, i: usize, kw: &str) -> bool {
+        self.at(i).is_some_and(|t| t.is_ident(kw))
+    }
+
+    /// Parses items until `end` (exclusive) or a depth-0 `}` when `owner`
+    /// parsing is inside braces. Returns `(items, gaps)` tiling the range.
+    fn parse_items(&mut self, owner: Option<&str>, end: usize) -> (Vec<Item>, Vec<Span>) {
+        let mut items = Vec::new();
+        let mut gaps: Vec<Span> = Vec::new();
+        let mut gap_start: Option<usize> = None;
+        while self.pos < end {
+            let start = self.pos;
+            if let Some(item) = self.try_parse_item(owner, end) {
+                if let Some(gs) = gap_start.take() {
+                    gaps.push(Span {
+                        start: gs,
+                        end: start,
+                    });
+                }
+                items.push(item);
+            } else {
+                // Unclaimed token: extend the current gap. Consume bracket
+                // groups atomically so stray `{` cannot desynchronize item
+                // detection inside the group.
+                if gap_start.is_none() {
+                    gap_start = Some(start);
+                }
+                let t = self.at(self.pos);
+                self.pos += 1;
+                if let Some(t) = t {
+                    if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                        self.skip_balanced_from(self.pos - 1, end);
+                    }
+                }
+            }
+        }
+        if let Some(gs) = gap_start.take() {
+            gaps.push(Span {
+                start: gs,
+                end: self.pos.min(end),
+            });
+        }
+        (items, gaps)
+    }
+
+    /// Attempts to parse one item starting at `self.pos`; on failure the
+    /// position is unchanged and `None` is returned.
+    fn try_parse_item(&mut self, owner: Option<&str>, end: usize) -> Option<Item> {
+        let start = self.pos;
+        let mut i = self.pos;
+        let mut attr_facts = AttrFacts::default();
+        // Attributes (`#[..]` and inner `#![..]`).
+        loop {
+            let mut j = i;
+            if self.is_punct_at(j, '#') {
+                j += 1;
+                if self.is_punct_at(j, '!') {
+                    j += 1;
+                }
+                if self.is_punct_at(j, '[') {
+                    let close = self.matching(j, '[', ']', end)?;
+                    attr_facts.absorb(&self.code[j + 1..close]);
+                    i = close + 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        // Visibility.
+        if self.is_kw(i, "pub") {
+            i += 1;
+            if self.is_punct_at(i, '(') {
+                let close = self.matching(i, '(', ')', end)?;
+                i = close + 1;
+            }
+        }
+        // Qualifiers before `fn`.
+        while self.is_kw(i, "unsafe")
+            || self.is_kw(i, "async")
+            || self.is_kw(i, "default")
+            || (self.is_kw(i, "const") && self.is_kw(i + 1, "fn"))
+            || (self.is_kw(i, "extern") && self.is_kw(i + 1, "fn"))
+        {
+            i += 1;
+        }
+        let kw = self.at(i)?;
+        if kw.kind != TokKind::Ident {
+            return None;
+        }
+        let item = match kw.text.as_str() {
+            "mod" => self.parse_mod(start, i, end),
+            "fn" => self.parse_fn(start, i, owner, end, &attr_facts),
+            "impl" => self.parse_impl(start, i, end),
+            "trait" => self.parse_container(start, i, end, ItemKind::Trait),
+            "enum" => self.parse_enum(start, i, end),
+            "struct" | "union" => self.parse_struct(start, i, end, &attr_facts),
+            "use" => self.parse_to_semicolon(start, i, end, ItemKind::Use),
+            "type" => self.parse_to_semicolon(start, i, end, ItemKind::TypeAlias),
+            "const" | "static" => self.parse_to_semicolon(start, i, end, ItemKind::ConstStatic),
+            "extern" => self.parse_extern(start, i, end),
+            "macro_rules" => self.parse_macro_def(start, i, end),
+            _ => None,
+        };
+        if item.is_none() {
+            self.pos = start;
+        }
+        item
+    }
+
+    fn is_punct_at(&self, i: usize, c: char) -> bool {
+        self.at(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    /// Index of the token matching the opener at `open`, scanning to `end`.
+    fn matching(&self, open: usize, o: char, c: char, end: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        let mut i = open;
+        while i < end {
+            let t = self.at(i)?;
+            if t.is_punct(o) {
+                depth += 1;
+            } else if t.is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// First depth-0 `{` at or after `i` (tracking `(`/`[` depth), unless a
+    /// depth-0 `;` comes first. Returns `(brace_index, semicolon_first)`.
+    fn find_body_open(&self, mut i: usize, end: usize) -> (Option<usize>, bool) {
+        let mut depth = 0i64;
+        while i < end {
+            let Some(t) = self.at(i) else { break };
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('{') {
+                return (Some(i), false);
+            } else if depth == 0 && t.is_punct(';') {
+                return (Some(i), true);
+            }
+            i += 1;
+        }
+        (None, false)
+    }
+
+    /// Consumes a balanced bracket group whose opener sits at `open`.
+    fn skip_balanced_from(&mut self, open: usize, end: usize) {
+        let Some(t) = self.at(open) else { return };
+        let (o, c) = if t.is_punct('{') {
+            ('{', '}')
+        } else if t.is_punct('(') {
+            ('(', ')')
+        } else {
+            ('[', ']')
+        };
+        match self.matching(open, o, c, end) {
+            Some(close) => self.pos = close + 1,
+            None => self.pos = end,
+        }
+    }
+
+    fn item(&self, kind: ItemKind, name: Option<String>, start: usize, end: usize) -> Item {
+        Item {
+            kind,
+            name,
+            span: Span { start, end },
+            line: self.at(start).map_or(0, |t| t.line),
+            children: Vec::new(),
+        }
+    }
+
+    fn parse_mod(&mut self, start: usize, kw: usize, end: usize) -> Option<Item> {
+        let name = self.ident_text(kw + 1)?;
+        if self.is_punct_at(kw + 2, ';') {
+            self.pos = kw + 3;
+            return Some(self.item(ItemKind::Mod, Some(name), start, self.pos));
+        }
+        if !self.is_punct_at(kw + 2, '{') {
+            return None;
+        }
+        let close = self.matching(kw + 2, '{', '}', end)?;
+        self.pos = kw + 3;
+        let (children, _) = self.parse_items(None, close);
+        self.pos = close + 1;
+        let mut item = self.item(ItemKind::Mod, Some(name), start, self.pos);
+        item.children = children;
+        Some(item)
+    }
+
+    fn ident_text(&self, i: usize) -> Option<String> {
+        let t = self.at(i)?;
+        (t.kind == TokKind::Ident).then(|| t.text.clone())
+    }
+
+    fn parse_fn(
+        &mut self,
+        start: usize,
+        kw: usize,
+        owner: Option<&str>,
+        end: usize,
+        _attrs: &AttrFacts,
+    ) -> Option<Item> {
+        let name = self.ident_text(kw + 1)?;
+        let (open, semi_first) = self.find_body_open(kw + 2, end);
+        let open = open?;
+        let (body, item_end) = if semi_first {
+            (None, open + 1) // bodyless trait declaration; `open` is the `;`
+        } else {
+            let close = self.matching(open, '{', '}', end)?;
+            (
+                Some(Span {
+                    start: open + 1,
+                    end: close,
+                }),
+                close + 1,
+            )
+        };
+        self.pos = item_end;
+        let mut node = FnNode {
+            name: name.clone(),
+            owner: owner.map(|s| s.to_string()),
+            span: Span {
+                start,
+                end: item_end,
+            },
+            body,
+            line: self.at(start).map_or(0, |t| t.line),
+            calls: BTreeSet::new(),
+            locks: Vec::new(),
+            nested_locks: Vec::new(),
+        };
+        if let Some(b) = body {
+            self.scan_body(&mut node, b);
+        }
+        self.out.fns.push(node);
+        Some(self.item(ItemKind::Fn, Some(name), start, item_end))
+    }
+
+    /// Extracts call names, lock sites, and statement-local lock nesting
+    /// from a function body.
+    fn scan_body(&self, node: &mut FnNode, body: Span) {
+        let mut lock_in_statement = false;
+        for i in body.start..body.end {
+            let Some(t) = self.at(i) else { break };
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                lock_in_statement = false;
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let next_open = self.is_punct_at(i + 1, '(');
+            if !next_open {
+                continue;
+            }
+            if CALLISH_KEYWORDS.contains(&t.text.as_str()) {
+                continue;
+            }
+            // `fn helper(` inside the body is a definition, not a call.
+            if i > 0 && self.is_kw(i - 1, "fn") {
+                continue;
+            }
+            node.calls.insert(t.text.clone());
+            if t.text == "lock" && i > 0 && self.is_punct_at(i - 1, '.') {
+                if lock_in_statement {
+                    node.nested_locks.push((t.line, t.col));
+                } else {
+                    node.locks.push((t.line, t.col));
+                }
+                lock_in_statement = true;
+            }
+        }
+    }
+
+    fn parse_impl(&mut self, start: usize, kw: usize, end: usize) -> Option<Item> {
+        let mut i = kw + 1;
+        i = self.skip_generics(i, end);
+        // Header tokens up to the body `{`; `for` splits trait from type.
+        let (open, semi) = self.find_body_open(i, end);
+        let open = open?;
+        if semi {
+            return None;
+        }
+        let header: Vec<&Tok> = self.code[i..open].to_vec();
+        let type_name = impl_type_name(&header);
+        let close = self.matching(open, '{', '}', end)?;
+        self.pos = open + 1;
+        let owner = type_name.clone();
+        let (children, _) = self.parse_items(owner.as_deref(), close);
+        self.pos = close + 1;
+        let mut item = self.item(ItemKind::Impl, type_name, start, self.pos);
+        item.children = children;
+        Some(item)
+    }
+
+    /// A brace-bodied container whose members parse as items (`trait`).
+    fn parse_container(
+        &mut self,
+        start: usize,
+        kw: usize,
+        end: usize,
+        kind: ItemKind,
+    ) -> Option<Item> {
+        let name = self.ident_text(kw + 1)?;
+        let (open, semi) = self.find_body_open(kw + 2, end);
+        let open = open?;
+        if semi {
+            self.pos = open + 1;
+            return Some(self.item(kind, Some(name), start, self.pos));
+        }
+        let close = self.matching(open, '{', '}', end)?;
+        self.pos = open + 1;
+        let (children, _) = self.parse_items(Some(&name), close);
+        self.pos = close + 1;
+        let mut item = self.item(kind, Some(name), start, self.pos);
+        item.children = children;
+        Some(item)
+    }
+
+    fn parse_enum(&mut self, start: usize, kw: usize, end: usize) -> Option<Item> {
+        let name = self.ident_text(kw + 1)?;
+        let (open, semi) = self.find_body_open(kw + 2, end);
+        let open = open?;
+        if semi {
+            return None;
+        }
+        let close = self.matching(open, '{', '}', end)?;
+        let mut variants = Vec::new();
+        let mut i = open + 1;
+        while i < close {
+            // Skip variant attributes.
+            while self.is_punct_at(i, '#') && self.is_punct_at(i + 1, '[') {
+                match self.matching(i + 1, '[', ']', close) {
+                    Some(c) => i = c + 1,
+                    None => break,
+                }
+            }
+            let Some(t) = self.at(i) else { break };
+            if t.kind == TokKind::Ident {
+                variants.push(VariantNode {
+                    name: t.text.clone(),
+                    line: t.line,
+                    col: t.col,
+                });
+                i += 1;
+                // Consume payload / discriminant up to the `,` at depth 0.
+                let mut depth = 0i64;
+                while i < close {
+                    let Some(t) = self.at(i) else { break };
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct(',') {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.pos = close + 1;
+        self.out.enums.push(EnumNode {
+            name: name.clone(),
+            variants,
+            line: self.at(start).map_or(0, |t| t.line),
+        });
+        Some(self.item(ItemKind::Enum, Some(name), start, self.pos))
+    }
+
+    fn parse_struct(
+        &mut self,
+        start: usize,
+        kw: usize,
+        end: usize,
+        attrs: &AttrFacts,
+    ) -> Option<Item> {
+        let is_union = self.is_kw(kw, "union");
+        let name = self.ident_text(kw + 1)?;
+        let (open, semi) = self.find_body_open(kw + 2, end);
+        let open = open?;
+        let mut fields = Vec::new();
+        if semi {
+            // Unit struct or tuple struct (`(`/`)` groups were skipped by
+            // `find_body_open`'s depth tracking); `open` is the `;`.
+            self.pos = open + 1;
+        } else {
+            let close = self.matching(open, '{', '}', end)?;
+            let mut i = open + 1;
+            while i < close {
+                let mut field_attrs = AttrFacts::default();
+                while self.is_punct_at(i, '#') && self.is_punct_at(i + 1, '[') {
+                    match self.matching(i + 1, '[', ']', close) {
+                        Some(c) => {
+                            field_attrs.absorb(&self.code[i + 2..c]);
+                            i = c + 1;
+                        }
+                        None => break,
+                    }
+                }
+                if self.is_kw(i, "pub") {
+                    i += 1;
+                    if self.is_punct_at(i, '(') {
+                        match self.matching(i, '(', ')', close) {
+                            Some(c) => i = c + 1,
+                            None => break,
+                        }
+                    }
+                }
+                let Some(t) = self.at(i) else { break };
+                if t.kind == TokKind::Ident && self.is_punct_at(i + 1, ':') {
+                    fields.push(FieldNode {
+                        name: t.text.clone(),
+                        line: t.line,
+                        col: t.col,
+                        serde_default: field_attrs.serde_default,
+                        serde_skip: field_attrs.serde_skip,
+                        serde_flatten: field_attrs.serde_flatten,
+                    });
+                    i += 2;
+                    // Consume the type up to the `,` at depth 0.
+                    let mut depth = 0i64;
+                    while i < close {
+                        let Some(t) = self.at(i) else { break };
+                        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                            depth += 1;
+                        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                            depth -= 1;
+                        } else if depth == 0 && t.is_punct(',') {
+                            i += 1;
+                            break;
+                        }
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            self.pos = close + 1;
+        }
+        self.out.structs.push(StructNode {
+            name: name.clone(),
+            derives: attrs.derives.clone(),
+            serde_container_default: attrs.serde_container_default,
+            fields,
+            line: self.at(start).map_or(0, |t| t.line),
+        });
+        let kind = if is_union {
+            ItemKind::Union
+        } else {
+            ItemKind::Struct
+        };
+        Some(self.item(kind, Some(name), start, self.pos))
+    }
+
+    /// `use`/`type`/`const`/`static` — consume through the terminating `;`
+    /// at bracket depth 0.
+    fn parse_to_semicolon(
+        &mut self,
+        start: usize,
+        kw: usize,
+        end: usize,
+        kind: ItemKind,
+    ) -> Option<Item> {
+        let name = self.ident_text(kw + 1);
+        let mut depth = 0i64;
+        let mut i = kw + 1;
+        while i < end {
+            let t = self.at(i)?;
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(';') {
+                self.pos = i + 1;
+                return Some(self.item(kind, name, start, self.pos));
+            }
+            i += 1;
+        }
+        None
+    }
+
+    fn parse_extern(&mut self, start: usize, kw: usize, end: usize) -> Option<Item> {
+        // `extern crate name;` or `extern "C" { .. }` (string dropped by
+        // the lexer, so the block form is `extern { .. }` here).
+        if self.is_kw(kw + 1, "crate") {
+            return self.parse_to_semicolon(start, kw, end, ItemKind::Extern);
+        }
+        if self.is_punct_at(kw + 1, '{') {
+            let close = self.matching(kw + 1, '{', '}', end)?;
+            self.pos = close + 1;
+            return Some(self.item(ItemKind::Extern, None, start, self.pos));
+        }
+        None
+    }
+
+    fn parse_macro_def(&mut self, start: usize, kw: usize, end: usize) -> Option<Item> {
+        if !self.is_punct_at(kw + 1, '!') {
+            return None;
+        }
+        let name = self.ident_text(kw + 2)?;
+        if !self.is_punct_at(kw + 3, '{') {
+            return None;
+        }
+        let close = self.matching(kw + 3, '{', '}', end)?;
+        self.pos = close + 1;
+        Some(self.item(ItemKind::MacroDef, Some(name), start, self.pos))
+    }
+
+    /// Skips a `<...>` generic parameter list starting at `i`, tolerating
+    /// `->` inside bounds (`Fn() -> T`).
+    fn skip_generics(&self, mut i: usize, end: usize) -> usize {
+        if !self.is_punct_at(i, '<') {
+            return i;
+        }
+        let mut depth = 0i64;
+        while i < end {
+            let Some(t) = self.at(i) else { break };
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                // `->` return arrows do not close generics.
+                if !(i > 0 && self.is_punct_at(i - 1, '-')) {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Scans the whole token stream for `match` expressions and records
+    /// their arm lists (source order).
+    fn collect_matches(&mut self) {
+        let mut i = 0usize;
+        let end = self.code.len();
+        while i < end {
+            if !self.is_kw(i, "match") {
+                i += 1;
+                continue;
+            }
+            let kw = self.at(i).map(|t| (t.line, t.col));
+            // Scrutinee: to the `{` at bracket depth 0; a `;`/`=>` first
+            // means this `match` is not an expression head (e.g. a raw
+            // identifier artifact) — skip it.
+            let (open, semi) = self.find_body_open(i + 1, end);
+            let Some(open) = open else {
+                i += 1;
+                continue;
+            };
+            if semi {
+                i += 1;
+                continue;
+            }
+            let Some(close) = self.matching(open, '{', '}', end) else {
+                i += 1;
+                continue;
+            };
+            let arms = self.parse_arms(open + 1, close);
+            if let Some((line, col)) = kw {
+                self.out.matches.push(MatchNode { line, col, arms });
+            }
+            // Continue *inside* the match so nested matches are found too.
+            i += 1;
+        }
+        self.out.matches.sort_by_key(|m| (m.line, m.col));
+    }
+
+    fn parse_arms(&self, mut i: usize, end: usize) -> Vec<ArmNode> {
+        let mut arms = Vec::new();
+        while i < end {
+            // Skip arm attributes.
+            while self.is_punct_at(i, '#') && self.is_punct_at(i + 1, '[') {
+                match self.matching(i + 1, '[', ']', end) {
+                    Some(c) => i = c + 1,
+                    None => return arms,
+                }
+            }
+            if i >= end {
+                break;
+            }
+            let arm_line = self.at(i).map_or(0, |t| t.line);
+            // Pattern: to `=>` at bracket depth 0.
+            let pat_start = i;
+            let mut depth = 0i64;
+            let mut fat_arrow = None;
+            while i < end {
+                let Some(t) = self.at(i) else { break };
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct('=') && self.is_punct_at(i + 1, '>') {
+                    fat_arrow = Some(i);
+                    break;
+                }
+                i += 1;
+            }
+            let Some(arrow) = fat_arrow else { break };
+            let (paths, wildcard) = arm_paths(&self.code[pat_start..arrow]);
+            arms.push(ArmNode {
+                line: arm_line,
+                paths,
+                wildcard,
+            });
+            // Body: a braced block, or an expression up to the depth-0 `,`.
+            i = arrow + 2;
+            if self.is_punct_at(i, '{') {
+                match self.matching(i, '{', '}', end) {
+                    Some(c) => i = c + 1,
+                    None => break,
+                }
+                if self.is_punct_at(i, ',') {
+                    i += 1;
+                }
+            } else {
+                let mut depth = 0i64;
+                while i < end {
+                    let Some(t) = self.at(i) else { break };
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct(',') {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        arms
+    }
+
+    /// Scans for `A::B` path mentions with `A` capitalized.
+    fn collect_path_mentions(&mut self) {
+        for i in 0..self.code.len() {
+            let Some(a) = self.at(i) else { break };
+            if a.kind != TokKind::Ident || !a.text.chars().next().is_some_and(|c| c.is_uppercase())
+            {
+                continue;
+            }
+            if self.is_punct_at(i + 1, ':') && self.is_punct_at(i + 2, ':') {
+                if let Some(b) = self.at(i + 3) {
+                    if b.kind == TokKind::Ident {
+                        self.out
+                            .path_mentions
+                            .push((a.text.clone(), b.text.clone(), a.line));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-item attribute facts gathered while parsing.
+#[derive(Debug, Default, Clone)]
+struct AttrFacts {
+    derives: Vec<String>,
+    serde_default: bool,
+    serde_skip: bool,
+    serde_flatten: bool,
+    serde_container_default: bool,
+}
+
+impl AttrFacts {
+    /// Folds one attribute's inner tokens (between `[` and `]`) in.
+    fn absorb(&mut self, inner: &[&Tok]) {
+        let Some(head) = inner.first() else { return };
+        match head.text.as_str() {
+            "derive" => {
+                for t in &inner[1..] {
+                    if t.kind == TokKind::Ident {
+                        self.derives.push(t.text.clone());
+                    }
+                }
+            }
+            "serde" => {
+                for t in &inner[1..] {
+                    if t.kind != TokKind::Ident {
+                        continue;
+                    }
+                    match t.text.as_str() {
+                        "default" => {
+                            self.serde_default = true;
+                            self.serde_container_default = true;
+                        }
+                        "transparent" => self.serde_container_default = true,
+                        "skip" | "skip_deserializing" => self.serde_skip = true,
+                        "flatten" => self.serde_flatten = true,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extracts the implemented type's name from an `impl` header (generics
+/// already skipped): the path after a top-level `for` when present, the
+/// leading path otherwise.
+fn impl_type_name(header: &[&Tok]) -> Option<String> {
+    let mut depth = 0i64;
+    let mut for_at = None;
+    for (i, t) in header.iter().enumerate() {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            if !(i > 0 && header[i - 1].is_punct('-')) {
+                depth -= 1;
+            }
+        } else if depth == 0 && t.is_ident("for") {
+            for_at = Some(i);
+        }
+    }
+    let tail = match for_at {
+        Some(i) => &header[i + 1..],
+        None => header,
+    };
+    // Last ident of the leading path (`a::b::Type<..>` -> `Type`).
+    let mut name = None;
+    let mut depth = 0i64;
+    for (i, t) in tail.iter().enumerate() {
+        if t.is_punct('<') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct('>') {
+            if !(i > 0 && tail[i - 1].is_punct('-')) {
+                depth -= 1;
+            }
+            continue;
+        }
+        if depth > 0 {
+            continue;
+        }
+        if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "dyn" | "mut" | "where") {
+            name = Some(t.text.clone());
+        }
+        if t.is_ident("where") {
+            break;
+        }
+    }
+    name
+}
+
+/// Pattern alternatives of one arm: leading path segments per
+/// `|`-alternative, plus whether any alternative is a catch-all.
+fn arm_paths(pat: &[&Tok]) -> (Vec<Vec<String>>, bool) {
+    let mut paths = Vec::new();
+    let mut wildcard = false;
+    let mut depth = 0i64;
+    let mut alt_start = 0usize;
+    let mut alts: Vec<&[&Tok]> = Vec::new();
+    for (i, t) in pat.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('|') {
+            alts.push(&pat[alt_start..i]);
+            alt_start = i + 1;
+        }
+    }
+    alts.push(&pat[alt_start..]);
+    for alt in alts {
+        // Strip leading `&`, `ref`, `mut`, `box`.
+        let mut j = 0usize;
+        while j < alt.len()
+            && (alt[j].is_punct('&')
+                || alt[j].is_ident("ref")
+                || alt[j].is_ident("mut")
+                || alt[j].is_ident("box"))
+        {
+            j += 1;
+        }
+        let mut segs = Vec::new();
+        while j < alt.len() && alt[j].kind == TokKind::Ident {
+            segs.push(alt[j].text.clone());
+            if j + 2 < alt.len() && alt[j + 1].is_punct(':') && alt[j + 2].is_punct(':') {
+                j += 3;
+            } else {
+                break;
+            }
+        }
+        let is_underscore = segs.len() == 1 && segs[0] == "_";
+        let is_binding = segs.len() == 1
+            && !alt
+                .get(j + 1)
+                .is_some_and(|t| t.is_punct('(') || t.is_punct('{'))
+            && segs[0]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_lowercase() || c == '_');
+        if is_underscore || (is_binding && !alt.iter().any(|t| t.is_punct(':'))) {
+            wildcard = true;
+            paths.push(Vec::new());
+        } else {
+            paths.push(segs);
+        }
+    }
+    (paths, wildcard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn structure(src: &str) -> FileStructure {
+        let toks = lex(src);
+        let code: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| t.kind != TokKind::LineComment)
+            .collect();
+        parse(&code)
+    }
+
+    #[test]
+    fn items_tile_the_token_stream() {
+        let src = "use std::fmt;\n\
+                   pub struct S { pub a: u32, b: Vec<u64> }\n\
+                   impl S { pub fn new() -> S { S { a: 0, b: Vec::new() } } }\n\
+                   enum E { A, B(u32), C { x: u8 } }\n\
+                   fn free(x: u32) -> u32 { x + 1 }\n\
+                   mod inner { pub fn g() {} }\n";
+        let toks = lex(src);
+        let code: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| t.kind != TokKind::LineComment)
+            .collect();
+        let s = parse(&code);
+        assert_eq!(s.items.len(), 6, "{:?}", s.items);
+        assert!(s.gaps.is_empty(), "{:?}", s.gaps);
+        // The spans tile [0, len) in order, without overlap.
+        let mut cursor = 0usize;
+        for item in &s.items {
+            assert_eq!(item.span.start, cursor, "item {:?}", item.name);
+            assert!(item.span.end > item.span.start);
+            cursor = item.span.end;
+        }
+        assert_eq!(cursor, code.len());
+    }
+
+    #[test]
+    fn fn_nodes_carry_owner_and_calls() {
+        let s = structure(
+            "impl Engine { fn step(&mut self) { self.queue.pop_due(); helper(1); } }\n\
+             fn helper(x: u32) -> u32 { x }\n",
+        );
+        assert_eq!(s.fns.len(), 2);
+        let step = &s.fns[0];
+        assert_eq!(step.name, "step");
+        assert_eq!(step.owner.as_deref(), Some("Engine"));
+        assert!(step.calls.contains("pop_due"));
+        assert!(step.calls.contains("helper"));
+        let helper = &s.fns[1];
+        assert_eq!(helper.name, "helper");
+        assert!(helper.owner.is_none());
+    }
+
+    #[test]
+    fn impl_trait_for_type_attributes_to_the_type() {
+        let s = structure("impl TraceSink for RingSink { fn record(&mut self) {} }");
+        assert_eq!(s.fns[0].owner.as_deref(), Some("RingSink"));
+        let s = structure("impl<T: Clone> CalendarQueue<T> { fn pop(&mut self) {} }");
+        assert_eq!(s.fns[0].owner.as_deref(), Some("CalendarQueue"));
+    }
+
+    #[test]
+    fn enum_variants_are_listed() {
+        let s =
+            structure("pub enum TraceEvent { First, Second { x: u32, y: u64 }, Third(bool), }\n");
+        assert_eq!(s.enums.len(), 1);
+        let e = &s.enums[0];
+        assert_eq!(e.name, "TraceEvent");
+        let names: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["First", "Second", "Third"]);
+    }
+
+    #[test]
+    fn struct_fields_carry_serde_facts() {
+        let s = structure(
+            "#[derive(Debug, Serialize, Deserialize)]\n\
+             pub struct R {\n\
+                 pub plain: u64,\n\
+                 #[serde(default)]\n\
+                 pub tolerant: u32,\n\
+                 #[serde(default, skip_serializing_if = \"Option::is_none\")]\n\
+                 pub opt: Option<u64>,\n\
+                 #[serde(flatten)]\n\
+                 pub inner: Inner,\n\
+                 #[serde(skip)]\n\
+                 pub scratch: Vec<u8>,\n\
+             }\n",
+        );
+        let st = &s.structs[0];
+        assert!(st.derives.iter().any(|d| d == "Serialize"));
+        assert!(st.derives.iter().any(|d| d == "Deserialize"));
+        assert!(!st.serde_container_default);
+        let by_name = |n: &str| st.fields.iter().find(|f| f.name == n).expect("field");
+        assert!(!by_name("plain").serde_default);
+        assert!(by_name("tolerant").serde_default);
+        assert!(by_name("opt").serde_default);
+        assert!(by_name("inner").serde_flatten);
+        assert!(by_name("scratch").serde_skip);
+    }
+
+    #[test]
+    fn container_level_serde_default_is_detected() {
+        let s = structure(
+            "#[derive(Serialize, Deserialize)]\n#[serde(default)]\nstruct C { a: u32 }\n",
+        );
+        assert!(s.structs[0].serde_container_default);
+        let s =
+            structure("#[derive(Serialize, Deserialize)]\n#[serde(transparent)]\nstruct T(u64);\n");
+        assert!(s.structs[0].serde_container_default);
+        assert!(
+            s.structs[0].fields.is_empty(),
+            "tuple struct has no named fields"
+        );
+    }
+
+    #[test]
+    fn matches_record_paths_and_wildcards() {
+        let s = structure(
+            "fn f(e: TraceEvent) -> u32 {\n\
+                 match e {\n\
+                     TraceEvent::First => 1,\n\
+                     TraceEvent::Second { x, .. } | TraceEvent::Third(_) => x,\n\
+                     other => 0,\n\
+                 }\n\
+             }\n",
+        );
+        assert_eq!(s.matches.len(), 1);
+        let m = &s.matches[0];
+        assert_eq!(m.arms.len(), 3);
+        assert_eq!(
+            m.arms[0].paths,
+            vec![vec!["TraceEvent".to_string(), "First".to_string()]]
+        );
+        assert_eq!(m.arms[1].paths.len(), 2);
+        assert!(!m.arms[1].wildcard);
+        assert!(m.arms[2].wildcard, "bare binding is a catch-all");
+    }
+
+    #[test]
+    fn underscore_arm_is_wildcard() {
+        let s = structure("fn f(x: E) { match x { E::A => {}, _ => {} } }");
+        let m = &s.matches[0];
+        assert!(m.arms[1].wildcard);
+        assert!(!m.arms[0].wildcard);
+    }
+
+    #[test]
+    fn nested_matches_are_found() {
+        let s = structure(
+            "fn f(a: E, b: E) { match a { E::A => match b { E::B => {}, _ => {} }, _ => {} } }",
+        );
+        assert_eq!(s.matches.len(), 2);
+    }
+
+    #[test]
+    fn lock_sites_and_nesting() {
+        let s = structure(
+            "fn one(&self) { let Ok(g) = self.shared.lock() else { return }; g.push(1); }\n\
+             fn nested(&self) { let x = a.lock().unwrap().merge(b.lock().unwrap()); }\n\
+             fn sequential(&self) { a.lock(); b.lock(); }\n",
+        );
+        assert_eq!(s.fns[0].locks.len(), 1);
+        assert!(s.fns[0].nested_locks.is_empty());
+        assert_eq!(s.fns[1].locks.len(), 1);
+        assert_eq!(s.fns[1].nested_locks.len(), 1, "same-statement second lock");
+        assert_eq!(
+            s.fns[2].locks.len(),
+            2,
+            "`;`-separated locks are sequential"
+        );
+        assert!(s.fns[2].nested_locks.is_empty());
+    }
+
+    #[test]
+    fn path_mentions_are_collected() {
+        let s = structure("fn f() { let x = TraceEvent::FirstToken; Other::thing(); }");
+        assert!(s
+            .path_mentions
+            .iter()
+            .any(|(a, b, _)| a == "TraceEvent" && b == "FirstToken"));
+        assert!(s.path_mentions.iter().any(|(a, _, _)| a == "Other"));
+    }
+
+    #[test]
+    fn bodyless_trait_methods_do_not_swallow_the_file() {
+        let s = structure("trait S { fn step(&mut self) -> bool; }\nfn after() { real(); }\n");
+        assert_eq!(s.fns.len(), 2);
+        assert!(s.fns[0].body.is_none());
+        assert!(s.fns[1].calls.contains("real"));
+    }
+
+    #[test]
+    fn generics_and_where_clauses_parse() {
+        let s = structure(
+            "impl<F: Fn() -> u64> Holder<F> { fn call(&self) -> u64 { (self.f)() } }\n\
+             pub fn generic<T: Clone>(x: T) -> T where T: Send { x.clone() }\n",
+        );
+        assert_eq!(s.fns[0].owner.as_deref(), Some("Holder"));
+        assert_eq!(s.fns[1].name, "generic");
+    }
+
+    #[test]
+    fn macro_invocations_are_not_calls() {
+        let s = structure("fn f() { println!(\"x\"); writeln!(w, \"y\"); real_call(); }");
+        assert!(!s.fns[0].calls.contains("println"));
+        assert!(!s.fns[0].calls.contains("writeln"));
+        assert!(s.fns[0].calls.contains("real_call"));
+    }
+}

@@ -1,0 +1,242 @@
+//! The workspace symbol table and intra-workspace call graph.
+//!
+//! Built from the per-file [`crate::structure::FileStructure`] trees:
+//! every non-test function becomes a node keyed by name (and owner type,
+//! when inside an `impl`), every call name becomes an edge candidate.
+//! Resolution is *name-based*: a call `x.pop()` links to every workspace
+//! function named `pop`. That over-approximates — exactly the right bias
+//! for a safety lint (a reachability claim can be waived; a missed lock
+//! on the hot path cannot) — and it needs no type information, keeping
+//! the linter dependency-free.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::structure::FileStructure;
+
+/// One function in the workspace table.
+#[derive(Debug, Clone)]
+pub struct FnSite {
+    /// Index of the file (into the caller-supplied slice) it lives in.
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// Owning `impl`/`trait` type, if any.
+    pub owner: Option<String>,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// Names called from the body.
+    pub calls: BTreeSet<String>,
+    /// `.lock(` sites in the body: `(line, col)`.
+    pub locks: Vec<(u32, u32)>,
+    /// Same-statement second-lock sites: `(line, col)`.
+    pub nested_locks: Vec<(u32, u32)>,
+}
+
+/// One enum in the workspace table.
+#[derive(Debug, Clone)]
+pub struct EnumSite {
+    /// Index of the file it lives in.
+    pub file: usize,
+    /// Enum name.
+    pub name: String,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+    /// 1-based line of the definition.
+    pub line: u32,
+}
+
+/// Workspace-wide symbol table over all scanned files.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// All non-test functions, in `(file, line)` order.
+    pub fns: Vec<FnSite>,
+    /// All non-test enums, in `(file, line)` order.
+    pub enums: Vec<EnumSite>,
+    /// Function indices by name (for call resolution).
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// One step of a call chain, for diagnostics.
+#[derive(Debug, Clone)]
+pub struct Reach {
+    /// Index into [`SymbolTable::fns`].
+    pub site: usize,
+    /// The chain of fn names from the hot root to this site, e.g.
+    /// `["step", "emit"]`.
+    pub chain: Vec<String>,
+}
+
+impl SymbolTable {
+    /// Builds the table from per-file structures (iterated in file
+    /// order). `is_test_line(file, line)` excludes functions defined
+    /// inside `#[cfg(test)]` regions.
+    pub fn build<'a, I>(structures: I, is_test_line: impl Fn(usize, u32) -> bool) -> SymbolTable
+    where
+        I: IntoIterator<Item = &'a FileStructure>,
+    {
+        let mut table = SymbolTable::default();
+        for (file, s) in structures.into_iter().enumerate() {
+            for f in &s.fns {
+                if is_test_line(file, f.line) {
+                    continue;
+                }
+                table
+                    .by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(table.fns.len());
+                table.fns.push(FnSite {
+                    file,
+                    name: f.name.clone(),
+                    owner: f.owner.clone(),
+                    line: f.line,
+                    calls: f.calls.clone(),
+                    locks: f.locks.clone(),
+                    nested_locks: f.nested_locks.clone(),
+                });
+            }
+            for e in &s.enums {
+                if is_test_line(file, e.line) {
+                    continue;
+                }
+                table.enums.push(EnumSite {
+                    file,
+                    name: e.name.clone(),
+                    variants: e.variants.iter().map(|v| v.name.clone()).collect(),
+                    line: e.line,
+                });
+            }
+        }
+        table
+    }
+
+    /// Function sites named `name`.
+    pub fn fns_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The first enum named `name` (scan order: file, then line), if any.
+    pub fn enum_named(&self, name: &str) -> Option<&EnumSite> {
+        self.enums.iter().find(|e| e.name == name)
+    }
+
+    /// Every function reachable from the functions named in `roots`,
+    /// following name-resolved call edges breadth-first. Each site is
+    /// reported once, with the shortest (first-found) chain of fn names
+    /// from its root. Traversal order is deterministic: roots in the
+    /// given order, then `(file, line)` order within each BFS layer.
+    pub fn reachable_from(&self, roots: &[&str]) -> Vec<Reach> {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut out: Vec<Reach> = Vec::new();
+        let mut frontier: Vec<Reach> = Vec::new();
+        for root in roots {
+            for &idx in self.fns_named(root) {
+                if seen.insert(idx) {
+                    frontier.push(Reach {
+                        site: idx,
+                        chain: vec![self.fns[idx].name.clone()],
+                    });
+                }
+            }
+        }
+        while !frontier.is_empty() {
+            out.extend(frontier.iter().cloned());
+            let mut next: Vec<Reach> = Vec::new();
+            for r in &frontier {
+                let mut callees: Vec<usize> = Vec::new();
+                for call in &self.fns[r.site].calls {
+                    callees.extend_from_slice(self.fns_named(call));
+                }
+                callees.sort_by_key(|&i| (self.fns[i].file, self.fns[i].line));
+                for idx in callees {
+                    if seen.insert(idx) {
+                        let mut chain = r.chain.clone();
+                        chain.push(self.fns[idx].name.clone());
+                        next.push(Reach { site: idx, chain });
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, Tok, TokKind};
+    use crate::structure::parse;
+
+    fn structures(srcs: &[&str]) -> Vec<FileStructure> {
+        srcs.iter()
+            .map(|src| {
+                let toks = lex(src);
+                let code: Vec<&Tok> = toks
+                    .iter()
+                    .filter(|t| t.kind != TokKind::LineComment)
+                    .collect();
+                parse(&code)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cross_file_reachability_finds_locks() {
+        let s = structures(&[
+            "impl Replica { fn step(&mut self) { self.tracer.emit(ev); } }",
+            "impl Tracer { fn emit(&self, ev: E) { let Ok(mut g) = self.shared.lock() else { return }; g.push(ev); } }",
+        ]);
+        let table = SymbolTable::build(&s, |_, _| false);
+        let reached = table.reachable_from(&["step"]);
+        let emit = reached
+            .iter()
+            .find(|r| table.fns[r.site].name == "emit")
+            .expect("emit reachable from step");
+        assert_eq!(emit.chain, vec!["step".to_string(), "emit".to_string()]);
+        assert_eq!(table.fns[emit.site].locks.len(), 1);
+        assert_eq!(
+            table.fns[emit.site].file, 1,
+            "lock lives in the second file"
+        );
+    }
+
+    #[test]
+    fn unreachable_fns_stay_out() {
+        let s = structures(&["fn step() { helper(); }\nfn helper() {}\nfn cold() { m.lock(); }"]);
+        let table = SymbolTable::build(&s, |_, _| false);
+        let reached = table.reachable_from(&["step"]);
+        let names: Vec<&str> = reached
+            .iter()
+            .map(|r| table.fns[r.site].name.as_str())
+            .collect();
+        assert!(names.contains(&"helper"));
+        assert!(!names.contains(&"cold"));
+    }
+
+    #[test]
+    fn test_fns_are_excluded() {
+        let s = structures(&["fn step() { probe(); }\nfn probe() {}"]);
+        // Pretend line 2 (probe) is in a test region.
+        let table = SymbolTable::build(&s, |_, line| line == 2);
+        assert!(table.fns_named("probe").is_empty());
+        assert_eq!(table.fns_named("step").len(), 1);
+    }
+
+    #[test]
+    fn enum_lookup() {
+        let s = structures(&["pub enum TraceEvent { A, B, C }"]);
+        let table = SymbolTable::build(&s, |_, _| false);
+        let e = table.enum_named("TraceEvent").expect("enum found");
+        assert_eq!(e.variants, vec!["A", "B", "C"]);
+        assert!(table.enum_named("Missing").is_none());
+    }
+
+    #[test]
+    fn recursive_calls_terminate() {
+        let s = structures(&["fn step() { step(); pop(); }\nfn pop() { step(); }"]);
+        let table = SymbolTable::build(&s, |_, _| false);
+        let reached = table.reachable_from(&["step", "pop"]);
+        assert_eq!(reached.len(), 2, "each site reported exactly once");
+    }
+}

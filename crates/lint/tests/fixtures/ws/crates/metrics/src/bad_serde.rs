@@ -1,0 +1,9 @@
+//! Fixture: a persisted snapshot missing `#[serde(default)]` on one
+//! field (violation), with a compliant sibling field.
+
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Snap {
+    pub count: u64,
+    #[serde(default)]
+    pub p99_us: u64,
+}

@@ -1,0 +1,15 @@
+//! Fixture: lossy integer casts — two unwaived sites (baseline allows
+//! 0), one exempt float-target cast, one waived site.
+
+pub fn truncate(t: u128, d: i64) -> u64 {
+    (t as u64).wrapping_add(d as u64)
+}
+
+pub fn widen(x: u64) -> f64 {
+    x as f64
+}
+
+pub fn waived(t: u128) -> u64 {
+    // qoserve-lint: allow(lossy-cast) -- fixture: bounded by the caller's horizon check
+    t as u64
+}

@@ -1,0 +1,30 @@
+//! Fixture: lock-discipline — same-statement nested guards, plus a lock
+//! reachable from the hot-fn set through the call graph (and one
+//! hot-path allocation for `hot-path-alloc`).
+
+use std::sync::Mutex;
+
+pub struct Core {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Core {
+    pub fn merge(&self) -> u32 {
+        match (self.a.lock(), self.b.lock()) {
+            (Ok(a), Ok(b)) => *a + *b,
+            _ => 0,
+        }
+    }
+
+    pub fn step(&mut self, name: &str) -> String {
+        self.tick();
+        name.to_string()
+    }
+
+    fn tick(&self) {
+        if let Ok(mut g) = self.a.lock() {
+            *g += 1;
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: the trace taxonomy — three variants, one of which the
+//! exporter next door forgets.
+
+pub enum TraceEvent {
+    Arrived,
+    Completed,
+    Dropped,
+}

@@ -1,0 +1,12 @@
+//! Fixture: an exporter handling only two of the three variants; the
+//! `_` arm hides `Dropped` — exactly what `trace-coverage` rejects.
+
+use crate::event::TraceEvent;
+
+pub fn name(e: &TraceEvent) -> &'static str {
+    match e {
+        TraceEvent::Arrived => "arrived",
+        TraceEvent::Completed => "completed",
+        _ => "other",
+    }
+}

@@ -1,13 +1,18 @@
 //! End-to-end tests over the seeded fixture workspace in
 //! `tests/fixtures/ws`: every rule class must fire with an exact
-//! diagnostic, waivers must suppress (or be reported when malformed),
-//! and the baseline must both gate and ratchet.
+//! diagnostic, waivers must suppress (or be reported when malformed or
+//! unused), the per-family baseline must both gate and ratchet, and the
+//! `--only` path filter must narrow the tree without changing any
+//! surviving diagnostic.
 
 use std::path::PathBuf;
 
 use qoserve_lint::baseline::Baseline;
-use qoserve_lint::rules::{RULE_FLOAT, RULE_HASH, RULE_OUTPUT, RULE_PANIC, RULE_TIME, RULE_WAIVER};
-use qoserve_lint::{lint_tree, load_baseline, summary, LintReport};
+use qoserve_lint::rules::{
+    RULE_ALLOC, RULE_CAST, RULE_COVERAGE, RULE_FLOAT, RULE_HASH, RULE_LOCK, RULE_OUTPUT,
+    RULE_PANIC, RULE_SERDE, RULE_TIME, RULE_WAIVER,
+};
+use qoserve_lint::{lint_tree, lint_tree_filtered, load_baseline, summary, LintReport};
 
 fn fixture_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
@@ -24,6 +29,9 @@ fn seeded_fixtures_produce_exact_diagnostics() {
     let r = report();
     let got: Vec<String> = r.diagnostics.iter().map(|d| d.to_string()).collect();
     let want = [
+        "crates/core/src/clean.rs:5:1 bad-waiver unused waiver for `nondeterministic-time` — \
+         no violation of the waived rule(s) fires on the covered lines; delete it so drift \
+         cannot hide behind it",
         "crates/engine/src/debt.rs:4:16 panic-hygiene 3 panic site(s) in non-test code (first: \
          `.unwrap()`), baseline allows 2; handle the error or waive with a reason, never raise \
          the baseline",
@@ -35,6 +43,9 @@ fn seeded_fixtures_produce_exact_diagnostics() {
          never raise the baseline",
         "crates/metrics/src/bad_float.rs:10:7 float-ordering `partial_cmp(..).unwrap()` panics \
          on NaN; use `f64::total_cmp` (see `qoserve_sim::float`)",
+        "crates/metrics/src/bad_serde.rs:6:9 serde-back-compat 1 persisted serde field(s) \
+         without `#[serde(default)]` (first: ``Snap::count``), baseline allows 0; add \
+         `#[serde(default)]` so old JSONL artifacts keep deserializing, or waive with a reason",
         "crates/sched/src/bad_hash.rs:10:14 hash-iteration iteration over hash container \
          `slots` (`.values()`) is order-nondeterministic; use `BTreeMap`/`BTreeSet` or a `Vec`",
         "crates/sched/src/bad_hash.rs:14:45 hash-iteration iteration over hash container \
@@ -48,14 +59,30 @@ fn seeded_fixtures_produce_exact_diagnostics() {
          `allow(<rule>) -- <why this is safe>`",
         "crates/sched/src/bad_waiver.rs:7:5 hash-iteration iteration over hash container `m` \
          (`.values()`) is order-nondeterministic; use `BTreeMap`/`BTreeSet` or a `Vec`",
+        "crates/sim/src/bad_cast.rs:5:8 lossy-cast 2 lossy integer cast(s) (first: ``as \
+         u64``), baseline allows 0; use the checked conversions in `qoserve_sim::nums`, or \
+         waive with a reason",
+        "crates/sim/src/bad_lock.rs:14:38 lock-discipline `.lock()` taken while another guard \
+         from the same statement is still live (in `fn merge`); bind the first guard, drop it, \
+         then acquire the second, or waive with a reason",
+        "crates/sim/src/bad_lock.rs:22:14 hot-path-alloc 1 allocation site(s) in hot-path code \
+         (first: `.to_string()`), baseline allows 0; reuse a scratch buffer or slab slot (see \
+         `qoserve_sim::eventcore`), or waive with a reason",
+        "crates/sim/src/bad_lock.rs:26:35 lock-discipline `.lock()` in `fn tick` is reachable \
+         from hot path `step` (call chain: step -> tick); per-iteration locking skews the \
+         sharded==lockstep timing contract; hoist the lock out of the loop, or waive with a \
+         reason",
         "crates/sim/src/bad_time.rs:4:24 nondeterministic-time `Instant::now` breaks replay \
          determinism; use `SimTime` from the event loop",
         "crates/sim/src/bad_time.rs:9:25 nondeterministic-time `thread_rng` is \
          nondeterministic; derive a stream from `SeedStream`",
+        "crates/trace/src/export.rs:8:1 trace-coverage `TraceEvent::Dropped` is not handled in \
+         the trace exporters (JSONL + Chrome); a `_` arm would silently swallow it — add an \
+         explicit arm (or list it in an or-pattern), or waive with a reason",
     ];
     assert_eq!(got, want);
     assert!(!r.is_clean(), "seeded fixtures must make the tree dirty");
-    assert_eq!(r.files_scanned, 10);
+    assert_eq!(r.files_scanned, 15);
 }
 
 #[test]
@@ -67,6 +94,11 @@ fn every_rule_class_is_covered() {
         RULE_FLOAT,
         RULE_PANIC,
         RULE_OUTPUT,
+        RULE_ALLOC,
+        RULE_CAST,
+        RULE_LOCK,
+        RULE_COVERAGE,
+        RULE_SERDE,
         RULE_WAIVER,
     ] {
         assert!(
@@ -74,6 +106,26 @@ fn every_rule_class_is_covered() {
             "no fixture fires `{rule}`"
         );
     }
+}
+
+#[test]
+fn unexported_trace_variant_fails_coverage() {
+    // The acceptance fixture: `TraceEvent` declares `Dropped`, the
+    // exporter surface hides it behind `_` — the lint must fail.
+    let r = report();
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == RULE_COVERAGE)
+        .expect("missing variant must fire trace-coverage");
+    assert_eq!(d.path, "crates/trace/src/export.rs");
+    assert!(d.message.contains("`TraceEvent::Dropped`"));
+    // The handled variants do not fire.
+    assert!(!r
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("`TraceEvent::Arrived`")
+            || d.message.contains("`TraceEvent::Completed`")));
 }
 
 #[test]
@@ -94,6 +146,20 @@ fn waiver_with_reason_suppresses_and_is_marked_used() {
     assert_eq!(w.rules, vec!["hash-iteration".to_string()]);
     assert_eq!(w.reason, "count only; order never observed");
 
+    // The lossy-cast waiver in bad_cast.rs absorbs its site: the count
+    // diagnostic reports 2 sites, not 3.
+    let cast_waiver = r
+        .waivers
+        .iter()
+        .find(|w| w.path == "crates/sim/src/bad_cast.rs")
+        .expect("cast waiver is reported");
+    assert!(cast_waiver.used);
+    assert_eq!(cast_waiver.rules, vec!["lossy-cast".to_string()]);
+}
+
+#[test]
+fn unused_waiver_is_a_diagnostic() {
+    let r = report();
     let unused = r
         .waivers
         .iter()
@@ -101,13 +167,21 @@ fn waiver_with_reason_suppresses_and_is_marked_used() {
         .expect("unused waiver is still reported");
     assert!(!unused.used);
     assert!(summary(&r).contains("[unused]"));
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.path == "crates/core/src/clean.rs")
+        .expect("unused waiver fires bad-waiver");
+    assert_eq!(d.rule, RULE_WAIVER);
+    assert_eq!(d.line, 5);
+    assert!(d.message.contains("unused waiver"));
 }
 
 #[test]
 fn baseline_gates_and_ratchets() {
     let r = report();
     // Below-ceiling files are ratchet candidates, not violations — for
-    // both ratcheted rules.
+    // both seeded ratcheted rules.
     assert_eq!(
         r.ratchet,
         vec![
@@ -120,42 +194,58 @@ fn baseline_gates_and_ratchets() {
             ),
         ]
     );
-    // What --fix-baseline would write: current counts, sorted, canonical.
+    // What --fix-baseline would write: current counts, sorted, canonical,
+    // one section per family.
     let rendered = r.counts.render();
     assert!(rendered.contains("\"crates/engine/src/debt.rs\" = 3"));
     assert!(rendered.contains("\"crates/engine/src/ratchet.rs\" = 1"));
     assert!(rendered.contains("\"crates/metrics/src/bad_float.rs\" = 2"));
     assert!(rendered.contains("[unstructured-output]"));
     assert!(rendered.contains("\"crates/sched/src/bad_output.rs\" = 3"));
+    assert!(rendered.contains("[lossy-cast]"));
+    assert!(rendered.contains("\"crates/sim/src/bad_cast.rs\" = 2"));
+    assert!(rendered.contains("[hot-path-alloc]"));
+    assert!(rendered.contains("\"crates/sim/src/bad_lock.rs\" = 1"));
+    assert!(rendered.contains("[serde-back-compat]"));
+    assert!(rendered.contains("\"crates/metrics/src/bad_serde.rs\" = 1"));
     let reparsed = Baseline::parse(&rendered).expect("rendered baseline reparses");
     assert_eq!(reparsed, r.counts);
 
     // Re-linting against the ratcheted baseline clears the candidates;
-    // debt stays capped at its *new* count for both rules.
+    // debt stays capped at its *new* count for every family. Only the
+    // non-ratcheted rules (fix-or-waive) survive.
     let r2 = lint_tree(&fixture_root(), &reparsed).expect("relint");
     assert!(r2.ratchet.is_empty(), "freshly ratcheted baseline is tight");
     assert!(
         !r2.diagnostics
             .iter()
-            .any(|d| d.rule == RULE_PANIC || d.rule == RULE_OUTPUT),
+            .any(|d| qoserve_lint::baseline::family(d.rule).is_some()),
         "counts at the ceiling are allowed, never below it"
     );
+    assert_eq!(reparsed.counts_of(RULE_CAST).len(), 1);
+    assert_eq!(reparsed.counts_of(RULE_SERDE).len(), 1);
 }
 
 #[test]
 fn clean_file_stays_clean() {
     let r = report();
+    // The only diagnostic on clean.rs is its deliberately-unused waiver;
+    // construction + point lookup + test-module iteration never fire.
     assert!(
         !r.diagnostics
             .iter()
-            .any(|d| d.path == "crates/core/src/clean.rs"),
+            .any(|d| d.path == "crates/core/src/clean.rs" && d.rule != RULE_WAIVER),
         "construction + point lookup + test-module iteration must not fire"
     );
-    assert!(!r.counts.allowed.contains_key("crates/core/src/clean.rs"));
-    assert!(!r
-        .counts
-        .output_allowed
-        .contains_key("crates/core/src/clean.rs"));
+    for fam in qoserve_lint::baseline::FAMILIES {
+        assert!(
+            !r.counts
+                .counts_of(fam.rule)
+                .contains_key("crates/core/src/clean.rs"),
+            "clean.rs must carry no `{}` debt",
+            fam.rule
+        );
+    }
 }
 
 #[test]
@@ -169,6 +259,34 @@ fn bin_drivers_are_exempt_from_output_and_panic() {
     );
     assert!(!r
         .counts
-        .output_allowed
+        .counts_of(RULE_OUTPUT)
         .contains_key("crates/sim/src/bin/driver.rs"));
+}
+
+#[test]
+fn only_filter_narrows_without_rewriting() {
+    let root = fixture_root();
+    let baseline = load_baseline(&root).expect("fixture baseline parses");
+    let full = lint_tree(&root, &baseline).expect("full lint");
+    let only = lint_tree_filtered(&root, &baseline, Some("crates/sched")).expect("filtered lint");
+    assert_eq!(only.files_scanned, 4);
+    assert!(only
+        .diagnostics
+        .iter()
+        .all(|d| d.path.starts_with("crates/sched/")));
+    // Every surviving diagnostic is byte-identical to its full-tree twin.
+    let full_sched: Vec<String> = full
+        .diagnostics
+        .iter()
+        .filter(|d| d.path.starts_with("crates/sched/"))
+        .map(|d| d.to_string())
+        .collect();
+    let got: Vec<String> = only.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert_eq!(got, full_sched);
+
+    // Filtering away the trace crate removes the enum from view, so
+    // trace-coverage goes inert instead of mis-firing on the surface.
+    let sim_only = lint_tree_filtered(&root, &baseline, Some("crates/sim")).expect("sim-only lint");
+    assert!(!sim_only.diagnostics.iter().any(|d| d.rule == RULE_COVERAGE));
+    assert!(sim_only.diagnostics.iter().any(|d| d.rule == RULE_LOCK));
 }

@@ -1,0 +1,203 @@
+//! Structural-analyzer invariants over real and generated sources.
+//!
+//! The parser promises to be *lossless at the top level*: every code token
+//! of a file belongs to exactly one top-level item span or one gap span.
+//! These tests pin that tiling invariant over (a) every fixture file, (b)
+//! the linter's own sources, and (c) a seeded stream of synthetic files
+//! composed from item templates — a differential check of the parser
+//! against the lexer's token stream. The JSONL output schema is pinned
+//! here too, since CI artifact consumers depend on it.
+
+use std::path::PathBuf;
+
+use qoserve_lint::lexer::{lex, Tok, TokKind};
+use qoserve_lint::structure::{parse, FileStructure, Span};
+use qoserve_lint::{json, lint_tree, load_baseline};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+/// Lexes `src`, drops comments (as the analyzer does), parses, and checks
+/// the tiling invariant: item spans and gap spans, merged and sorted,
+/// exactly partition `[0, code_tokens)` without overlap, and every span
+/// boundary agrees with the underlying token stream (each span starts on
+/// a real token whose recorded line matches the item's).
+fn assert_tiles(src: &str, label: &str) {
+    let toks = lex(src);
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| t.kind != TokKind::LineComment)
+        .collect();
+    let s = parse(&code);
+    let mut spans: Vec<(Span, bool)> = s.items.iter().map(|i| (i.span, true)).collect();
+    spans.extend(s.gaps.iter().map(|g| (*g, false)));
+    spans.sort_by_key(|(sp, _)| sp.start);
+    let mut cursor = 0usize;
+    for (sp, is_item) in &spans {
+        assert_eq!(
+            sp.start, cursor,
+            "{label}: hole or overlap before token {cursor} (span {sp:?}, item={is_item})"
+        );
+        assert!(sp.end > sp.start, "{label}: empty span {sp:?}");
+        cursor = sp.end;
+    }
+    assert_eq!(cursor, code.len(), "{label}: trailing tokens unclaimed");
+    // Differential against the lexer: every item's recorded line is the
+    // line of its first token, and spans index real tokens.
+    for item in &s.items {
+        let first = code
+            .get(item.span.start)
+            .unwrap_or_else(|| panic!("{label}: span start out of range"));
+        assert_eq!(
+            item.line, first.line,
+            "{label}: item line drifted from lexer"
+        );
+    }
+    // Function bodies always lie inside their item span.
+    for f in &s.fns {
+        if let Some(b) = f.body {
+            assert!(
+                f.span.start <= b.start && b.end <= f.span.end,
+                "{label}: fn `{}` body escapes its item span",
+                f.name
+            );
+        }
+    }
+}
+
+fn parse_src(src: &str) -> FileStructure {
+    let toks = lex(src);
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| t.kind != TokKind::LineComment)
+        .collect();
+    parse(&code)
+}
+
+#[test]
+fn fixture_files_tile_exactly() {
+    let root = fixture_root();
+    let files = qoserve_lint::walk::rust_files(&root).expect("fixture walk");
+    assert!(files.len() >= 15, "fixture tree shrank: {files:?}");
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel)).expect("fixture reads");
+        assert_tiles(&src, &rel);
+    }
+}
+
+#[test]
+fn linter_sources_tile_exactly() {
+    // The analyzer must digest real, non-toy sources: its own.
+    let src_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
+    let files = qoserve_lint::walk::rust_files(&src_root).expect("src walk");
+    assert!(files.len() >= 8, "lint crate sources missing: {files:?}");
+    for rel in files {
+        let src = std::fs::read_to_string(src_root.join(&rel)).expect("source reads");
+        assert_tiles(&src, &rel);
+    }
+}
+
+/// Item templates for the seeded generator. Each is one complete
+/// top-level item, so a generated file of `n` templates must parse to
+/// exactly `n` top-level items and zero gaps.
+const TEMPLATES: &[&str] = &[
+    "use std::collections::BTreeMap;\n",
+    "pub struct S%N { pub a: u64, b: Vec<u32> }\n",
+    "#[derive(Debug, Serialize, Deserialize)]\npub struct P%N { #[serde(default)] x: u64, y: u32 }\n",
+    "enum E%N { A, B(u32), C { x: u8 } }\n",
+    "impl S%N { pub fn touch(&mut self) { self.a += 1; } }\n",
+    "fn free%N(x: u64) -> u64 { x.wrapping_add(%N) }\n",
+    "pub fn locky%N(m: &std::sync::Mutex<u32>) -> u32 { m.lock().map(|g| *g).unwrap_or(0) }\n",
+    "mod inner%N { pub fn g(v: &[u32]) -> usize { v.len() } }\n",
+    "const LIMIT%N: usize = %N;\n",
+    "type Alias%N = BTreeMap<String, u64>;\n",
+    "trait Step%N { fn step(&mut self) -> bool; }\n",
+    "fn matchy%N(e: Option<u32>) -> u32 { match e { Some(x) => x, None => %N } }\n",
+];
+
+/// Tiny deterministic xorshift64* stream — the "seed" of the seeded
+/// differential test; no ambient randomness, every run identical.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+#[test]
+fn seeded_synthetic_files_tile_and_count() {
+    let mut rng = Rng(0x5eed_0007);
+    for file_no in 0..64 {
+        let n_items = 1 + (rng.next() % 9) as usize;
+        let mut src = String::new();
+        for k in 0..n_items {
+            let t = TEMPLATES[(rng.next() % TEMPLATES.len() as u64) as usize];
+            src.push_str(&t.replace("%N", &format!("{}", file_no * 16 + k)));
+        }
+        let label = format!("synthetic#{file_no}");
+        assert_tiles(&src, &label);
+        let s = parse_src(&src);
+        assert_eq!(
+            s.items.len(),
+            n_items,
+            "{label}: item count disagrees with template count\n{src}"
+        );
+        assert!(s.gaps.is_empty(), "{label}: templates must leave no gaps");
+    }
+}
+
+#[test]
+fn json_schema_is_pinned() {
+    let root = fixture_root();
+    let baseline = load_baseline(&root).expect("fixture baseline parses");
+    let r = lint_tree(&root, &baseline).expect("fixture tree lints");
+    let rendered = json::render_json(&r);
+    let lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(
+        lines.len(),
+        r.diagnostics.len(),
+        "one JSONL record per diagnostic"
+    );
+    // Fixed key order — the compatibility surface for CI consumers.
+    for line in &lines {
+        assert!(line.starts_with("{\"path\":\""), "record: {line}");
+        let order = [
+            "\"path\":",
+            "\"line\":",
+            "\"col\":",
+            "\"rule\":",
+            "\"message\":",
+        ];
+        let mut at = 0usize;
+        for key in order {
+            let pos = line[at..]
+                .find(key)
+                .unwrap_or_else(|| panic!("missing {key} in {line}"));
+            at += pos + key.len();
+        }
+        assert!(line.ends_with('}'), "record: {line}");
+    }
+    // Exact first record, byte for byte.
+    assert_eq!(
+        lines[0],
+        "{\"path\":\"crates/core/src/clean.rs\",\"line\":5,\"col\":1,\"rule\":\"bad-waiver\",\
+         \"message\":\"unused waiver for `nondeterministic-time` — no violation of the waived \
+         rule(s) fires on the covered lines; delete it so drift cannot hide behind it\"}"
+    );
+    // Records sort exactly like the human output: (path, line, col, rule).
+    let keys: Vec<(&String, u32, u32, &str)> = r
+        .diagnostics
+        .iter()
+        .map(|d| (&d.path, d.line, d.col, d.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}

@@ -32,6 +32,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::nums;
 use crate::time::SimTime;
 
 /// Number of wheel buckets. Power of two so slot math stays shift/mask.
@@ -41,7 +42,7 @@ const WHEEL_BUCKETS: usize = 256;
 /// beyond that wait in the radix-heap overflow.
 const BUCKET_WIDTH_US: u64 = 1 << 15;
 /// Total span of the wheel window.
-const WHEEL_SPAN_US: u64 = WHEEL_BUCKETS as u64 * BUCKET_WIDTH_US;
+const WHEEL_SPAN_US: u64 = nums::usize_to_u64(WHEEL_BUCKETS) * BUCKET_WIDTH_US;
 
 #[derive(Debug, Clone)]
 struct Entry<T> {
@@ -105,7 +106,7 @@ fn radix_bucket(key: u64, last: u64) -> usize {
     if key == last {
         0
     } else {
-        64 - (key ^ last).leading_zeros() as usize
+        64 - nums::u32_to_usize((key ^ last).leading_zeros())
     }
 }
 
@@ -220,7 +221,7 @@ pub struct CalendarQueue<T> {
 
 #[inline]
 fn slot_of(time_us: u64) -> usize {
-    ((time_us / BUCKET_WIDTH_US) as usize) % WHEEL_BUCKETS
+    nums::u64_to_usize(time_us / BUCKET_WIDTH_US) % WHEEL_BUCKETS
 }
 
 #[inline]
@@ -472,7 +473,7 @@ impl<T> JobSlab<T> {
     pub fn insert(&mut self, value: T) -> JobRef {
         self.len += 1;
         if let Some(index) = self.free.pop() {
-            let slot = &mut self.slots[index as usize];
+            let slot = &mut self.slots[nums::u32_to_usize(index)];
             debug_assert!(slot.value.is_none());
             slot.value = Some(value);
             JobRef {
@@ -498,7 +499,7 @@ impl<T> JobSlab<T> {
     /// The job behind `r`, or `None` if it was removed (or `r` belongs to
     /// a previous occupant of a reused slot).
     pub fn get(&self, r: JobRef) -> Option<&T> {
-        let slot = self.slots.get(r.index as usize)?;
+        let slot = self.slots.get(nums::u32_to_usize(r.index))?;
         if slot.generation != r.generation {
             return None;
         }
@@ -508,7 +509,7 @@ impl<T> JobSlab<T> {
     /// Mutable access to the job behind `r`, with the same staleness
     /// checks as [`get`](Self::get).
     pub fn get_mut(&mut self, r: JobRef) -> Option<&mut T> {
-        let slot = self.slots.get_mut(r.index as usize)?;
+        let slot = self.slots.get_mut(nums::u32_to_usize(r.index))?;
         if slot.generation != r.generation {
             return None;
         }
@@ -519,7 +520,7 @@ impl<T> JobSlab<T> {
     /// bumped so stale copies of `r` die with it. Removing twice returns
     /// `None`.
     pub fn remove(&mut self, r: JobRef) -> Option<T> {
-        let slot = self.slots.get_mut(r.index as usize)?;
+        let slot = self.slots.get_mut(nums::u32_to_usize(r.index))?;
         if slot.generation != r.generation {
             return None;
         }
@@ -546,7 +547,7 @@ impl<T> JobSlab<T> {
         for (i, slot) in self.slots.iter_mut().enumerate() {
             if slot.value.take().is_some() {
                 slot.generation = slot.generation.wrapping_add(1);
-                self.free.push(i as u32);
+                self.free.push(nums::usize_to_u32(i));
             }
         }
         self.len = 0;

@@ -21,6 +21,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::nums;
 use crate::rng::{exponential_gap_secs, SeedStream};
 use crate::time::{SimDuration, SimTime};
 
@@ -384,9 +385,9 @@ fn generate_crashes(
         return;
     }
     let rate_per_sec = config.crash_rate_per_hour / 3_600.0;
-    let mut rng = seeds.derive_indexed("fault-crash", replica as u64);
+    let mut rng = seeds.derive_indexed("fault-crash", u64::from(replica));
     let mut t = 0.0;
-    let cap = (config.max_crashes_per_replica as usize).min(MAX_EVENTS_PER_CLASS);
+    let cap = nums::u32_to_usize(config.max_crashes_per_replica).min(MAX_EVENTS_PER_CLASS);
     for _ in 0..cap {
         t += exponential_gap_secs(&mut rng, rate_per_sec);
         if t >= horizon_secs {
@@ -426,7 +427,7 @@ fn generate_windows(
         return;
     }
     let rate_per_sec = rate_per_hour / 3_600.0;
-    let mut rng = seeds.derive_indexed(label, replica as u64);
+    let mut rng = seeds.derive_indexed(label, u64::from(replica));
     let mut t = 0.0;
     for _ in 0..MAX_EVENTS_PER_CLASS {
         t += exponential_gap_secs(&mut rng, rate_per_sec);

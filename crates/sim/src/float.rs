@@ -42,6 +42,7 @@ pub fn priority_micros(x: f64) -> i64 {
     if x.is_nan() {
         i64::MAX
     } else {
+        // qoserve-lint: allow(lossy-cast) -- the saturating f64-to-i64 `as` semantics ARE the documented contract of this helper
         x as i64
     }
 }

@@ -44,6 +44,7 @@ pub mod eventcore;
 pub mod events;
 pub mod faults;
 pub mod float;
+pub mod nums;
 pub mod parallel;
 pub mod rng;
 pub mod stats;

@@ -12,6 +12,8 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 use serde::{Deserialize, Serialize};
 
+use crate::nums;
+
 /// An instant in simulated time, in microseconds since simulation start.
 ///
 /// `SimTime` is totally ordered and starts at [`SimTime::ZERO`]. It only
@@ -78,7 +80,7 @@ impl SimTime {
     /// microsecond. Negative inputs clamp to zero.
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
-        SimTime((secs.max(0.0) * 1e6).round() as u64)
+        SimTime(nums::f64_round_to_u64(secs * 1e6))
     }
 
     /// Raw microsecond count.
@@ -110,7 +112,7 @@ impl SimTime {
     /// slack, which may be negative.
     #[inline]
     pub fn signed_duration_since(self, other: SimTime) -> SignedDuration {
-        SignedDuration(self.0 as i64 - other.0 as i64)
+        SignedDuration(nums::u64_delta_i64(self.0, other.0))
     }
 
     /// Saturating subtraction of a duration (clamps at time zero).
@@ -161,14 +163,14 @@ impl SimDuration {
     /// microsecond. Negative inputs clamp to zero.
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
-        SimDuration((secs.max(0.0) * 1e6).round() as u64)
+        SimDuration(nums::f64_round_to_u64(secs * 1e6))
     }
 
     /// Creates a span from fractional milliseconds, rounding to the nearest
     /// microsecond. Negative inputs clamp to zero.
     #[inline]
     pub fn from_millis_f64(millis: f64) -> Self {
-        SimDuration((millis.max(0.0) * 1e3).round() as u64)
+        SimDuration(nums::f64_round_to_u64(millis * 1e3))
     }
 
     /// Raw microsecond count.
@@ -204,7 +206,7 @@ impl SimDuration {
     /// Multiplies by a non-negative float, rounding to a whole microsecond.
     #[inline]
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        SimDuration((self.0 as f64 * factor.max(0.0)).round() as u64)
+        SimDuration(nums::f64_round_to_u64(self.0 as f64 * factor.max(0.0)))
     }
 
     /// Returns the larger of two spans.
@@ -266,7 +268,7 @@ impl SignedDuration {
     /// Clamps a negative span to zero and converts to [`SimDuration`].
     #[inline]
     pub fn clamp_non_negative(self) -> SimDuration {
-        SimDuration(self.0.max(0) as u64)
+        SimDuration(nums::i64_clamp_u64(self.0))
     }
 }
 
@@ -382,7 +384,7 @@ impl fmt::Display for SignedDuration {
 
 impl From<SimDuration> for SignedDuration {
     fn from(d: SimDuration) -> Self {
-        SignedDuration(d.0.min(i64::MAX as u64) as i64)
+        SignedDuration(nums::u64_clamp_i64(d.0))
     }
 }
 

@@ -154,7 +154,17 @@ fn chrome_event(r: &TraceRecord) -> Value {
             "ts": r.time_us,
             "args": args,
         }),
-        _ => json!({
+        // Decision events render as thread-scoped instants. Spelled out
+        // variant-by-variant (not `_`) so adding a TraceEvent variant
+        // forces a decision here; `trace-coverage` enforces this.
+        TraceEvent::ChunkBudgetChosen { .. }
+        | TraceEvent::PriorityScored { .. }
+        | TraceEvent::Relegated { .. }
+        | TraceEvent::AdmissionRejected { .. }
+        | TraceEvent::BreakerTransition { .. }
+        | TraceEvent::MarginAdjusted { .. }
+        | TraceEvent::FaultInjected { .. }
+        | TraceEvent::OrphanRedispatched { .. } => json!({
             "ph": "i",
             "s": "t",
             "name": r.event.name(),
