@@ -17,6 +17,10 @@
 //! * **fault-induced** — the request overlapped an injected fault: it was
 //!   orphaned and re-dispatched after a crash, or shared a replica with
 //!   an active crash/slowdown between arrival and completion.
+//! * **scale-induced** — the request shared a replica with an elastic
+//!   control-plane action (a drain or scale decision) between arrival
+//!   and completion: it was migrated off a draining replica, or its
+//!   replica was retired under it.
 //!
 //! The attribution is a deterministic function of the trace alone, so the
 //! same `(seed, config)` always explains its violations identically.
@@ -34,6 +38,9 @@ pub enum LatenessCause {
     ChunkInduced,
     /// The request overlapped a crash or slowdown window.
     FaultInduced,
+    /// The request overlapped an elastic scale event (drain/retire) on
+    /// its replica.
+    ScaleInduced,
 }
 
 impl LatenessCause {
@@ -43,6 +50,7 @@ impl LatenessCause {
             LatenessCause::QueueingDelay => "queueing-delay",
             LatenessCause::ChunkInduced => "chunk-induced",
             LatenessCause::FaultInduced => "fault-induced",
+            LatenessCause::ScaleInduced => "scale-induced",
         }
     }
 }
@@ -99,6 +107,9 @@ pub struct TraceForensics {
     requests: BTreeMap<u64, RequestForensics>,
     /// Every `FaultInjected` event (crashes and slowdowns), per replica.
     faults: Vec<TraceRecord>,
+    /// Every elastic control-plane event (scale decisions, drain
+    /// start/finish, warm-up completions), per replica.
+    scaling: Vec<TraceRecord>,
 }
 
 impl TraceForensics {
@@ -106,9 +117,18 @@ impl TraceForensics {
     pub fn build(records: &[TraceRecord]) -> Self {
         let mut requests: BTreeMap<u64, RequestForensics> = BTreeMap::new();
         let mut faults: Vec<TraceRecord> = Vec::new();
+        let mut scaling: Vec<TraceRecord> = Vec::new();
         for r in records {
             if matches!(r.event, TraceEvent::FaultInjected { .. }) {
                 faults.push(*r);
+            }
+            if matches!(
+                r.event,
+                TraceEvent::ScaleDecision { .. }
+                    | TraceEvent::DrainStarted { .. }
+                    | TraceEvent::DrainFinished { .. }
+            ) {
+                scaling.push(*r);
             }
             let Some(id) = r.request else {
                 continue;
@@ -158,11 +178,19 @@ impl TraceForensics {
                 | TraceEvent::BreakerTransition { .. }
                 | TraceEvent::MarginAdjusted { .. }
                 | TraceEvent::FaultInjected { .. }
+                | TraceEvent::ScaleDecision { .. }
+                | TraceEvent::DrainStarted { .. }
+                | TraceEvent::DrainFinished { .. }
+                | TraceEvent::WarmupComplete { .. }
                 | TraceEvent::IterationExecuted { .. } => {}
             }
             f.events.push(*r);
         }
-        TraceForensics { requests, faults }
+        TraceForensics {
+            requests,
+            faults,
+            scaling,
+        }
     }
 
     /// All requests, in id order.
@@ -188,16 +216,23 @@ impl TraceForensics {
         if !f.needs_explanation() {
             return None;
         }
-        if f.redispatches > 0 {
-            return Some(LatenessCause::FaultInduced);
-        }
         let span_end = f.completed_us.unwrap_or(u64::MAX);
-        let overlapped_fault = self.faults.iter().any(|ev| {
+        let overlaps = |ev: &TraceRecord| {
             f.replicas.contains(&ev.replica)
                 && f.arrived_us.is_some_and(|a| ev.time_us >= a)
                 && ev.time_us <= span_end
-        });
-        if overlapped_fault {
+        };
+        // A fault on the request's own replica wins attribution; an
+        // elastic scale event (drain/retire) comes next; a re-dispatch
+        // with neither in the span is still fault-induced (the request
+        // was orphaned before it even arrived at the crashed replica).
+        if self.faults.iter().any(overlaps) {
+            return Some(LatenessCause::FaultInduced);
+        }
+        if self.scaling.iter().any(overlaps) {
+            return Some(LatenessCause::ScaleInduced);
+        }
+        if f.redispatches > 0 {
             return Some(LatenessCause::FaultInduced);
         }
         match (f.first_token_us, f.deadline_us) {
@@ -508,6 +543,97 @@ mod tests {
         assert!(f.unfinished());
         assert_eq!(fx.cause_of(f), Some(LatenessCause::QueueingDelay));
         assert_eq!(fx.violations().count(), 1);
+    }
+
+    #[test]
+    fn drain_overlap_marks_scale_induced() {
+        // TTFT met, but the request's replica started draining mid-flight
+        // and the request was migrated — scaling owns the violation.
+        let records = vec![
+            arrived(0, 0, 0, 11, 1_000_000),
+            rec(
+                400_000,
+                0,
+                1,
+                None,
+                TraceEvent::DrainStarted {
+                    deadline_us: 900_000,
+                },
+            ),
+            rec(
+                900_000,
+                1,
+                0,
+                Some(11),
+                TraceEvent::OrphanRedispatched {
+                    from_replica: 0,
+                    to_replica: 1,
+                    attempt: 1,
+                },
+            ),
+            rec(1_500_000, 1, 1, Some(11), TraceEvent::FirstToken),
+            completed(2_000_000, 1, 2, 11, true),
+        ];
+        let fx = TraceForensics::build(&records);
+        let f = fx.get(11).expect("request folded");
+        assert_eq!(fx.cause_of(f), Some(LatenessCause::ScaleInduced));
+        assert_eq!(fx.cause_summary().get("scale-induced"), Some(&1));
+    }
+
+    #[test]
+    fn fault_overlap_beats_scale_overlap() {
+        // Both a crash and a drain touched the replica mid-flight: the
+        // fault wins attribution (it precedes scaling in precedence).
+        let records = vec![
+            arrived(0, 0, 0, 12, 1_000_000),
+            rec(
+                300_000,
+                0,
+                1,
+                None,
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::Slowdown,
+                    slowdown: 2.0,
+                },
+            ),
+            rec(
+                400_000,
+                0,
+                2,
+                None,
+                TraceEvent::DrainStarted {
+                    deadline_us: 900_000,
+                },
+            ),
+            rec(500_000, 0, 3, Some(12), TraceEvent::FirstToken),
+            completed(4_000_000, 0, 4, 12, true),
+        ];
+        let fx = TraceForensics::build(&records);
+        let f = fx.get(12).expect("request folded");
+        assert_eq!(fx.cause_of(f), Some(LatenessCause::FaultInduced));
+    }
+
+    #[test]
+    fn scale_event_on_another_replica_does_not_contaminate() {
+        let records = vec![
+            arrived(0, 0, 0, 13, 1_000_000),
+            rec(
+                400_000,
+                2,
+                0,
+                None,
+                TraceEvent::ScaleDecision {
+                    direction: qoserve_trace::ScaleDirection::Down,
+                    fleet_before: 3,
+                    fleet_after: 2,
+                },
+            ),
+            rec(500_000, 0, 1, Some(13), TraceEvent::FirstToken),
+            completed(4_000_000, 0, 2, 13, true),
+        ];
+        let fx = TraceForensics::build(&records);
+        let f = fx.get(13).expect("request folded");
+        assert_eq!(fx.cause_of(f), Some(LatenessCause::ChunkInduced));
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! driven by simulated time and deterministic health scores, so breaker
 //! decisions replay bit-identically.
 
-use qoserve_engine::HealthSnapshot;
+use qoserve_engine::{HealthSnapshot, ReplicaState};
+use qoserve_sim::nums;
 use qoserve_sim::{SimDuration, SimTime};
 use qoserve_trace::{BreakerPhase, TraceEvent, Tracer};
 
@@ -195,23 +196,47 @@ pub fn pick_round_robin(up: &[u32], rotation: u64) -> Option<PickedTarget> {
     })
 }
 
-/// Health-aware target selection: round-robin over the breaker-allowed
-/// subset of `up`, falling back to all of `up` when every breaker blocks
-/// — a breaker may delay work, never strand it. `breakers` is indexed by
-/// replica id. `None` only when `up` is empty.
+/// Health- and lifecycle-aware target selection.
+///
+/// The candidate set is pruned in two stages with different strength:
+///
+/// 1. **Lifecycle filter (strict).** `states` is indexed by replica id
+///    (replicas beyond its length count as serving, so non-elastic
+///    callers pass `&[]`). Replicas whose state does not
+///    [accept work](qoserve_engine::ReplicaState::accepts_work) — e.g.
+///    `Warming` or `Draining` — are removed with *no* fallback: routing
+///    to a draining replica would violate the drain contract, and a
+///    warming replica has no model loaded. `None` when nothing survives.
+/// 2. **Breaker filter (soft).** Round-robin over the breaker-allowed
+///    subset, falling back to the whole lifecycle-admissible set when
+///    every breaker blocks — a breaker may delay work, never strand it.
+///    `breakers` is indexed by replica id.
 pub fn pick_target(
     up: &[u32],
+    states: &[ReplicaState],
     breakers: &[CircuitBreaker],
     rotation: u64,
     at: SimTime,
 ) -> Option<PickedTarget> {
-    let allowed: Vec<u32> = up
+    let admissible: Vec<u32> = up
+        .iter()
+        .copied()
+        .filter(|&r| {
+            states
+                .get(nums::u32_to_usize(r))
+                .is_none_or(|s| s.accepts_work())
+        })
+        .collect();
+    if admissible.is_empty() {
+        return None;
+    }
+    let allowed: Vec<u32> = admissible
         .iter()
         .copied()
         .filter(|&r| breakers.get(r as usize).is_none_or(|b| b.allows(at)))
         .collect();
-    if allowed.is_empty() || allowed.len() == up.len() {
-        return pick_round_robin(up, rotation);
+    if allowed.is_empty() || allowed.len() == admissible.len() {
+        return pick_round_robin(&admissible, rotation);
     }
     pick_round_robin(&allowed, rotation).map(|p| PickedTarget {
         diverted: true,
@@ -335,7 +360,7 @@ mod tests {
         breakers[1].observe(&snapshot(3.0, HEALTH_WINDOW), secs(1));
         let up = [0u32, 1, 2];
         for rotation in 0..6 {
-            let p = pick_target(&up, &breakers, rotation, secs(2)).unwrap();
+            let p = pick_target(&up, &[], &breakers, rotation, secs(2)).unwrap();
             assert_ne!(p.replica, 1, "open breaker must divert work");
             assert!(p.diverted);
         }
@@ -350,7 +375,7 @@ mod tests {
             b.observe(&snapshot(3.0, HEALTH_WINDOW), secs(1));
         }
         let up = [0u32, 1];
-        let p = pick_target(&up, &breakers, 0, secs(2)).unwrap();
+        let p = pick_target(&up, &[], &breakers, 0, secs(2)).unwrap();
         assert_eq!(p.replica, 0, "fallback is plain round-robin over up");
         assert!(!p.diverted, "no healthy subset existed to divert into");
     }
@@ -363,16 +388,45 @@ mod tests {
         let up = [0u32, 2];
         for rotation in 0..5 {
             assert_eq!(
-                pick_target(&up, &breakers, rotation, secs(1)),
+                pick_target(&up, &[], &breakers, rotation, secs(1)),
                 pick_round_robin(&up, rotation),
             );
         }
     }
 
     #[test]
+    fn pick_target_never_routes_to_warming_or_draining() {
+        // Regression for the elastic control plane: lifecycle states are
+        // a strict filter with no fallback, unlike breakers.
+        let up = [0u32, 1, 2, 3];
+        let states = [
+            ReplicaState::Up,
+            ReplicaState::Warming,
+            ReplicaState::Draining,
+            ReplicaState::Up,
+        ];
+        for rotation in 0..8 {
+            let p = pick_target(&up, &states, &[], rotation, secs(1)).unwrap();
+            assert!(
+                p.replica == 0 || p.replica == 3,
+                "rotation {rotation} routed to lifecycle-inadmissible replica {}",
+                p.replica
+            );
+        }
+        // Even with every breaker healthy, an all-draining fleet yields
+        // no target — the drain contract beats the never-strand rule.
+        let draining = [ReplicaState::Draining; 4];
+        assert_eq!(pick_target(&up, &draining, &[], 0, secs(1)), None);
+        // Replicas beyond the states slice count as serving.
+        let short = [ReplicaState::Draining];
+        let p = pick_target(&up, &short, &[], 0, secs(1)).unwrap();
+        assert_ne!(p.replica, 0);
+    }
+
+    #[test]
     fn empty_up_set_yields_none() {
         assert_eq!(pick_round_robin(&[], 3), None);
-        assert_eq!(pick_target(&[], &[], 3, secs(1)), None);
+        assert_eq!(pick_target(&[], &[], &[], 3, secs(1)), None);
     }
 
     mod prop {
@@ -402,7 +456,7 @@ mod tests {
                         b.observe(&snapshot(3.0, HEALTH_WINDOW), secs(at_secs));
                     }
                 }
-                let picked = pick_target(&up, &breakers, rotation, secs(at_secs));
+                let picked = pick_target(&up, &[], &breakers, rotation, secs(at_secs));
                 prop_assert!(picked.is_some(), "non-empty up-set must yield a target");
                 let picked = picked.unwrap();
                 prop_assert!(up.contains(&picked.replica));

@@ -1,0 +1,1384 @@
+//! The elastic runner: fault recovery composed with replica lifecycle
+//! and autoscaling, on the same deterministic sharded kernel.
+//!
+//! [`run_shared_elastic`] extends [`run_shared_faulty`] with membership
+//! changes: replicas are provisioned, warmed, drained, and retired while
+//! crashes and stragglers fire, with every transition driven at
+//! deterministic *control instants* — scheduled [`ScaleEvent`]s,
+//! autoscaler ticks, warm-up completions, and drain deadlines. A control
+//! instant is processed only once every runnable replica's clock has
+//! reached it, so the decision sequence is a pure function of the seed
+//! and configuration at any `QOSERVE_THREADS` (the same argument as the
+//! crash barrier in [`recovery`](crate::recovery)).
+//!
+//! # Dispatch: static until the fleet first moves
+//!
+//! With no scale events the runner keeps the static pre-assignment of
+//! [`run_shared_faulty`] byte for byte — a zero-scale-event elastic run
+//! is bit-identical to the fault path (pinned by tests). The *first
+//! applied* scale action recalls every undelivered request from every
+//! engine into a held pool and switches to windowed dynamic dispatch:
+//! at each control instant, held requests due before the next control
+//! instant are routed over the currently serving replicas by a
+//! [`FleetRouter`]. Held requests with no serving target are retried at
+//! the next control instant and terminally shed at the horizon — no
+//! request is ever silently dropped.
+//!
+//! # Drain handoff contract
+//!
+//! `begin_drain` stops admission immediately; undelivered arrivals are
+//! recalled into the held pool at drain *start*; running decodes get
+//! until the drain deadline. Exactly **at** the deadline — a control
+//! instant, never an engine-local time — unfinished work is taken as
+//! orphans and re-dispatched through the existing crash recovery path
+//! (attempt counting, linear backoff, re-prefill accounting, tier-aware
+//! shedding all included), with `drain_migrated` counted separately. A
+//! draining replica that crashes first is handled by the crash path and
+//! simply retires early.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use qoserve_engine::{ReplicaConfig, ReplicaEngine, ReplicaState};
+use qoserve_metrics::{Disposition, RequestOutcome};
+use qoserve_sim::faults::FaultSchedule;
+use qoserve_sim::nums;
+use qoserve_sim::{SeedStream, SimDuration, SimTime};
+use qoserve_trace::{FaultKind, ScaleDirection, TraceEvent, Tracer};
+use qoserve_workload::{Priority, RequestId, RequestSpec, Trace};
+
+use crate::autoscale::{AutoscaleController, AutoscaleDecision, ControlObservation};
+use crate::breaker::{pick_target, CircuitBreaker};
+use crate::deployment::ClusterConfig;
+use crate::lifecycle::{drain_victim, DrainCandidate, ElasticPlan, FleetRouter, ScaleAction};
+use crate::recovery::{
+    advance_to_barrier, pending_crash_barrier, ExecMode, FaultPlan, FaultRunStats, Slot, UpSetIndex,
+};
+use crate::router::RouterError;
+use crate::spec::SchedulerSpec;
+
+/// Outcomes, counters, and fleet accounting of one elastic run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ElasticRunResult {
+    /// One outcome per submitted request, ordered by request id.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Fault/recovery counters plus the scale/drain counters.
+    pub stats: FaultRunStats,
+    /// Total provisioned replica-microseconds (from provisioning start
+    /// to retirement), the cost side of the elasticity trade.
+    pub replica_us: u64,
+    /// Provisioned-fleet-size changes as `(time, size)` steps, starting
+    /// with the initial fleet at time zero.
+    pub fleet: Vec<(SimTime, u32)>,
+}
+
+/// Where one slot is in the replica lifecycle. The engine-facing
+/// states (`Up`/`Degraded`/`Down`) stay inside the engine; these phases
+/// are the cluster-side control-plane view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Unprovisioned slot (or retired replica); holds no capacity.
+    Idle,
+    /// Capacity allocated at `decided_at`; model load starts at
+    /// `warm_at`, serving starts at `up_at`.
+    Provisioning {
+        warm_at: SimTime,
+        up_at: SimTime,
+        decided_at: SimTime,
+    },
+    /// Model loading; serving starts at `up_at`.
+    Warming { up_at: SimTime, decided_at: SimTime },
+    /// Serving traffic (possibly crashed-and-restarting under faults).
+    Serving,
+    /// Admission stopped; running work finishes until `deadline`.
+    Draining { deadline: SimTime },
+}
+
+/// Mutable lifecycle state of the fleet, separate from the engine slots.
+struct FleetState {
+    phases: Vec<Phase>,
+    /// When each slot's current provisioning began (replica-time accrual
+    /// anchor); `None` while idle.
+    provisioned_since: Vec<Option<SimTime>>,
+    /// Requests submitted to each slot and not yet resolved, split
+    /// `[important, low]` — the drain-victim signal.
+    outstanding: Vec<[u64; 2]>,
+    /// Undelivered requests recalled from engines, awaiting dynamic
+    /// dispatch.
+    held: Vec<RequestSpec>,
+    /// False until the first applied scale action; while false the
+    /// static pre-assignment stands untouched.
+    dynamic: bool,
+    router: FleetRouter,
+    fleet_log: Vec<(SimTime, u32)>,
+    replica_us: u64,
+    /// Per-request drain-migration counts, stamped onto outcomes at the
+    /// end like retries.
+    drain_migrations: BTreeMap<RequestId, u32>,
+}
+
+impl FleetState {
+    fn prio_ix(spec: &RequestSpec) -> usize {
+        if spec.priority() == Priority::Low {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Provisioned fleet size: every non-idle slot, draining included.
+    fn fleet_size(&self) -> u32 {
+        nums::usize_to_u32(
+            self.phases
+                .iter()
+                .filter(|p| !matches!(p, Phase::Idle))
+                .count(),
+        )
+    }
+
+    fn log_fleet(&mut self, at: SimTime) {
+        let size = self.fleet_size();
+        if self.fleet_log.last().map(|&(_, s)| s) != Some(size) {
+            self.fleet_log.push((at, size));
+        }
+    }
+
+    /// The per-slot [`ReplicaState`] view used for routing filters.
+    fn lifecycle_states(&self, slots: &[Slot]) -> Vec<ReplicaState> {
+        self.phases
+            .iter()
+            .zip(slots)
+            .map(|(p, s)| {
+                if s.dead {
+                    return ReplicaState::Down;
+                }
+                match p {
+                    Phase::Idle => ReplicaState::Down,
+                    Phase::Provisioning { .. } => ReplicaState::Provisioning,
+                    Phase::Warming { .. } => ReplicaState::Warming,
+                    Phase::Serving => ReplicaState::Up,
+                    Phase::Draining { .. } => ReplicaState::Draining,
+                }
+            })
+            .collect()
+    }
+
+    /// Serving replicas (ascending), the dynamic-dispatch target set.
+    fn serving(&self, slots: &[Slot]) -> Vec<u32> {
+        self.phases
+            .iter()
+            .enumerate()
+            .filter(|(r, p)| matches!(p, Phase::Serving) && !slots[*r].dead)
+            .map(|(r, _)| nums::usize_to_u32(r))
+            .collect()
+    }
+
+    fn retire(&mut self, r: usize, at: SimTime) {
+        self.phases[r] = Phase::Idle;
+        if let Some(since) = self.provisioned_since[r].take() {
+            self.replica_us += at.duration_since(since).as_micros();
+        }
+        self.log_fleet(at);
+    }
+}
+
+/// Retry/re-prefill bookkeeping shared by the crash and drain handoff
+/// paths (the static runner keeps these as loose locals; the elastic
+/// runner threads them through helpers).
+struct RecoveryBook {
+    stats: FaultRunStats,
+    outcomes: Vec<RequestOutcome>,
+    retries: BTreeMap<RequestId, u32>,
+    reprefill: BTreeMap<RequestId, u64>,
+    relegated_ids: BTreeSet<RequestId>,
+    rotation: u64,
+}
+
+/// Runs `trace` on a shared deployment that starts with `replicas`
+/// replicas and grows/shrinks under `elastic`, composed with the fault
+/// plan. With an empty scale schedule and no autoscaler the result is
+/// bit-identical to [`run_shared_faulty`](crate::recovery::run_shared_faulty).
+pub fn run_shared_elastic(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    elastic: &ElasticPlan,
+    seeds: &SeedStream,
+) -> Result<ElasticRunResult, RouterError> {
+    run_shared_elastic_traced(
+        trace,
+        replicas,
+        scheduler,
+        config,
+        plan,
+        elastic,
+        seeds,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_shared_elastic`] with a decision [`Tracer`] installed, adding
+/// the lifecycle events ([`TraceEvent::ScaleDecision`],
+/// [`TraceEvent::DrainStarted`], [`TraceEvent::DrainFinished`],
+/// [`TraceEvent::WarmupComplete`]) on top of the fault-path events.
+#[allow(clippy::too_many_arguments)]
+pub fn run_shared_elastic_traced(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    elastic: &ElasticPlan,
+    seeds: &SeedStream,
+    tracer: &Tracer,
+) -> Result<ElasticRunResult, RouterError> {
+    run_elastic_inner(
+        trace,
+        replicas,
+        scheduler,
+        config,
+        plan,
+        elastic,
+        seeds,
+        tracer,
+        ExecMode::Sharded,
+    )
+}
+
+/// [`run_shared_elastic`] on the reference min-now lockstep kernel,
+/// for differential testing (bit-identical to the sharded kernel).
+#[allow(clippy::too_many_arguments)]
+pub fn run_shared_elastic_lockstep(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    elastic: &ElasticPlan,
+    seeds: &SeedStream,
+) -> Result<ElasticRunResult, RouterError> {
+    run_elastic_inner(
+        trace,
+        replicas,
+        scheduler,
+        config,
+        plan,
+        elastic,
+        seeds,
+        &Tracer::disabled(),
+        ExecMode::Lockstep,
+    )
+}
+
+/// Re-dispatches one batch of orphans through the shared recovery path.
+/// `anchor` is the crash instant or the drain deadline; `drain` switches
+/// on the drain-migration counters. Mirrors the static runner's
+/// per-orphan logic exactly, with the lifecycle state filter added.
+#[allow(clippy::too_many_arguments)]
+fn redispatch_orphans(
+    orphans: Vec<qoserve_engine::OrphanedJob>,
+    anchor: SimTime,
+    from_replica: u32,
+    drain: bool,
+    slots: &mut [Slot],
+    breakers: &[CircuitBreaker],
+    up_index: &UpSetIndex,
+    fleet: &mut FleetState,
+    book: &mut RecoveryBook,
+    plan: &FaultPlan,
+    tracer: &Tracer,
+) -> u32 {
+    let states = fleet.lifecycle_states(slots);
+    let denom = fleet.fleet_size().max(1);
+    let mut migrated = 0u32;
+    for orphan in orphans {
+        let id = orphan.spec.id;
+        let attempt = {
+            let a = book.retries.entry(id).or_insert(0);
+            *a += 1;
+            *a
+        };
+        if orphan.prefill_done > 0 {
+            *book.reprefill.entry(id).or_insert(0) += u64::from(orphan.prefill_done);
+        }
+        if orphan.relegated {
+            book.relegated_ids.insert(id);
+        }
+        let was_relegated = book.relegated_ids.contains(&id);
+
+        if attempt > plan.max_retries {
+            book.stats.retry_exhausted += 1;
+            book.outcomes.push(RequestOutcome::unserved(
+                orphan.spec,
+                was_relegated,
+                from_replica,
+                Disposition::RetryExhausted,
+            ));
+            continue;
+        }
+
+        let redispatch_at =
+            (anchor + plan.retry_backoff * u64::from(attempt)).max(orphan.spec.arrival);
+        // Lifecycle filter *before* the fraction: replicas the schedule
+        // thinks are up but the control plane holds idle/warming must
+        // neither receive work nor count as surviving capacity.
+        let up: Vec<u32> = up_index
+            .up_at(redispatch_at)
+            .iter()
+            .copied()
+            .filter(|&r| {
+                states
+                    .get(nums::u32_to_usize(r))
+                    .is_none_or(|s| s.accepts_work())
+            })
+            .collect();
+        let up_fraction = up.len() as f64 / denom as f64;
+        let low_capacity =
+            up_fraction < plan.shed_below_up_fraction && orphan.spec.priority() == Priority::Low;
+        let picked = if low_capacity {
+            None
+        } else {
+            pick_target(&up, &[], breakers, book.rotation, redispatch_at)
+        };
+        let Some(picked) = picked else {
+            book.stats.shed += 1;
+            book.outcomes.push(RequestOutcome::unserved(
+                orphan.spec,
+                was_relegated,
+                from_replica,
+                Disposition::Shed,
+            ));
+            continue;
+        };
+
+        book.stats.redispatches += 1;
+        if picked.diverted {
+            book.stats.breaker_diverted += 1;
+        }
+        if drain {
+            book.stats.drain_migrated += 1;
+            *fleet.drain_migrations.entry(id).or_insert(0) += 1;
+            migrated += 1;
+        }
+        let target = nums::u32_to_usize(picked.replica);
+        book.rotation += 1;
+        if tracer.enabled() {
+            tracer.for_replica(picked.replica).emit_at(
+                redispatch_at,
+                Some(id.0),
+                TraceEvent::OrphanRedispatched {
+                    from_replica,
+                    to_replica: picked.replica,
+                    attempt,
+                },
+            );
+        }
+        fleet.outstanding[target][FleetState::prio_ix(&orphan.spec)] += 1;
+        slots[target].engine.submit_at(orphan.spec, redispatch_at);
+        slots[target].parked = false;
+    }
+    migrated
+}
+
+/// Applies one scale action at `now`. Returns true when the fleet
+/// actually changed; a no-op (no free slot, or the fleet is already at
+/// the serving floor) changes nothing.
+fn apply_action(
+    now: SimTime,
+    action: ScaleAction,
+    min_serving: u32,
+    slots: &mut [Slot],
+    fleet: &mut FleetState,
+    book: &mut RecoveryBook,
+    elastic: &ElasticPlan,
+    tracer: &Tracer,
+) -> bool {
+    match action {
+        ScaleAction::Add => {
+            let Some(r) = fleet
+                .phases
+                .iter()
+                .zip(slots.iter())
+                .position(|(p, s)| matches!(p, Phase::Idle) && !s.dead)
+            else {
+                return false; // no free slot: the ceiling is the ceiling
+            };
+            let before = fleet.fleet_size();
+            let warm_at = now + elastic.lifecycle.provision_delay;
+            fleet.phases[r] = Phase::Provisioning {
+                warm_at,
+                up_at: warm_at + elastic.lifecycle.warmup,
+                decided_at: now,
+            };
+            fleet.provisioned_since[r] = Some(now);
+            book.stats.scale_ups += 1;
+            if tracer.enabled() {
+                tracer.for_replica(nums::usize_to_u32(r)).emit_at(
+                    now,
+                    None,
+                    TraceEvent::ScaleDecision {
+                        direction: ScaleDirection::Up,
+                        fleet_before: before,
+                        fleet_after: before + 1,
+                    },
+                );
+            }
+            fleet.log_fleet(now);
+            true
+        }
+        ScaleAction::Drain => {
+            let candidates: Vec<DrainCandidate> = fleet
+                .phases
+                .iter()
+                .enumerate()
+                .filter(|(r, p)| matches!(p, Phase::Serving) && !slots[*r].dead)
+                .map(|(r, _)| DrainCandidate {
+                    replica: nums::usize_to_u32(r),
+                    outstanding_important: fleet.outstanding[r][0],
+                    outstanding_low: fleet.outstanding[r][1],
+                })
+                .collect();
+            if nums::usize_to_u32(candidates.len()) <= min_serving {
+                return false; // never drain the fleet empty
+            }
+            let Some(victim) = drain_victim(&candidates) else {
+                return false;
+            };
+            let r = nums::u32_to_usize(victim);
+            let before = fleet.fleet_size();
+            let deadline = now + elastic.lifecycle.drain_grace;
+            fleet.phases[r] = Phase::Draining { deadline };
+            slots[r].engine.begin_drain(deadline);
+            for spec in slots[r].engine.take_unarrived() {
+                let ix = FleetState::prio_ix(&spec);
+                fleet.outstanding[r][ix] = fleet.outstanding[r][ix].saturating_sub(1);
+                fleet.held.push(spec);
+            }
+            book.stats.scale_downs += 1;
+            if tracer.enabled() {
+                let t = tracer.for_replica(victim);
+                t.emit_at(
+                    now,
+                    None,
+                    TraceEvent::ScaleDecision {
+                        direction: ScaleDirection::Down,
+                        fleet_before: before,
+                        fleet_after: before.saturating_sub(1),
+                    },
+                );
+                t.emit_at(
+                    now,
+                    None,
+                    TraceEvent::DrainStarted {
+                        deadline_us: deadline.as_micros(),
+                    },
+                );
+            }
+            // The drain itself keeps the slot non-idle until the
+            // deadline retires it; no fleet-size change yet.
+            true
+        }
+    }
+}
+
+/// The elastic driver: the static fault kernel plus control instants.
+#[allow(clippy::too_many_arguments)]
+fn run_elastic_inner(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    elastic: &ElasticPlan,
+    seeds: &SeedStream,
+    tracer: &Tracer,
+    mode: ExecMode,
+) -> Result<ElasticRunResult, RouterError> {
+    let initial = replicas;
+    let max_replicas = elastic.max_replicas.max(initial).max(
+        elastic
+            .autoscale
+            .map(|a| a.normalized().max_replicas)
+            .unwrap_or(0),
+    );
+    let targets = config
+        .router
+        .try_assign(trace.requests(), nums::u32_to_usize(initial))?;
+
+    let schedule_horizon = config
+        .horizon
+        .unwrap_or_else(|| trace.horizon() + SimDuration::from_secs(3_600));
+    // Slots beyond the initial fleet get fault timelines too; the
+    // per-(class, replica) seed streams mean the first `initial`
+    // timelines are exactly the static runner's.
+    let schedule = FaultSchedule::generate(
+        &plan.faults,
+        max_replicas,
+        schedule_horizon,
+        &seeds.child("faults"),
+    );
+
+    let make_engine = |replica_id: u32, from: SimTime| {
+        let replica_seeds = seeds.child("replica");
+        let mut rc = ReplicaConfig::new(config.hardware.clone())
+            .with_replica_id(replica_id)
+            .with_faults(schedule.profile_for(replica_id, from));
+        rc.noise_sigma = config.noise_sigma;
+        rc.max_decode_batch = config.max_decode_batch;
+        rc.horizon = config.horizon;
+        let sched = scheduler.build(&config.hardware, &replica_seeds);
+        let mut engine = ReplicaEngine::new(rc, sched, &replica_seeds);
+        if tracer.enabled() {
+            engine.set_tracer(tracer.clone());
+        }
+        engine
+    };
+
+    let mut slots: Vec<Slot> = (0..max_replicas)
+        .map(|r| Slot {
+            engine: make_engine(r, SimTime::ZERO),
+            crashes: schedule.crashes_for(r),
+            next_crash: 0,
+            parked: r >= initial,
+            dead: false,
+        })
+        .collect();
+    for (spec, target) in trace.requests().iter().zip(targets) {
+        slots[target].engine.submit(*spec);
+    }
+
+    let mut fleet = FleetState {
+        phases: (0..max_replicas)
+            .map(|r| {
+                if r < initial {
+                    Phase::Serving
+                } else {
+                    Phase::Idle
+                }
+            })
+            .collect(),
+        provisioned_since: (0..max_replicas)
+            .map(|r| (r < initial).then_some(SimTime::ZERO))
+            .collect(),
+        outstanding: vec![[0, 0]; nums::u32_to_usize(max_replicas)],
+        held: Vec::new(),
+        dynamic: false,
+        router: FleetRouter::new(config.router, max_replicas),
+        fleet_log: vec![(SimTime::ZERO, initial)],
+        replica_us: 0,
+        drain_migrations: BTreeMap::new(),
+    };
+    for (spec, target) in trace.requests().iter().zip(
+        config
+            .router
+            .try_assign(trace.requests(), nums::u32_to_usize(initial))?,
+    ) {
+        fleet.outstanding[target][FleetState::prio_ix(spec)] += 1;
+    }
+
+    let mut book = RecoveryBook {
+        stats: FaultRunStats::default(),
+        outcomes: Vec::with_capacity(trace.len()),
+        retries: BTreeMap::new(),
+        reprefill: BTreeMap::new(),
+        relegated_ids: BTreeSet::new(),
+        rotation: 0,
+    };
+    let mut breakers: Vec<CircuitBreaker> = plan
+        .breaker
+        .map(|cfg| {
+            (0..max_replicas)
+                .map(|r| {
+                    let mut b = CircuitBreaker::new(cfg);
+                    if tracer.enabled() {
+                        b.set_tracer(tracer.for_replica(r));
+                    }
+                    b
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let up_index = UpSetIndex::build(&schedule, max_replicas);
+
+    // Scheduled events sorted by time; ties keep schedule order.
+    let mut scheduled: Vec<crate::lifecycle::ScaleEvent> = elastic.schedule.clone();
+    scheduled.sort_by_key(|e| e.at);
+    let mut next_event = 0usize;
+    let mut controller = elastic.autoscale.map(AutoscaleController::new);
+    let mut next_tick: Option<SimTime> = controller
+        .as_ref()
+        .map(|c| SimTime::ZERO + c.config().control_interval)
+        .filter(|&t| t <= schedule_horizon);
+
+    let sharded = matches!(mode, ExecMode::Sharded);
+    let mut resync = sharded;
+    let mut last_time = SimTime::ZERO;
+
+    loop {
+        // The next control instant: scheduled event, autoscaler tick,
+        // warm-up transition, or drain deadline — whichever is earliest.
+        let next_control: Option<SimTime> = {
+            let mut t = scheduled.get(next_event).map(|e| e.at);
+            let mut fold = |c: Option<SimTime>| {
+                t = match (t, c) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            };
+            fold(next_tick);
+            for p in &fleet.phases {
+                match p {
+                    Phase::Provisioning { warm_at, .. } => fold(Some(*warm_at)),
+                    Phase::Warming { up_at, .. } => fold(Some(*up_at)),
+                    Phase::Draining { deadline } => fold(Some(*deadline)),
+                    Phase::Idle | Phase::Serving => {}
+                }
+            }
+            t
+        };
+
+        if resync {
+            let barrier = match (pending_crash_barrier(&slots), next_control) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            advance_to_barrier(&mut slots, &mut breakers, barrier);
+            resync = false;
+        }
+
+        // Process the control instant once every runnable clock reached
+        // it (or nothing is runnable): the fixed point at which scale
+        // decisions are thread-interleaving-independent.
+        if let Some(t) = next_control {
+            let min_runnable = slots
+                .iter()
+                .filter(|s| !s.dead && !s.parked)
+                .map(|s| s.engine.now())
+                .min();
+            if min_runnable.is_none_or(|m| m >= t) {
+                // Once every engine is drained and nothing can create new
+                // work (no held requests, no scheduled events, no
+                // lifecycle transition in flight), the remaining
+                // autoscaler ticks can only observe an idle fleet and
+                // bill idle replica-time — end the run instead. Both
+                // execution modes evaluate this at the same instant (a
+                // due tick over a quiescent fleet), so sharded and
+                // lockstep runs stay bit-identical.
+                let quiescent = next_tick == Some(t)
+                    && slots.iter().all(|s| s.dead || s.parked)
+                    && fleet.held.is_empty()
+                    && next_event >= scheduled.len()
+                    && fleet
+                        .phases
+                        .iter()
+                        .all(|p| matches!(p, Phase::Idle | Phase::Serving));
+                if quiescent {
+                    next_tick = None;
+                    continue;
+                }
+                last_time = last_time.max(t);
+                // (1) Collect freshly completed outcomes so attainment
+                // and outstanding counts are current.
+                for (r, slot) in slots.iter_mut().enumerate() {
+                    if slot.dead {
+                        continue;
+                    }
+                    for o in slot.engine.take_outcomes() {
+                        let ix = FleetState::prio_ix(&o.spec);
+                        fleet.outstanding[r][ix] = fleet.outstanding[r][ix].saturating_sub(1);
+                        book.outcomes.push(o);
+                    }
+                }
+
+                // (2) Lifecycle transitions due at t, lowest slot first.
+                for r in 0..nums::u32_to_usize(max_replicas) {
+                    match fleet.phases[r] {
+                        Phase::Provisioning {
+                            warm_at,
+                            up_at,
+                            decided_at,
+                        } if warm_at <= t => {
+                            fleet.phases[r] = Phase::Warming { up_at, decided_at };
+                        }
+                        Phase::Warming { up_at, decided_at } if up_at <= t => {
+                            slots[r].engine = make_engine(nums::usize_to_u32(r), up_at);
+                            slots[r].next_crash =
+                                slots[r].crashes.partition_point(|c| c.at < up_at);
+                            slots[r].parked = true; // no work until routed
+                            slots[r].dead = false;
+                            if let Some(b) = breakers.get_mut(r) {
+                                b.reset();
+                            }
+                            fleet.phases[r] = Phase::Serving;
+                            let warmup_us = up_at.duration_since(decided_at).as_micros();
+                            book.stats.warmup_wasted_us += warmup_us;
+                            if tracer.enabled() {
+                                tracer.for_replica(nums::usize_to_u32(r)).emit_at(
+                                    up_at,
+                                    None,
+                                    TraceEvent::WarmupComplete { warmup_us },
+                                );
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+
+                // (3) Drain deadlines due at t: hand unfinished work to
+                // the recovery path and retire the slot.
+                for r in 0..nums::u32_to_usize(max_replicas) {
+                    let Phase::Draining { deadline } = fleet.phases[r] else {
+                        continue;
+                    };
+                    if deadline > t {
+                        continue;
+                    }
+                    let mut orphans = slots[r].engine.take_orphans();
+                    book.stats.degraded_iterations += slots[r].engine.degraded_iterations();
+                    for o in slots[r].engine.take_outcomes() {
+                        let ix = FleetState::prio_ix(&o.spec);
+                        fleet.outstanding[r][ix] = fleet.outstanding[r][ix].saturating_sub(1);
+                        book.outcomes.push(o);
+                    }
+                    orphans.sort_by_key(|j| j.spec.id);
+                    let deadline_hit = orphans.iter().any(|o| o.prefill_done > 0);
+                    for o in &orphans {
+                        let ix = FleetState::prio_ix(&o.spec);
+                        fleet.outstanding[r][ix] = fleet.outstanding[r][ix].saturating_sub(1);
+                    }
+                    slots[r].parked = true;
+                    // Retire before re-dispatch so the drained replica is
+                    // lifecycle-inadmissible for its own orphans.
+                    fleet.retire(r, deadline);
+                    let migrated = redispatch_orphans(
+                        orphans,
+                        deadline,
+                        nums::usize_to_u32(r),
+                        true,
+                        &mut slots,
+                        &breakers,
+                        &up_index,
+                        &mut fleet,
+                        &mut book,
+                        plan,
+                        tracer,
+                    );
+                    if tracer.enabled() {
+                        tracer.for_replica(nums::usize_to_u32(r)).emit_at(
+                            deadline,
+                            None,
+                            TraceEvent::DrainFinished {
+                                migrated,
+                                deadline_hit,
+                            },
+                        );
+                    }
+                }
+
+                // (4) Scheduled scale events due at t, in schedule order.
+                while scheduled.get(next_event).is_some_and(|e| e.at <= t) {
+                    let ev = scheduled[next_event];
+                    next_event += 1;
+                    if !fleet.dynamic {
+                        go_dynamic(&mut slots, &mut fleet);
+                    }
+                    apply_action(
+                        t, ev.action, 1, &mut slots, &mut fleet, &mut book, elastic, tracer,
+                    );
+                }
+
+                // (5) Autoscaler tick due at t.
+                if next_tick.is_some_and(|tick| tick <= t) {
+                    let tick_at = next_tick.unwrap_or(t);
+                    if let Some(c) = controller.as_mut() {
+                        let obs = observe(tick_at, &slots, &fleet, &book, c);
+                        match c.tick(tick_at, &obs) {
+                            AutoscaleDecision::Hold => {}
+                            AutoscaleDecision::Up(n) => {
+                                for _ in 0..n {
+                                    if !fleet.dynamic {
+                                        go_dynamic(&mut slots, &mut fleet);
+                                    }
+                                    apply_action(
+                                        tick_at,
+                                        ScaleAction::Add,
+                                        c.config().min_replicas,
+                                        &mut slots,
+                                        &mut fleet,
+                                        &mut book,
+                                        elastic,
+                                        tracer,
+                                    );
+                                }
+                            }
+                            AutoscaleDecision::Down(n) => {
+                                for _ in 0..n {
+                                    if !fleet.dynamic {
+                                        go_dynamic(&mut slots, &mut fleet);
+                                    }
+                                    apply_action(
+                                        tick_at,
+                                        ScaleAction::Drain,
+                                        c.config().min_replicas,
+                                        &mut slots,
+                                        &mut fleet,
+                                        &mut book,
+                                        elastic,
+                                        tracer,
+                                    );
+                                }
+                            }
+                        }
+                        next_tick = Some(tick_at + c.config().control_interval)
+                            .filter(|&nt| nt <= schedule_horizon);
+                    }
+                }
+
+                // (6) Windowed dynamic dispatch of held requests.
+                if fleet.dynamic && !fleet.held.is_empty() {
+                    let window =
+                        next_control_after(&scheduled, next_event, next_tick, &fleet.phases);
+                    dispatch_held(t, &mut slots, &mut fleet, window);
+                }
+
+                resync = sharded;
+                continue;
+            }
+        }
+
+        // Min-now lockstep step, exactly as the static kernel.
+        let mut pick: Option<usize> = None;
+        for (i, s) in slots.iter().enumerate() {
+            if s.dead || s.parked {
+                continue;
+            }
+            match pick {
+                Some(p) if slots[p].engine.now() <= s.engine.now() => {}
+                _ => pick = Some(i),
+            }
+        }
+        let Some(idx) = pick else {
+            break; // nothing runnable and no control pending
+        };
+
+        if slots[idx].engine.step() {
+            if let Some(b) = breakers.get_mut(idx) {
+                b.observe(&slots[idx].engine.health(), slots[idx].engine.now());
+            }
+            continue;
+        }
+
+        if !slots[idx].engine.crashed() {
+            slots[idx].parked = true;
+            continue;
+        }
+
+        // --- Crash handling (static path + lifecycle composition) -----
+        book.stats.crashes += 1;
+        let crash = slots[idx].crashes.get(slots[idx].next_crash).copied();
+        slots[idx].next_crash += 1;
+        let crash_at = crash.map(|c| c.at).unwrap_or(slots[idx].engine.now());
+        last_time = last_time.max(crash_at);
+        let replica_id = nums::usize_to_u32(idx);
+        if tracer.enabled() {
+            tracer.for_replica(replica_id).emit_at(
+                crash_at,
+                None,
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::Crash,
+                    slowdown: 1.0,
+                },
+            );
+        }
+
+        let mut orphans = slots[idx].engine.take_orphans();
+        book.stats.degraded_iterations += slots[idx].engine.degraded_iterations();
+        for o in slots[idx].engine.take_outcomes() {
+            let ix = FleetState::prio_ix(&o.spec);
+            fleet.outstanding[idx][ix] = fleet.outstanding[idx][ix].saturating_sub(1);
+            book.outcomes.push(o);
+        }
+        orphans.sort_by_key(|j| j.spec.id);
+        for o in &orphans {
+            let ix = FleetState::prio_ix(&o.spec);
+            fleet.outstanding[idx][ix] = fleet.outstanding[idx][ix].saturating_sub(1);
+        }
+
+        let was_draining = matches!(fleet.phases[idx], Phase::Draining { .. });
+        if was_draining {
+            // A crash preempts the drain: the slot retires early and the
+            // scheduled restart (if any) is moot.
+            slots[idx].parked = true;
+            fleet.retire(idx, crash_at);
+        } else {
+            match crash.and_then(|c| c.restart_at) {
+                Some(restart_at) => {
+                    book.stats.restarts += 1;
+                    slots[idx].engine = make_engine(replica_id, restart_at);
+                    slots[idx].parked = true;
+                    if let Some(b) = breakers.get_mut(idx) {
+                        b.reset();
+                    }
+                }
+                None => {
+                    slots[idx].dead = true;
+                    if let Some(since) = fleet.provisioned_since[idx].take() {
+                        fleet.replica_us += crash_at.duration_since(since).as_micros();
+                    }
+                }
+            }
+        }
+
+        redispatch_orphans(
+            orphans, crash_at, replica_id, false, &mut slots, &breakers, &up_index, &mut fleet,
+            &mut book, plan, tracer,
+        );
+
+        resync = sharded;
+    }
+
+    // Finalize. Held requests that never found a serving replica are
+    // shed explicitly — conservation holds under any schedule.
+    for slot in &mut slots {
+        book.stats.degraded_iterations += slot.engine.degraded_iterations();
+        book.outcomes.extend(slot.engine.finish());
+    }
+    fleet.held.sort_by_key(|s| (s.arrival, s.id));
+    for spec in fleet.held.drain(..) {
+        book.stats.shed += 1;
+        book.outcomes.push(RequestOutcome::unserved(
+            spec,
+            false,
+            u32::MAX,
+            Disposition::Shed,
+        ));
+    }
+
+    for o in &mut book.outcomes {
+        if let Some(&r) = book.retries.get(&o.spec.id) {
+            o.retries = r;
+        }
+        if let Some(&tokens) = book.reprefill.get(&o.spec.id) {
+            o.reprefill_tokens = tokens;
+            book.stats.reprefill_tokens += tokens;
+        }
+        if book.relegated_ids.contains(&o.spec.id) {
+            o.relegated = true;
+        }
+        if let Some(&m) = fleet.drain_migrations.get(&o.spec.id) {
+            o.drain_migrations = m;
+        }
+    }
+    book.outcomes.sort_by_key(|o| o.spec.id);
+    debug_assert_eq!(book.outcomes.len(), trace.len(), "no request may be lost");
+
+    book.stats.breaker_opens = breakers.iter().map(|b| b.open_count()).sum();
+
+    // Close out replica-time for everything still provisioned.
+    let end = slots
+        .iter()
+        .map(|s| s.engine.now())
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .max(last_time);
+    for r in 0..nums::u32_to_usize(max_replicas) {
+        if let Some(since) = fleet.provisioned_since[r].take() {
+            fleet.replica_us += end.duration_since(since).as_micros();
+        }
+    }
+
+    Ok(ElasticRunResult {
+        outcomes: book.outcomes,
+        stats: book.stats,
+        replica_us: fleet.replica_us,
+        fleet: fleet.fleet_log,
+    })
+}
+
+/// The first scale action flips dispatch from the static pre-assignment
+/// to dynamic: every undelivered request is recalled into the held pool
+/// for re-routing over the live membership.
+fn go_dynamic(slots: &mut [Slot], fleet: &mut FleetState) {
+    fleet.dynamic = true;
+    for (r, slot) in slots.iter_mut().enumerate() {
+        if slot.dead {
+            continue;
+        }
+        for spec in slot.engine.take_unarrived() {
+            let ix = FleetState::prio_ix(&spec);
+            fleet.outstanding[r][ix] = fleet.outstanding[r][ix].saturating_sub(1);
+            fleet.held.push(spec);
+        }
+    }
+}
+
+/// The earliest control instant after the current one, used to bound the
+/// dispatch window (phases are read *after* this instant's transitions).
+fn next_control_after(
+    scheduled: &[crate::lifecycle::ScaleEvent],
+    next_event: usize,
+    next_tick: Option<SimTime>,
+    phases: &[Phase],
+) -> Option<SimTime> {
+    let mut t = scheduled.get(next_event).map(|e| e.at);
+    let mut fold = |c: Option<SimTime>| {
+        t = match (t, c) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    };
+    fold(next_tick);
+    for p in phases {
+        match p {
+            Phase::Provisioning { warm_at, .. } => fold(Some(*warm_at)),
+            Phase::Warming { up_at, .. } => fold(Some(*up_at)),
+            Phase::Draining { deadline } => fold(Some(*deadline)),
+            Phase::Idle | Phase::Serving => {}
+        }
+    }
+    t
+}
+
+/// Routes held requests due before `window_end` (all of them when the
+/// schedule has no further control instant) over the serving set.
+fn dispatch_held(
+    now: SimTime,
+    slots: &mut [Slot],
+    fleet: &mut FleetState,
+    window_end: Option<SimTime>,
+) {
+    fleet.held.sort_by_key(|s| (s.arrival, s.id));
+    let serving = fleet.serving(slots);
+    if serving.is_empty() {
+        return; // retried at the next control instant
+    }
+    let mut kept = Vec::new();
+    let held = std::mem::take(&mut fleet.held);
+    for spec in held {
+        if window_end.is_some_and(|w| spec.arrival >= w) {
+            kept.push(spec);
+            continue;
+        }
+        match fleet.router.route(&spec, &serving) {
+            Some(target) => {
+                let t = nums::u32_to_usize(target);
+                fleet.outstanding[t][FleetState::prio_ix(&spec)] += 1;
+                slots[t].engine.submit_at(spec, now);
+                slots[t].parked = false;
+            }
+            None => kept.push(spec),
+        }
+    }
+    fleet.held = kept;
+}
+
+/// Samples the autoscaler's control signals at `now`.
+fn observe(
+    now: SimTime,
+    slots: &[Slot],
+    fleet: &FleetState,
+    book: &RecoveryBook,
+    controller: &AutoscaleController,
+) -> ControlObservation {
+    let window_start = now.saturating_sub(controller.config().window);
+    // Worst per-tier attainment over outcomes completed in the window.
+    let mut per_tier: BTreeMap<qoserve_workload::TierId, (u64, u64)> = BTreeMap::new();
+    for o in &book.outcomes {
+        let Some(c) = o.completion else { continue };
+        if c <= window_start || c > now {
+            continue;
+        }
+        let e = per_tier.entry(o.tier()).or_insert((0, 0));
+        e.0 += 1;
+        if o.violated() {
+            e.1 += 1;
+        }
+    }
+    let attainment = per_tier
+        .values()
+        .map(|&(total, violated)| 1.0 - violated as f64 / total.max(1) as f64)
+        .fold(f64::INFINITY, f64::min);
+    let attainment = if attainment.is_finite() {
+        attainment
+    } else {
+        1.0
+    };
+
+    let serving_set = fleet.serving(slots);
+    let mut queue_tokens: u64 = serving_set
+        .iter()
+        .map(|&r| slots[nums::u32_to_usize(r)].engine.health().queue_tokens)
+        .sum();
+    // Held requests are queue pressure only once they have actually
+    // arrived: between control instants the held pool also buffers
+    // future arrivals (dispatch_held routes them lazily so routing sees
+    // live membership), and counting those would pin the fleet at peak.
+    queue_tokens += fleet
+        .held
+        .iter()
+        .filter(|s| s.arrival <= now)
+        .map(|s| u64::from(s.total_tokens()))
+        .sum::<u64>();
+    let serving = nums::usize_to_u32(serving_set.len());
+    let warming = nums::usize_to_u32(
+        fleet
+            .phases
+            .iter()
+            .filter(|p| matches!(p, Phase::Provisioning { .. } | Phase::Warming { .. }))
+            .count(),
+    );
+    ControlObservation {
+        attainment,
+        queue_tokens_per_replica: queue_tokens / u64::from(serving.max(1)),
+        queue_tokens,
+        serving,
+        warming,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::{LifecycleConfig, ScaleEvent};
+    use crate::recovery::run_shared_faulty;
+    use qoserve_perf::HardwareConfig;
+    use qoserve_sim::faults::FaultConfig;
+    use qoserve_workload::{ArrivalProcess, Dataset, TraceBuilder};
+
+    fn config() -> ClusterConfig {
+        ClusterConfig::new(HardwareConfig::llama3_8b_a100_tp1())
+    }
+
+    fn trace(seed: u64, qps: f64, n: usize) -> Trace {
+        TraceBuilder::new(Dataset::azure_conv())
+            .arrivals(ArrivalProcess::poisson(qps))
+            .num_requests(n)
+            .paper_tier_mix()
+            .low_priority_fraction(0.3)
+            .build(&SeedStream::new(seed))
+    }
+
+    fn fast_lifecycle() -> LifecycleConfig {
+        LifecycleConfig {
+            provision_delay: SimDuration::from_secs(2),
+            warmup: SimDuration::from_secs(3),
+            drain_grace: SimDuration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn zero_scale_events_match_run_shared_faulty_bit_for_bit() {
+        let t = trace(21, 6.0, 200);
+        let plan = FaultPlan::with_faults(FaultConfig::moderate().scaled(2.0));
+        let base = run_shared_faulty(
+            &t,
+            3,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &plan,
+            &SeedStream::new(21),
+        )
+        .unwrap();
+        // Same fleet ceiling as the static run.
+        let exact = run_shared_elastic(
+            &t,
+            3,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &plan,
+            &ElasticPlan::none(),
+            &SeedStream::new(21),
+        )
+        .unwrap();
+        assert_eq!(exact.outcomes, base.outcomes);
+        assert_eq!(exact.stats, base.stats);
+        // A larger ceiling adds idle slots only; the lifecycle filter
+        // keeps them out of every dispatch decision.
+        let headroom = run_shared_elastic(
+            &t,
+            3,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &plan,
+            &ElasticPlan {
+                max_replicas: 6,
+                ..ElasticPlan::none()
+            },
+            &SeedStream::new(21),
+        )
+        .unwrap();
+        assert_eq!(headroom.outcomes, base.outcomes);
+        assert_eq!(headroom.stats, base.stats);
+    }
+
+    #[test]
+    fn scale_up_and_drain_conserve_every_request() {
+        let t = trace(22, 8.0, 250);
+        let elastic = ElasticPlan {
+            lifecycle: fast_lifecycle(),
+            max_replicas: 4,
+            schedule: vec![
+                ScaleEvent {
+                    at: SimTime::from_secs(3),
+                    action: ScaleAction::Add,
+                },
+                ScaleEvent {
+                    at: SimTime::from_secs(10),
+                    action: ScaleAction::Drain,
+                },
+                ScaleEvent {
+                    at: SimTime::from_secs(14),
+                    action: ScaleAction::Add,
+                },
+            ],
+            autoscale: None,
+        };
+        let run = || {
+            run_shared_elastic(
+                &t,
+                2,
+                &SchedulerSpec::qoserve(),
+                &config(),
+                &FaultPlan::none(),
+                &elastic,
+                &SeedStream::new(22),
+            )
+            .unwrap()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed must replay bit-identically");
+        assert_eq!(a.outcomes.len(), t.len());
+        for (i, o) in a.outcomes.iter().enumerate() {
+            assert_eq!(o.spec.id.0, i as u64, "one outcome per request, by id");
+        }
+        assert_eq!(a.stats.scale_ups, 2);
+        assert_eq!(a.stats.scale_downs, 1);
+        assert!(a.replica_us > 0);
+        assert!(a.fleet.len() > 1, "membership changes must be logged");
+    }
+
+    #[test]
+    fn drain_migrates_in_flight_work() {
+        // Saturate two replicas then drain one with a short grace: the
+        // victim's unfinished work must migrate, not vanish.
+        let t = trace(23, 20.0, 300);
+        let elastic = ElasticPlan {
+            lifecycle: LifecycleConfig {
+                drain_grace: SimDuration::from_millis(200),
+                ..fast_lifecycle()
+            },
+            max_replicas: 2,
+            schedule: vec![ScaleEvent {
+                at: SimTime::from_secs(5),
+                action: ScaleAction::Drain,
+            }],
+            autoscale: None,
+        };
+        let r = run_shared_elastic(
+            &t,
+            2,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &FaultPlan::none(),
+            &elastic,
+            &SeedStream::new(23),
+        )
+        .unwrap();
+        assert_eq!(r.outcomes.len(), t.len());
+        assert_eq!(r.stats.scale_downs, 1);
+        assert!(
+            r.stats.drain_migrated > 0,
+            "a saturated replica drained on a 200ms grace must migrate work"
+        );
+        assert!(
+            r.outcomes.iter().any(|o| o.drain_migrations > 0),
+            "migrations must be stamped on outcomes"
+        );
+    }
+
+    #[test]
+    fn elastic_sharded_matches_lockstep_bit_for_bit() {
+        let t = trace(24, 8.0, 250);
+        let mut faults = FaultConfig::moderate();
+        faults.crash_rate_per_hour = 400.0;
+        let plan = FaultPlan::with_faults(faults);
+        let elastic = ElasticPlan {
+            lifecycle: fast_lifecycle(),
+            max_replicas: 5,
+            schedule: vec![
+                ScaleEvent {
+                    at: SimTime::from_secs(4),
+                    action: ScaleAction::Add,
+                },
+                ScaleEvent {
+                    at: SimTime::from_secs(12),
+                    action: ScaleAction::Drain,
+                },
+            ],
+            autoscale: None,
+        };
+        let sharded = run_shared_elastic(
+            &t,
+            3,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &plan,
+            &elastic,
+            &SeedStream::new(24),
+        )
+        .unwrap();
+        let lockstep = run_shared_elastic_lockstep(
+            &t,
+            3,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &plan,
+            &elastic,
+            &SeedStream::new(24),
+        )
+        .unwrap();
+        assert!(sharded.stats.crashes > 0, "differential must see faults");
+        assert_eq!(sharded, lockstep, "kernels must agree bit-for-bit");
+    }
+
+    #[test]
+    fn autoscaler_grows_fleet_under_pressure() {
+        // One replica at high load with headroom to 4: attainment/queue
+        // pressure must provision more capacity.
+        let t = trace(25, 14.0, 400);
+        let elastic = ElasticPlan {
+            lifecycle: fast_lifecycle(),
+            max_replicas: 4,
+            schedule: Vec::new(),
+            autoscale: Some(crate::autoscale::AutoscaleConfig {
+                control_interval: SimDuration::from_secs(5),
+                window: SimDuration::from_secs(20),
+                min_replicas: 1,
+                max_replicas: 4,
+                queue_high_tokens: 2_000,
+                queue_low_tokens: 500,
+                cooldown: SimDuration::from_secs(10),
+                ..crate::autoscale::AutoscaleConfig::default()
+            }),
+        };
+        let r = run_shared_elastic(
+            &t,
+            1,
+            &SchedulerSpec::qoserve(),
+            &config(),
+            &FaultPlan::none(),
+            &elastic,
+            &SeedStream::new(25),
+        )
+        .unwrap();
+        assert_eq!(r.outcomes.len(), t.len());
+        assert!(r.stats.scale_ups > 0, "pressure must trigger scale-up");
+        assert!(r.stats.warmup_wasted_us > 0, "scale-ups pay warm-up");
+        assert!(
+            r.fleet.iter().any(|&(_, size)| size > 1),
+            "the fleet log must show growth: {:?}",
+            r.fleet
+        );
+    }
+}

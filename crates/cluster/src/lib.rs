@@ -22,17 +22,37 @@
 //!   re-dispatched work until they recover.
 //! * [`capacity`] — goodput search ("max QPS with ≤ 1 % violations") and
 //!   the minimum-replica capacity planner behind Table 4 and Fig. 15b.
+//! * [`lifecycle`] — the replica lifecycle (Provisioning → Warming → Up →
+//!   Draining → Down): timing constants, graceful-drain victim selection
+//!   mirroring the shed ordering, deterministic scale-churn schedules,
+//!   and an incremental fleet router for changing membership.
+//! * [`autoscale`] — the SLO-feedback hysteresis autoscaler on windowed
+//!   per-tier attainment and queue pressure.
+//! * [`elastic`] — the elastic runner composing lifecycle + autoscaling
+//!   with the fault-recovery kernel; zero scale events is bit-identical
+//!   to [`recovery::run_shared_faulty`].
 
+pub mod autoscale;
 pub mod breaker;
 pub mod capacity;
 pub mod deployment;
+pub mod elastic;
+pub mod lifecycle;
 pub mod recovery;
 pub mod router;
 pub mod spec;
 
+pub use autoscale::{AutoscaleConfig, AutoscaleController, AutoscaleDecision, ControlObservation};
 pub use breaker::{pick_target, BreakerConfig, BreakerState, CircuitBreaker, PickedTarget};
 pub use capacity::{max_goodput, max_goodput_serial, min_replicas_for, GoodputOptions};
 pub use deployment::{run_shared, run_shared_traced, run_siloed, ClusterConfig, SiloGroup};
+pub use elastic::{
+    run_shared_elastic, run_shared_elastic_lockstep, run_shared_elastic_traced, ElasticRunResult,
+};
+pub use lifecycle::{
+    drain_victim, generate_scale_schedule, DrainCandidate, ElasticPlan, FleetRouter,
+    LifecycleConfig, ScaleAction, ScaleChurnConfig, ScaleEvent,
+};
 pub use recovery::{
     run_shared_faulty, run_shared_faulty_lockstep, run_shared_faulty_traced, FaultPlan,
     FaultRunResult, FaultRunStats,

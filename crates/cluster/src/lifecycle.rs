@@ -1,0 +1,418 @@
+//! Replica lifecycle: provisioning delays, warm-up, graceful drain, and
+//! deterministic scale schedules.
+//!
+//! The elastic control plane extends the Up/Degraded/Down world of the
+//! fault-recovery layer with a full lifecycle:
+//!
+//! ```text
+//! Provisioning ──▶ Warming ──▶ Up ──▶ Draining ──▶ Down
+//!   (capacity        (model     (serving;  (admission     (slot
+//!    allocated)       loading)   faults may  stopped;      reusable)
+//!                                 degrade)   decodes
+//!                                            finish to a
+//!                                            deadline)
+//! ```
+//!
+//! * A scale-up decision allocates capacity, then waits
+//!   [`LifecycleConfig::provision_delay`] before the model starts
+//!   loading, and a further [`LifecycleConfig::warmup`] before the
+//!   replica accepts any work. Warm-up elapsed before serving is the
+//!   `warmup_wasted_us` cost the autoscaler pays for every flap.
+//! * A scale-down decision picks a victim via [`drain_victim`] — the
+//!   serving replica carrying the *least important* outstanding work,
+//!   free-tier-heavy replicas first, mirroring the PR 3 shed ordering —
+//!   and drains it: admission stops immediately, queued-but-unarrived
+//!   work is recalled for re-routing, running decodes get
+//!   [`LifecycleConfig::drain_grace`] to finish, and whatever remains at
+//!   the deadline is handed to the existing orphan re-dispatch path.
+//!
+//! # Determinism rule for scale events
+//!
+//! Scale events only take effect at *control instants* (scheduled event
+//! times, autoscaler ticks, warm-up completions, drain deadlines) that
+//! every replica has simulated up to. The elastic runner never acts on a
+//! scale decision while any replica's clock is behind it, so lifecycle
+//! transitions — like fault injection before them — are a pure function
+//! of the seed and the schedule, independent of thread interleaving.
+
+use std::cmp::Reverse;
+
+use qoserve_sim::nums;
+use qoserve_sim::rng::exponential_gap_secs;
+use qoserve_sim::{SeedStream, SimDuration, SimTime};
+use qoserve_workload::RequestSpec;
+
+use crate::router::Router;
+
+/// Timing constants of the replica lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifecycleConfig {
+    /// Capacity-allocation delay before model load starts (Provisioning).
+    pub provision_delay: SimDuration,
+    /// Model-load / cache-warm time before the replica accepts work
+    /// (Warming).
+    pub warmup: SimDuration,
+    /// Grace period a draining replica gets to finish running decodes
+    /// before unfinished work is orphaned and re-dispatched.
+    pub drain_grace: SimDuration,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            provision_delay: SimDuration::from_secs(10),
+            warmup: SimDuration::from_secs(20),
+            drain_grace: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// One externally scheduled membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAction {
+    /// Provision one new replica (no-op when no slot is free).
+    Add,
+    /// Gracefully drain one serving replica (no-op when only one replica
+    /// is serving — scheduled churn never empties the fleet).
+    Drain,
+}
+
+/// A scale action pinned to a simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// When the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: ScaleAction,
+}
+
+/// Seed-derived scale-churn process for the chaos harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleChurnConfig {
+    /// Mean scale events per simulated hour (Poisson arrivals).
+    pub events_per_hour: f64,
+    /// Hard cap on generated events.
+    pub max_events: usize,
+}
+
+impl Default for ScaleChurnConfig {
+    fn default() -> Self {
+        ScaleChurnConfig {
+            events_per_hour: 6.0,
+            max_events: 64,
+        }
+    }
+}
+
+/// Draws a deterministic schedule of Add/Drain events over `horizon`.
+///
+/// Event times are a Poisson process and the Add-vs-Drain coin is a
+/// fixed function of the same per-label stream, so — like
+/// `FaultSchedule::generate` — the schedule is a pure function of the
+/// seed and config.
+pub fn generate_scale_schedule(
+    config: &ScaleChurnConfig,
+    horizon: SimDuration,
+    seeds: &SeedStream,
+) -> Vec<ScaleEvent> {
+    let mut events = Vec::new();
+    if config.events_per_hour <= 0.0 || config.max_events == 0 {
+        return events;
+    }
+    let rate_per_sec = config.events_per_hour / 3_600.0;
+    let horizon_secs = horizon.as_secs_f64();
+    let mut rng = seeds.derive("scale-churn");
+    let mut t = 0.0;
+    for _ in 0..config.max_events {
+        t += exponential_gap_secs(&mut rng, rate_per_sec);
+        if t >= horizon_secs {
+            break;
+        }
+        // A fair deterministic coin: an Exp(1) draw is below its median
+        // ln 2 with probability 1/2.
+        let action = if exponential_gap_secs(&mut rng, 1.0) < std::f64::consts::LN_2 {
+            ScaleAction::Add
+        } else {
+            ScaleAction::Drain
+        };
+        events.push(ScaleEvent {
+            at: SimTime::from_secs_f64(t),
+            action,
+        });
+    }
+    events
+}
+
+/// The full elastic plan the runner executes: lifecycle timing, the slot
+/// ceiling, an optional external scale schedule (chaos), and an optional
+/// feedback autoscaler.
+#[derive(Debug, Clone, Default)]
+pub struct ElasticPlan {
+    /// Lifecycle timing constants.
+    pub lifecycle: LifecycleConfig,
+    /// Slot ceiling: the fleet may grow to this many replicas. Raised to
+    /// the initial fleet size when smaller.
+    pub max_replicas: u32,
+    /// Externally scheduled membership changes, in any order (the runner
+    /// sorts them).
+    pub schedule: Vec<ScaleEvent>,
+    /// Feedback autoscaler; `None` runs only the external schedule.
+    pub autoscale: Option<crate::autoscale::AutoscaleConfig>,
+}
+
+impl ElasticPlan {
+    /// A plan with no scale events and no autoscaler — the elastic
+    /// runner degenerates to the static fault path.
+    pub fn none() -> Self {
+        ElasticPlan::default()
+    }
+}
+
+/// Outstanding-work summary of one serving replica, used to pick the
+/// scale-down victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainCandidate {
+    /// Replica id.
+    pub replica: u32,
+    /// Outstanding requests of important (non-low) priority.
+    pub outstanding_important: u64,
+    /// Outstanding low-priority (free-tier) requests.
+    pub outstanding_low: u64,
+}
+
+/// Picks which serving replica to drain: the one carrying the fewest
+/// important requests; among ties, the one carrying the *most* free-tier
+/// work (so free-tier-serving replicas drain first, mirroring the PR 3
+/// shed ordering where `Priority::Low` absorbs capacity loss); final
+/// ties break on the lowest replica id for determinism.
+pub fn drain_victim(candidates: &[DrainCandidate]) -> Option<u32> {
+    candidates
+        .iter()
+        .min_by_key(|c| {
+            (
+                c.outstanding_important,
+                Reverse(c.outstanding_low),
+                c.replica,
+            )
+        })
+        .map(|c| c.replica)
+}
+
+/// Incremental router over a fleet whose membership changes: the same
+/// policies as [`Router`], but routing one request at a time over the
+/// currently serving set instead of pre-assigning a whole trace.
+#[derive(Debug, Clone)]
+pub struct FleetRouter {
+    policy: Router,
+    cursor: u64,
+    /// Cumulative routed tokens per replica slot (LeastWork state).
+    loads: Vec<u64>,
+}
+
+impl FleetRouter {
+    /// A fresh router over `max_replicas` slots.
+    pub fn new(policy: Router, max_replicas: u32) -> Self {
+        FleetRouter {
+            policy,
+            cursor: 0,
+            loads: vec![0; nums::u32_to_usize(max_replicas)],
+        }
+    }
+
+    /// Routes one request over the serving set; `None` when it is empty.
+    ///
+    /// `serving` must be sorted ascending (the runner maintains it that
+    /// way), so the choice is deterministic.
+    pub fn route(&mut self, spec: &RequestSpec, serving: &[u32]) -> Option<u32> {
+        if serving.is_empty() {
+            return None;
+        }
+        let target = match self.policy {
+            Router::RoundRobin => {
+                let t =
+                    serving[nums::u64_to_usize(self.cursor % nums::usize_to_u64(serving.len()))];
+                self.cursor += 1;
+                t
+            }
+            Router::LeastWork => {
+                let mut best = serving[0];
+                let mut best_load = self.loads[nums::u32_to_usize(best)];
+                for &r in &serving[1..] {
+                    let load = self.loads[nums::u32_to_usize(r)];
+                    if load < best_load {
+                        best = r;
+                        best_load = load;
+                    }
+                }
+                best
+            }
+        };
+        self.loads[nums::u32_to_usize(target)] += u64::from(spec.total_tokens());
+        Some(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_workload::{QosTier, RequestId, Slo};
+
+    fn spec(id: u64, prompt: u32) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(id),
+            arrival: SimTime::ZERO,
+            prompt_tokens: prompt,
+            decode_tokens: 10,
+            slo: Slo::of_tier(QosTier::paper_q1()),
+            app_id: 0,
+        }
+    }
+
+    fn cand(replica: u32, important: u64, low: u64) -> DrainCandidate {
+        DrainCandidate {
+            replica,
+            outstanding_important: important,
+            outstanding_low: low,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_bounded() {
+        let config = ScaleChurnConfig::default();
+        let horizon = SimDuration::from_secs(7_200);
+        let a = generate_scale_schedule(&config, horizon, &SeedStream::new(7));
+        let b = generate_scale_schedule(&config, horizon, &SeedStream::new(7));
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "6/h over 2h should draw events");
+        assert!(a.len() <= config.max_events);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+        assert!(a.iter().all(|e| e.at < SimTime::ZERO + horizon));
+        let c = generate_scale_schedule(&config, horizon, &SeedStream::new(8));
+        assert_ne!(a, c, "different seeds draw different schedules");
+    }
+
+    #[test]
+    fn schedule_mixes_both_actions() {
+        let config = ScaleChurnConfig {
+            events_per_hour: 60.0,
+            max_events: 64,
+        };
+        let events =
+            generate_scale_schedule(&config, SimDuration::from_secs(7_200), &SeedStream::new(3));
+        assert!(events.iter().any(|e| e.action == ScaleAction::Add));
+        assert!(events.iter().any(|e| e.action == ScaleAction::Drain));
+    }
+
+    #[test]
+    fn zero_rate_draws_nothing() {
+        let config = ScaleChurnConfig {
+            events_per_hour: 0.0,
+            max_events: 64,
+        };
+        assert!(generate_scale_schedule(
+            &config,
+            SimDuration::from_secs(3_600),
+            &SeedStream::new(1)
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn drain_victim_sheds_free_tier_work_first() {
+        // Fewest important requests wins outright.
+        assert_eq!(
+            drain_victim(&[cand(0, 5, 0), cand(1, 2, 0), cand(2, 9, 0)]),
+            Some(1)
+        );
+        // Ties on important break toward the replica with MORE low-
+        // priority work: free-tier-serving replicas drain first.
+        assert_eq!(
+            drain_victim(&[cand(0, 2, 1), cand(1, 2, 7), cand(2, 2, 3)]),
+            Some(1)
+        );
+        // Full ties break on the lowest id.
+        assert_eq!(drain_victim(&[cand(2, 1, 1), cand(1, 1, 1)]), Some(1));
+        assert_eq!(drain_victim(&[]), None);
+    }
+
+    #[test]
+    fn fleet_router_round_robin_cycles_serving_set() {
+        let mut fr = FleetRouter::new(Router::RoundRobin, 8);
+        let serving = vec![1, 4, 6];
+        let targets: Vec<u32> = (0..5)
+            .map(|i| fr.route(&spec(i, 100), &serving).unwrap())
+            .collect();
+        assert_eq!(targets, vec![1, 4, 6, 1, 4]);
+        // Membership change mid-stream: the cursor keeps advancing over
+        // the new set.
+        assert_eq!(fr.route(&spec(9, 100), &[4, 6]), Some(6));
+        assert_eq!(fr.route(&spec(10, 100), &[]), None);
+    }
+
+    #[test]
+    fn fleet_router_least_work_tracks_cumulative_tokens() {
+        let mut fr = FleetRouter::new(Router::LeastWork, 4);
+        let serving = vec![0, 1];
+        // First request to the lowest id, second to the other, third to
+        // whichever is lighter.
+        assert_eq!(fr.route(&spec(0, 1_000), &serving), Some(0));
+        assert_eq!(fr.route(&spec(1, 100), &serving), Some(1));
+        assert_eq!(fr.route(&spec(2, 100), &serving), Some(1));
+        // A replica leaving the serving set stops receiving work but
+        // keeps its load history for when it returns.
+        assert_eq!(fr.route(&spec(3, 50), &[0]), Some(0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// The drain victim always has the minimum important count,
+            /// and among those, the maximum low-priority count — the PR 3
+            /// shed ordering (low-priority work absorbs capacity loss).
+            #[test]
+            fn victim_matches_shed_ordering(
+                counts in proptest::collection::vec((0u64..5, 0u64..5), 1..8),
+            ) {
+                let candidates: Vec<DrainCandidate> = counts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(imp, low))| cand(i as u32, imp, low))
+                    .collect();
+                let victim = drain_victim(&candidates).expect("non-empty");
+                let v = candidates.iter().find(|c| c.replica == victim).unwrap();
+                let min_imp = candidates
+                    .iter()
+                    .map(|c| c.outstanding_important)
+                    .min()
+                    .unwrap();
+                prop_assert_eq!(v.outstanding_important, min_imp);
+                let max_low = candidates
+                    .iter()
+                    .filter(|c| c.outstanding_important == min_imp)
+                    .map(|c| c.outstanding_low)
+                    .max()
+                    .unwrap();
+                prop_assert_eq!(v.outstanding_low, max_low);
+            }
+
+            /// The router never targets outside the serving set.
+            #[test]
+            fn router_stays_in_serving_set(
+                serving in proptest::collection::btree_set(0u32..8, 1..8),
+                policy in prop_oneof![Just(Router::RoundRobin), Just(Router::LeastWork)],
+                prompts in proptest::collection::vec(1u32..2_000, 1..32),
+            ) {
+                let serving: Vec<u32> = serving.into_iter().collect();
+                let mut fr = FleetRouter::new(policy, 8);
+                for (i, p) in prompts.iter().enumerate() {
+                    let t = fr.route(&spec(i as u64, *p), &serving).expect("non-empty");
+                    prop_assert!(serving.contains(&t));
+                }
+            }
+        }
+    }
+}

@@ -143,6 +143,19 @@ pub struct FaultRunStats {
     /// Re-dispatches steered away from an up-but-unhealthy replica.
     #[serde(default)]
     pub breaker_diverted: u64,
+    /// Scale-up actions applied by the elastic control plane.
+    #[serde(default)]
+    pub scale_ups: u64,
+    /// Scale-down (graceful drain) actions applied.
+    #[serde(default)]
+    pub scale_downs: u64,
+    /// Requests migrated off draining replicas through the orphan path.
+    #[serde(default)]
+    pub drain_migrated: u64,
+    /// Simulated microseconds spent provisioning and warming replicas
+    /// before they served their first request — the cost of every flap.
+    #[serde(default)]
+    pub warmup_wasted_us: u64,
 }
 
 /// Outcomes plus recovery counters of one fault-injected run.
@@ -158,14 +171,14 @@ pub struct FaultRunResult {
 /// One replica slot of the recovery loop. The engine is replaced by a
 /// fresh generation after a restart; `crashes` is this replica's full
 /// crash timeline with `next_crash` indexing the upcoming one.
-struct Slot {
-    engine: ReplicaEngine,
-    crashes: Vec<CrashEvent>,
-    next_crash: usize,
+pub(crate) struct Slot {
+    pub(crate) engine: ReplicaEngine,
+    pub(crate) crashes: Vec<CrashEvent>,
+    pub(crate) next_crash: usize,
     /// Drained (or restarting-and-empty): skipped until new work arrives.
-    parked: bool,
+    pub(crate) parked: bool,
     /// Permanently crashed; never receives work again.
-    dead: bool,
+    pub(crate) dead: bool,
 }
 
 /// Runs `trace` on a shared deployment of `replicas` identical replicas
@@ -255,7 +268,7 @@ pub fn run_shared_faulty_lockstep(
 
 /// Which kernel drives a faulty run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ExecMode {
+pub(crate) enum ExecMode {
     /// Two-phase sharded kernel: parallel replica-local advancement
     /// between fault epochs, lockstep only around crash processing.
     Sharded,
@@ -267,7 +280,7 @@ enum ExecMode {
 /// up-set only changes at crash/restart instants, so re-dispatch stops
 /// rescanning the whole fault timeline per orphan and binary-searches a
 /// precomputed interval table instead.
-struct UpSetIndex {
+pub(crate) struct UpSetIndex {
     /// Sorted instants where some replica goes down or comes back;
     /// `sets[i]` holds on `[starts[i], starts[i + 1])`.
     starts: Vec<SimTime>,
@@ -275,7 +288,7 @@ struct UpSetIndex {
 }
 
 impl UpSetIndex {
-    fn build(schedule: &FaultSchedule, replicas: u32) -> Self {
+    pub(crate) fn build(schedule: &FaultSchedule, replicas: u32) -> Self {
         let mut starts = vec![SimTime::ZERO];
         for r in 0..replicas {
             for c in schedule.crashes_for(r) {
@@ -295,7 +308,7 @@ impl UpSetIndex {
     }
 
     /// Exactly `schedule.up_replicas_at(t)`, precomputed.
-    fn up_at(&self, t: SimTime) -> &[u32] {
+    pub(crate) fn up_at(&self, t: SimTime) -> &[u32] {
         let i = self.starts.partition_point(|&s| s <= t).saturating_sub(1);
         &self.sets[i]
     }
@@ -305,7 +318,7 @@ impl UpSetIndex {
 /// runnable slots. `None` means no runnable replica can ever crash again
 /// (parked slots only revive through re-dispatch, which needs a crash to
 /// fire first), so the rest of the run is purely replica-local.
-fn pending_crash_barrier(slots: &[Slot]) -> Option<SimTime> {
+pub(crate) fn pending_crash_barrier(slots: &[Slot]) -> Option<SimTime> {
     slots
         .iter()
         .filter(|s| !s.dead && !s.parked)
@@ -351,7 +364,7 @@ fn advance_replica(
 /// the barrier on [`par_map`] workers. Replica-local steps commute
 /// across replicas, so the merged state is bit-identical to stepping
 /// them serially at any `QOSERVE_THREADS`.
-fn advance_to_barrier(
+pub(crate) fn advance_to_barrier(
     slots: &mut Vec<Slot>,
     breakers: &mut Vec<CircuitBreaker>,
     barrier: Option<SimTime>,
@@ -468,7 +481,8 @@ fn run_faulty_inner(
     let mut resync = sharded;
     loop {
         if resync {
-            advance_to_barrier(&mut slots, &mut breakers, pending_crash_barrier(&slots));
+            let barrier = pending_crash_barrier(&slots);
+            advance_to_barrier(&mut slots, &mut breakers, barrier);
             resync = false;
         }
 
@@ -581,7 +595,7 @@ fn run_faulty_inner(
             } else if breakers.is_empty() {
                 pick_round_robin(up, rotation)
             } else {
-                pick_target(up, &breakers, rotation, redispatch_at)
+                pick_target(up, &[], &breakers, rotation, redispatch_at)
             };
             let Some(picked) = picked else {
                 stats.shed += 1;

@@ -10,6 +10,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use qoserve_engine::ReplicaState;
 use qoserve_workload::RequestSpec;
 
 /// Routing failure: the deployment has no replica to route to.
@@ -73,6 +74,33 @@ impl Router {
                     .collect()
             }
         })
+    }
+
+    /// Lifecycle-aware assignment: routes each request over only the
+    /// replicas whose [`ReplicaState`] accepts work, never targeting a
+    /// `Warming` or `Draining` replica. `states` is indexed by replica
+    /// id and also fixes the fleet size. Returns
+    /// [`RouterError::NoReplicas`] when no replica accepts work.
+    ///
+    /// Routing state (the rotation, the load table) advances over the
+    /// *admissible* subset, so for an all-serving fleet this is exactly
+    /// [`try_assign`](Self::try_assign).
+    pub fn try_assign_states(
+        &self,
+        requests: &[RequestSpec],
+        states: &[ReplicaState],
+    ) -> Result<Vec<usize>, RouterError> {
+        let admissible: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.accepts_work())
+            .map(|(i, _)| i)
+            .collect();
+        if admissible.is_empty() {
+            return Err(RouterError::NoReplicas);
+        }
+        let within = self.try_assign(requests, admissible.len())?;
+        Ok(within.into_iter().map(|i| admissible[i]).collect())
     }
 
     /// Assigns each request of `requests` (in order) to one of
@@ -149,6 +177,46 @@ mod tests {
             RouterError::NoReplicas.to_string(),
             "at least one replica is required"
         );
+    }
+
+    #[test]
+    fn try_assign_states_skips_warming_and_draining() {
+        // Regression for the elastic control plane: fleet [Up, Warming,
+        // Draining, Up] routes only over replicas 0 and 3.
+        let states = [
+            ReplicaState::Up,
+            ReplicaState::Warming,
+            ReplicaState::Draining,
+            ReplicaState::Up,
+        ];
+        let reqs: Vec<RequestSpec> = (0..6).map(|i| spec(i, 100)).collect();
+        for r in [Router::RoundRobin, Router::LeastWork] {
+            let targets = r.try_assign_states(&reqs, &states).unwrap();
+            assert!(
+                targets.iter().all(|t| *t == 0 || *t == 3),
+                "{r:?} routed to a non-serving replica: {targets:?}"
+            );
+        }
+        assert_eq!(
+            Router::RoundRobin
+                .try_assign_states(&reqs, &states)
+                .unwrap(),
+            vec![0, 3, 0, 3, 0, 3]
+        );
+        // No replica accepting work is the same typed error as an empty
+        // fleet.
+        assert_eq!(
+            Router::RoundRobin.try_assign_states(&reqs, &[ReplicaState::Draining]),
+            Err(RouterError::NoReplicas)
+        );
+        // An all-serving fleet matches plain try_assign exactly.
+        let all_up = [ReplicaState::Up; 3];
+        for r in [Router::RoundRobin, Router::LeastWork] {
+            assert_eq!(
+                r.try_assign_states(&reqs, &all_up).unwrap(),
+                r.try_assign(&reqs, 3).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! paper-scale windows.
 
 use qoserve_cluster::{
-    run_shared, run_shared_faulty, BreakerConfig, ClusterConfig, FaultPlan, FaultRunStats,
+    generate_scale_schedule, run_shared, run_shared_elastic, run_shared_faulty, BreakerConfig,
+    ClusterConfig, ElasticPlan, FaultPlan, FaultRunStats, LifecycleConfig, ScaleChurnConfig,
     SchedulerSpec,
 };
 use qoserve_metrics::{RecoveryReport, RequestOutcome, SloReport};
@@ -270,6 +271,123 @@ fn fault_sweep_cell(
     }
 }
 
+/// Fixed setup of a chaos sweep: the fault-sweep setup plus the elastic
+/// control plane's churn process and lifecycle timing. The sweep varies
+/// fault intensity with a seed-derived scale-event schedule running
+/// alongside — crashes, stragglers, and membership changes compose.
+#[derive(Debug, Clone)]
+pub struct ChaosSweepSetup {
+    /// Workload, fleet, and fault-plan configuration.
+    pub base: FaultSweepSetup,
+    /// Scale-churn process generating the Add/Drain schedule.
+    pub churn: ScaleChurnConfig,
+    /// Replica lifecycle timing (provision, warm-up, drain grace).
+    pub lifecycle: LifecycleConfig,
+    /// Slot ceiling the fleet may grow to.
+    pub max_replicas: u32,
+}
+
+/// One point of a chaos sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosSweepPoint {
+    /// Scheme label.
+    pub scheme: String,
+    /// Fault-rate multiplier applied to the base plan.
+    pub intensity: f64,
+    /// Violation/latency report of the run.
+    pub report: SloReport,
+    /// Per-tier recovery accounting.
+    pub recovery: RecoveryReport,
+    /// Aggregate crash/retry/shed/scale counters.
+    pub stats: FaultRunStats,
+    /// Provisioned replica-microseconds over the run.
+    pub replica_us: u64,
+    /// Scale events the churn schedule drew.
+    pub scale_events: usize,
+    /// Raw outcomes (for custom breakdowns).
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+/// Runs every `(intensity, scheme)` combination of a chaos sweep —
+/// faults *and* seed-derived scale churn on the elastic runner —
+/// intensity-major / scheme-minor. Grid cells are independent seeded
+/// simulations on [`par_map`] threads, bit-identical to
+/// [`chaos_sweep_serial`] at any thread count.
+pub fn chaos_sweep(
+    setup: &ChaosSweepSetup,
+    schemes: &[SchedulerSpec],
+    intensities: &[f64],
+) -> Vec<ChaosSweepPoint> {
+    let (trace, threshold) = fault_sweep_trace(&setup.base);
+    let grid: Vec<(usize, usize)> = (0..intensities.len())
+        .flat_map(|ii| (0..schemes.len()).map(move |si| (ii, si)))
+        .collect();
+    par_map(grid, |_, (ii, si)| {
+        chaos_cell(setup, &trace, threshold, intensities[ii], &schemes[si])
+    })
+}
+
+/// The single-threaded chaos sweep, kept as the reference implementation
+/// that [`chaos_sweep`] must match bit-for-bit.
+pub fn chaos_sweep_serial(
+    setup: &ChaosSweepSetup,
+    schemes: &[SchedulerSpec],
+    intensities: &[f64],
+) -> Vec<ChaosSweepPoint> {
+    let (trace, threshold) = fault_sweep_trace(&setup.base);
+    let mut points = Vec::new();
+    for &intensity in intensities {
+        for scheme in schemes {
+            points.push(chaos_cell(setup, &trace, threshold, intensity, scheme));
+        }
+    }
+    points
+}
+
+fn chaos_cell(
+    setup: &ChaosSweepSetup,
+    trace: &Trace,
+    threshold: u32,
+    intensity: f64,
+    scheme: &SchedulerSpec,
+) -> ChaosSweepPoint {
+    let config = ClusterConfig::new(setup.base.hardware.clone());
+    let plan = setup.base.plan.scaled(intensity);
+    let seeds = SeedStream::new(setup.base.seed);
+    // The schedule derives from its own label ("scale-churn") of the same
+    // root stream the runner uses, so every cell rebuilds it identically.
+    let schedule = generate_scale_schedule(&setup.churn, setup.base.window, &seeds);
+    let scale_events = schedule.len();
+    let elastic = ElasticPlan {
+        lifecycle: setup.lifecycle,
+        max_replicas: setup.max_replicas,
+        schedule,
+        autoscale: None,
+    };
+    let result = run_shared_elastic(
+        trace,
+        setup.base.replicas,
+        scheme,
+        &config,
+        &plan,
+        &elastic,
+        &seeds,
+    )
+    .unwrap_or_default();
+    let report = SloReport::compute(&result.outcomes, threshold);
+    let recovery = RecoveryReport::compute(&result.outcomes);
+    ChaosSweepPoint {
+        scheme: scheme.label(),
+        intensity,
+        report,
+        recovery,
+        stats: result.stats,
+        replica_us: result.replica_us,
+        scale_events,
+        outcomes: result.outcomes,
+    }
+}
+
 /// One end-to-end serving pipeline of the resilience sweep: a scheduler
 /// spec (which may carry adaptive margins and an admission gate) plus
 /// whether the recovery loop runs per-replica circuit breakers.
@@ -438,6 +556,81 @@ mod tests {
         let n = points[0].outcomes.len();
         assert!(n > 0);
         assert!(points.iter().all(|p| p.outcomes.len() == n));
+    }
+
+    #[test]
+    fn chaos_sweep_with_zero_churn_matches_fault_sweep() {
+        let base = FaultSweepSetup {
+            dataset: Dataset::azure_conv(),
+            hardware: HardwareConfig::llama3_8b_a100_tp1(),
+            replicas: 2,
+            qps: 3.0,
+            window: SimDuration::from_secs(40),
+            mix: TierMix::paper_equal(),
+            low_priority_fraction: 0.2,
+            plan: FaultPlan::with_faults(qoserve_sim::FaultConfig::moderate().scaled(2.0)),
+            seed: 9,
+        };
+        let schemes = [SchedulerSpec::qoserve()];
+        let faulty = fault_sweep(&base, &schemes, &[1.0]);
+        let setup = ChaosSweepSetup {
+            base,
+            churn: ScaleChurnConfig {
+                events_per_hour: 0.0,
+                max_events: 0,
+            },
+            lifecycle: LifecycleConfig::default(),
+            max_replicas: 4,
+        };
+        let chaos = chaos_sweep(&setup, &schemes, &[1.0]);
+        assert_eq!(chaos.len(), 1);
+        assert_eq!(chaos[0].scale_events, 0);
+        // Zero churn: the elastic runner degenerates to the fault path,
+        // bit for bit, even with idle headroom slots.
+        assert_eq!(chaos[0].outcomes, faulty[0].outcomes);
+        assert_eq!(chaos[0].stats, faulty[0].stats);
+        assert!(chaos[0].replica_us > 0);
+    }
+
+    #[test]
+    fn chaos_sweep_with_churn_is_deterministic_and_conserves() {
+        let setup = ChaosSweepSetup {
+            base: FaultSweepSetup {
+                dataset: Dataset::azure_conv(),
+                hardware: HardwareConfig::llama3_8b_a100_tp1(),
+                replicas: 2,
+                qps: 4.0,
+                window: SimDuration::from_secs(60),
+                mix: TierMix::paper_equal(),
+                low_priority_fraction: 0.2,
+                plan: FaultPlan::with_faults(qoserve_sim::FaultConfig::moderate()),
+                seed: 11,
+            },
+            churn: ScaleChurnConfig {
+                events_per_hour: 240.0,
+                max_events: 8,
+            },
+            lifecycle: LifecycleConfig {
+                provision_delay: SimDuration::from_secs(2),
+                warmup: SimDuration::from_secs(3),
+                drain_grace: SimDuration::from_secs(5),
+            },
+            max_replicas: 4,
+        };
+        let schemes = [SchedulerSpec::qoserve()];
+        let a = chaos_sweep(&setup, &schemes, &[0.0, 2.0]);
+        let b = chaos_sweep_serial(&setup, &schemes, &[0.0, 2.0]);
+        assert_eq!(a.len(), 2);
+        assert!(a[0].scale_events > 0, "240/h over 60s should draw events");
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.outcomes, pb.outcomes, "parallel == serial");
+            assert_eq!(pa.stats, pb.stats);
+            assert_eq!(pa.replica_us, pb.replica_us);
+        }
+        // Every cell accounts the full trace despite the churn.
+        let n = a[0].outcomes.len();
+        assert!(n > 0);
+        assert!(a.iter().all(|p| p.outcomes.len() == n));
     }
 
     #[test]

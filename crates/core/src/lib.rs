@@ -60,10 +60,14 @@ pub mod prelude {
     pub use crate::server::{QoServe, QoServeBuilder, Request, RunReport};
 
     pub use qoserve_cluster::{
-        max_goodput, min_replicas_for, pick_target, run_shared, run_shared_faulty,
-        run_shared_faulty_lockstep, run_shared_faulty_traced, run_shared_traced, run_siloed,
-        BreakerConfig, BreakerState, CircuitBreaker, ClusterConfig, FaultPlan, FaultRunResult,
-        FaultRunStats, GoodputOptions, PickedTarget, Router, RouterError, SchedulerSpec, SiloGroup,
+        drain_victim, generate_scale_schedule, max_goodput, min_replicas_for, pick_target,
+        run_shared, run_shared_elastic, run_shared_elastic_lockstep, run_shared_elastic_traced,
+        run_shared_faulty, run_shared_faulty_lockstep, run_shared_faulty_traced, run_shared_traced,
+        run_siloed, AutoscaleConfig, AutoscaleController, AutoscaleDecision, BreakerConfig,
+        BreakerState, CircuitBreaker, ClusterConfig, ControlObservation, DrainCandidate,
+        ElasticPlan, ElasticRunResult, FaultPlan, FaultRunResult, FaultRunStats, FleetRouter,
+        GoodputOptions, LifecycleConfig, PickedTarget, Router, RouterError, ScaleAction,
+        ScaleChurnConfig, ScaleEvent, SchedulerSpec, SiloGroup,
     };
     pub use qoserve_engine::{
         HealthSnapshot, ReplicaConfig, ReplicaEngine, ReplicaState, HEALTH_WINDOW,

@@ -23,20 +23,44 @@ use crate::health::{HealthRing, HealthSample, HealthSnapshot};
 use crate::kv::KvCache;
 use crate::noise::ExecutionNoise;
 
-/// Availability of a replica, as the paper's recovery story needs it:
-/// `Up → Degraded → Down → Restarting` (the engine itself reports the
-/// first three; `Restarting` is the cluster layer's view of a crashed
-/// replica waiting out its downtime before a fresh generation starts).
+/// Availability of a replica, covering both the recovery story
+/// (`Up → Degraded → Down → Restarting`) and the elastic control plane's
+/// lifecycle (`Provisioning → Warming → Up → Draining → Down`). The
+/// engine itself reports `Up`/`Degraded`/`Down`/`Draining`;
+/// `Restarting`, `Provisioning`, and `Warming` are the cluster layer's
+/// view of replicas that have no live engine generation yet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplicaState {
+    /// Scale-up decided; the instance is being allocated (model weights
+    /// not loaded yet). Accepts no work.
+    Provisioning,
+    /// Model load / cache warm-up in progress. Accepts no work.
+    Warming,
     /// Serving normally.
     Up,
     /// Serving inside a straggler/drift window (latency inflated).
     Degraded,
-    /// Crashed: in-flight and queued work must be re-dispatched.
+    /// Graceful drain: admission stopped, running decodes finishing to a
+    /// deadline. Accepts no *new* work.
+    Draining,
+    /// Crashed (in-flight and queued work must be re-dispatched), or
+    /// scaled down / never provisioned.
     Down,
     /// Waiting out the post-crash downtime before restarting empty.
     Restarting,
+}
+
+impl ReplicaState {
+    /// Whether a router/dispatcher may send *new* work to a replica in
+    /// this state. `Restarting` counts: the crash downtime is modelled by
+    /// the fault schedule's up-set, and re-dispatch to a restarting slot
+    /// is exactly how orphans revive it.
+    pub fn accepts_work(&self) -> bool {
+        matches!(
+            self,
+            ReplicaState::Up | ReplicaState::Degraded | ReplicaState::Restarting
+        )
+    }
 }
 
 /// A request stranded by a replica crash, surfaced to the cluster layer
@@ -232,6 +256,7 @@ impl Running {
             disposition: qoserve_metrics::Disposition::Completed,
             retries: 0,
             reprefill_tokens: 0,
+            drain_migrations: 0,
         }
     }
 }
@@ -295,6 +320,11 @@ pub struct ReplicaEngine {
     /// Set once the configured crash time is reached; the engine refuses
     /// further work and the cluster layer collects orphans.
     crashed: bool,
+    /// Graceful-drain deadline. While set, the scheduler's constraints
+    /// pin `max_new_requests` to zero (admitted work keeps chunking, new
+    /// work is never admitted) and the engine halts once the running set
+    /// empties or the deadline passes.
+    draining: Option<SimTime>,
     /// Iterations executed inside a straggler/drift slowdown window.
     degraded_iterations: u64,
     /// Rolling per-iteration health samples backing [`health`](Self::health).
@@ -331,6 +361,7 @@ impl ReplicaEngine {
             batch_log: Vec::new(),
             stall_streak: 0,
             crashed: false,
+            draining: None,
             degraded_iterations: 0,
             health: HealthRing::new(),
             tracer: Tracer::disabled(),
@@ -429,6 +460,15 @@ impl ReplicaEngine {
                 return false;
             }
         }
+        // Drain halt: once everything admitted has completed (or the
+        // grace deadline passed with work still in flight), the engine
+        // stops and the cluster layer hands the rest over via
+        // [`take_orphans`](Self::take_orphans).
+        if let Some(deadline) = self.draining {
+            if self.running.is_empty() || self.now >= deadline {
+                return false;
+            }
+        }
         // Safety net: a scheduler bug that never makes progress would
         // otherwise spin forever.
         if self.stall_streak > 10_000 {
@@ -477,7 +517,14 @@ impl ReplicaEngine {
         let constraints = Constraints {
             kv_headroom_tokens: self.kv.headroom(),
             allow_prefill: total_running < self.config.max_decode_batch,
-            max_new_requests: self.config.max_decode_batch.saturating_sub(total_running),
+            // Draining stops *admission* only: every scheduler gates fresh
+            // jobs on `max_new_requests` but keeps chunking jobs it
+            // already admitted, so running prefills still finish.
+            max_new_requests: if self.draining.is_some() {
+                0
+            } else {
+                self.config.max_decode_batch.saturating_sub(total_running)
+            },
         };
         let plan = self
             .scheduler
@@ -721,17 +768,49 @@ impl ReplicaEngine {
         self.crashed
     }
 
-    /// Current availability: `Down` after the crash fires, `Degraded`
-    /// inside an active slowdown window, `Up` otherwise. (`Restarting` is
-    /// reported by the cluster layer, which owns the downtime clock.)
+    /// Current availability: `Down` after the crash fires, `Draining`
+    /// while a graceful drain is in progress, `Degraded` inside an active
+    /// slowdown window, `Up` otherwise. (`Restarting`, `Provisioning`,
+    /// and `Warming` are reported by the cluster layer, which owns those
+    /// clocks.)
     pub fn state(&self) -> ReplicaState {
         if self.crashed {
             ReplicaState::Down
+        } else if self.draining.is_some() {
+            ReplicaState::Draining
         } else if self.config.faults.slowdown_at(self.now) > 1.0 {
             ReplicaState::Degraded
         } else {
             ReplicaState::Up
         }
+    }
+
+    /// Starts a graceful drain: admission stops immediately, running work
+    /// keeps executing until it completes or `deadline` passes, and the
+    /// engine then halts (without [`crashed`](Self::crashed)) so the
+    /// cluster layer can migrate the leftovers via
+    /// [`take_orphans`](Self::take_orphans).
+    pub fn begin_drain(&mut self, deadline: SimTime) {
+        self.draining = Some(deadline);
+    }
+
+    /// Whether a graceful drain is in progress.
+    pub fn draining(&self) -> bool {
+        self.draining.is_some()
+    }
+
+    /// Removes and returns every request still sitting in the arrival
+    /// queue (undelivered), in delivery order. The elastic dispatcher
+    /// calls this when fleet membership first changes: statically
+    /// pre-assigned future arrivals are recalled and re-routed over the
+    /// live membership instead. Requests the scheduler already owns are
+    /// untouched.
+    pub fn take_unarrived(&mut self) -> Vec<RequestSpec> {
+        let mut recalled = Vec::new();
+        while let Some((_, _, spec)) = self.arrivals.pop() {
+            recalled.push(spec);
+        }
+        recalled
     }
 
     /// Whether any work remains (queued arrivals, in-flight requests, or
@@ -1002,6 +1081,111 @@ mod tests {
         assert_eq!(snap.score(), 1.0);
         assert_eq!(snap.queue_tokens, 0);
         assert_eq!(snap.pending_prefills, 0);
+    }
+
+    #[test]
+    fn drain_stops_admission_but_finishes_running_work() {
+        let mut e = engine_with(base_config());
+        // Two early requests get admitted; the late ones are still queued
+        // or unarrived when the drain begins.
+        for i in 0..2 {
+            e.submit(spec(i, 0, 1_200, 40));
+        }
+        for i in 2..6 {
+            e.submit(spec(i, 5_000 + i * 10, 1_200, 40));
+        }
+        for _ in 0..3 {
+            assert!(e.step());
+        }
+        e.begin_drain(SimTime::from_secs(600));
+        assert_eq!(e.state(), ReplicaState::Draining);
+        assert!(e.draining());
+        while e.step() {}
+        assert!(!e.crashed());
+
+        let orphans = e.take_orphans();
+        let outcomes = e.take_outcomes();
+        assert!(
+            outcomes.iter().any(|o| o.finished()),
+            "admitted work must run to completion under drain"
+        );
+        assert!(
+            orphans.iter().all(|j| j.prefill_done == 0),
+            "with a generous deadline only never-admitted work is handed over"
+        );
+        let mut seen: Vec<u64> = outcomes
+            .iter()
+            .map(|o| o.spec.id.0)
+            .chain(orphans.iter().map(|j| j.spec.id.0))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..6).collect::<Vec<u64>>(),
+            "drain conserves requests"
+        );
+    }
+
+    #[test]
+    fn drain_deadline_cuts_running_work_loose() {
+        let mut e = engine_with(base_config());
+        for i in 0..8 {
+            e.submit(spec(i, 0, 4_000, 4_000));
+        }
+        for _ in 0..3 {
+            assert!(e.step());
+        }
+        let deadline = e.now() + SimDuration::from_millis(50);
+        e.begin_drain(deadline);
+        while e.step() {}
+        assert!(e.now() >= deadline, "halt must come from the deadline");
+        let orphans = e.take_orphans();
+        assert!(
+            !orphans.is_empty(),
+            "a 50 ms deadline cannot finish 4k-token decodes"
+        );
+    }
+
+    #[test]
+    fn drain_on_idle_engine_halts_immediately() {
+        let mut e = engine_with(base_config());
+        e.begin_drain(SimTime::from_secs(1));
+        assert!(!e.step());
+        assert!(!e.crashed());
+        assert_eq!(e.state(), ReplicaState::Draining);
+    }
+
+    #[test]
+    fn take_unarrived_recalls_only_queue_residents() {
+        let mut e = engine_with(base_config());
+        e.submit(spec(0, 0, 800, 20));
+        e.submit(spec(1, 60_000, 800, 20));
+        e.submit(spec(2, 90_000, 800, 20));
+        // Deliver the first arrival (and admit it), leaving two queued.
+        for _ in 0..2 {
+            assert!(e.step());
+        }
+        let recalled = e.take_unarrived();
+        let ids: Vec<u64> = recalled.iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+        let outcomes = e.run();
+        assert_eq!(outcomes.len(), 1, "the delivered request still finishes");
+        assert!(outcomes[0].finished());
+    }
+
+    #[test]
+    fn accepts_work_matches_lifecycle_contract() {
+        for (state, accepts) in [
+            (ReplicaState::Provisioning, false),
+            (ReplicaState::Warming, false),
+            (ReplicaState::Up, true),
+            (ReplicaState::Degraded, true),
+            (ReplicaState::Draining, false),
+            (ReplicaState::Down, false),
+            (ReplicaState::Restarting, true),
+        ] {
+            assert_eq!(state.accepts_work(), accepts, "{state:?}");
+        }
     }
 
     #[test]

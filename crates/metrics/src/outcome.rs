@@ -60,6 +60,11 @@ pub struct RequestOutcome {
     /// prefilled again (the re-prefill cost of recovery).
     #[serde(default)]
     pub reprefill_tokens: u64,
+    /// Times the request was migrated off a gracefully draining replica
+    /// (a subset of `retries` counted separately: a drain migration is a
+    /// planned handoff, not a crash).
+    #[serde(default)]
+    pub drain_migrations: u32,
 }
 
 impl RequestOutcome {
@@ -83,6 +88,7 @@ impl RequestOutcome {
             disposition,
             retries: 0,
             reprefill_tokens: 0,
+            drain_migrations: 0,
         }
     }
 
@@ -193,6 +199,7 @@ mod tests {
             disposition: Disposition::Completed,
             retries: 0,
             reprefill_tokens: 0,
+            drain_migrations: 0,
         }
     }
 
@@ -293,6 +300,7 @@ mod tests {
         map.remove("disposition");
         map.remove("retries");
         map.remove("reprefill_tokens");
+        map.remove("drain_migrations");
         let back: RequestOutcome = serde_json::from_value(v).unwrap();
         assert_eq!(back, o);
     }

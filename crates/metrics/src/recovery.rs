@@ -41,6 +41,10 @@ pub struct RecoveryCounts {
     /// Prompt tokens prefilled again after their KV state died with a
     /// replica.
     pub reprefill_tokens: u64,
+    /// Migrations off gracefully draining replicas (planned handoffs,
+    /// counted separately from crash retries).
+    #[serde(default)]
+    pub drain_migrated: u64,
 }
 
 impl RecoveryCounts {
@@ -63,6 +67,7 @@ impl RecoveryCounts {
         }
         self.retries += o.retries as u64;
         self.reprefill_tokens += o.reprefill_tokens;
+        self.drain_migrated += o.drain_migrations as u64;
     }
 
     /// Fraction of the slice that completed, in `[0, 1]`.
@@ -131,6 +136,7 @@ mod tests {
             disposition: Disposition::Completed,
             retries,
             reprefill_tokens: retries as u64 * 100,
+            drain_migrations: 0,
         }
     }
 
@@ -212,5 +218,26 @@ mod tests {
         assert_eq!(back, r);
         assert_eq!(back.tier(q2.id).shed, 1);
         assert_eq!(back.overall.reprefill_tokens, 200);
+    }
+
+    #[test]
+    fn drain_migrations_tally_and_old_records_default() {
+        let q1 = QosTier::paper_q1();
+        let mut migrated = completed(0, q1, false, 1);
+        migrated.drain_migrations = 1;
+        let r = RecoveryReport::compute(&[migrated, completed(1, q1, false, 0)]);
+        assert_eq!(r.overall.drain_migrated, 1);
+        assert_eq!(r.tier(q1.id).drain_migrated, 1);
+        // Reports serialized before the field existed still deserialize.
+        let mut v = serde_json::to_value(&r).unwrap();
+        v.as_object_mut()
+            .unwrap()
+            .get_mut("overall")
+            .unwrap()
+            .as_object_mut()
+            .unwrap()
+            .remove("drain_migrated");
+        let back: RecoveryReport = serde_json::from_value(v).unwrap();
+        assert_eq!(back.overall.drain_migrated, 0);
     }
 }

@@ -228,6 +228,7 @@ mod tests {
             disposition: Disposition::Completed,
             retries: 0,
             reprefill_tokens: 0,
+            drain_migrations: 0,
         }
     }
 

@@ -41,6 +41,16 @@ pub enum FaultKind {
     Slowdown,
 }
 
+/// Which way a scale decision moved the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ScaleDirection {
+    /// Provision a new replica.
+    Up,
+    /// Drain and retire a replica.
+    Down,
+}
+
 /// One decision or lifecycle event. `Copy` by construction — no payload
 /// allocates, so ring capture is allocation-free after warm-up.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -137,6 +147,36 @@ pub enum TraceEvent {
         /// 1-based re-dispatch attempt.
         attempt: u32,
     },
+    /// The elastic control plane changed the provisioned fleet size
+    /// (stamped on the replica being added or drained).
+    ScaleDecision {
+        /// Up (provision) or down (drain).
+        direction: ScaleDirection,
+        /// Provisioned replicas before the decision.
+        fleet_before: u32,
+        /// Provisioned replicas after the decision.
+        fleet_after: u32,
+    },
+    /// A graceful drain began: admission stopped on this replica.
+    DrainStarted {
+        /// Absolute deadline by which running work must finish.
+        deadline_us: u64,
+    },
+    /// A graceful drain finished; unfinished work was handed to the
+    /// orphan re-dispatch path.
+    DrainFinished {
+        /// Requests migrated off the replica.
+        migrated: u32,
+        /// Whether the deadline fired with work still running (KV state
+        /// of in-flight requests was discarded, costing re-prefill).
+        deadline_hit: bool,
+    },
+    /// A provisioned replica finished model-load warm-up and joined the
+    /// serving set.
+    WarmupComplete {
+        /// Provision + warm-up time spent before the first request.
+        warmup_us: u64,
+    },
     /// One engine iteration ran (stamped at the iteration's *start*).
     IterationExecuted {
         /// Total scheduled tokens (prefill chunk + decodes).
@@ -165,6 +205,10 @@ impl TraceEvent {
             TraceEvent::MarginAdjusted { .. } => "margin_adjusted",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::OrphanRedispatched { .. } => "orphan_redispatched",
+            TraceEvent::ScaleDecision { .. } => "scale_decision",
+            TraceEvent::DrainStarted { .. } => "drain_started",
+            TraceEvent::DrainFinished { .. } => "drain_finished",
+            TraceEvent::WarmupComplete { .. } => "warmup_complete",
             TraceEvent::IterationExecuted { .. } => "iteration_executed",
         }
     }
@@ -273,6 +317,33 @@ mod tests {
                     to: BreakerPhase::Open,
                 },
                 "breaker_transition",
+            ),
+            (
+                TraceEvent::ScaleDecision {
+                    direction: ScaleDirection::Up,
+                    fleet_before: 2,
+                    fleet_after: 3,
+                },
+                "scale_decision",
+            ),
+            (
+                TraceEvent::DrainStarted {
+                    deadline_us: 30_000_000,
+                },
+                "drain_started",
+            ),
+            (
+                TraceEvent::DrainFinished {
+                    migrated: 4,
+                    deadline_hit: true,
+                },
+                "drain_finished",
+            ),
+            (
+                TraceEvent::WarmupComplete {
+                    warmup_us: 30_000_000,
+                },
+                "warmup_complete",
             ),
         ] {
             assert_eq!(event.name(), name);

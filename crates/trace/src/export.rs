@@ -164,7 +164,11 @@ fn chrome_event(r: &TraceRecord) -> Value {
         | TraceEvent::BreakerTransition { .. }
         | TraceEvent::MarginAdjusted { .. }
         | TraceEvent::FaultInjected { .. }
-        | TraceEvent::OrphanRedispatched { .. } => json!({
+        | TraceEvent::OrphanRedispatched { .. }
+        | TraceEvent::ScaleDecision { .. }
+        | TraceEvent::DrainStarted { .. }
+        | TraceEvent::DrainFinished { .. }
+        | TraceEvent::WarmupComplete { .. } => json!({
             "ph": "i",
             "s": "t",
             "name": r.event.name(),

@@ -39,8 +39,8 @@ pub mod sink;
 pub mod tracer;
 
 pub use event::{
-    canonical_sort, BreakerPhase, FaultKind, RelegationReason, TraceEvent, TraceRecord,
-    RELEGATED_TIER,
+    canonical_sort, BreakerPhase, FaultKind, RelegationReason, ScaleDirection, TraceEvent,
+    TraceRecord, RELEGATED_TIER,
 };
 pub use export::{from_jsonl, to_chrome_trace, to_jsonl, ParsedTrace};
 pub use sink::{NullSink, RingSink, TraceSink, VecSink};
