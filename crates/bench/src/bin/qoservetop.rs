@@ -1,0 +1,121 @@
+//! Terminal dashboard over a `qoserve-stats` snapshot stream.
+//!
+//! Two modes, both consuming the JSONL written by `stats_capture` (or
+//! any `stream_to_jsonl` producer):
+//!
+//! * `--replay <file>` — step through every observation boundary,
+//!   composing the delta prefix at each and rendering one dashboard
+//!   frame per boundary. Pure plain text, no terminal control: the
+//!   output is a deterministic function of the stream bytes, so CI can
+//!   smoke it and humans can pipe it through a pager.
+//! * `--follow <file>` — poll the file for growth and redraw the latest
+//!   frame in place (ANSI clear), live-tailing a run in progress. Exits
+//!   once the final full snapshot lands.
+//!
+//! Neither mode re-runs the simulation: every view (per-tier SLO
+//! attainment, fleet lifecycle strip, worst-offender replicas,
+//! violation-cause sparklines) folds out of the captured deltas alone.
+
+use std::fs;
+use std::time::Duration;
+
+use qoserve_bench::top;
+use qoserve_stats::{compose, stream_from_jsonl, SnapshotStream};
+
+const USAGE: &str = "usage: qoservetop (--replay | --follow) <stats.jsonl>";
+
+/// Poll interval while waiting for the followed file to grow.
+const FOLLOW_POLL: Duration = Duration::from_millis(500);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match args.as_slice() {
+        [mode, path] if mode == "--replay" || mode == "--follow" => (mode.as_str(), path),
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if mode == "--replay" {
+        replay(path);
+    } else {
+        follow(path);
+    }
+}
+
+/// Loads and parses the stream, exiting with a diagnostic on failure.
+fn load(path: &str) -> SnapshotStream {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match stream_from_jsonl(&text) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Renders one frame per boundary by composing each delta prefix, then
+/// cross-checks the composed cumulative against the recorded full.
+fn replay(path: &str) {
+    let stream = load(path);
+    if stream.deltas.is_empty() {
+        let Some(full) = &stream.full else {
+            eprintln!("error: {path}: empty stream (no deltas, no full snapshot)");
+            std::process::exit(1);
+        };
+        print!("{}", top::render(full));
+        return;
+    }
+    for upto in 1..=stream.deltas.len() {
+        let snapshot = compose(&stream.deltas[..upto]);
+        println!("{}", "─".repeat(72));
+        print!("{}", top::render(&snapshot));
+    }
+    if let Some(full) = &stream.full {
+        let composed = compose(&stream.deltas);
+        println!("{}", "─".repeat(72));
+        if composed == *full {
+            println!(
+                "stream check: {} deltas compose to the final full snapshot",
+                stream.deltas.len()
+            );
+        } else {
+            eprintln!("error: {path}: composed deltas diverge from the final full snapshot");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Live-tails the stream file: redraw whenever new boundaries land,
+/// finish when the producer writes the final full snapshot.
+fn follow(path: &str) {
+    let mut seen = 0usize;
+    loop {
+        // Mid-write lines (or a not-yet-created file) parse as errors;
+        // in follow mode that just means "poll again".
+        let stream = fs::read_to_string(path)
+            .ok()
+            .and_then(|text| stream_from_jsonl(&text).ok());
+        if let Some(stream) = stream {
+            if let Some(full) = &stream.full {
+                print!("\x1b[2J\x1b[H{}", top::render(full));
+                println!("(run finished — {} boundaries)", stream.deltas.len());
+                return;
+            }
+            if stream.deltas.len() > seen {
+                seen = stream.deltas.len();
+                let snapshot = compose(&stream.deltas);
+                print!("\x1b[2J\x1b[H{}", top::render(&snapshot));
+                println!("(following {path} — boundary {seen}, ctrl-c to stop)");
+            }
+        }
+        std::thread::sleep(FOLLOW_POLL);
+    }
+}

@@ -9,6 +9,7 @@
 use qoserve::prelude::*;
 
 pub mod forensics;
+pub mod top;
 
 /// Prints the standard experiment header.
 pub fn banner(id: &str, title: &str) {

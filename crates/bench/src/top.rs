@@ -1,0 +1,339 @@
+//! Pure renderer behind the `qoservetop` terminal dashboard.
+//!
+//! Every function here maps a [`StatsSnapshot`] (or a slice of one) to a
+//! `String` — no I/O, no clocks, no terminal control — so the views are
+//! unit-testable and `qoservetop --replay` output is a pure function of
+//! the snapshot stream bytes. The binary owns cursor movement and
+//! follow-mode polling; this module owns every character of content.
+
+use std::collections::BTreeMap;
+
+use qoserve_stats::{ReplicaStats, StatsSnapshot, TierStats};
+use qoserve_trace::RELEGATED_TIER;
+
+/// Glyph ramp shared by the sparklines, lowest to highest.
+const SPARK_RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Horizontal bar of `width` cells filled to `fraction` (clamped to
+/// `[0, 1]`), e.g. `#######...` at 0.7.
+pub fn bar(fraction: f64, width: usize) -> String {
+    let clamped = fraction.clamp(0.0, 1.0);
+    let filled = (clamped * width as f64).round() as usize;
+    let filled = filled.min(width);
+    let mut out = String::with_capacity(width);
+    for _ in 0..filled {
+        out.push('#');
+    }
+    for _ in filled..width {
+        out.push('.');
+    }
+    out
+}
+
+/// Sparkline over `values` scaled to their own maximum; empty input
+/// renders as an empty string, an all-zero series as all-low glyphs.
+pub fn spark(values: &[u64]) -> String {
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                SPARK_RAMP[0]
+            } else {
+                let level = (v * (SPARK_RAMP.len() as u64 - 1) + max / 2) / max;
+                SPARK_RAMP[level as usize % SPARK_RAMP.len()]
+            }
+        })
+        .collect()
+}
+
+/// Human label of a raw trace tier id.
+pub fn tier_label(tier: u8) -> String {
+    if tier == RELEGATED_TIER {
+        "best-effort".to_owned()
+    } else {
+        format!("Q{tier}")
+    }
+}
+
+/// Compact sim-time label, e.g. `83s` / `12m03s` / `2h05m`.
+pub fn fmt_time(us: u64) -> String {
+    let secs = us / 1_000_000;
+    if secs < 120 {
+        format!("{secs}s")
+    } else if secs < 7_200 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{}h{:02}m", secs / 3_600, (secs % 3_600) / 60)
+    }
+}
+
+/// One line of the per-tier attainment view: overall attainment bar,
+/// percentage, per-window sparkline, and the raw tallies.
+fn tier_line(tier: u8, t: &TierStats) -> String {
+    let total = t.completed.max(1);
+    let attainment = 1.0 - t.violated as f64 / total as f64;
+    let windows: Vec<u64> = windowed_levels(&t.attainment);
+    format!(
+        "  {:>11}  [{}] {:>5.1}%  {}  done {} viol {} releg {} rej {} unfin {}",
+        tier_label(tier),
+        bar(attainment, 20),
+        100.0 * attainment,
+        spark(&windows),
+        t.completed,
+        t.violated,
+        t.relegated,
+        t.admission_rejected,
+        t.unfinished,
+    )
+}
+
+/// Per-window *attainment* levels (0..=100) over the contiguous window
+/// range, empty windows rendered as fully attained.
+fn windowed_levels(counts: &qoserve_metrics::WindowedCounts) -> Vec<u64> {
+    let Some((&first, _)) = counts.windows.first_key_value() else {
+        return Vec::new();
+    };
+    let Some((&last, _)) = counts.windows.last_key_value() else {
+        return Vec::new();
+    };
+    (first..=last)
+        .map(|idx| match counts.windows.get(&idx) {
+            Some(w) if w.total > 0 => 100 - (100 * w.flagged / w.total),
+            _ => 100,
+        })
+        .collect()
+}
+
+/// Lifecycle glyph of one replica: `=` serving, `p` provisioning, `d`
+/// draining, `x` crashed, `~` degraded, `.` retired, `?` never observed.
+fn lifecycle_glyph(r: &ReplicaStats) -> char {
+    match r.lifecycle.as_deref() {
+        Some("serving") => '=',
+        Some("provisioning") => 'p',
+        Some("draining") => 'd',
+        Some("crashed") => 'x',
+        Some("degraded") => '~',
+        Some("retired") => '.',
+        _ => '?',
+    }
+}
+
+/// The fleet lifecycle strip plus the control-plane counters.
+fn fleet_lines(s: &StatsSnapshot) -> String {
+    let strip: String = s.frame.replicas.values().map(lifecycle_glyph).collect();
+    let fleet = &s.frame.fleet;
+    let size = fleet
+        .last_size
+        .map(|n| n.to_string())
+        .unwrap_or_else(|| "-".to_owned());
+    format!(
+        "  fleet [{strip}] size {size}  ups {} downs {} warmups {} ({}) \
+         redisp {} faults {} busy {}\n  legend: = serving  p provisioning  \
+         d draining  x crashed  ~ degraded  . retired",
+        fleet.scale_ups,
+        fleet.scale_downs,
+        fleet.warmups,
+        fmt_time(fleet.warmup_us),
+        fleet.redispatches,
+        fleet.faults,
+        fmt_time(fleet.busy_us),
+    )
+}
+
+/// The `count` worst replicas by violation count (ties to the lower id),
+/// one line each; replicas with no violations are skipped.
+fn worst_offender_lines(replicas: &BTreeMap<u32, ReplicaStats>, count: usize) -> Vec<String> {
+    let mut offenders: Vec<(u32, &ReplicaStats)> = replicas
+        .iter()
+        .filter(|(_, r)| r.violated > 0)
+        .map(|(&id, r)| (id, r))
+        .collect();
+    // BTreeMap iteration is id-ascending, so this stable sort breaks
+    // violation-count ties toward the lower replica id.
+    offenders.sort_by_key(|&(_, r)| std::cmp::Reverse(r.violated));
+    offenders
+        .into_iter()
+        .take(count)
+        .map(|(id, r)| {
+            let queue = r
+                .queue_depth
+                .mean_series()
+                .points
+                .iter()
+                .map(|&(_, m)| m)
+                .fold(0.0f64, f64::max);
+            format!(
+                "  r{id:<3} viol {:>5}  done {:>6}  crashes {}  qmax {:.1}  drops {}",
+                r.violated, r.completed, r.crashes, queue, r.dropped
+            )
+        })
+        .collect()
+}
+
+/// One sparkline per violation-cause label (the forensics taxonomy),
+/// scaled per cause over the contiguous window range.
+fn cause_lines(s: &StatsSnapshot) -> Vec<String> {
+    s.frame
+        .cause_windows
+        .iter()
+        .map(|(label, windows)| {
+            let levels: Vec<u64> = contiguous_totals(windows);
+            let total = s.frame.causes.get(label).copied().unwrap_or(0);
+            format!("  {label:>15} {:>5}  {}", total, spark(&levels))
+        })
+        .collect()
+}
+
+/// Per-window totals over the contiguous window range (empty windows as
+/// zero), so sparklines keep their time axis.
+fn contiguous_totals(counts: &qoserve_metrics::WindowedCounts) -> Vec<u64> {
+    let Some((&first, _)) = counts.windows.first_key_value() else {
+        return Vec::new();
+    };
+    let Some((&last, _)) = counts.windows.last_key_value() else {
+        return Vec::new();
+    };
+    (first..=last)
+        .map(|idx| counts.windows.get(&idx).map(|w| w.total).unwrap_or(0))
+        .collect()
+}
+
+/// Renders one full dashboard frame from a cumulative snapshot.
+pub fn render(s: &StatsSnapshot) -> String {
+    let mut out = String::with_capacity(2_048);
+    out.push_str(&format!(
+        "qoservetop — sim {}  boundary #{}  {} events  {} evicted\n",
+        fmt_time(s.upto_us),
+        s.seq,
+        s.frame.events,
+        s.frame.dropped,
+    ));
+    out.push_str("\nSLO attainment by tier (bar: cumulative, spark: per window)\n");
+    if s.frame.tiers.is_empty() {
+        out.push_str("  (no completions yet)\n");
+    }
+    for (&tier, t) in &s.frame.tiers {
+        out.push_str(&tier_line(tier, t));
+        out.push('\n');
+    }
+    out.push_str("\nfleet\n");
+    out.push_str(&fleet_lines(s));
+    out.push('\n');
+    let offenders = worst_offender_lines(&s.frame.replicas, 5);
+    if !offenders.is_empty() {
+        out.push_str("\nworst offenders (by SLO violations)\n");
+        for line in offenders {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    let causes = cause_lines(s);
+    if !causes.is_empty() {
+        out.push_str("\nviolation causes (per window)\n");
+        for line in causes {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoserve_metrics::WindowedCounts;
+
+    fn snapshot() -> StatsSnapshot {
+        let mut s = StatsSnapshot {
+            version: qoserve_stats::SNAPSHOT_SCHEMA_VERSION,
+            seq: 3,
+            upto_us: 180_000_000,
+            ..StatsSnapshot::default()
+        };
+        let t = s.frame.tiers.entry(1).or_default();
+        t.completed = 90;
+        t.violated = 9;
+        t.attainment = WindowedCounts::new(60_000_000);
+        t.attainment.record(5_000_000, false);
+        t.attainment.record(65_000_000, true);
+        let r = s.frame.replicas.entry(0).or_default();
+        r.completed = 90;
+        r.violated = 9;
+        r.lifecycle = Some("serving".to_owned());
+        let r1 = s.frame.replicas.entry(1).or_default();
+        r1.lifecycle = Some("draining".to_owned());
+        s.frame.fleet.last_size = Some(2);
+        s.frame.fleet.scale_ups = 1;
+        *s.frame
+            .causes
+            .entry("queueing-delay".to_owned())
+            .or_insert(0) = 9;
+        let w = s
+            .frame
+            .cause_windows
+            .entry("queueing-delay".to_owned())
+            .or_insert_with(|| WindowedCounts::new(60_000_000));
+        for _ in 0..9 {
+            w.record(65_000_000, false);
+        }
+        s.frame.events = 250;
+        s
+    }
+
+    #[test]
+    fn bar_and_spark_shapes() {
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(-1.0, 4), "....");
+        assert_eq!(bar(2.0, 4), "####");
+        assert_eq!(spark(&[]), "");
+        assert_eq!(spark(&[0, 0]), "▁▁");
+        let s = spark(&[0, 5, 10]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn time_and_tier_labels() {
+        assert_eq!(fmt_time(83_000_000), "83s");
+        assert_eq!(fmt_time(723_000_000), "12m03s");
+        assert_eq!(fmt_time(7_500_000_000), "2h05m");
+        assert_eq!(tier_label(2), "Q2");
+        assert_eq!(tier_label(RELEGATED_TIER), "best-effort");
+    }
+
+    #[test]
+    fn render_covers_every_view() {
+        let text = render(&snapshot());
+        assert!(text.contains("boundary #3"), "{text}");
+        assert!(text.contains("Q1"), "{text}");
+        assert!(text.contains("90.0%"), "tier attainment\n{text}");
+        assert!(
+            text.contains("fleet [=d] size 2"),
+            "lifecycle strip\n{text}"
+        );
+        assert!(text.contains("r0"), "worst offender\n{text}");
+        assert!(text.contains("queueing-delay"), "cause view\n{text}");
+        // Deterministic: same snapshot, same bytes.
+        assert_eq!(text, render(&snapshot()));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_panicking() {
+        let text = render(&StatsSnapshot::default());
+        assert!(text.contains("no completions yet"), "{text}");
+    }
+
+    #[test]
+    fn worst_offenders_rank_by_violations_with_id_ties() {
+        let mut replicas: BTreeMap<u32, ReplicaStats> = BTreeMap::new();
+        for (id, violated) in [(0u32, 3u64), (1, 7), (2, 7), (3, 0)] {
+            let r = replicas.entry(id).or_default();
+            r.violated = violated;
+        }
+        let lines = worst_offender_lines(&replicas, 2);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("r1"), "{lines:?}");
+        assert!(lines[1].contains("r2"), "{lines:?}");
+    }
+}

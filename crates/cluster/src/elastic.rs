@@ -43,7 +43,7 @@ use qoserve_metrics::{Disposition, RequestOutcome};
 use qoserve_sim::faults::FaultSchedule;
 use qoserve_sim::nums;
 use qoserve_sim::{SeedStream, SimDuration, SimTime};
-use qoserve_trace::{FaultKind, ScaleDirection, TraceEvent, Tracer};
+use qoserve_trace::{ControlObserver, FaultKind, ScaleDirection, TraceEvent, Tracer};
 use qoserve_workload::{Priority, RequestId, RequestSpec, Trace};
 
 use crate::autoscale::{AutoscaleController, AutoscaleDecision, ControlObservation};
@@ -242,7 +242,68 @@ pub fn run_shared_elastic_traced(
         elastic,
         seeds,
         tracer,
+        None,
         ExecMode::Sharded,
+    )
+}
+
+/// [`run_shared_elastic_traced`] with a [`ControlObserver`] driven at
+/// its own deterministic sim-time boundaries, interleaved with the
+/// elastic control instants (an observation boundary due at the same
+/// instant as a control instant fires first, in both kernels).
+/// Observation is contractually invisible: outcomes, stats, and the
+/// fleet log are bit-identical to the unobserved entry points.
+#[allow(clippy::too_many_arguments)]
+pub fn run_shared_elastic_observed(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    elastic: &ElasticPlan,
+    seeds: &SeedStream,
+    tracer: &Tracer,
+    observer: Option<&dyn ControlObserver>,
+) -> Result<ElasticRunResult, RouterError> {
+    run_elastic_inner(
+        trace,
+        replicas,
+        scheduler,
+        config,
+        plan,
+        elastic,
+        seeds,
+        tracer,
+        observer,
+        ExecMode::Sharded,
+    )
+}
+
+/// [`run_shared_elastic_observed`] on the reference lockstep kernel,
+/// for differential testing of the observer schedule itself.
+#[allow(clippy::too_many_arguments)]
+pub fn run_shared_elastic_observed_lockstep(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    elastic: &ElasticPlan,
+    seeds: &SeedStream,
+    tracer: &Tracer,
+    observer: Option<&dyn ControlObserver>,
+) -> Result<ElasticRunResult, RouterError> {
+    run_elastic_inner(
+        trace,
+        replicas,
+        scheduler,
+        config,
+        plan,
+        elastic,
+        seeds,
+        tracer,
+        observer,
+        ExecMode::Lockstep,
     )
 }
 
@@ -267,6 +328,7 @@ pub fn run_shared_elastic_lockstep(
         elastic,
         seeds,
         &Tracer::disabled(),
+        None,
         ExecMode::Lockstep,
     )
 }
@@ -493,6 +555,7 @@ fn run_elastic_inner(
     elastic: &ElasticPlan,
     seeds: &SeedStream,
     tracer: &Tracer,
+    observer: Option<&dyn ControlObserver>,
     mode: ExecMode,
 ) -> Result<ElasticRunResult, RouterError> {
     let initial = replicas;
@@ -614,6 +677,10 @@ fn run_elastic_inner(
     let sharded = matches!(mode, ExecMode::Sharded);
     let mut resync = sharded;
     let mut last_time = SimTime::ZERO;
+    // Observation boundaries are barrier instants of their own (see the
+    // recovery kernel); they fire before any control instant due at the
+    // same time and never touch engine state, outcomes, or `last_time`.
+    let mut next_obs: Option<SimTime> = observer.and_then(|o| o.next_boundary(SimTime::ZERO));
 
     loop {
         // The next control instant: scheduled event, autoscaler tick,
@@ -639,12 +706,29 @@ fn run_elastic_inner(
         };
 
         if resync {
-            let barrier = match (pending_crash_barrier(&slots), next_control) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            };
+            let barrier = [pending_crash_barrier(&slots), next_control, next_obs]
+                .into_iter()
+                .flatten()
+                .min();
             advance_to_barrier(&mut slots, &mut breakers, barrier);
             resync = false;
+        }
+
+        // Fire the observation boundary once every runnable clock has
+        // reached it — a pure no-op for the run (nothing runnable means
+        // the remaining window folds at `finish` instead).
+        if let (Some(obs), Some(t)) = (observer, next_obs) {
+            let min_runnable = slots
+                .iter()
+                .filter(|s| !s.dead && !s.parked)
+                .map(|s| s.engine.now())
+                .min();
+            if min_runnable.is_some_and(|m| m >= t) {
+                obs.boundary(t);
+                next_obs = obs.next_boundary(t);
+                resync = sharded;
+                continue;
+            }
         }
 
         // Process the control instant once every runnable clock reached
@@ -986,6 +1070,10 @@ fn run_elastic_inner(
         if let Some(since) = fleet.provisioned_since[r].take() {
             fleet.replica_us += end.duration_since(since).as_micros();
         }
+    }
+
+    if let Some(obs) = observer {
+        obs.finish(end);
     }
 
     Ok(ElasticRunResult {

@@ -47,15 +47,17 @@ pub use breaker::{pick_target, BreakerConfig, BreakerState, CircuitBreaker, Pick
 pub use capacity::{max_goodput, max_goodput_serial, min_replicas_for, GoodputOptions};
 pub use deployment::{run_shared, run_shared_traced, run_siloed, ClusterConfig, SiloGroup};
 pub use elastic::{
-    run_shared_elastic, run_shared_elastic_lockstep, run_shared_elastic_traced, ElasticRunResult,
+    run_shared_elastic, run_shared_elastic_lockstep, run_shared_elastic_observed,
+    run_shared_elastic_observed_lockstep, run_shared_elastic_traced, ElasticRunResult,
 };
 pub use lifecycle::{
     drain_victim, generate_scale_schedule, DrainCandidate, ElasticPlan, FleetRouter,
     LifecycleConfig, ScaleAction, ScaleChurnConfig, ScaleEvent,
 };
 pub use recovery::{
-    run_shared_faulty, run_shared_faulty_lockstep, run_shared_faulty_traced, FaultPlan,
-    FaultRunResult, FaultRunStats,
+    run_shared_faulty, run_shared_faulty_lockstep, run_shared_faulty_observed,
+    run_shared_faulty_observed_lockstep, run_shared_faulty_traced, FaultPlan, FaultRunResult,
+    FaultRunStats,
 };
 pub use router::{Router, RouterError};
 pub use spec::SchedulerSpec;

@@ -40,7 +40,7 @@ use qoserve_engine::{ReplicaConfig, ReplicaEngine};
 use qoserve_metrics::{Disposition, RequestOutcome};
 use qoserve_sim::faults::{CrashEvent, FaultConfig, FaultSchedule};
 use qoserve_sim::{par_map, SeedStream, SimDuration, SimTime};
-use qoserve_trace::{FaultKind, TraceEvent, Tracer};
+use qoserve_trace::{ControlObserver, FaultKind, TraceEvent, Tracer};
 use qoserve_workload::{Priority, RequestId, Trace};
 
 use crate::breaker::{pick_round_robin, pick_target, BreakerConfig, CircuitBreaker};
@@ -237,7 +237,66 @@ pub fn run_shared_faulty_traced(
         plan,
         seeds,
         tracer,
+        None,
         ExecMode::Sharded,
+    )
+}
+
+/// [`run_shared_faulty_traced`] with a [`ControlObserver`] driven at its
+/// own deterministic sim-time boundaries. A boundary `t` is processed
+/// once every runnable replica's clock has reached it — the same fixed
+/// point as the crash barrier — so the observer callback sequence is a
+/// pure function of `(trace, scheduler, config, plan, seeds)` at any
+/// `QOSERVE_THREADS` and in either kernel. Observation is contractually
+/// invisible: outcomes are bit-identical to the unobserved entry points
+/// (pinned by the stats integration tests).
+#[allow(clippy::too_many_arguments)]
+pub fn run_shared_faulty_observed(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    seeds: &SeedStream,
+    tracer: &Tracer,
+    observer: Option<&dyn ControlObserver>,
+) -> Result<FaultRunResult, RouterError> {
+    run_faulty_inner(
+        trace,
+        replicas,
+        scheduler,
+        config,
+        plan,
+        seeds,
+        tracer,
+        observer,
+        ExecMode::Sharded,
+    )
+}
+
+/// [`run_shared_faulty_observed`] on the reference lockstep kernel, for
+/// differential testing of the observer schedule itself.
+#[allow(clippy::too_many_arguments)]
+pub fn run_shared_faulty_observed_lockstep(
+    trace: &Trace,
+    replicas: u32,
+    scheduler: &SchedulerSpec,
+    config: &ClusterConfig,
+    plan: &FaultPlan,
+    seeds: &SeedStream,
+    tracer: &Tracer,
+    observer: Option<&dyn ControlObserver>,
+) -> Result<FaultRunResult, RouterError> {
+    run_faulty_inner(
+        trace,
+        replicas,
+        scheduler,
+        config,
+        plan,
+        seeds,
+        tracer,
+        observer,
+        ExecMode::Lockstep,
     )
 }
 
@@ -262,6 +321,7 @@ pub fn run_shared_faulty_lockstep(
         plan,
         seeds,
         &Tracer::disabled(),
+        None,
         ExecMode::Lockstep,
     )
 }
@@ -397,6 +457,7 @@ fn run_faulty_inner(
     plan: &FaultPlan,
     seeds: &SeedStream,
     tracer: &Tracer,
+    observer: Option<&dyn ControlObserver>,
     mode: ExecMode,
 ) -> Result<FaultRunResult, RouterError> {
     let targets = config
@@ -473,6 +534,11 @@ fn run_faulty_inner(
 
     let up_index = UpSetIndex::build(&schedule, replicas);
     let sharded = matches!(mode, ExecMode::Sharded);
+    // Observation boundaries are barrier instants of their own: the
+    // sharded kernel never advances a replica past the next one, so the
+    // observer fires at exactly the lockstep point — after every step
+    // whose entry clock precedes the boundary, before any that follows.
+    let mut next_obs: Option<SimTime> = observer.and_then(|o| o.next_boundary(SimTime::ZERO));
     // Two-phase sharded execution: at every resync point (run start and
     // each processed crash) the barrier may have moved, so the runner
     // first advances every runnable replica in parallel up to the next
@@ -481,9 +547,31 @@ fn run_faulty_inner(
     let mut resync = sharded;
     loop {
         if resync {
-            let barrier = pending_crash_barrier(&slots);
+            let barrier = match (pending_crash_barrier(&slots), next_obs) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
             advance_to_barrier(&mut slots, &mut breakers, barrier);
             resync = false;
+        }
+
+        // Fire the observation boundary once every runnable clock has
+        // reached it. A pure no-op for the run itself: no engine state,
+        // outcome, or timing is touched. With nothing runnable the run
+        // is over and the remaining window folds at `finish` instead —
+        // firing here would tick forever (boundaries never run out).
+        if let (Some(obs), Some(t)) = (observer, next_obs) {
+            let min_runnable = slots
+                .iter()
+                .filter(|s| !s.dead && !s.parked)
+                .map(|s| s.engine.now())
+                .min();
+            if min_runnable.is_some_and(|m| m >= t) {
+                obs.boundary(t);
+                next_obs = obs.next_boundary(t);
+                resync = sharded;
+                continue;
+            }
         }
 
         // Lockstep: always advance the live engine furthest behind, so a
@@ -659,6 +747,14 @@ fn run_faulty_inner(
     debug_assert_eq!(outcomes.len(), trace.len(), "no request may be lost");
 
     stats.breaker_opens = breakers.iter().map(|b| b.open_count()).sum();
+    if let Some(obs) = observer {
+        let end = slots
+            .iter()
+            .map(|s| s.engine.now())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        obs.finish(end);
+    }
     Ok(FaultRunResult { outcomes, stats })
 }
 

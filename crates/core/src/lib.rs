@@ -61,8 +61,10 @@ pub mod prelude {
 
     pub use qoserve_cluster::{
         drain_victim, generate_scale_schedule, max_goodput, min_replicas_for, pick_target,
-        run_shared, run_shared_elastic, run_shared_elastic_lockstep, run_shared_elastic_traced,
-        run_shared_faulty, run_shared_faulty_lockstep, run_shared_faulty_traced, run_shared_traced,
+        run_shared, run_shared_elastic, run_shared_elastic_lockstep, run_shared_elastic_observed,
+        run_shared_elastic_observed_lockstep, run_shared_elastic_traced, run_shared_faulty,
+        run_shared_faulty_lockstep, run_shared_faulty_observed,
+        run_shared_faulty_observed_lockstep, run_shared_faulty_traced, run_shared_traced,
         run_siloed, AutoscaleConfig, AutoscaleController, AutoscaleDecision, BreakerConfig,
         BreakerState, CircuitBreaker, ClusterConfig, ControlObservation, DrainCandidate,
         ElasticPlan, ElasticRunResult, FaultPlan, FaultRunResult, FaultRunStats, FleetRouter,

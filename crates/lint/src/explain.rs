@@ -97,18 +97,19 @@ pub const EXPLANATIONS: &[(&str, &str)] = &[
         RULE_COVERAGE,
         "Cross-file exhaustiveness: every variant of the workspace `TraceEvent` enum must \
          be mentioned (as a `TraceEvent::Variant` path in non-test code) in each export \
-         surface — the trace exporters (`crates/trace/src/export.rs`) and forensics \
-         attribution (`crates/bench/src/forensics.rs`).\n\
+         surface — the trace exporters (`crates/trace/src/export.rs`), forensics \
+         attribution (`crates/bench/src/forensics.rs`), and the live-stats aggregator \
+         (`crates/stats/src/aggregate.rs`).\n\
          Why: a `_` arm silently swallows variants added later, so a new event would ship \
-         without Chrome-trace or forensics wiring and the gap would surface as missing data \
-         months later.\n\
+         without Chrome-trace, forensics, or live-stats wiring and the gap would surface \
+         as missing data months later.\n\
          Fix: add an explicit arm (or list the variant in an or-pattern) per surface; the \
          rule is inert when no `TraceEvent` enum is in the scanned set.",
     ),
     (
         RULE_SERDE,
-        "Fields of `#[derive(Serialize, Deserialize)]` structs in metrics/trace library \
-         code without `#[serde(default)]`, above the ratcheted baseline. Container-level \
+        "Fields of `#[derive(Serialize, Deserialize)]` structs in metrics/trace/stats \
+         library code without `#[serde(default)]`, above the ratcheted baseline. Container-level \
          `#[serde(default)]`/`#[serde(transparent)]` satisfies the rule; `#[serde(skip)]` \
          and `#[serde(flatten)]` fields are exempt.\n\
          Why: metrics snapshots and trace records are persisted JSONL that outlives the \

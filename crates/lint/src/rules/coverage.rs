@@ -2,8 +2,8 @@
 //!
 //! `TraceEvent` is a closed enum; its value comes from every consumer
 //! handling every variant. Serde keeps the JSONL round-trip exhaustive
-//! for free, but the Chrome exporter and the forensics attributor match
-//! on variants by hand — and a `_` arm silently swallows any variant
+//! for free, but the Chrome exporter, the forensics attributor, and the
+//! live-stats aggregator match on variants by hand — and a `_` arm silently swallows any variant
 //! added later. This rule makes that a lint error: every variant of the
 //! workspace's `TraceEvent` enum must be *mentioned* (as a
 //! `TraceEvent::Variant` path in non-test code) in each export surface.
@@ -32,6 +32,7 @@ pub(crate) const SURFACES: &[(&str, &str)] = &[
         "the trace exporters (JSONL + Chrome)",
     ),
     ("crates/bench/src/forensics.rs", "forensics attribution"),
+    ("crates/stats/src/aggregate.rs", "the live-stats aggregator"),
 ];
 
 /// Facts the workspace pass needs about one scanned file.

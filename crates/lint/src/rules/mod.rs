@@ -21,7 +21,7 @@
 //! | `lossy-cast`           | lexical     | sim, engine, sched, cluster, perf library code, except the sanctioned helper `crates/sim/src/nums.rs`; ratcheted |
 //! | `lock-discipline`      | structural  | determinism-crate library code (call-graph reachability from the hot-fn set) |
 //! | `trace-coverage`       | structural  | the export surfaces, against the workspace `TraceEvent` enum |
-//! | `serde-back-compat`    | structural  | metrics + trace library code; ratcheted |
+//! | `serde-back-compat`    | structural  | metrics + trace + stats library code; ratcheted |
 //! | `bad-waiver`           | —           | everywhere a waiver comment appears (malformed or unused) |
 //!
 //! Test code never participates: files under a `tests/`, `benches/`,
@@ -76,8 +76,8 @@ const DETERMINISM_CRATES: &[&str] = &[
 const CAST_CRATES: &[&str] = &["sim", "engine", "sched", "cluster", "perf"];
 
 /// Crates whose serialized structs are persisted (JSONL results, trace
-/// files) and bound by `serde-back-compat`.
-const SERDE_CRATES: &[&str] = &["metrics", "trace"];
+/// files, stats snapshots) and bound by `serde-back-compat`.
+const SERDE_CRATES: &[&str] = &["metrics", "trace", "stats"];
 
 /// The one file allowed to spell out raw float comparisons: the shared
 /// `total_cmp` helper everything else is routed through.
@@ -439,6 +439,11 @@ mod tests {
         assert!(
             !s.casts && s.determinism && s.float,
             "nums.rs is the sanctioned cast helper"
+        );
+        let s = scope_for("crates/stats/src/snapshot.rs");
+        assert!(
+            s.serde_compat && !s.determinism && !s.casts,
+            "stats persists snapshots but folds outside the sim kernels"
         );
         let s = scope_for("crates/bench/src/bin/fig9.rs");
         assert!(

@@ -15,6 +15,8 @@
 //! * [`recovery`] — [`RecoveryReport`]: per-tier availability/retry/
 //!   re-prefill accounting for fault-injected runs.
 //! * [`rolling`] — time-windowed percentile series.
+//! * [`windowed`] — fixed-window streaming aggregates with exact merges
+//!   (the building block of `qoserve-stats` delta snapshots).
 //! * [`goodput`] — monotone boundary search used for capacity numbers.
 //! * [`report`] — plain-text table rendering for the experiment binaries.
 
@@ -26,6 +28,7 @@ pub mod recovery;
 pub mod report;
 pub mod rolling;
 pub mod slo;
+pub mod windowed;
 
 pub use goodput::{max_supported_load, try_max_supported_load, SearchRangeError};
 pub use histogram::{LogHistogram, MergeError, ResolutionError};
@@ -35,3 +38,4 @@ pub use recovery::{RecoveryCounts, RecoveryReport};
 pub use report::Table;
 pub use rolling::RollingSeries;
 pub use slo::SloReport;
+pub use windowed::{WindowAgg, WindowCount, WindowedCounts, WindowedSamples};

@@ -1,0 +1,220 @@
+//! The in-process typed endpoint: `query(StatsQuery) -> StatsReply`.
+//!
+//! This is the scx_stats shape — a typed request/response pair over the
+//! live aggregator — without the unix-socket transport: both ends live
+//! in one process, so the "wire" is the serde schema itself. Both
+//! [`StatsQuery`] and [`StatsReply`] are serde types; external tooling
+//! that does want a byte transport can serialize them as JSON verbatim
+//! (the integration tests pin that round trip).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::live::StatsHandle;
+use crate::snapshot::{
+    FleetStats, ReplicaStats, StatsDelta, StatsSnapshot, TierStats, SNAPSHOT_SCHEMA_VERSION,
+};
+
+/// A typed stats request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "query", rename_all = "snake_case")]
+pub enum StatsQuery {
+    /// Endpoint metadata: schema version, cadence, progress.
+    Meta,
+    /// The cumulative full snapshot.
+    Full,
+    /// All deltas with `seq >= since_seq` (pass 0 for everything); the
+    /// incremental-consumer path.
+    DeltasSince {
+        /// First delta sequence number wanted.
+        since_seq: u64,
+    },
+    /// One tier's cumulative stats.
+    Tier {
+        /// Raw tier id.
+        tier: u8,
+    },
+    /// One replica's cumulative stats.
+    Replica {
+        /// Replica id.
+        replica: u32,
+    },
+    /// Violation counts per lateness-cause label.
+    Causes,
+    /// Fleet-wide elastic accounting.
+    Fleet,
+}
+
+/// Endpoint metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct StatsMeta {
+    /// Snapshot schema version served.
+    pub version: u32,
+    /// Cadence between boundaries, microseconds.
+    pub cadence_us: u64,
+    /// Boundaries folded so far.
+    pub snapshots: u64,
+    /// Whether the run has finished (final fold done).
+    pub finished: bool,
+}
+
+/// A typed stats response; variants correspond one-to-one with
+/// [`StatsQuery`] variants. Lookups for unknown tiers/replicas return
+/// `None` payloads rather than erroring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "reply", content = "body", rename_all = "snake_case")]
+pub enum StatsReply {
+    /// Response to [`StatsQuery::Meta`].
+    Meta(StatsMeta),
+    /// Response to [`StatsQuery::Full`].
+    Full(Box<StatsSnapshot>),
+    /// Response to [`StatsQuery::DeltasSince`].
+    Deltas(Vec<StatsDelta>),
+    /// Response to [`StatsQuery::Tier`].
+    Tier(Option<TierStats>),
+    /// Response to [`StatsQuery::Replica`].
+    Replica(Option<ReplicaStats>),
+    /// Response to [`StatsQuery::Causes`].
+    Causes(BTreeMap<String, u64>),
+    /// Response to [`StatsQuery::Fleet`].
+    Fleet(FleetStats),
+}
+
+/// The endpoint: a thin, cloneable view over a [`StatsHandle`]. Queries
+/// are cheap (one lock, one clone of the requested slice) and safe to
+/// issue while a run is in flight — they observe the last folded
+/// boundary, never a half-folded window.
+#[derive(Debug, Clone)]
+pub struct StatsServer {
+    handle: StatsHandle,
+}
+
+impl StatsServer {
+    /// A server over `handle`.
+    pub fn new(handle: StatsHandle) -> StatsServer {
+        StatsServer { handle }
+    }
+
+    /// Answers one typed query.
+    pub fn query(&self, query: &StatsQuery) -> StatsReply {
+        match query {
+            StatsQuery::Meta => {
+                let full = self.handle.full();
+                StatsReply::Meta(StatsMeta {
+                    version: SNAPSHOT_SCHEMA_VERSION,
+                    cadence_us: self.handle.cadence_us(),
+                    snapshots: full.seq,
+                    finished: self.handle.finished(),
+                })
+            }
+            StatsQuery::Full => StatsReply::Full(Box::new(self.handle.full())),
+            StatsQuery::DeltasSince { since_seq } => {
+                StatsReply::Deltas(self.handle.deltas_since(*since_seq))
+            }
+            StatsQuery::Tier { tier } => {
+                StatsReply::Tier(self.handle.full().frame.tiers.get(tier).cloned())
+            }
+            StatsQuery::Replica { replica } => {
+                StatsReply::Replica(self.handle.full().frame.replicas.get(replica).cloned())
+            }
+            StatsQuery::Causes => StatsReply::Causes(self.handle.full().frame.causes),
+            StatsQuery::Fleet => StatsReply::Fleet(self.handle.full().frame.fleet),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::StatsConfig;
+    use qoserve_sim::{SimDuration, SimTime};
+    use qoserve_trace::{ControlObserver, TraceEvent, TraceRecord};
+
+    fn served_handle() -> StatsHandle {
+        let stats = StatsHandle::new(StatsConfig::every(SimDuration::from_micros(100)));
+        let mut sink = crate::live::stats_only_sink(&stats);
+        sink.record(TraceRecord {
+            time_us: 10,
+            replica: 2,
+            seq: 0,
+            request: Some(1),
+            event: TraceEvent::RequestArrived {
+                prompt_tokens: 64,
+                decode_tokens: 8,
+                tier: 1,
+                deadline_us: 50,
+            },
+        });
+        sink.record(TraceRecord {
+            time_us: 60,
+            replica: 2,
+            seq: 1,
+            request: Some(1),
+            event: TraceEvent::RequestCompleted {
+                violated: true,
+                worst_lateness_us: 10,
+                max_tbt_us: 5,
+                relegated: false,
+            },
+        });
+        stats.boundary(SimTime::from_micros(100));
+        stats
+    }
+
+    #[test]
+    fn queries_answer_with_matching_variants() {
+        let server = StatsServer::new(served_handle());
+        let StatsReply::Meta(meta) = server.query(&StatsQuery::Meta) else {
+            panic!("meta");
+        };
+        assert_eq!(meta.version, SNAPSHOT_SCHEMA_VERSION);
+        assert_eq!(meta.cadence_us, 100);
+        assert_eq!(meta.snapshots, 1);
+        assert!(!meta.finished);
+        let StatsReply::Full(full) = server.query(&StatsQuery::Full) else {
+            panic!("full");
+        };
+        assert_eq!(full.frame.events, 2);
+        let StatsReply::Tier(Some(t)) = server.query(&StatsQuery::Tier { tier: 1 }) else {
+            panic!("tier");
+        };
+        assert_eq!(t.violated, 1);
+        let StatsReply::Tier(None) = server.query(&StatsQuery::Tier { tier: 9 }) else {
+            panic!("unknown tier is None");
+        };
+        let StatsReply::Replica(Some(r)) = server.query(&StatsQuery::Replica { replica: 2 }) else {
+            panic!("replica");
+        };
+        assert_eq!(r.completed, 1);
+        let StatsReply::Causes(causes) = server.query(&StatsQuery::Causes) else {
+            panic!("causes");
+        };
+        assert_eq!(causes.get("queueing-delay"), Some(&1));
+        let StatsReply::Deltas(deltas) = server.query(&StatsQuery::DeltasSince { since_seq: 0 })
+        else {
+            panic!("deltas");
+        };
+        assert_eq!(deltas.len(), 1);
+        let StatsReply::Fleet(_) = server.query(&StatsQuery::Fleet) else {
+            panic!("fleet");
+        };
+    }
+
+    #[test]
+    fn query_and_reply_serialize_as_a_typed_wire_schema() {
+        let q = StatsQuery::DeltasSince { since_seq: 3 };
+        let text = serde_json::to_string(&q).expect("query");
+        assert_eq!(text, "{\"query\":\"deltas_since\",\"since_seq\":3}");
+        assert_eq!(serde_json::from_str::<StatsQuery>(&text).expect("back"), q);
+        let server = StatsServer::new(served_handle());
+        let reply = server.query(&StatsQuery::Meta);
+        let wire = serde_json::to_string(&reply).expect("reply");
+        assert!(wire.starts_with("{\"reply\":\"meta\""), "{wire}");
+        assert_eq!(
+            serde_json::from_str::<StatsReply>(&wire).expect("round trip"),
+            reply
+        );
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod event;
 pub mod export;
+pub mod observe;
 pub mod sink;
 pub mod tracer;
 
@@ -43,5 +44,6 @@ pub use event::{
     TraceRecord, RELEGATED_TIER,
 };
 pub use export::{from_jsonl, to_chrome_trace, to_jsonl, ParsedTrace};
+pub use observe::ControlObserver;
 pub use sink::{NullSink, RingSink, TraceSink, VecSink};
 pub use tracer::Tracer;

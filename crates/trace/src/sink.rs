@@ -25,6 +25,13 @@ pub trait TraceSink: Send {
     fn dropped(&self) -> u64 {
         0
     }
+
+    /// Evicted-record counts keyed by replica, omitting replicas with no
+    /// drops. Sinks without per-replica accounting return an empty map
+    /// even when [`dropped`](TraceSink::dropped) is non-zero.
+    fn dropped_by_replica(&self) -> BTreeMap<u32, u64> {
+        BTreeMap::new()
+    }
 }
 
 /// The zero-overhead default: capture disabled.
@@ -50,6 +57,8 @@ struct Ring {
     buf: Vec<TraceRecord>,
     /// Next overwrite position once the buffer is full.
     head: usize,
+    /// Records this ring has evicted.
+    dropped: u64,
 }
 
 impl Ring {
@@ -57,6 +66,7 @@ impl Ring {
         Ring {
             buf: Vec::with_capacity(capacity),
             head: 0,
+            dropped: 0,
         }
     }
 
@@ -119,6 +129,7 @@ impl TraceSink for RingSink {
             .entry(record.replica)
             .or_insert_with(|| Ring::new(capacity));
         if ring.push(record, capacity) {
+            ring.dropped += 1;
             self.dropped += 1;
         }
     }
@@ -135,6 +146,14 @@ impl TraceSink for RingSink {
 
     fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    fn dropped_by_replica(&self) -> BTreeMap<u32, u64> {
+        self.rings
+            .iter()
+            .filter(|(_, ring)| ring.dropped > 0)
+            .map(|(&replica, ring)| (replica, ring.dropped))
+            .collect()
     }
 }
 
@@ -209,6 +228,31 @@ mod tests {
         let kept: Vec<(u32, u64)> = snap.iter().map(|r| (r.replica, r.seq)).collect();
         // Replica 0 keeps its three *newest* records (seq 2, 3, 4).
         assert_eq!(kept, vec![(1, 0), (0, 2), (0, 3), (0, 4)]);
+    }
+
+    #[test]
+    fn ring_drop_counts_are_per_replica() {
+        let mut s = RingSink::new(2);
+        // Replica 0 overflows by 3, replica 2 by 1, replica 1 not at all.
+        for seq in 0..5 {
+            s.record(rec(seq, 0, seq));
+        }
+        for seq in 0..2 {
+            s.record(rec(seq, 1, seq));
+        }
+        for seq in 0..3 {
+            s.record(rec(seq, 2, seq));
+        }
+        assert_eq!(s.dropped(), 4);
+        let by_replica = s.dropped_by_replica();
+        assert_eq!(by_replica.get(&0), Some(&3));
+        assert_eq!(by_replica.get(&2), Some(&1));
+        // Replicas without drops are omitted, not reported as zero.
+        assert!(!by_replica.contains_key(&1));
+        // Sinks without per-replica accounting report an empty map.
+        let mut v = VecSink::new();
+        v.record(rec(0, 0, 0));
+        assert!(v.dropped_by_replica().is_empty());
     }
 
     #[test]

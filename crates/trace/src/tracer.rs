@@ -162,8 +162,21 @@ impl Tracer {
     /// Records evicted by the sink's capacity limit.
     pub fn dropped(&self) -> u64 {
         let Some(shared) = &self.shared else { return 0 };
+        // qoserve-lint: allow(lock-discipline) -- cold query accessor, never on the step path; the name-graph edge is `TraceSink::dropped` (a lock-free counter read in the stats tee), not this method
         let Ok(inner) = shared.lock() else { return 0 };
         inner.sink.dropped()
+    }
+
+    /// Evicted-record counts keyed by replica (empty when disabled, or
+    /// when the sink keeps no per-replica accounting).
+    pub fn dropped_by_replica(&self) -> BTreeMap<u32, u64> {
+        let Some(shared) = &self.shared else {
+            return BTreeMap::new();
+        };
+        let Ok(inner) = shared.lock() else {
+            return BTreeMap::new();
+        };
+        inner.sink.dropped_by_replica()
     }
 }
 
